@@ -1,0 +1,394 @@
+(* Merced — the BIST compiler of the paper (Table 2), as a command-line
+   tool. Subcommands: stats, partition, generate, selftest, sweep. *)
+
+module Circuit = Ppet_netlist.Circuit
+module Stats = Ppet_netlist.Stats
+module Bench_parser = Ppet_netlist.Bench_parser
+module Bench_writer = Ppet_netlist.Bench_writer
+module Benchmarks = Ppet_netlist.Benchmarks
+module Segment = Ppet_netlist.Segment
+module S27 = Ppet_netlist.S27
+module Params = Ppet_core.Params
+module Merced = Ppet_core.Merced
+module Report = Ppet_core.Report
+module Assign = Ppet_core.Assign
+module Pet = Ppet_bist.Pet
+module Simulator = Ppet_bist.Simulator
+module Pipeline = Ppet_bist.Pipeline
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* shared argument parsing                                             *)
+
+let load_circuit spec =
+  if spec = "s27" then S27.circuit ()
+  else if Sys.file_exists spec then
+    if Filename.check_suffix spec ".v" then
+      Ppet_netlist.Verilog.parse_file spec
+    else Bench_parser.parse_file spec
+  else
+    match Benchmarks.find spec with
+    | exception Not_found ->
+      raise
+        (Circuit.Error
+           (Printf.sprintf
+              "%S is neither a file, \"s27\", nor a known benchmark (%s)"
+              spec
+              (String.concat ", " Benchmarks.names)))
+    | _ -> Benchmarks.circuit spec
+
+let circuit_arg =
+  let doc =
+    "Circuit to process: a .bench or .v (structural Verilog) file path, \
+     \"s27\", or an ISCAS89 benchmark name (synthesized to the published \
+     profile), e.g. s5378."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT" ~doc)
+
+let lk_arg =
+  let doc = "Input constraint / CBIT length l_k (paper uses 16 and 24)." in
+  Arg.(value & opt int 16 & info [ "l"; "lk" ] ~docv:"LK" ~doc)
+
+let beta_arg =
+  let doc = "Loop cut relaxation factor beta of Eq. 6 (paper uses 50)." in
+  Arg.(value & opt int 50 & info [ "beta" ] ~docv:"BETA" ~doc)
+
+let seed_arg =
+  let doc = "Random seed for the flow injection." in
+  Arg.(value & opt int 0x4DAC & info [ "seed" ] ~docv:"SEED" ~doc)
+
+(* write in the format the file extension asks for *)
+let write_circuit path c =
+  if Filename.check_suffix path ".v" then Ppet_netlist.Verilog.to_file path c
+  else Bench_writer.to_file path c
+
+let params_of lk beta seed =
+  { Params.default with Params.l_k = lk; beta; seed = Int64.of_int seed }
+
+let wrap f =
+  try
+    f ();
+    0
+  with
+  | Circuit.Error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    1
+  | Invalid_argument msg ->
+    Printf.eprintf "error: %s\n" msg;
+    1
+
+(* ------------------------------------------------------------------ *)
+(* stats                                                               *)
+
+let stats_run spec =
+  wrap (fun () ->
+      let c = load_circuit spec in
+      let s = Stats.of_circuit c in
+      print_endline Stats.header;
+      print_endline (Stats.row s);
+      Format.printf "%a@." Stats.pp s)
+
+let stats_cmd =
+  let doc = "Print Table 9-style structural statistics of a circuit." in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const stats_run $ circuit_arg)
+
+(* ------------------------------------------------------------------ *)
+(* partition                                                           *)
+
+let locked_fn c names =
+  match names with
+  | [] -> None
+  | _ ->
+    let ids = Hashtbl.create 8 in
+    List.iter
+      (fun n ->
+        match Circuit.find c n with
+        | id -> Hashtbl.replace ids id ()
+        | exception Not_found ->
+          raise (Circuit.Error (Printf.sprintf "--lock: unknown signal %S" n)))
+      names;
+    Some (Hashtbl.mem ids)
+
+let partition_run spec lk beta seed lock csv verbose =
+  wrap (fun () ->
+      let c = load_circuit spec in
+      let r =
+        Merced.run ~params:(params_of lk beta seed) ?locked:(locked_fn c lock) c
+      in
+      if csv then begin
+        print_endline Report.csv_header;
+        print_endline (Report.csv_row r)
+      end
+      else begin
+        print_endline (Report.summary r);
+        (match Merced.retiming_feasibility r with
+         | `Feasible ->
+           print_endline "  legal retiming covers every combinational cut net"
+         | `Needs_mux n ->
+           Printf.printf
+             "  legal retiming blocked on %d cut nets (multiplexed cells)\n" n);
+        if verbose then
+          List.iteri
+            (fun i (p : Assign.partition) ->
+              Printf.printf "  partition %d: %d vertices, iota = %d%s%s\n" i
+                (Array.length p.Assign.vertices)
+                p.Assign.input_count
+                (if p.Assign.oversize then " (oversize)" else "")
+                (if p.Assign.locked then " (locked)" else ""))
+            r.Merced.assignment.Assign.partitions
+      end)
+
+let lock_arg =
+  Arg.(value & opt (list string) [] & info [ "lock" ] ~docv:"SIGNALS"
+         ~doc:"Comma-separated signal names to lock out of the BIST \
+               conversion (Table 5's lock option).")
+
+let partition_cmd =
+  let doc = "Run the Merced pipeline: partition a circuit for PPET." in
+  let csv =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit a machine-readable CSV row.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"List every partition.")
+  in
+  Cmd.v
+    (Cmd.info "partition" ~doc)
+    Term.(const partition_run $ circuit_arg $ lk_arg $ beta_arg $ seed_arg
+          $ lock_arg $ csv $ verbose)
+
+(* ------------------------------------------------------------------ *)
+(* generate                                                            *)
+
+let generate_run name output seed =
+  wrap (fun () ->
+      let e = Benchmarks.find name in
+      let c =
+        Ppet_netlist.Generator.generate ~seed:(Int64.of_int seed)
+          e.Benchmarks.profile
+      in
+      match output with
+      | Some path ->
+        write_circuit path c;
+        Printf.printf "wrote %s (%d nodes)\n" path (Circuit.size c)
+      | None -> print_string (Bench_writer.to_string c))
+
+let generate_cmd =
+  let doc =
+    "Synthesize the stand-in netlist for a named ISCAS89 profile and emit \
+     it in .bench format."
+  in
+  let bench_name =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME"
+           ~doc:"Benchmark name, e.g. s5378.")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write to a file instead of standard output.")
+  in
+  Cmd.v (Cmd.info "generate" ~doc)
+    Term.(const generate_run $ bench_name $ output $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* selftest                                                            *)
+
+let selftest_run spec lk beta seed max_width =
+  wrap (fun () ->
+      let c = load_circuit spec in
+      let r = Merced.run ~params:(params_of lk beta seed) c in
+      let sim = Simulator.create c in
+      let segments = Merced.segments r in
+      Printf.printf "circuit %s: %d segments\n" c.Circuit.title
+        (List.length segments);
+      List.iteri
+        (fun i seg ->
+          let w = Segment.input_count seg in
+          if w > 0 && w <= max_width then begin
+            let rep = Pet.run sim seg in
+            Format.printf "  segment %d: %a@." i Pet.pp rep
+          end
+          else
+            Printf.printf
+              "  segment %d: iota = %d, skipped (exhaustive bound %d)\n" i w
+              max_width)
+        segments;
+      let phasing = Ppet_core.Phasing.compute r in
+      Format.printf "%a@." Ppet_core.Phasing.pp phasing;
+      let sched = Ppet_core.Phasing.schedule r in
+      Format.printf "%a@." Pipeline.pp sched)
+
+let selftest_cmd =
+  let doc =
+    "Partition a circuit, then pseudo-exhaustively fault-test every \
+     segment and print the PPET schedule."
+  in
+  let max_width =
+    Arg.(value & opt int 14 & info [ "max-width" ] ~docv:"W"
+           ~doc:"Skip exhaustive simulation of segments wider than this.")
+  in
+  Cmd.v (Cmd.info "selftest" ~doc)
+    Term.(const selftest_run $ circuit_arg $ lk_arg $ beta_arg $ seed_arg $ max_width)
+
+(* ------------------------------------------------------------------ *)
+(* insert                                                              *)
+
+let insert_run spec lk beta seed output =
+  wrap (fun () ->
+      let c = load_circuit spec in
+      let r = Merced.run ~params:(params_of lk beta seed) c in
+      let t = Ppet_core.Testable.insert r in
+      Printf.printf
+        "inserted %d test cells in %d CBITs (+%.0f area units, %.1f/cell)\n"
+        (Ppet_core.Testable.cell_count t)
+        (List.length t.Ppet_core.Testable.groups)
+        t.Ppet_core.Testable.added_area
+        (Ppet_core.Testable.measured_overhead_per_cell t);
+      Printf.printf "controls: %s %s %s %s; scan chain %d bits\n"
+        t.Ppet_core.Testable.test_en t.Ppet_core.Testable.fb_en
+        t.Ppet_core.Testable.psa_en t.Ppet_core.Testable.scan_in
+        (Ppet_core.Testable.scan_length t);
+      match output with
+      | Some path ->
+        write_circuit path t.Ppet_core.Testable.circuit;
+        Printf.printf "wrote %s (%d nodes)\n" path
+          (Circuit.size t.Ppet_core.Testable.circuit)
+      | None -> ())
+
+let insert_cmd =
+  let doc =
+    "Insert the PPET test hardware (A_CELL registers, CBIT feedback, scan \
+     chain) into a circuit and optionally write the testable netlist."
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write the testable netlist in .bench format.")
+  in
+  Cmd.v (Cmd.info "insert" ~doc)
+    Term.(const insert_run $ circuit_arg $ lk_arg $ beta_arg $ seed_arg $ output)
+
+(* ------------------------------------------------------------------ *)
+(* retime                                                              *)
+
+let retime_run spec lk beta seed output =
+  wrap (fun () ->
+      let c = load_circuit spec in
+      let r = Merced.run ~params:(params_of lk beta seed) c in
+      match Merced.retimed_netlist r with
+      | None -> prerr_endline "error: no legal retiming found"
+      | Some (emitted, dropped) ->
+        let c' = emitted.Ppet_retiming.To_circuit.circuit in
+        Printf.printf
+          "retimed netlist: %d nodes (%d registers; %d cut nets left to \
+           multiplexed cells)\n"
+          (Circuit.size c')
+          (Array.length (Circuit.dffs c'))
+          dropped;
+        let unknown =
+          List.length
+            (List.filter
+               (fun (_, v) -> v = Ppet_retiming.Logic3.X)
+               emitted.Ppet_retiming.To_circuit.register_inits)
+        in
+        Printf.printf
+          "initial states: %d registers, %d unknown (scan-initialised)\n"
+          (List.length emitted.Ppet_retiming.To_circuit.register_inits)
+          unknown;
+        (match output with
+         | Some path ->
+           write_circuit path c';
+           Printf.printf "wrote %s\n" path
+         | None -> ()))
+
+let retime_cmd =
+  let doc =
+    "Partition, solve for a legal retiming that registers every \
+     combinational cut net, and emit the retimed netlist with recomputed \
+     initial states."
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write the retimed netlist in .bench format.")
+  in
+  Cmd.v (Cmd.info "retime" ~doc)
+    Term.(const retime_run $ circuit_arg $ lk_arg $ beta_arg $ seed_arg $ output)
+
+(* ------------------------------------------------------------------ *)
+(* dot                                                                 *)
+
+let dot_run spec lk beta seed output partitioned =
+  wrap (fun () ->
+      let c = load_circuit spec in
+      let text =
+        if partitioned then begin
+          let r = Merced.run ~params:(params_of lk beta seed) c in
+          let drivers =
+            List.map
+              (fun e -> Ppet_digraph.Netgraph.net_src r.Merced.graph e)
+              r.Merced.assignment.Assign.cut_nets
+          in
+          Ppet_netlist.To_dot.partitioned c
+            ~cluster_of:(fun v -> r.Merced.assignment.Assign.partition_of.(v))
+            ~cut_net_drivers:drivers
+        end
+        else Ppet_netlist.To_dot.circuit c
+      in
+      match output with
+      | Some path ->
+        let oc = open_out path in
+        output_string oc text;
+        close_out oc;
+        Printf.printf "wrote %s\n" path
+      | None -> print_string text)
+
+let dot_cmd =
+  let doc = "Export a circuit (optionally with its PPET partitioning) as Graphviz dot." in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write to a file instead of standard output.")
+  in
+  let partitioned =
+    Arg.(value & flag & info [ "p"; "partitioned" ]
+           ~doc:"Run Merced first and draw the partitions and cut nets.")
+  in
+  Cmd.v (Cmd.info "dot" ~doc)
+    Term.(const dot_run $ circuit_arg $ lk_arg $ beta_arg $ seed_arg $ output $ partitioned)
+
+(* ------------------------------------------------------------------ *)
+(* sweep                                                               *)
+
+let sweep_run spec lks beta seed =
+  wrap (fun () ->
+      let c = load_circuit spec in
+      Printf.printf "%-4s %9s %12s %9s %9s %12s %14s\n" "lk" "nets-cut"
+        "cuts-on-SCC" "w/R(%)" "w/o(%)" "sigma(DFF)" "test-cycles";
+      List.iter
+        (fun lk ->
+          let r = Merced.run ~params:(params_of lk beta seed) c in
+          let b = r.Merced.breakdown in
+          Printf.printf "%-4d %9d %12d %9.1f %9.1f %12.1f %14.3g\n" lk
+            b.Ppet_core.Area_accounting.cuts_total
+            b.Ppet_core.Area_accounting.cuts_on_scc
+            b.Ppet_core.Area_accounting.ratio_with
+            b.Ppet_core.Area_accounting.ratio_without r.Merced.sigma_dff
+            r.Merced.testing_time)
+        lks)
+
+let sweep_cmd =
+  let doc = "Sweep the input constraint and print the area/time trade-off." in
+  let lks =
+    Arg.(value & opt (list int) [ 8; 12; 16; 24 ] & info [ "lks" ] ~docv:"LKS"
+           ~doc:"Comma-separated l_k values.")
+  in
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(const sweep_run $ circuit_arg $ lks $ beta_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let main_cmd =
+  let doc = "Merced: area-efficient pipelined pseudo-exhaustive testing with retiming" in
+  let info = Cmd.info "merced" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [ stats_cmd; partition_cmd; generate_cmd; selftest_cmd; insert_cmd;
+      retime_cmd; dot_cmd; sweep_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,1 @@
+examples/area_tradeoff.ml: Format List Ppet_core Ppet_netlist

@@ -1,0 +1,1 @@
+examples/compiler_tour.ml: Array Format Hashtbl List Ppet_core Ppet_digraph Ppet_netlist Ppet_retiming

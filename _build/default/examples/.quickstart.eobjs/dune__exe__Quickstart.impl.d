@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format List Ppet_core Ppet_netlist String

@@ -1,0 +1,1 @@
+examples/selftest_session.ml: Array Format List Ppet_bist Ppet_core Ppet_netlist

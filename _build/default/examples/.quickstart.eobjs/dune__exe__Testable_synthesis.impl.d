@@ -1,0 +1,1 @@
+examples/testable_synthesis.ml: Array Format Hashtbl Int64 List Ppet_bist Ppet_core Ppet_digraph Ppet_netlist String

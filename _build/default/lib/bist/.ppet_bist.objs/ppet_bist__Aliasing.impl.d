@@ -1,0 +1,1 @@
+lib/bist/aliasing.ml: Misr Ppet_digraph

@@ -1,0 +1,1 @@
+lib/bist/cbit.ml: Acell Array Gf2_poly

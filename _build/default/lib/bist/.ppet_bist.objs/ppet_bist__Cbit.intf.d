@@ -1,0 +1,1 @@
+lib/bist/cbit.mli: Acell Gf2_poly

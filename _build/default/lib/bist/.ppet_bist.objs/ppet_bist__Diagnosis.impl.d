@@ -1,0 +1,1 @@
+lib/bist/diagnosis.ml: Array Fault Hashtbl List Misr Ppet_netlist Simulator

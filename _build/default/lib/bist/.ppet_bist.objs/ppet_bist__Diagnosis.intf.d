@@ -1,0 +1,1 @@
+lib/bist/diagnosis.mli: Fault Ppet_netlist Simulator

@@ -1,0 +1,1 @@
+lib/bist/fault.ml: Array Hashtbl List Ppet_netlist Printf

@@ -1,0 +1,1 @@
+lib/bist/fault.mli: Ppet_netlist

@@ -1,0 +1,1 @@
+lib/bist/fault_sim.ml: Array Fault Hashtbl Lfsr List Ppet_netlist Simulator

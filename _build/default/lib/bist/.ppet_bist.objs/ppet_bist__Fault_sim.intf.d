@@ -1,0 +1,1 @@
+lib/bist/fault_sim.mli: Fault Ppet_netlist Simulator

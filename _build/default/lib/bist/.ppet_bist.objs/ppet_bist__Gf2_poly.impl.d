@@ -1,0 +1,1 @@
+lib/bist/gf2_poly.ml: Array Format Int64 List Printf String

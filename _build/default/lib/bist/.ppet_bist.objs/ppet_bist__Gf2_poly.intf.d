@@ -1,0 +1,1 @@
+lib/bist/gf2_poly.mli: Format

@@ -1,0 +1,1 @@
+lib/bist/lfsr.ml: Gf2_poly List

@@ -1,0 +1,1 @@
+lib/bist/misr.ml: Gf2_poly List

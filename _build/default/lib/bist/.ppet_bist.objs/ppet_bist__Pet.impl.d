@@ -1,0 +1,1 @@
+lib/bist/pet.ml: Fault Fault_sim Format List Ppet_netlist Simulator

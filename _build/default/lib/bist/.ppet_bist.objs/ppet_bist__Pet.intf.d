@@ -1,0 +1,1 @@
+lib/bist/pet.mli: Format Ppet_netlist Simulator

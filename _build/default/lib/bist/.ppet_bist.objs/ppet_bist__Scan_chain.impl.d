@@ -1,0 +1,1 @@
+lib/bist/scan_chain.ml: Acell Array Cbit List

@@ -1,0 +1,1 @@
+lib/bist/scan_chain.mli: Acell Cbit

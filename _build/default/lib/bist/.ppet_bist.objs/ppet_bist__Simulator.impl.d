@@ -1,0 +1,1 @@
+lib/bist/simulator.ml: Array List Ppet_netlist

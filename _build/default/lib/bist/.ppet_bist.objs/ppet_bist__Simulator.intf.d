@@ -1,0 +1,1 @@
+lib/bist/simulator.mli: Ppet_netlist

@@ -1,0 +1,25 @@
+type variant =
+  | Fresh_with_mux
+  | Fresh
+  | Converted
+
+let relative_area = function
+  | Fresh_with_mux -> 2.3
+  | Fresh -> 1.9
+  | Converted -> 0.9
+
+let area_units v = 10.0 *. relative_area v
+
+type mode =
+  | Normal
+  | Tpg
+  | Psa
+  | Scan
+
+let next_bit mode ~data_in ~feedback ~scan_in ~current =
+  ignore current;
+  match mode with
+  | Normal -> data_in
+  | Tpg -> feedback
+  | Psa -> data_in <> feedback
+  | Scan -> scan_in

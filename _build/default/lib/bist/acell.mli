@@ -1,0 +1,33 @@
+(** The A_CELL test register cell (paper Fig. 3, ref [8]).
+
+    An A_CELL augments a D flip-flop with a 2-input AND, a 2-input NOR
+    and a 2-input XOR so the register can serve as an LFSR/MISR stage;
+    a 2-to-1 MUX is additionally needed when the cell is inserted on a
+    data path that keeps its original (unregistered) connection in normal
+    mode. Areas are in DFF-relative units (DFF = 10 area units). *)
+
+type variant =
+  | Fresh_with_mux  (** new cell on an unregistered cut net: 2.3 DFF *)
+  | Fresh           (** new cell, register path acceptable: 1.9 DFF *)
+  | Converted       (** existing functional DFF converted: 0.9 DFF *)
+
+val relative_area : variant -> float
+(** Cost in DFF units (Fig. 3 arithmetic: (3+2+4+10)/10, plus 3/10 for
+    the MUX, minus the reused DFF for conversions). *)
+
+val area_units : variant -> float
+(** Same in the paper's absolute area units (x10). *)
+
+type mode =
+  | Normal  (** transparent functional register *)
+  | Tpg     (** LFSR stage generating patterns *)
+  | Psa     (** MISR stage compressing responses *)
+  | Scan    (** serial shift for initialisation / read-out *)
+
+val next_bit :
+  mode -> data_in:bool -> feedback:bool -> scan_in:bool -> current:bool -> bool
+(** Single-cell next-state function: Normal latches [data_in]; Tpg
+    latches [feedback] (the LFSR xor network); Psa latches
+    [data_in xor feedback]; Scan latches [scan_in]. This is the gate
+    network of Fig. 3(a): AND gates the data path, XOR folds in the
+    feedback, NOR decodes the mode. *)

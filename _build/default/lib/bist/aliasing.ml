@@ -1,0 +1,55 @@
+module Prng = Ppet_digraph.Prng
+
+let probability ~width =
+  if width < 1 || width > 62 then invalid_arg "Aliasing.probability: bad width";
+  ldexp 1.0 (-width)
+
+(* Finite-length result for equiprobable k-bit error words: the map from
+   m input words to the signature is linear and surjective, so exactly
+   2^(k(m-1)) streams land on any given signature; removing the all-zero
+   stream, P(alias) = (2^(k(m-1)) - 1) / (2^(km) - 1) — zero for a single
+   word, tending to 2^-k from below as the stream grows. *)
+let probability_finite ~width ~cycles =
+  if width < 1 || width > 32 then
+    invalid_arg "Aliasing.probability_finite: bad width";
+  if cycles < 0 then invalid_arg "Aliasing.probability_finite: bad cycles";
+  if cycles = 0 then 1.0
+  else if cycles = 1 then 0.0
+  else begin
+    let k = width and m = cycles in
+    if k * (m - 1) > 60 then probability ~width
+    else
+      let num = ldexp 1.0 (k * (m - 1)) -. 1.0 in
+      let den = ldexp 1.0 (k * m) -. 1.0 in
+      num /. den
+  end
+
+let escape_rate ~width ~trials ~seed ~burst =
+  if trials < 1 then invalid_arg "Aliasing.escape_rate: trials must be positive";
+  let rng = Prng.create seed in
+  let mask = (1 lsl width) - 1 in
+  let escapes = ref 0 in
+  for _ = 1 to trials do
+    (* the difference machine: an error stream aliases iff it compresses
+       to zero from the zero state (MISR linearity) *)
+    let m = Misr.create ~width () in
+    let nonzero = ref false in
+    for _ = 1 to burst do
+      let e = Prng.int rng (mask + 1) in
+      if e <> 0 then nonzero := true;
+      ignore (Misr.absorb m e)
+    done;
+    if !nonzero && Misr.signature m = 0 then incr escapes
+  done;
+  float_of_int !escapes /. float_of_int trials
+
+let recommended_width ~segments ~target =
+  if segments < 1 then invalid_arg "Aliasing.recommended_width: no segments";
+  if target <= 0.0 then invalid_arg "Aliasing.recommended_width: bad target";
+  let rec search w =
+    if w > 32 then
+      invalid_arg "Aliasing.recommended_width: target unreachable below 33 bits"
+    else if float_of_int segments *. probability ~width:w <= target then w
+    else search (w + 1)
+  in
+  search 1

@@ -1,0 +1,30 @@
+(** MISR aliasing analysis.
+
+    A signature register can miss a fault when the erroneous response
+    stream compresses to the fault-free signature. For an n-bit MISR fed
+    a stream of length m >> n with effectively random error patterns, the
+    classic estimate of that probability is 2^-n; this module provides
+    the analytic estimates used to size CBITs and an empirical measurement
+    harness to check them (the "high fault coverage" argument of the
+    paper rests on the pseudo-exhaustive patterns plus a small aliasing
+    term). *)
+
+val probability : width:int -> float
+(** The asymptotic estimate 2^-width. *)
+
+val probability_finite : width:int -> cycles:int -> float
+(** Exact probability for a stream of [cycles] equiprobable error words:
+    [(2^(k(m-1)) - 1) / (2^(km) - 1)] — zero for a single word, tending
+    to 2^-width from below; 1.0 when [cycles] is 0 (no compaction). *)
+
+val escape_rate :
+  width:int -> trials:int -> seed:int64 -> burst:int -> float
+(** Monte-Carlo measurement: inject [trials] random non-zero error
+    streams of [burst] words into a MISR and report the fraction whose
+    signature equals the fault-free one. Converges to {!probability} as
+    trials grow. *)
+
+val recommended_width : segments:int -> target:float -> int
+(** Smallest MISR width whose union-bound escape probability over the
+    given number of concurrently-tested segments stays below [target].
+    Raises [Invalid_argument] if no width up to 32 suffices. *)

@@ -1,0 +1,94 @@
+type t = {
+  poly_low : int;
+  w : int;
+  mask : int;
+  mutable st : int;
+  mutable md : Acell.mode;
+}
+
+let create ?poly ~width () =
+  if width < 1 || width > 32 then invalid_arg "Cbit.create: width must be in 1..32";
+  let poly = match poly with Some p -> p | None -> Gf2_poly.primitive width in
+  if Gf2_poly.degree poly <> width then
+    invalid_arg "Cbit.create: polynomial degree differs from width";
+  let mask = (1 lsl width) - 1 in
+  { poly_low = poly land mask; w = width; mask; st = 0; md = Acell.Normal }
+
+let width t = t.w
+
+let mode t = t.md
+
+let set_mode t m = t.md <- m
+
+let state t = t.st
+
+let load t v =
+  if v land t.mask <> v then invalid_arg "Cbit.load: value too wide";
+  t.st <- v
+
+let scan_out_bit t = (t.st lsr (t.w - 1)) land 1 = 1
+
+(* The Galois feedback word: shift left, fold the leaving bit through the
+   polynomial taps. *)
+let lfsr_next t =
+  let out = (t.st lsr (t.w - 1)) land 1 in
+  let shifted = (t.st lsl 1) land t.mask in
+  if out = 1 then shifted lxor t.poly_low else shifted
+
+let clock t ?(data = 0) ?(scan_in = false) () =
+  let data = data land t.mask in
+  t.st <-
+    (match t.md with
+     | Acell.Normal -> data
+     | Acell.Tpg -> lfsr_next t
+     | Acell.Psa -> lfsr_next t lxor data
+     | Acell.Scan ->
+       (((t.st lsl 1) land t.mask) lor (if scan_in then 1 else 0)))
+
+type cost_row = {
+  label : string;
+  length : int;
+  area_per_dff : float;
+  per_bit : float;
+}
+
+let cost_table =
+  [|
+    { label = "d1"; length = 4; area_per_dff = 8.14; per_bit = 2.04 };
+    { label = "d2"; length = 8; area_per_dff = 16.68; per_bit = 2.09 };
+    { label = "d3"; length = 12; area_per_dff = 24.48; per_bit = 2.04 };
+    { label = "d4"; length = 16; area_per_dff = 32.21; per_bit = 2.01 };
+    { label = "d5"; length = 24; area_per_dff = 47.66; per_bit = 1.99 };
+    { label = "d6"; length = 32; area_per_dff = 63.12; per_bit = 1.97 };
+  |]
+
+(* Per-bit A_CELL cost is 1.9 DFF; the rest of p_k is the feedback
+   network, which grows slowly with length. Interpolate that overhead
+   linearly between table rows and extrapolate flat at the ends. *)
+let overhead_at_row r = r.area_per_dff -. (1.9 *. float_of_int r.length)
+
+let feedback_overhead l =
+  if l < 1 || l > 32 then invalid_arg "Cbit.feedback_overhead: length must be in 1..32";
+  let n = Array.length cost_table in
+  if l <= cost_table.(0).length then overhead_at_row cost_table.(0)
+  else if l >= cost_table.(n - 1).length then overhead_at_row cost_table.(n - 1)
+  else begin
+    let rec find i =
+      if cost_table.(i + 1).length >= l then i else find (i + 1)
+    in
+    let i = find 0 in
+    let lo = cost_table.(i) and hi = cost_table.(i + 1) in
+    let frac =
+      float_of_int (l - lo.length) /. float_of_int (hi.length - lo.length)
+    in
+    overhead_at_row lo +. (frac *. (overhead_at_row hi -. overhead_at_row lo))
+  end
+
+let area_per_dff l =
+  match Array.find_opt (fun r -> r.length = l) cost_table with
+  | Some r -> r.area_per_dff
+  | None -> (1.9 *. float_of_int l) +. feedback_overhead l
+
+let testing_time l =
+  if l < 1 || l > 32 then invalid_arg "Cbit.testing_time: length must be in 1..32";
+  ldexp 1.0 l

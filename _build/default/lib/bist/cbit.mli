@@ -1,0 +1,57 @@
+(** Cascadable Built-In Tester (CBIT) — a bank of A_CELLs grouped into a
+    dual-mode LFSR/MISR with a scan path (paper Sec. 1 and Table 1).
+
+    In a PPET pipeline each CBIT generates pseudo-exhaustive patterns for
+    the segment it precedes (TPG) and, in other pipes, compresses the
+    responses of the segment it follows (PSA) — the dual-mode capability
+    that lets one register bank serve two CUTs. *)
+
+type t
+
+val create : ?poly:Gf2_poly.t -> width:int -> unit -> t
+(** Width 1..32, polynomial defaults to the primitive table. *)
+
+val width : t -> int
+
+val mode : t -> Acell.mode
+
+val set_mode : t -> Acell.mode -> unit
+
+val state : t -> int
+
+val load : t -> int -> unit
+(** Parallel load (models a completed scan initialisation). *)
+
+val clock : t -> ?data:int -> ?scan_in:bool -> unit -> unit
+(** One clock edge. [data] is the parallel input from the preceding
+    segment (used in Normal and PSA modes); [scan_in] feeds the serial
+    path in Scan mode. *)
+
+val scan_out_bit : t -> bool
+(** The serial output (MSB) — chained into the next CBIT's [scan_in]. *)
+
+(** {2 Area model — Table 1} *)
+
+type cost_row = {
+  label : string;       (** d1..d6 *)
+  length : int;         (** l_k *)
+  area_per_dff : float; (** p_k *)
+  per_bit : float;      (** sigma_k = p_k / l_k *)
+}
+
+val cost_table : cost_row array
+(** The six published rows of Table 1. *)
+
+val area_per_dff : int -> float
+(** p for an arbitrary length 1..32: table value when the length is
+    listed, otherwise linear interpolation of the per-bit overhead
+    between neighbouring rows. *)
+
+val feedback_overhead : int -> float
+(** [area_per_dff l -. 1.9 *. l] — the polynomial xor network cost in
+    DFF units, the part of a CBIT that remains even when every stage
+    reuses a retimed functional register. *)
+
+val testing_time : int -> float
+(** [2^l] clock cycles — the exhaustive pattern count dominating a test
+    pipe (Figs. 1b and 4). Returned as float: lengths up to 32. *)

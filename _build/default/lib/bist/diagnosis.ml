@@ -1,0 +1,100 @@
+module Circuit = Ppet_netlist.Circuit
+module Segment = Ppet_netlist.Segment
+module Gate = Ppet_netlist.Gate
+
+type dictionary = {
+  fault_free : int;
+  by_signature : (int, Fault.t list) Hashtbl.t;
+  all : (Fault.t * int) list;
+}
+
+(* Single-pattern (bit 0 only) evaluation of the segment under a fault,
+   compressing observed outputs into the MISR word per pattern. *)
+let signature_of sim (seg : Segment.t) ~misr_width ~member fault =
+  let c = Simulator.circuit sim in
+  let width = Segment.input_count seg in
+  let misr = Misr.create ~width:misr_width () in
+  let inputs = Segment.input_signals seg in
+  let n = Circuit.size c in
+  for pattern = 0 to (1 lsl width) - 1 do
+    let values = Array.make n 0 in
+    Array.iteri
+      (fun i sig_id -> values.(sig_id) <- (pattern lsr i) land 1)
+      inputs;
+    (match fault with
+     | Some { Fault.site = Fault.Output id; stuck_at }
+       when (not member.(id)) || (Circuit.node c id).Circuit.kind = Gate.Input
+       ->
+       values.(id) <- (if stuck_at then 1 else 0)
+     | Some _ | None -> ());
+    Array.iter
+      (fun id ->
+        if member.(id) then begin
+          let nd = Circuit.node c id in
+          let ins = Array.map (fun f -> values.(f)) nd.Circuit.fanins in
+          (match fault with
+           | Some { Fault.site = Fault.Input_pin (gid, pin); stuck_at }
+             when gid = id ->
+             ins.(pin) <- (if stuck_at then 1 else 0)
+           | Some _ | None -> ());
+          let v = Gate.eval_word nd.Circuit.kind ins land 1 in
+          let v =
+            match fault with
+            | Some { Fault.site = Fault.Output oid; stuck_at } when oid = id ->
+              if stuck_at then 1 else 0
+            | Some _ | None -> v
+          in
+          values.(id) <- v
+        end)
+      (Simulator.order sim);
+    let word = ref 0 in
+    Array.iteri
+      (fun i o -> word := !word lor ((values.(o) land 1) lsl (i mod misr_width)))
+      seg.Segment.observed;
+    ignore (Misr.absorb misr !word)
+  done;
+  Misr.signature misr
+
+let build sim seg ~misr_width faults =
+  let width = Segment.input_count seg in
+  if width > 16 then invalid_arg "Diagnosis.build: segment wider than 16 inputs";
+  if misr_width < 1 || misr_width > 32 then
+    invalid_arg "Diagnosis.build: bad MISR width";
+  let c = Simulator.circuit sim in
+  let member = Array.make (Circuit.size c) false in
+  Array.iter (fun id -> member.(id) <- true) seg.Segment.members;
+  let fault_free = signature_of sim seg ~misr_width ~member None in
+  let by_signature = Hashtbl.create 64 in
+  let all =
+    List.map
+      (fun f ->
+        let s = signature_of sim seg ~misr_width ~member (Some f) in
+        let cur = try Hashtbl.find by_signature s with Not_found -> [] in
+        Hashtbl.replace by_signature s (f :: cur);
+        (f, s))
+      faults
+  in
+  { fault_free; by_signature; all }
+
+let fault_free d = d.fault_free
+
+let lookup d s =
+  match Hashtbl.find_opt d.by_signature s with
+  | Some fs -> List.rev fs
+  | None -> []
+
+let distinguishable_classes d =
+  let n = Hashtbl.length d.by_signature in
+  if Hashtbl.mem d.by_signature d.fault_free then n - 1 else n
+
+let undiagnosable d =
+  List.filter_map
+    (fun (f, s) -> if s = d.fault_free then Some f else None)
+    d.all
+
+let resolution d =
+  let detected =
+    List.length (List.filter (fun (_, s) -> s <> d.fault_free) d.all)
+  in
+  if detected = 0 then 0.0
+  else float_of_int (distinguishable_classes d) /. float_of_int detected

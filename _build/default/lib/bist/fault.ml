@@ -1,0 +1,72 @@
+module Circuit = Ppet_netlist.Circuit
+module Gate = Ppet_netlist.Gate
+module Segment = Ppet_netlist.Segment
+
+type site =
+  | Output of int
+  | Input_pin of int * int
+
+type t = { site : site; stuck_at : bool }
+
+let equal a b = a = b
+
+let both site = [ { site; stuck_at = false }; { site; stuck_at = true } ]
+
+let gate_pin_sites (nd : Circuit.node) =
+  match nd.Circuit.kind with
+  | Gate.Input -> []
+  | Gate.Dff | Gate.Buff | Gate.Not | Gate.And | Gate.Nand | Gate.Or
+  | Gate.Nor | Gate.Xor | Gate.Xnor ->
+    List.init (Array.length nd.Circuit.fanins) (fun pin ->
+        Input_pin (nd.Circuit.id, pin))
+
+let all_of_circuit c =
+  let sites =
+    Array.fold_left
+      (fun acc (nd : Circuit.node) ->
+        (Output nd.Circuit.id :: gate_pin_sites nd) @ acc)
+      [] c.Circuit.nodes
+  in
+  List.concat_map both (List.rev sites)
+
+let of_segment c (seg : Segment.t) =
+  let sites =
+    Array.fold_left
+      (fun acc id ->
+        let nd = Circuit.node c id in
+        (Output id :: gate_pin_sites nd) @ acc)
+      [] seg.Segment.members
+  in
+  List.concat_map both (List.rev sites)
+
+let collapse c faults =
+  let keep f =
+    match f.site with
+    | Output _ -> true
+    | Input_pin (gid, pin) ->
+      let nd = Circuit.node c gid in
+      let driver = nd.Circuit.fanins.(pin) in
+      let single_fanout = Array.length c.Circuit.fanouts.(driver) = 1 in
+      (match nd.Circuit.kind with
+       | Gate.Not | Gate.Buff | Gate.Dff ->
+         (* output fault dominates the unique input fault *)
+         false
+       | Gate.And | Gate.Nand | Gate.Or | Gate.Nor | Gate.Xor | Gate.Xnor
+       | Gate.Input ->
+         (* a pin fed by a single-fanout net is equivalent to the
+            driver's output fault *)
+         not single_fanout)
+  in
+  List.filter keep faults
+
+let describe c f =
+  let name id = (Circuit.node c id).Circuit.name in
+  let v = if f.stuck_at then 1 else 0 in
+  match f.site with
+  | Output id -> Printf.sprintf "%s output s-a-%d" (name id) v
+  | Input_pin (id, pin) -> Printf.sprintf "%s input %d s-a-%d" (name id) pin v
+
+let count_sites faults =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun f -> Hashtbl.replace tbl f.site ()) faults;
+  Hashtbl.length tbl

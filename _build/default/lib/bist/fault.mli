@@ -1,0 +1,34 @@
+(** Single stuck-at fault model.
+
+    PPET targets stuck faults (paper Sec. 1); a fault pins either a
+    node's output or one of a gate's input pins to a constant. The fault
+    list for a segment covers every member gate's output and input pins
+    plus the segment's boundary inputs as observed inside. *)
+
+type site =
+  | Output of int          (** node id whose output sticks *)
+  | Input_pin of int * int (** (gate node id, pin index) *)
+
+type t = { site : site; stuck_at : bool }
+
+val equal : t -> t -> bool
+
+val all_of_circuit : Ppet_netlist.Circuit.t -> t list
+(** Both polarities on every gate/DFF/PI output and every gate input
+    pin. *)
+
+val of_segment : Ppet_netlist.Circuit.t -> Ppet_netlist.Segment.t -> t list
+(** Faults local to a segment: member outputs and member gates' input
+    pins (boundary drivers' outputs are tested in their own segment, but
+    the pins reading them belong to this one). *)
+
+val collapse : Ppet_netlist.Circuit.t -> t list -> t list
+(** Cheap structural equivalence collapsing: a single-fanout gate input
+    pin fault s-a-v is equivalent to its driver's output s-a-v, and for
+    NOT/BUFF the output fault subsumes the input fault. Keeps the
+    representative closest to the output. *)
+
+val describe : Ppet_netlist.Circuit.t -> t -> string
+
+val count_sites : t list -> int
+(** Number of distinct sites (ignoring polarity). *)

@@ -1,0 +1,135 @@
+module Circuit = Ppet_netlist.Circuit
+module Gate = Ppet_netlist.Gate
+module Segment = Ppet_netlist.Segment
+
+type observation = {
+  good : int array;
+  faulty : int array;
+}
+
+let word_mask = max_int
+
+let const_of stuck_at = if stuck_at then word_mask else 0
+
+(* Evaluate the member gates with an optional fault injected. Sources
+   (boundary signals) must be preset in [values]. *)
+let eval_with_fault sim values ~member fault =
+  let c = Simulator.circuit sim in
+  (match fault with
+   | Some { Fault.site = Fault.Output id; stuck_at }
+     when not member.(id) || (Circuit.node c id).Circuit.kind = Gate.Input ->
+     (* a stuck source: override before any gate reads it *)
+     values.(id) <- const_of stuck_at
+   | Some { Fault.site = Fault.Output _; _ }
+   | Some { Fault.site = Fault.Input_pin _; _ }
+   | None -> ());
+  Array.iter
+    (fun id ->
+      if member.(id) then begin
+        let nd = Circuit.node c id in
+        let ins = Array.map (fun f -> values.(f)) nd.Circuit.fanins in
+        (match fault with
+         | Some { Fault.site = Fault.Input_pin (gid, pin); stuck_at }
+           when gid = id ->
+           ins.(pin) <- const_of stuck_at
+         | Some { Fault.site = Fault.Input_pin _; _ }
+         | Some { Fault.site = Fault.Output _; _ }
+         | None -> ());
+        let v = Gate.eval_word nd.Circuit.kind ins in
+        let v =
+          match fault with
+          | Some { Fault.site = Fault.Output oid; stuck_at } when oid = id ->
+            const_of stuck_at
+          | Some { Fault.site = Fault.Output _; _ }
+          | Some { Fault.site = Fault.Input_pin _; _ }
+          | None -> v
+        in
+        values.(id) <- v
+      end)
+    (Simulator.order sim)
+
+let check_members c (seg : Segment.t) =
+  Array.iter
+    (fun id ->
+      if (Circuit.node c id).Circuit.kind = Gate.Dff then
+        invalid_arg
+          "Fault_sim: segment members must be combinational (map clusters \
+           with their flip-flops on the boundary)")
+    seg.Segment.members
+
+let segment_detects sim (seg : Segment.t) ~patterns faults =
+  let c = Simulator.circuit sim in
+  check_members c seg;
+  let n = Circuit.size c in
+  let member = Array.make n false in
+  Array.iter (fun id -> member.(id) <- true) seg.Segment.members;
+  let inputs = Segment.input_signals seg in
+  let detected = Hashtbl.create (List.length faults) in
+  List.iter (fun f -> Hashtbl.replace detected f false) faults;
+  List.iter
+    (fun batch ->
+      if Array.length batch <> Array.length inputs then
+        invalid_arg "Fault_sim.segment_detects: batch arity mismatch";
+      let base = Array.make n 0 in
+      Array.iteri (fun i sig_id -> base.(sig_id) <- batch.(i)) inputs;
+      let good = Array.copy base in
+      eval_with_fault sim good ~member None;
+      List.iter
+        (fun f ->
+          if not (Hashtbl.find detected f) then begin
+            let faulty = Array.copy base in
+            eval_with_fault sim faulty ~member (Some f);
+            let differs =
+              Array.exists
+                (fun obs -> good.(obs) lxor faulty.(obs) <> 0)
+                seg.Segment.observed
+            in
+            if differs then Hashtbl.replace detected f true
+          end)
+        faults)
+    patterns;
+  List.map (fun f -> (f, Hashtbl.find detected f)) faults
+
+let pack_vectors ~width vectors =
+  let bpw = Gate.bits_per_word in
+  let rec batches vs acc =
+    match vs with
+    | [] -> List.rev acc
+    | _ ->
+      let rec take k l = if k = 0 then ([], l) else
+          match l with
+          | [] -> ([], [])
+          | x :: tl -> let got, rest = take (k - 1) tl in (x :: got, rest)
+      in
+      let chunk, rest = take bpw vs in
+      let words = Array.make width 0 in
+      List.iteri
+        (fun b vector ->
+          for i = 0 to width - 1 do
+            if (vector lsr i) land 1 = 1 then
+              words.(i) <- words.(i) lor (1 lsl b)
+          done)
+        chunk;
+      batches rest (words :: acc)
+  in
+  batches vectors []
+
+let exhaustive_patterns ~width =
+  if width < 0 || width > 24 then
+    invalid_arg "Fault_sim.exhaustive_patterns: width must be in 0..24";
+  let total = 1 lsl width in
+  pack_vectors ~width (List.init total (fun v -> v))
+
+let lfsr_patterns ~width ~count =
+  if width < 1 || width > 32 then
+    invalid_arg "Fault_sim.lfsr_patterns: width must be in 1..32";
+  let l = Lfsr.create ~width () in
+  let vectors = 0 :: List.filteri (fun i _ -> i < count - 1) (Lfsr.sequence l (max 0 (count - 1))) in
+  pack_vectors ~width vectors
+
+let coverage results =
+  match results with
+  | [] -> 1.0
+  | _ ->
+    let det = List.length (List.filter snd results) in
+    float_of_int det /. float_of_int (List.length results)

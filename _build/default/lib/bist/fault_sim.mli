@@ -1,0 +1,37 @@
+(** Serial fault simulation over word-parallel patterns.
+
+    For each fault the faulty machine is re-simulated against the good
+    one; a fault is detected by a pattern batch when any observed signal
+    differs in any bit position. Pattern batches pack
+    [Gate.bits_per_word] vectors per word, so a segment with k inputs is
+    exhausted in [ceil(2^k / 62)] batches. *)
+
+type observation = {
+  good : int array;    (** observed words, fault-free *)
+  faulty : int array;  (** observed words under the fault *)
+}
+
+val segment_detects :
+  Simulator.t ->
+  Ppet_netlist.Segment.t ->
+  patterns:int array list ->
+  Fault.t list ->
+  (Fault.t * bool) list
+(** [segment_detects sim seg ~patterns faults]: each element of
+    [patterns] is a batch assigning one word per segment input signal
+    (order of [Segment.input_signals]). Observation points are the
+    segment's [observed] nodes. Returns each fault with its detection
+    verdict over all batches. *)
+
+val exhaustive_patterns : width:int -> int array list
+(** All [2^width] input vectors, packed into word batches: batch j gives,
+    for input bit i, the word whose bit b is the value of input i in
+    vector [j * bits_per_word + b]. Width must be at most 24. *)
+
+val lfsr_patterns : width:int -> count:int -> int array list
+(** The first [count] patterns of the standard CBIT LFSR of that width
+    (plus the all-zero vector first, which the autonomous LFSR cannot
+    produce), packed like {!exhaustive_patterns}. *)
+
+val coverage : (Fault.t * bool) list -> float
+(** Detected fraction, in [0, 1]; 1.0 for an empty list. *)

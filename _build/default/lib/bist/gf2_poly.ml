@@ -1,0 +1,157 @@
+type t = int
+
+let degree p =
+  if p <= 0 then invalid_arg "Gf2_poly.degree: zero or negative polynomial";
+  let rec loop d v = if v <= 1 then d else loop (d + 1) (v lsr 1) in
+  loop 0 p
+
+(* reduce a modulo p (p non-zero) *)
+let rec reduce a ~modulus =
+  if a = 0 then 0
+  else
+    let da = degree a and dp = degree modulus in
+    if da < dp then a
+    else reduce (a lxor (modulus lsl (da - dp))) ~modulus
+
+(* carry-less product; operands must keep the result under 62 bits *)
+let clmul a b =
+  let acc = ref 0 in
+  let a = ref a and shift = ref b in
+  while !a <> 0 do
+    if !a land 1 = 1 then acc := !acc lxor !shift;
+    a := !a lsr 1;
+    shift := !shift lsl 1
+  done;
+  !acc
+
+let mul_mod a b ~modulus =
+  let a = reduce a ~modulus and b = reduce b ~modulus in
+  reduce (clmul a b) ~modulus
+
+let pow_mod base e ~modulus =
+  if Int64.compare e 0L < 0 then invalid_arg "Gf2_poly.pow_mod: negative exponent";
+  let result = ref (reduce 1 ~modulus) in
+  let base = ref (reduce base ~modulus) in
+  let e = ref e in
+  while Int64.compare !e 0L > 0 do
+    if Int64.logand !e 1L = 1L then result := mul_mod !result !base ~modulus;
+    base := mul_mod !base !base ~modulus;
+    e := Int64.shift_right_logical !e 1
+  done;
+  !result
+
+let rec gcd a b = if b = 0 then a else gcd b (reduce a ~modulus:b)
+
+let prime_factors m =
+  let rec strip m p acc =
+    if m mod p = 0 then strip (m / p) p (if List.mem p acc then acc else p :: acc)
+    else (m, acc)
+  in
+  let rec loop m p acc =
+    if m = 1 then acc
+    else if p * p > m then m :: acc
+    else
+      let m, acc = strip m p acc in
+      loop m (p + 1) acc
+  in
+  List.rev (loop m 2 [])
+
+(* x^(2^k) mod p by k squarings of x *)
+let x_to_pow2 k ~modulus =
+  let t = ref (reduce 2 ~modulus) in
+  for _ = 1 to k do
+    t := mul_mod !t !t ~modulus
+  done;
+  !t
+
+let is_irreducible p =
+  if p < 2 then false
+  else
+    let n = degree p in
+    if n = 0 then false
+    else if n = 1 then true
+    else begin
+      let x = reduce 2 ~modulus:p in
+      (* Rabin: x^(2^n) = x, and gcd(p, x^(2^(n/q)) - x) = 1 per prime q|n *)
+      x_to_pow2 n ~modulus:p = x
+      && List.for_all
+           (fun q ->
+             let h = x_to_pow2 (n / q) ~modulus:p lxor x in
+             h <> 0 && degree (gcd p h) = 0)
+           (prime_factors n)
+    end
+
+let is_primitive p =
+  if p < 2 then false
+  else
+    let n = degree p in
+    if n = 0 then false
+    else if n = 1 then p = 3 (* x + 1: x = 1 mod p, order 1 = 2^1 - 1 *)
+    else if not (is_irreducible p) then false
+    else begin
+      let ord = Int64.sub (Int64.shift_left 1L n) 1L in
+      let x = 2 in
+      pow_mod x ord ~modulus:p = 1
+      && List.for_all
+           (fun f ->
+             pow_mod x (Int64.div ord (Int64.of_int f)) ~modulus:p <> 1)
+           (prime_factors (Int64.to_int ord))
+    end
+
+(* Standard minimal-tap primitive polynomials (Bardell/McAnney/Savir,
+   "Built-In Test for VLSI", App. B). Validated by the test suite against
+   [is_primitive]. *)
+let table =
+  [|
+    0b11 (* 1: x+1 *);
+    0b111 (* 2 *);
+    0b1011 (* 3: x^3+x+1 *);
+    0b10011 (* 4: x^4+x+1 *);
+    0b100101 (* 5: x^5+x^2+1 *);
+    0b1000011 (* 6: x^6+x+1 *);
+    0b10000011 (* 7: x^7+x+1 *);
+    0b100011101 (* 8: x^8+x^4+x^3+x^2+1 *);
+    0b1000010001 (* 9: x^9+x^4+1 *);
+    0b10000001001 (* 10: x^10+x^3+1 *);
+    0b100000000101 (* 11: x^11+x^2+1 *);
+    0b1000001010011 (* 12: x^12+x^6+x^4+x+1 *);
+    0b10000000011011 (* 13: x^13+x^4+x^3+x+1 *);
+    0b100010001000011 (* 14: x^14+x^10+x^6+x+1 *);
+    0b1000000000000011 (* 15: x^15+x+1 *);
+    0b10001000000001011 (* 16: x^16+x^12+x^3+x+1 *);
+    0b100000000000001001 (* 17: x^17+x^3+1 *);
+    0b1000000000010000001 (* 18: x^18+x^7+1 *);
+    0b10000000000000100111 (* 19: x^19+x^5+x^2+x+1 *);
+    0b100000000000000001001 (* 20: x^20+x^3+1 *);
+    0b1000000000000000000101 (* 21: x^21+x^2+1 *);
+    0b10000000000000000000011 (* 22: x^22+x+1 *);
+    0b100000000000000000100001 (* 23: x^23+x^5+1 *);
+    0b1000000000000000010000111 (* 24: x^24+x^7+x^2+x+1 *);
+    0b10000000000000000000001001 (* 25: x^25+x^3+1 *);
+    0b100000000000000000001000111 (* 26: x^26+x^6+x^2+x+1 *);
+    0b1000000000000000000000100111 (* 27: x^27+x^5+x^2+x+1 *);
+    0b10000000000000000000000001001 (* 28: x^28+x^3+1 *);
+    0b100000000000000000000000000101 (* 29: x^29+x^2+1 *);
+    0b1000000100000000000000000000111 (* 30: x^30+x^23+x^2+x+1 *);
+    0b10000000000000000000000000001001 (* 31: x^31+x^3+1 *);
+    0b100000000010000000000000000000111 (* 32: x^32+x^22+x^2+x+1 *);
+  |]
+
+let primitive n =
+  if n < 1 || n > 32 then invalid_arg "Gf2_poly.primitive: degree must be in 1..32";
+  table.(n - 1)
+
+let taps p =
+  let rec loop i acc = if i > degree p then acc else loop (i + 1) (if p land (1 lsl i) <> 0 then i :: acc else acc) in
+  loop 0 []
+
+let pp ppf p =
+  let term = function
+    | 0 -> "1"
+    | 1 -> "x"
+    | i -> Printf.sprintf "x^%d" i
+  in
+  match taps p with
+  | [] -> Format.pp_print_string ppf "0"
+  | ts ->
+    Format.pp_print_string ppf (String.concat " + " (List.map term ts))

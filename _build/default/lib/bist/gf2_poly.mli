@@ -1,0 +1,42 @@
+(** Polynomials over GF(2), represented as bit masks, and the primitive
+    feedback polynomials the CBITs use.
+
+    A polynomial [x^4 + x + 1] is the mask [0b10011]: bit i is the
+    coefficient of [x^i]. Degrees up to 32 are supported, enough for the
+    CBIT types d1..d6 of Table 1 (lengths 4 to 32). A primitive
+    polynomial of degree n makes an LFSR cycle through all [2^n - 1]
+    non-zero states — the paper's "simple primitive feedback polynomial"
+    whose existence keeps the per-bit CBIT cost low for large lengths. *)
+
+type t = int
+(** Bit-mask representation; degree = position of highest set bit. *)
+
+val degree : t -> int
+
+val mul_mod : t -> t -> modulus:t -> t
+(** Product of two residues modulo [modulus] (carry-less). *)
+
+val pow_mod : t -> int64 -> modulus:t -> t
+(** [pow_mod base e ~modulus] by square-and-multiply. *)
+
+val is_irreducible : t -> bool
+(** Rabin's test: p of degree n is irreducible iff x^(2^n) = x (mod p)
+    and gcd-type conditions on prime divisors of n hold. Degrees up to
+    ~24 are exact and fast; larger inputs are accepted but slower. *)
+
+val is_primitive : t -> bool
+(** Irreducible and x has multiplicative order 2^n - 1 modulo p. Exact
+    for all degrees up to 32 (the needed factorisations of 2^n - 1 are
+    built in). *)
+
+val primitive : int -> t
+(** [primitive n] is a known primitive polynomial of degree n,
+    1 <= n <= 32 (the standard minimal-tap table used in BIST
+    literature). Raises [Invalid_argument] outside that range. *)
+
+val taps : t -> int list
+(** Exponents with non-zero coefficients, descending, e.g.
+    [taps (primitive 4) = [4; 1; 0]]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Pretty form, e.g. ["x^4 + x + 1"]. *)

@@ -1,0 +1,52 @@
+type t = {
+  poly_low : int;  (* feedback polynomial without its leading term *)
+  w : int;
+  mask : int;
+  mutable st : int;
+}
+
+let create ?poly ~width () =
+  if width < 1 || width > 32 then invalid_arg "Lfsr.create: width must be in 1..32";
+  let poly = match poly with Some p -> p | None -> Gf2_poly.primitive width in
+  if Gf2_poly.degree poly <> width then
+    invalid_arg "Lfsr.create: polynomial degree differs from width";
+  let mask = (1 lsl width) - 1 in
+  { poly_low = poly land mask; w = width; mask; st = 1 }
+
+let width t = t.w
+
+let state t = t.st
+
+let set_state t v =
+  if v land t.mask <> v then invalid_arg "Lfsr.set_state: value too wide";
+  t.st <- v
+
+(* Galois configuration: shift left; when the bit leaving the register is
+   one, xor the feedback taps in. *)
+let step t =
+  let out = (t.st lsr (t.w - 1)) land 1 in
+  let shifted = (t.st lsl 1) land t.mask in
+  t.st <- (if out = 1 then shifted lxor t.poly_low else shifted);
+  t.st
+
+let run t k =
+  for _ = 1 to k do
+    ignore (step t)
+  done;
+  t.st
+
+let period t =
+  let start = t.st in
+  if start = 0 then 1
+  else begin
+    let count = ref 0 in
+    let continue = ref true in
+    while !continue do
+      ignore (step t);
+      incr count;
+      if t.st = start then continue := false
+    done;
+    !count
+  end
+
+let sequence t k = List.init k (fun _ -> step t)

@@ -1,0 +1,38 @@
+(** Galois LFSR — the test-pattern-generation half of a dual-mode CBIT.
+
+    In TPG mode a CBIT of length n steps through all [2^n - 1] non-zero
+    states when its feedback polynomial is primitive, applying a
+    pseudo-exhaustive pattern sequence to the inputs of the circuit
+    segment it feeds; adding the all-zero pattern (which an autonomous
+    LFSR cannot reach) makes the test exhaustive, so the paper budgets
+    [O(2^n)] clock cycles per segment. *)
+
+type t
+
+val create : ?poly:Gf2_poly.t -> width:int -> unit -> t
+(** Fresh LFSR seeded with state 1. [poly] defaults to
+    [Gf2_poly.primitive width]. Raises [Invalid_argument] when the
+    polynomial degree differs from [width] or the width is outside
+    1..32. *)
+
+val width : t -> int
+
+val state : t -> int
+(** Current parallel output — the pattern applied to the segment. *)
+
+val set_state : t -> int -> unit
+(** Load a state (scan initialisation). Raises [Invalid_argument] if the
+    value does not fit the width. *)
+
+val step : t -> int
+(** Advance one clock; returns the new state. *)
+
+val run : t -> int -> int
+(** [run t k] steps k times, returning the final state. *)
+
+val period : t -> int
+(** Cycle length from the current state (brute force; intended for
+    widths <= 24 in tests). *)
+
+val sequence : t -> int -> int list
+(** The next k states, advancing the LFSR. *)

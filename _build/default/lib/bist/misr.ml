@@ -1,0 +1,37 @@
+type t = {
+  poly_low : int;
+  w : int;
+  mask : int;
+  mutable st : int;
+}
+
+let create ?poly ~width () =
+  if width < 1 || width > 32 then invalid_arg "Misr.create: width must be in 1..32";
+  let poly = match poly with Some p -> p | None -> Gf2_poly.primitive width in
+  if Gf2_poly.degree poly <> width then
+    invalid_arg "Misr.create: polynomial degree differs from width";
+  let mask = (1 lsl width) - 1 in
+  { poly_low = poly land mask; w = width; mask; st = 0 }
+
+let width t = t.w
+
+let signature t = t.st
+
+let set_signature t v =
+  if v land t.mask <> v then invalid_arg "Misr.set_signature: value too wide";
+  t.st <- v
+
+let absorb t word =
+  let out = (t.st lsr (t.w - 1)) land 1 in
+  let shifted = (t.st lsl 1) land t.mask in
+  let fed = if out = 1 then shifted lxor t.poly_low else shifted in
+  t.st <- fed lxor (word land t.mask);
+  t.st
+
+let absorb_all t words =
+  List.iter (fun w -> ignore (absorb t w)) words;
+  t.st
+
+let reference ~width ?poly words =
+  let t = create ?poly ~width () in
+  absorb_all t words

@@ -1,0 +1,28 @@
+(** Multiple-input signature register — the parallel-signature-analysis
+    half of a dual-mode CBIT.
+
+    In PSA mode the CBIT compresses the response stream of the preceding
+    circuit segment: each clock xors the observed word into the shifting
+    register. A fault-free run leaves a reference signature; any
+    differing signature flags a detected fault (aliasing probability
+    ~[2^-n]). *)
+
+type t
+
+val create : ?poly:Gf2_poly.t -> width:int -> unit -> t
+(** Zero-initialised MISR; same width/polynomial rules as {!Lfsr.create}. *)
+
+val width : t -> int
+
+val signature : t -> int
+
+val set_signature : t -> int -> unit
+
+val absorb : t -> int -> int
+(** [absorb t word] clocks once with the parallel input [word] (low
+    [width] bits used); returns the new signature. *)
+
+val absorb_all : t -> int list -> int
+
+val reference : width:int -> ?poly:Gf2_poly.t -> int list -> int
+(** Signature of a whole response stream from the zero state. *)

@@ -1,0 +1,41 @@
+(** Pseudo-exhaustive testing of one segment (the property PPET relies
+    on, paper Sec. 1 and ref [12]).
+
+    Applying all [2^iota] input combinations to a combinational segment
+    detects {e every} detectable single stuck-at fault in it without any
+    test generation — the correctness anchor for the whole scheme, which
+    the validation experiment checks on real segments. *)
+
+type report = {
+  width : int;              (** iota — exhausted input count *)
+  n_faults : int;
+  n_detected : int;
+  n_redundant : int;        (** undetected = provably redundant faults *)
+  coverage : float;         (** detected / total *)
+  detectable_coverage : float;  (** detected / (total - redundant): 1.0 by
+                                    the pseudo-exhaustive argument *)
+  patterns_applied : int;   (** 2^width *)
+}
+
+val run :
+  ?collapse:bool ->
+  Simulator.t ->
+  Ppet_netlist.Segment.t ->
+  report
+(** Exhaustively test the segment (width capped at 20 — raise
+    [Invalid_argument] beyond, exactly the reason the paper partitions
+    with an input constraint). Redundancy is decided by the exhaustive
+    run itself: a fault no exhaustive pattern distinguishes at the
+    segment boundary is untestable in that segment. *)
+
+val run_with_lfsr :
+  ?extra_cycles:int ->
+  Simulator.t ->
+  Ppet_netlist.Segment.t ->
+  report
+(** Same, but patterns come from the segment's CBIT LFSR run for
+    [2^width - 1 + extra_cycles] cycles plus the all-zero vector —
+    demonstrating the hardware pattern source reaches the same
+    coverage. *)
+
+val pp : Format.formatter -> report -> unit

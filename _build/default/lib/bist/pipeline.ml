@@ -1,0 +1,85 @@
+type pipe = {
+  pipe_id : int;
+  widths : int list;
+}
+
+type schedule = {
+  pipes : pipe list;
+  phases : int;
+  scan_bits : int;
+}
+
+let make ?(phases = 2) ~widths () =
+  if phases < 1 then invalid_arg "Pipeline.make: phases must be positive";
+  let pipes =
+    List.mapi
+      (fun i ws ->
+        List.iter
+          (fun w ->
+            if w < 1 || w > 32 then
+              invalid_arg "Pipeline.make: CBIT widths must be in 1..32")
+          ws;
+        { pipe_id = i; widths = ws })
+      widths
+  in
+  let scan_bits =
+    List.fold_left
+      (fun acc p -> acc + List.fold_left ( + ) 0 p.widths)
+      0 pipes
+  in
+  { pipes; phases; scan_bits }
+
+let of_segment_widths widths = make ~widths:[ widths ] ()
+
+let max_width s =
+  List.fold_left
+    (fun acc p -> List.fold_left max acc p.widths)
+    1 s.pipes
+
+let dominated_by = max_width
+
+let burst_cycles s =
+  float_of_int s.phases *. Cbit.testing_time (max_width s)
+
+let total_cycles s =
+  float_of_int s.scan_bits +. burst_cycles s +. float_of_int s.scan_bits
+
+let speedup_vs_serial s =
+  let serial =
+    List.fold_left
+      (fun acc p ->
+        List.fold_left (fun a w -> a +. Cbit.testing_time w) acc p.widths)
+      0.0 s.pipes
+  in
+  let serial = serial +. (2.0 *. float_of_int s.scan_bits) in
+  serial /. total_cycles s
+
+let pp ppf s =
+  Format.fprintf ppf
+    "@[<v>PPET schedule: %d pipe(s), %d phase(s), scan %d bits@,\
+     dominant CBIT width %d -> burst %.0f cycles, total %.0f cycles@,\
+     speed-up vs serial testing: %.2fx@]"
+    (List.length s.pipes) s.phases s.scan_bits (dominated_by s)
+    (burst_cycles s) (total_cycles s) (speedup_vs_serial s)
+
+let power_constrained ~widths ~max_per_pipe =
+  if max_per_pipe < 1 then
+    invalid_arg "Pipeline.power_constrained: max_per_pipe must be positive";
+  let sorted = List.sort (fun a b -> compare b a) widths in
+  let rec chunk acc current count = function
+    | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+    | w :: tl ->
+      if count = max_per_pipe then chunk (List.rev current :: acc) [ w ] 1 tl
+      else chunk acc (w :: current) (count + 1) tl
+  in
+  make ~widths:(chunk [] [] 0 sorted) ()
+
+let sequential_cycles s =
+  let bursts =
+    List.fold_left
+      (fun acc p ->
+        let widest = List.fold_left max 1 p.widths in
+        acc +. (float_of_int s.phases *. Cbit.testing_time widest))
+      0.0 s.pipes
+  in
+  float_of_int (2 * s.scan_bits) +. bursts

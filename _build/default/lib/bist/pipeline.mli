@@ -1,0 +1,61 @@
+(** The PPET pipeline schedule and testing-time model (paper Fig. 1).
+
+    Non-overlapping segments are tested concurrently by CBIT pairs; each
+    test pipe alternates TPG and PSA roles between phases so a CBIT that
+    just compressed responses generates patterns in the next phase. After
+    one global scan initialisation, every pipe runs for the exhaustive
+    pattern count of its widest CBIT, so
+
+    T_total = scan_in + phases * 2^(max width) + scan_out. *)
+
+type pipe = {
+  pipe_id : int;
+  widths : int list;    (** CBIT widths along the pipe *)
+}
+
+type schedule = {
+  pipes : pipe list;
+  phases : int;         (** TPG/PSA alternation phases (2 for the classic
+                            odd/even arrangement) *)
+  scan_bits : int;      (** total scan-chain length *)
+}
+
+val make : ?phases:int -> widths:int list list -> unit -> schedule
+(** One width list per pipe. *)
+
+val of_segment_widths : int list -> schedule
+(** Classic two-phase arrangement: all segments in one logical pipe,
+    scan chain covering every CBIT. *)
+
+val burst_cycles : schedule -> float
+(** [phases * 2^max_width] — the concurrent self-test burst. *)
+
+val total_cycles : schedule -> float
+(** Burst plus scan-in and scan-out. *)
+
+val dominated_by : schedule -> int
+(** The width that dominates testing time (Fig. 1b's T_CBIT). *)
+
+val speedup_vs_serial : schedule -> float
+(** Testing time if segments were tested one after another (sum of
+    2^w_i) divided by the pipelined time — the benefit PPET buys. *)
+
+val pp : Format.formatter -> schedule -> unit
+
+(** {2 Power-constrained scheduling}
+
+    Running every pipe concurrently maximises speed but also switching
+    power; when at most [max_per_pipe] segments may toggle together, the
+    pipes execute one after another and the total time becomes the sum
+    of per-pipe bursts. Grouping segments of similar width together then
+    matters: a lone wide CBIT should not drag a pipe of narrow ones
+    through its 2^w cycles. *)
+
+val power_constrained : widths:int list -> max_per_pipe:int -> schedule
+(** Sort widths descending and chunk them: each pipe holds at most
+    [max_per_pipe] segments of adjacent widths, which minimises the sum
+    of per-pipe dominant bursts for a fixed pipe count. *)
+
+val sequential_cycles : schedule -> float
+(** Total cycles when pipes run one after another: scan-in + the sum of
+    per-pipe bursts + scan-out. *)

@@ -1,0 +1,57 @@
+type t = { chain : Cbit.t array }
+
+let create cbits = { chain = Array.of_list cbits }
+
+let total_bits t = Array.fold_left (fun acc c -> acc + Cbit.width c) 0 t.chain
+
+let set_all_modes t mode = Array.iter (fun c -> Cbit.set_mode c mode) t.chain
+
+let cbits t = Array.to_list t.chain
+
+(* One serial shift over the whole chain: bit enters the first CBIT; each
+   CBIT's scan-out becomes the next one's scan-in. Shift the last CBIT
+   first so every cell still sees its predecessor's pre-clock output —
+   hardware clocks all cells on the same edge. *)
+let shift_in t bit =
+  let n = Array.length t.chain in
+  let outs = Array.map Cbit.scan_out_bit t.chain in
+  for i = n - 1 downto 0 do
+    let scan_in = if i = 0 then bit else outs.(i - 1) in
+    Cbit.clock t.chain.(i) ~scan_in ()
+  done;
+  if n = 0 then bit else outs.(n - 1)
+
+let initialise t ~seeds =
+  let n = Array.length t.chain in
+  if List.length seeds <> n then
+    invalid_arg "Scan_chain.initialise: need one seed per CBIT";
+  set_all_modes t Acell.Scan;
+  (* Serial protocol: the whole chain content, last CBIT's seed first so
+     it travels the full length; within a CBIT the MSB goes first because
+     the serial path shifts toward the MSB. *)
+  let bits = ref [] in
+  List.iter
+    (fun (cb, seed) ->
+      for b = 0 to Cbit.width cb - 1 do
+        bits := ((seed lsr b) land 1 = 1) :: !bits
+      done)
+    (List.combine (Array.to_list t.chain) seeds);
+  (* !bits now streams the last CBIT's MSB first — the bit that must
+     travel the whole chain — and the first CBIT's LSB last. *)
+  List.iter (fun b -> ignore (shift_in t b)) !bits;
+  (* verify the parallel view *)
+  List.iteri
+    (fun i seed ->
+      if Cbit.state t.chain.(i) <> seed then
+        invalid_arg "Scan_chain.initialise: scan protocol mismatch")
+    seeds
+
+let read_signatures t =
+  set_all_modes t Acell.Scan;
+  let captured = Array.map Cbit.state t.chain in
+  (* drain serially, as hardware would; the parallel snapshot above is
+     what a tester reconstructs from the serial stream *)
+  for _ = 1 to total_bits t do
+    ignore (shift_in t false)
+  done;
+  Array.to_list captured

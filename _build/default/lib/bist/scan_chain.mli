@@ -1,0 +1,29 @@
+(** The scan chain linking all CBITs for global initialisation and
+    signature read-out (paper Sec. 1).
+
+    PPET's schedule is: scan in every CBIT's seed, run the self-test with
+    each CBIT pair in TPG/PSA mode for [2^max-width] clocks, then scan
+    the signatures out for comparison. The chain length therefore adds
+    [total bits] cycles before and after the burst (Fig. 1b's global
+    initialisation). *)
+
+type t
+
+val create : Cbit.t list -> t
+(** Chain in scan order; the first CBIT receives the external scan-in. *)
+
+val total_bits : t -> int
+
+val initialise : t -> seeds:int list -> unit
+(** Shift all seeds in serially (LSB first per CBIT, first CBIT's seed
+    listed first) and verify by parallel inspection. Raises
+    [Invalid_argument] on a length mismatch. Every CBIT is left in
+    [Scan] mode with its seed loaded. *)
+
+val read_signatures : t -> int list
+(** Shift everything out serially (destructive, like hardware), returning
+    the value each CBIT held, in chain order. *)
+
+val set_all_modes : t -> Acell.mode -> unit
+
+val cbits : t -> Cbit.t list

@@ -1,0 +1,64 @@
+module Circuit = Ppet_netlist.Circuit
+module Gate = Ppet_netlist.Gate
+
+type t = {
+  c : Circuit.t;
+  topo : int array;  (* combinational gates in dependency order *)
+}
+
+let create c =
+  let levels = Circuit.levels c in
+  let combs = Circuit.combinational c in
+  let order = Array.copy combs in
+  Array.sort (fun a b -> compare (levels.(a), a) (levels.(b), b)) order;
+  { c; topo = order }
+
+let circuit t = t.c
+
+let order t = t.topo
+
+let eval_gate t values id =
+  let nd = Circuit.node t.c id in
+  let ins = Array.map (fun f -> values.(f)) nd.Circuit.fanins in
+  values.(id) <- Gate.eval_word nd.Circuit.kind ins
+
+let eval_all t values =
+  if Array.length values <> Circuit.size t.c then
+    invalid_arg "Simulator.eval_all: values array size mismatch";
+  Array.iter (fun id -> eval_gate t values id) t.topo
+
+let eval_members t values ~member =
+  if Array.length values <> Circuit.size t.c then
+    invalid_arg "Simulator.eval_members: values array size mismatch";
+  Array.iter (fun id -> if member.(id) then eval_gate t values id) t.topo
+
+let step t ~state ~pi =
+  let dffs = Circuit.dffs t.c in
+  let pis = t.c.Circuit.inputs in
+  if Array.length state <> Array.length dffs then
+    invalid_arg "Simulator.step: state size mismatch";
+  if Array.length pi <> Array.length pis then
+    invalid_arg "Simulator.step: pi size mismatch";
+  let values = Array.make (Circuit.size t.c) 0 in
+  Array.iteri (fun i d -> values.(d) <- state.(i)) dffs;
+  Array.iteri (fun i p -> values.(p) <- pi.(i)) pis;
+  eval_all t values;
+  let next =
+    Array.map
+      (fun d -> values.((Circuit.node t.c d).Circuit.fanins.(0)))
+      dffs
+  in
+  let pos = Array.map (fun o -> values.(o)) t.c.Circuit.outputs in
+  (next, pos)
+
+let run t ~state ~pis =
+  let state = ref (Array.copy state) in
+  let outs =
+    List.map
+      (fun pi ->
+        let next, po = step t ~state:!state ~pi in
+        state := next;
+        po)
+      pis
+  in
+  (!state, outs)

@@ -1,0 +1,37 @@
+(** Levelized, word-parallel logic simulator.
+
+    Packs [Gate.bits_per_word] independent patterns into each native
+    integer, so one pass evaluates that many input vectors at once. The
+    caller owns a values array indexed by node id; source entries
+    (primary inputs, flip-flop outputs, or segment boundary signals) are
+    set before evaluation and gate entries are filled in dependency
+    order. *)
+
+type t
+
+val create : Ppet_netlist.Circuit.t -> t
+
+val circuit : t -> Ppet_netlist.Circuit.t
+
+val order : t -> int array
+(** All combinational gates, in an evaluation order that respects
+    fan-in dependencies. *)
+
+val eval_all : t -> int array -> unit
+(** [eval_all t values] computes every combinational gate. [values] must
+    be sized [Circuit.size] with PI and DFF entries preset. *)
+
+val eval_members : t -> int array -> member:bool array -> unit
+(** Evaluate only the member gates (a segment); non-member fan-ins are
+    read from the preset entries — exactly how a CUT sees its CBIT-driven
+    boundary. *)
+
+val step : t -> state:int array -> pi:int array -> int array * int array
+(** Sequential step: [state] gives each DFF's current output word
+    (indexed by position in [Circuit.dffs]), [pi] each primary input's
+    word (indexed by position in [Circuit.inputs]). Returns
+    (next flip-flop state, primary output words). *)
+
+val run : t -> state:int array -> pis:int array list -> int array * int array list
+(** Clock the circuit through a list of input words; returns the final
+    state and the per-cycle primary outputs. *)

@@ -1,0 +1,1 @@
+lib/core/area_accounting.ml: Array Format List Ppet_bist Ppet_netlist Ppet_retiming

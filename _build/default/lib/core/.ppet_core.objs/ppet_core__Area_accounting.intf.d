@@ -1,0 +1,1 @@
+lib/core/area_accounting.mli: Format Ppet_netlist Ppet_retiming

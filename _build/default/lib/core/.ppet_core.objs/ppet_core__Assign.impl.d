@@ -1,0 +1,1 @@
+lib/core/assign.ml: Array Cluster Hashtbl List Params Ppet_digraph Ppet_netlist

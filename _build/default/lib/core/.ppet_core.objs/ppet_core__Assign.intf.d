@@ -1,0 +1,1 @@
+lib/core/assign.mli: Cluster Params Ppet_digraph Ppet_netlist

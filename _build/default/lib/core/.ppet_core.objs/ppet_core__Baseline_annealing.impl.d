@@ -1,0 +1,1 @@
+lib/core/baseline_annealing.ml: Array Assign Baseline_random List Params Partition_state Ppet_digraph

@@ -1,0 +1,1 @@
+lib/core/baseline_annealing.mli: Assign Params Ppet_digraph Ppet_netlist

@@ -1,0 +1,1 @@
+lib/core/baseline_fm.ml: Array Assign Baseline_random Hashtbl List Params Partition_state Ppet_digraph

@@ -1,0 +1,1 @@
+lib/core/baseline_random.ml: Array Assign Hashtbl List Params Ppet_digraph Ppet_netlist Queue

@@ -1,0 +1,1 @@
+lib/core/baseline_random.mli: Assign Params Ppet_digraph Ppet_netlist

@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Array Flow Hashtbl List Params Ppet_digraph Ppet_netlist Ppet_retiming Queue

@@ -1,0 +1,1 @@
+lib/core/cluster.mli: Flow Params Ppet_digraph Ppet_netlist Ppet_retiming

@@ -1,0 +1,1 @@
+lib/core/equivalence.ml: Array Hashtbl Int64 List Ppet_bist Ppet_digraph Ppet_netlist Ppet_retiming

@@ -1,0 +1,1 @@
+lib/core/flow.ml: Array Hashtbl List Params Ppet_digraph

@@ -1,0 +1,1 @@
+lib/core/merced.ml: Area_accounting Array Assign Cluster Cost Flow Hashtbl List Logs Params Ppet_digraph Ppet_netlist Ppet_retiming Sys

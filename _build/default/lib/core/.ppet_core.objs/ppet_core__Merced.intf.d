@@ -1,0 +1,1 @@
+lib/core/merced.mli: Area_accounting Assign Cluster Flow Logs Params Ppet_digraph Ppet_netlist Ppet_retiming

@@ -1,0 +1,1 @@
+lib/core/partition_state.ml: Array Assign Cluster Hashtbl List Params Ppet_digraph Ppet_netlist

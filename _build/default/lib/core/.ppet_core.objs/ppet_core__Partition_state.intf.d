@@ -1,0 +1,1 @@
+lib/core/partition_state.mli: Assign Params Ppet_digraph Ppet_netlist

@@ -1,0 +1,1 @@
+lib/core/phasing.ml: Array Assign Format Hashtbl List Merced Ppet_bist Ppet_digraph

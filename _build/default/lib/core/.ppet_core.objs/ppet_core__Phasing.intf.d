@@ -1,0 +1,1 @@
+lib/core/phasing.mli: Format Merced Ppet_bist

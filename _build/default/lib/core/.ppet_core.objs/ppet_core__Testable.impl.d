@@ -1,0 +1,1 @@
+lib/core/testable.ml: Array Assign Hashtbl List Merced Ppet_bist Ppet_digraph Ppet_netlist Printf String

@@ -1,0 +1,1 @@
+lib/core/testable.mli: Merced Ppet_netlist

@@ -1,0 +1,84 @@
+module Circuit = Ppet_netlist.Circuit
+module Scc_budget = Ppet_retiming.Scc_budget
+module Acell = Ppet_bist.Acell
+module Cbit = Ppet_bist.Cbit
+
+type breakdown = {
+  cuts_total : int;
+  cuts_on_scc : int;
+  retimable : int;
+  mux_excess : int;
+  dffs_total : int;
+  dffs_on_scc : int;
+  circuit_area : float;
+  feedback_overhead : float;
+  area_with_retiming : float;
+  area_without_retiming : float;
+  ratio_with : float;
+  ratio_without : float;
+  saving : float;
+  area_full_utilization : float;
+  ratio_full_utilization : float;
+  saving_full_utilization : float;
+}
+
+let compute c sb ~cut_nets ~partition_iotas =
+  let cuts_total = List.length cut_nets in
+  let hist = Scc_budget.cuts_by_scc sb cut_nets in
+  let cuts_on_scc = Array.fold_left ( + ) 0 hist in
+  let retimable = Scc_budget.coverable sb ~cuts_on_scc:hist ~cuts_total in
+  let mux_excess = Scc_budget.mux_excess sb ~cuts_on_scc:hist in
+  let feedback_overhead =
+    10.0
+    *. List.fold_left
+         (fun acc iota ->
+           if iota <= 0 then acc
+           else acc +. Cbit.feedback_overhead (min 32 (max 1 iota)))
+         0.0 partition_iotas
+  in
+  let area_with_retiming =
+    (float_of_int retimable *. Acell.area_units Acell.Converted)
+    +. (float_of_int mux_excess *. Acell.area_units Acell.Fresh_with_mux)
+    +. feedback_overhead
+  in
+  let area_without_retiming =
+    (float_of_int cuts_total *. Acell.area_units Acell.Fresh_with_mux)
+    +. feedback_overhead
+  in
+  let area_full_utilization =
+    (float_of_int cuts_total *. Acell.area_units Acell.Converted)
+    +. feedback_overhead
+  in
+  let circuit_area = Circuit.area c in
+  let ratio a = 100.0 *. a /. (circuit_area +. a) in
+  let ratio_with = ratio area_with_retiming in
+  let ratio_without = ratio area_without_retiming in
+  let ratio_full_utilization = ratio area_full_utilization in
+  {
+    cuts_total;
+    cuts_on_scc;
+    retimable;
+    mux_excess;
+    dffs_total = Array.length (Circuit.dffs c);
+    dffs_on_scc = Scc_budget.dffs_on_scc sb;
+    circuit_area;
+    feedback_overhead;
+    area_with_retiming;
+    area_without_retiming;
+    ratio_with;
+    ratio_without;
+    saving = ratio_without -. ratio_with;
+    area_full_utilization;
+    ratio_full_utilization;
+    saving_full_utilization = ratio_without -. ratio_full_utilization;
+  }
+
+let pp ppf b =
+  Format.fprintf ppf
+    "@[<v>cuts: %d total, %d on SCCs (%d retimable, %d need MUX cells)@,\
+     flip-flops: %d total, %d on SCCs@,\
+     CBIT area: %.0f units with retiming, %.0f without (overhead %.0f)@,\
+     ACBIT/ATotal: %.1f%% vs %.1f%% -> %.1f points saved@]"
+    b.cuts_total b.cuts_on_scc b.retimable b.mux_excess b.dffs_total
+    b.dffs_on_scc b.area_with_retiming b.area_without_retiming
+    b.feedback_overhead b.ratio_with b.ratio_without b.saving

@@ -1,0 +1,45 @@
+(** The Table 12 area model: CBIT hardware with vs without retiming.
+
+    With retiming, every cut net that a legal retiming can cover with an
+    existing functional flip-flop costs only the three extra A_CELL gates
+    (0.9 DFF); cut nets in loops beyond the loop's register count need
+    the full multiplexed cell (2.3 DFF). Without retiming, the original
+    flip-flops stay put, so {e every} cut net needs the multiplexed cell.
+    Both variants pay the CBIT feedback-network overhead once per
+    partition. Ratios are reported against the total (circuit + CBIT)
+    area, as in Table 12. *)
+
+type breakdown = {
+  cuts_total : int;            (** "nets cut" column *)
+  cuts_on_scc : int;           (** "cut nets on SCC" column *)
+  retimable : int;             (** cuts coverable by moved flip-flops *)
+  mux_excess : int;            (** cuts needing the 2.3-DFF cell *)
+  dffs_total : int;
+  dffs_on_scc : int;
+  circuit_area : float;        (** units *)
+  feedback_overhead : float;   (** units, sum over partitions *)
+  area_with_retiming : float;  (** units *)
+  area_without_retiming : float;
+  ratio_with : float;          (** ACBIT/ATotal, percent *)
+  ratio_without : float;       (** percent *)
+  saving : float;              (** percentage-point reduction *)
+  area_full_utilization : float;
+      (** units, under the paper's Sec. 4.2 working assumption that
+          "retiming can fully utilize the existing DFFs": every cut net
+          priced at the converted-cell cost, no multiplexed cells. The
+          strict per-loop budget (Eq. 2/6) proves this optimistic —
+          pigeonhole on chi vs f — but it is what Table 12's w/-retiming
+          column arithmetically corresponds to, so both are reported. *)
+  ratio_full_utilization : float;  (** percent *)
+  saving_full_utilization : float; (** percentage points — the paper's
+                                       "average 20%" headline metric *)
+}
+
+val compute :
+  Ppet_netlist.Circuit.t ->
+  Ppet_retiming.Scc_budget.t ->
+  cut_nets:int list ->
+  partition_iotas:int list ->
+  breakdown
+
+val pp : Format.formatter -> breakdown -> unit

@@ -1,0 +1,58 @@
+module Netgraph = Ppet_digraph.Netgraph
+module Prng = Ppet_digraph.Prng
+
+type stats = {
+  result : Assign.t;
+  moves_tried : int;
+  moves_accepted : int;
+  final_energy : float;
+}
+
+let run ?(initial_temp = 5.0) ?(cooling = 0.9) ?moves_per_temp
+    ?(min_temp = 0.05) c g (p : Params.t) rng =
+  let n = Netgraph.n_nodes g in
+  let moves_per_temp =
+    match moves_per_temp with Some m -> m | None -> 8 * n
+  in
+  let initial = Baseline_random.run c g p rng in
+  let n_clusters = List.length initial.Assign.partitions in
+  let labels = Array.copy initial.Assign.partition_of in
+  let st = Partition_state.build c g ~labels ~n_clusters in
+  let tried = ref 0 and accepted = ref 0 in
+  let temp = ref initial_temp in
+  while !temp > min_temp do
+    (* harden the input-constraint penalty as the system cools *)
+    let lambda = 1.0 +. (initial_temp /. !temp) in
+    for _ = 1 to moves_per_temp do
+      let v = Prng.int rng n in
+      let neighbours =
+        Array.append (Netgraph.successors g v) (Netgraph.predecessors g v)
+      in
+      if Array.length neighbours > 0 then begin
+        let w = Prng.pick rng neighbours in
+        let b = Partition_state.label st w in
+        let a = Partition_state.label st v in
+        if a <> b then begin
+          incr tried;
+          let gain = Partition_state.move_gain st ~l_k:p.Params.l_k ~lambda v b in
+          let accept =
+            gain >= 0.0 || Prng.float rng 1.0 < exp (gain /. !temp)
+          in
+          if accept then begin
+            Partition_state.move st v b;
+            incr accepted
+          end
+        end
+      end
+    done;
+    temp := !temp *. cooling
+  done;
+  let lambda_final = 1.0 +. (initial_temp /. min_temp) in
+  {
+    result = Partition_state.to_assign c g p st;
+    moves_tried = !tried;
+    moves_accepted = !accepted;
+    final_energy =
+      float_of_int (Partition_state.n_cut st)
+      +. (lambda_final *. float_of_int (Partition_state.penalty st ~l_k:p.Params.l_k));
+  }

@@ -1,0 +1,33 @@
+(** Baseline 2: simulated annealing for input-constrained partitioning —
+    the authors' earlier approach (ref [4], Liou/Lin/Cheng/Liu,
+    CICC 1994), which the flow-based Merced superseded.
+
+    The state assigns every vertex to one of the clusters of an initial
+    random partition; a move re-labels a random vertex with the cluster
+    of one of its graph neighbours. The energy is
+    [cut nets + lambda * sum over clusters of max 0 (iota - l_k)], so the
+    input constraint is a soft penalty that hardens as lambda grows with
+    the cooling. Intended for the small and mid-size circuits of the
+    ablation bench: each move is O(degree), but convergence needs many
+    moves. *)
+
+type stats = {
+  result : Assign.t;
+  moves_tried : int;
+  moves_accepted : int;
+  final_energy : float;
+}
+
+val run :
+  ?initial_temp:float ->
+  ?cooling:float ->
+  ?moves_per_temp:int ->
+  ?min_temp:float ->
+  Ppet_netlist.Circuit.t ->
+  Ppet_digraph.Netgraph.t ->
+  Params.t ->
+  Ppet_digraph.Prng.t ->
+  stats
+(** Defaults: initial_temp 5.0, cooling 0.9, moves_per_temp = 8 |V|,
+    min_temp 0.05. Oversize clusters may survive when the penalty could
+    not be annealed away; they are marked as such in the result. *)

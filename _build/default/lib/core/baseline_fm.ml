@@ -1,0 +1,77 @@
+module Netgraph = Ppet_digraph.Netgraph
+
+type stats = {
+  result : Assign.t;
+  passes : int;
+  moves_applied : int;
+}
+
+let cost st ~l_k ~lambda =
+  float_of_int (Partition_state.n_cut st)
+  +. (lambda *. float_of_int (Partition_state.penalty st ~l_k))
+
+let run ?(max_passes = 8) ?(lambda = 4.0) c g (p : Params.t) rng =
+  let n = Netgraph.n_nodes g in
+  let l_k = p.Params.l_k in
+  let initial = Baseline_random.run c g p rng in
+  let n_clusters = List.length initial.Assign.partitions in
+  let labels = Array.copy initial.Assign.partition_of in
+  let st = Partition_state.build c g ~labels ~n_clusters in
+  let neighbour_labels v =
+    let tbl = Hashtbl.create 4 in
+    let add w = Hashtbl.replace tbl (Partition_state.label st w) () in
+    Array.iter add (Netgraph.successors g v);
+    Array.iter add (Netgraph.predecessors g v);
+    Hashtbl.remove tbl (Partition_state.label st v);
+    Hashtbl.fold (fun k () acc -> k :: acc) tbl []
+  in
+  let passes = ref 0 and applied = ref 0 in
+  let improved = ref true in
+  while !improved && !passes < max_passes do
+    incr passes;
+    improved := false;
+    let locked = Array.make n false in
+    let start_cost = cost st ~l_k ~lambda in
+    let running = ref start_cost in
+    let best_cost = ref start_cost in
+    let trail = ref [] in
+    let best_prefix = ref 0 in
+    let continue = ref true in
+    while !continue do
+      (* best gain over unlocked vertices and their neighbour clusters *)
+      let best = ref None in
+      for v = 0 to n - 1 do
+        if not locked.(v) then
+          List.iter
+            (fun b ->
+              let gain = Partition_state.move_gain st ~l_k ~lambda v b in
+              match !best with
+              | Some (bg, _, _) when bg >= gain -> ()
+              | Some _ | None -> best := Some (gain, v, b))
+            (neighbour_labels v)
+      done;
+      match !best with
+      | None -> continue := false
+      | Some (gain, v, b) ->
+        let a = Partition_state.label st v in
+        Partition_state.move st v b;
+        locked.(v) <- true;
+        running := !running -. gain;
+        trail := (v, a) :: !trail;
+        if !running < !best_cost -. 1e-9 then begin
+          best_cost := !running;
+          best_prefix := List.length !trail
+        end;
+        (* a full sweep of negative moves past the best point rarely
+           recovers; stop when far underwater *)
+        if List.length !trail - !best_prefix > 30 then continue := false
+    done;
+    (* roll back to the best prefix *)
+    let to_undo = List.length !trail - !best_prefix in
+    List.iteri
+      (fun i (v, a) -> if i < to_undo then Partition_state.move st v a)
+      !trail;
+    applied := !applied + !best_prefix;
+    if !best_cost < start_cost -. 1e-9 then improved := true
+  done;
+  { result = Partition_state.to_assign c g p st; passes = !passes; moves_applied = !applied }

@@ -1,0 +1,27 @@
+(** Baseline 3: multi-way Fiduccia–Mattheyses refinement.
+
+    The classic iterative-improvement partitioner adapted to the PPET
+    input constraint: starting from a random seeded-growth partition,
+    each pass repeatedly moves the unlocked vertex with the best gain
+    (cut reduction plus input-constraint penalty relief) to a
+    neighbouring cluster, locking it; after the pass the best prefix of
+    the move sequence is kept. Passes repeat until one brings no
+    improvement. Deterministic given the PRNG that seeds the initial
+    partition. *)
+
+type stats = {
+  result : Assign.t;
+  passes : int;
+  moves_applied : int;
+}
+
+val run :
+  ?max_passes:int ->
+  ?lambda:float ->
+  Ppet_netlist.Circuit.t ->
+  Ppet_digraph.Netgraph.t ->
+  Params.t ->
+  Ppet_digraph.Prng.t ->
+  stats
+(** [max_passes] defaults to 8; [lambda] (penalty weight per excess
+    input) to 4.0. *)

@@ -1,0 +1,116 @@
+module Netgraph = Ppet_digraph.Netgraph
+module Components = Ppet_digraph.Components
+module Circuit = Ppet_netlist.Circuit
+module Gate = Ppet_netlist.Gate
+module Prng = Ppet_digraph.Prng
+
+(* Incremental cluster state: entering nets (source outside, some sink
+   inside) and internal PI count give iota in O(1). *)
+type grow = {
+  member : bool array;
+  entering : (int, unit) Hashtbl.t;
+  mutable n_pis : int;
+  mutable size : int;
+}
+
+let iota g = Hashtbl.length g.entering + g.n_pis
+
+(* iota if [v] joined, without committing. *)
+let trial_iota gr c graph v =
+  let gain = ref 0 in
+  if (Circuit.node c v).Circuit.kind = Gate.Input then incr gain;
+  Array.iter
+    (fun e -> if Hashtbl.mem gr.entering e then decr gain)
+    (Netgraph.out_nets graph v);
+  Array.iter
+    (fun e ->
+      let src = Netgraph.net_src graph e in
+      if (not gr.member.(src)) && src <> v && not (Hashtbl.mem gr.entering e)
+      then incr gain)
+    (Netgraph.in_nets graph v);
+  iota gr + !gain
+
+let commit gr graph c v =
+  gr.member.(v) <- true;
+  gr.size <- gr.size + 1;
+  if (Circuit.node c v).Circuit.kind = Gate.Input then gr.n_pis <- gr.n_pis + 1;
+  Array.iter
+    (fun e -> Hashtbl.remove gr.entering e)
+    (Netgraph.out_nets graph v);
+  Array.iter
+    (fun e ->
+      let src = Netgraph.net_src graph e in
+      if not gr.member.(src) then Hashtbl.replace gr.entering e ())
+    (Netgraph.in_nets graph v)
+
+let run c g (p : Params.t) rng =
+  let n = Netgraph.n_nodes g in
+  let assigned = Array.make n (-1) in
+  let order = Array.init n (fun v -> v) in
+  Prng.shuffle rng order;
+  let partitions = ref [] in
+  let n_parts = ref 0 in
+  let member_scratch = Array.make n false in
+  Array.iter
+    (fun seed ->
+      if assigned.(seed) < 0 then begin
+        let gr =
+          {
+            member = member_scratch;
+            entering = Hashtbl.create 16;
+            n_pis = 0;
+            size = 0;
+          }
+        in
+        let members = ref [] in
+        let add v =
+          commit gr g c v;
+          assigned.(v) <- !n_parts;
+          members := v :: !members
+        in
+        add seed;
+        (* randomized BFS accretion *)
+        let frontier = Queue.create () in
+        let push_neighbours v =
+          Array.iter (fun w -> Queue.add w frontier) (Netgraph.successors g v);
+          Array.iter (fun w -> Queue.add w frontier) (Netgraph.predecessors g v)
+        in
+        push_neighbours seed;
+        let stop = ref false in
+        while not (!stop || Queue.is_empty frontier) do
+          let v = Queue.pop frontier in
+          if assigned.(v) < 0 then begin
+            if trial_iota gr c g v <= p.Params.l_k then begin
+              add v;
+              push_neighbours v
+            end
+          end;
+          if gr.size > 0 && iota gr >= p.Params.l_k then stop := true
+        done;
+        (* reset the scratch membership for the next cluster *)
+        List.iter (fun v -> member_scratch.(v) <- false) !members;
+        let vertices = Array.of_list !members in
+        Array.sort compare vertices;
+        partitions :=
+          {
+            Assign.vertices;
+            input_count = iota gr;
+            merged_from = 1;
+            oversize = iota gr > p.Params.l_k;
+            locked = false;
+          }
+          :: !partitions;
+        incr n_parts
+      end)
+    order;
+  let partitions =
+    List.sort
+      (fun a b -> compare b.Assign.input_count a.Assign.input_count)
+      !partitions
+  in
+  let partition_of = Array.make n (-1) in
+  List.iteri
+    (fun i pt -> Array.iter (fun v -> partition_of.(v) <- i) pt.Assign.vertices)
+    partitions;
+  let cut_nets = Components.cut_nets g partition_of in
+  { Assign.partitions; partition_of; cut_nets; merges = 0 }

@@ -1,0 +1,17 @@
+(** Baseline 1: random seeded growth.
+
+    Clusters are grown by randomized breadth-first accretion from random
+    seeds, accepting a vertex whenever the cluster's input count stays
+    within l_k — no congestion information at all. Comparing Merced
+    against this isolates the value of the multicommodity-flow distance
+    function (ablation A in DESIGN.md). *)
+
+val run :
+  Ppet_netlist.Circuit.t ->
+  Ppet_digraph.Netgraph.t ->
+  Params.t ->
+  Ppet_digraph.Prng.t ->
+  Assign.t
+(** Same result shape as [Assign.run]; [merges] reports 0. Every
+    partition satisfies the input constraint unless a single vertex
+    exceeds it by itself. *)

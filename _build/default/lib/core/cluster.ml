@@ -1,0 +1,148 @@
+module Netgraph = Ppet_digraph.Netgraph
+module Components = Ppet_digraph.Components
+module Circuit = Ppet_netlist.Circuit
+module Gate = Ppet_netlist.Gate
+module Scc_budget = Ppet_retiming.Scc_budget
+
+type cluster = {
+  vertices : int array;
+  input_count : int;
+  oversize : bool;
+  locked : bool;
+}
+
+type t = {
+  clusters : cluster list;
+  cluster_of : int array;
+  removed : bool array;
+  forced_kept : bool array;
+  cuts_used : int array;
+  boundaries_used : int;
+}
+
+let input_count_of c g ~inside vertices =
+  let entering = Hashtbl.create 16 in
+  let pis = ref 0 in
+  Array.iter
+    (fun v ->
+      if (Circuit.node c v).Circuit.kind = Gate.Input then incr pis;
+      Array.iter
+        (fun e ->
+          if not (inside (Netgraph.net_src g e)) then
+            Hashtbl.replace entering e ())
+        (Netgraph.in_nets g v))
+    vertices;
+  Hashtbl.length entering + !pis
+
+(* Remove the nets of [vertices] whose distance reaches [boundary],
+   honouring the per-SCC budget: a removal inside component comp is
+   allowed only while c(comp) < beta * f(comp); beyond that the net is
+   forced kept forever (Table 7, STEP 2.1.2.1). *)
+let remove_at st g sb beta ~distance vertices boundary =
+  let removed, forced, cuts = st in
+  Array.iter
+    (fun v ->
+      Array.iter
+        (fun e ->
+          if (not removed.(e)) && (not forced.(e)) && distance.(e) >= boundary
+          then begin
+            match Scc_budget.net_scc sb e with
+            | None -> removed.(e) <- true
+            | Some comp ->
+              if cuts.(comp) < beta * Scc_budget.registers sb comp then begin
+                cuts.(comp) <- cuts.(comp) + 1;
+                removed.(e) <- true
+              end
+              else forced.(e) <- true
+          end)
+        (Netgraph.out_nets g v))
+    vertices
+
+let make_group ?(locked = fun _ -> false) c g sb (flow : Flow.result)
+    (p : Params.t) =
+  let n = Netgraph.n_nodes g in
+  let m = Netgraph.n_nets g in
+  let removed = Array.make m false in
+  let forced = Array.make m false in
+  let cuts = Array.make (Scc_budget.n_components sb) 0 in
+  let st = (removed, forced, cuts) in
+  let distance = flow.Flow.distance in
+  let boundaries = Array.of_list (Flow.boundaries flow) in
+  let n_bounds = Array.length boundaries in
+  let inside_of vertices =
+    let tbl = Hashtbl.create (Array.length vertices) in
+    Array.iter (fun v -> Hashtbl.replace tbl v ()) vertices;
+    fun v -> Hashtbl.mem tbl v
+  in
+  let iota vertices = input_count_of c g ~inside:(inside_of vertices) vertices in
+  let keep e = not removed.(e) in
+  (* work queue of (vertices, next boundary index to try) *)
+  let finished = ref [] in
+  let queue = Queue.create () in
+  let boundaries_used = ref 0 in
+  (* locked vertices form one untouchable cluster, set aside up front *)
+  let locked_vertices = ref [] in
+  let free_vertices = ref [] in
+  for v = n - 1 downto 0 do
+    if locked v then locked_vertices := v :: !locked_vertices
+    else free_vertices := v :: !free_vertices
+  done;
+  let locked_vertices = Array.of_list !locked_vertices in
+  if Array.length locked_vertices > 0 then
+    finished :=
+      [ {
+          vertices = locked_vertices;
+          input_count = iota locked_vertices;
+          oversize = false;
+          locked = true;
+        } ];
+  let initial = Array.of_list !free_vertices in
+  if n_bounds > 0 && Array.length initial > 0 then begin
+    remove_at st g sb p.Params.beta ~distance initial boundaries.(0);
+    boundaries_used := 1
+  end;
+  Array.iter
+    (fun piece -> Queue.add (piece, 1) queue)
+    (Components.restrict g ~vertices:initial ~keep);
+  while not (Queue.is_empty queue) do
+    let vertices, next_b = Queue.pop queue in
+    let iota_v = iota vertices in
+    if iota_v <= p.Params.l_k then
+      finished :=
+        { vertices; input_count = iota_v; oversize = false; locked = false }
+        :: !finished
+    else if next_b >= n_bounds then
+      finished :=
+        { vertices; input_count = iota_v; oversize = true; locked = false }
+        :: !finished
+    else begin
+      boundaries_used := max !boundaries_used (next_b + 1);
+      remove_at st g sb p.Params.beta ~distance vertices boundaries.(next_b);
+      let pieces = Components.restrict g ~vertices ~keep in
+      match pieces with
+      | [| single |] when Array.length single = Array.length vertices ->
+        (* no net could be removed at this boundary; go deeper *)
+        Queue.add (vertices, next_b + 1) queue
+      | _ ->
+        Array.iter (fun piece -> Queue.add (piece, next_b + 1) queue) pieces
+    end
+  done;
+  let clusters =
+    List.sort
+      (fun a b -> compare (b.input_count, b.vertices) (a.input_count, a.vertices))
+      !finished
+  in
+  let cluster_of = Array.make n (-1) in
+  List.iteri
+    (fun i cl -> Array.iter (fun v -> cluster_of.(v) <- i) cl.vertices)
+    clusters;
+  {
+    clusters;
+    cluster_of;
+    removed;
+    forced_kept = forced;
+    cuts_used = cuts;
+    boundaries_used = !boundaries_used;
+  }
+
+let cut_nets t g = Components.cut_nets g t.cluster_of

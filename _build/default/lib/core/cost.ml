@@ -1,0 +1,40 @@
+module Cbit = Ppet_bist.Cbit
+
+type cbit_choice = {
+  label : string;
+  length : int;
+  area_dff : float;
+}
+
+let catalogue =
+  Array.to_list
+    (Array.map
+       (fun (r : Cbit.cost_row) ->
+         {
+           label = r.Cbit.label;
+           length = r.Cbit.length;
+           area_dff = r.Cbit.area_per_dff;
+         })
+       Cbit.cost_table)
+
+let choose iota =
+  if iota > 32 then
+    invalid_arg "Cost.choose: no CBIT type beyond 32 bits (partition further)";
+  let iota = max iota 1 in
+  match List.find_opt (fun ch -> ch.length >= iota) catalogue with
+  | Some ch -> ch
+  | None -> invalid_arg "Cost.choose: unreachable"
+
+let sigma iotas =
+  List.fold_left (fun acc i -> acc +. (choose i).area_dff) 0.0 iotas
+
+let sigma_units iotas = 10.0 *. sigma iotas
+
+let testing_time_cycles iotas =
+  match iotas with
+  | [] -> 0.0
+  | _ ->
+    let widest = List.fold_left (fun acc i -> max acc (choose i).length) 1 iotas in
+    Cbit.testing_time widest
+
+let bitwise_cost l = Cbit.area_per_dff l /. float_of_int l

@@ -1,0 +1,33 @@
+(** CBIT cost model — Table 1 and the objective of Eq. 4.
+
+    Re-exports the hardware numbers from {!Ppet_bist.Cbit} and prices a
+    set of partitions: each partition of input count iota gets the
+    smallest catalogue CBIT type that fits, and the objective
+    Sigma = sum p_k n_k is what [Assign_CBIT] minimises. *)
+
+type cbit_choice = {
+  label : string;    (** d1..d6 *)
+  length : int;
+  area_dff : float;  (** p_k, in DFF units *)
+}
+
+val catalogue : cbit_choice list
+(** The six types of Table 1, ascending length. *)
+
+val choose : int -> cbit_choice
+(** Smallest catalogue type with length >= the given input count.
+    Raises [Invalid_argument] above 32. *)
+
+val sigma : int list -> float
+(** Eq. 4 objective for the given partition input counts: total CBIT
+    area in DFF units under catalogue pricing. *)
+
+val sigma_units : int list -> float
+(** Same in absolute area units (DFF = 10). *)
+
+val testing_time_cycles : int list -> float
+(** [2^max] — the pipelined testing time of the partitioning, in clock
+    cycles (Fig. 1b). 0 widths mean nothing to test: 0 cycles. *)
+
+val bitwise_cost : int -> float
+(** sigma_k = p_k / l_k for any length (Fig. 4's y-axis). *)

@@ -1,0 +1,60 @@
+module Netgraph = Ppet_digraph.Netgraph
+module Dijkstra = Ppet_digraph.Dijkstra
+module Prng = Ppet_digraph.Prng
+
+type result = {
+  distance : float array;
+  flow : float array;
+  visits : int array;
+  iterations : int;
+}
+
+let saturate g (p : Params.t) rng =
+  (match Params.validate p with
+   | Ok () -> ()
+   | Error msg -> invalid_arg ("Flow.saturate: " ^ msg));
+  let n = Netgraph.n_nodes g in
+  let m = Netgraph.n_nets g in
+  let distance = Array.make m 1.0 in
+  let flow = Array.make m 0.0 in
+  let visits = Array.make n 0 in
+  let iterations = ref 0 in
+  if n > 0 && m > 0 then begin
+    (* under-visited vertices, maintained as a compacting array *)
+    let pending = Array.init n (fun v -> v) in
+    let n_pending = ref n in
+    let compact () =
+      let k = ref 0 in
+      for i = 0 to !n_pending - 1 do
+        let v = pending.(i) in
+        if visits.(v) <= p.Params.min_visit then begin
+          pending.(!k) <- v;
+          incr k
+        end
+      done;
+      n_pending := !k
+    in
+    while !n_pending > 0 && !iterations < p.Params.max_iterations do
+      let src = pending.(Prng.int rng !n_pending) in
+      visits.(src) <- visits.(src) + 1;
+      let tree = Dijkstra.run g ~dist:(fun e -> distance.(e)) ~src in
+      Array.iter
+        (fun e ->
+          flow.(e) <- flow.(e) +. p.Params.delta;
+          distance.(e) <-
+            exp (p.Params.alpha *. flow.(e) /. p.Params.capacity);
+          Array.iter
+            (fun v -> visits.(v) <- visits.(v) + 1)
+            (Netgraph.net_sinks g e))
+        tree.Dijkstra.tree_nets;
+      incr iterations;
+      compact ()
+    done
+  end;
+  { distance; flow; visits; iterations = !iterations }
+
+let boundaries r =
+  let tbl = Hashtbl.create 64 in
+  Array.iter (fun d -> Hashtbl.replace tbl d ()) r.distance;
+  let ds = Hashtbl.fold (fun d () acc -> d :: acc) tbl [] in
+  List.sort (fun a b -> compare b a) ds

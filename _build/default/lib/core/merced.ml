@@ -1,0 +1,170 @@
+module Netgraph = Ppet_digraph.Netgraph
+module Prng = Ppet_digraph.Prng
+module Circuit = Ppet_netlist.Circuit
+module Gate = Ppet_netlist.Gate
+module Segment = Ppet_netlist.Segment
+module To_graph = Ppet_netlist.To_graph
+module Scc_budget = Ppet_retiming.Scc_budget
+module Rgraph = Ppet_retiming.Rgraph
+module Retime = Ppet_retiming.Retime
+module To_circuit = Ppet_retiming.To_circuit
+
+type result = {
+  circuit : Circuit.t;
+  params : Params.t;
+  graph : Netgraph.t;
+  budget : Scc_budget.t;
+  flow : Flow.result;
+  clustering : Cluster.t;
+  assignment : Assign.t;
+  breakdown : Area_accounting.breakdown;
+  sigma_dff : float;
+  testing_time : float;
+  cpu_seconds : float;
+}
+
+let log_src = Logs.Src.create "ppet.merced" ~doc:"Merced BIST compiler"
+
+module Log = (val Logs.src_log log_src)
+
+let partition_iotas_of (assignment : Assign.t) =
+  List.map
+    (fun (p : Assign.partition) -> p.Assign.input_count)
+    assignment.Assign.partitions
+
+let run ?(params = Params.default) ?locked circuit =
+  (match Params.validate params with
+   | Ok () -> ()
+   | Error msg -> invalid_arg ("Merced.run: " ^ msg));
+  let t0 = Sys.time () in
+  (* STEP 1: graph representation *)
+  let graph = To_graph.partition_view circuit in
+  Log.debug (fun m ->
+      m "STEP 1 %s: %d vertices, %d nets" circuit.Circuit.title
+        (Netgraph.n_nodes graph) (Netgraph.n_nets graph));
+  (* STEP 2: strongly connected components *)
+  let budget = Scc_budget.create circuit graph in
+  Log.debug (fun m ->
+      m "STEP 2: %d components, %d flip-flops on loops"
+        (Scc_budget.n_components budget)
+        (Scc_budget.dffs_on_scc budget));
+  (* STEP 3: Assign_CBIT over the saturated network *)
+  let rng = Prng.create params.Params.seed in
+  let flow = Flow.saturate graph params rng in
+  Log.debug (fun m ->
+      m "STEP 3a: %d shortest-path trees injected" flow.Flow.iterations);
+  let clustering = Cluster.make_group ?locked circuit graph budget flow params in
+  Log.debug (fun m ->
+      m "STEP 3b: %d clusters" (List.length clustering.Cluster.clusters));
+  let assignment = Assign.run circuit graph clustering params rng in
+  Log.debug (fun m ->
+      m "STEP 3c: %d partitions, %d cut nets"
+        (List.length assignment.Assign.partitions)
+        (List.length assignment.Assign.cut_nets));
+  (* STEP 4: report *)
+  let iotas = partition_iotas_of assignment in
+  let breakdown =
+    Area_accounting.compute circuit budget
+      ~cut_nets:assignment.Assign.cut_nets ~partition_iotas:iotas
+  in
+  let sigma_dff = Cost.sigma (List.map (fun i -> min i 32) iotas) in
+  let testing_time = Cost.testing_time_cycles (List.map (fun i -> min i 32) iotas) in
+  {
+    circuit;
+    params;
+    graph;
+    budget;
+    flow;
+    clustering;
+    assignment;
+    breakdown;
+    sigma_dff;
+    testing_time;
+    cpu_seconds = Sys.time () -. t0;
+  }
+
+let partition_iotas r = partition_iotas_of r.assignment
+
+(* Solve for a legal retiming placing a register on every comb-driven cut
+   net, iteratively dropping the requirements of over-constrained loops
+   (those cut nets get multiplexed cells instead). Returns the graph, the
+   labels, and the number of dropped requirements. *)
+let solve_requirements r =
+  let rg = Rgraph.of_circuit r.circuit in
+  let vertex_by_name = Hashtbl.create (Rgraph.n_vertices rg) in
+  for v = 0 to Rgraph.n_vertices rg - 1 do
+    Hashtbl.replace vertex_by_name (Rgraph.vertex_name rg v) v
+  done;
+  (* cut nets whose driver is a combinational gate want >= 1 register on
+     every collapsed edge leaving that driver *)
+  let required = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      let driver = Netgraph.net_src r.graph e in
+      let nd = Circuit.node r.circuit driver in
+      match nd.Circuit.kind with
+      | Gate.Input | Gate.Dff -> ()
+      | Gate.Buff | Gate.Not | Gate.And | Gate.Nand | Gate.Or | Gate.Nor
+      | Gate.Xor | Gate.Xnor ->
+        (match Hashtbl.find_opt vertex_by_name nd.Circuit.name with
+         | Some v -> Hashtbl.replace required v true
+         | None -> ()))
+    r.assignment.Assign.cut_nets;
+  let require e =
+    let edge = rg.Rgraph.edges.(e) in
+    if Hashtbl.mem required edge.Rgraph.tail then 1 else 0
+  in
+  let dropped = ref 0 in
+  let rec attempt () =
+    match Retime.solve rg ~require with
+    | Retime.Feasible rho -> Some rho
+    | Retime.Infeasible cycle ->
+      let progressed = ref false in
+      List.iter
+        (fun v ->
+          if Hashtbl.mem required v then begin
+            Hashtbl.remove required v;
+            incr dropped;
+            progressed := true
+          end)
+        cycle;
+      if !progressed then attempt ()
+      else begin
+        (* the cycle carries no requirement we can drop; give up on all *)
+        Hashtbl.reset required;
+        match Retime.solve rg ~require with
+        | Retime.Feasible rho -> Some rho
+        | Retime.Infeasible _ -> None
+      end
+  in
+  let rho = attempt () in
+  (rg, rho, !dropped)
+
+let retiming_feasibility r =
+  let _, _, dropped = solve_requirements r in
+  if dropped = 0 then `Feasible else `Needs_mux dropped
+
+let retimed_netlist r =
+  let rg, rho, dropped = solve_requirements r in
+  match rho with
+  | None -> None
+  | Some rho ->
+    let rg' = Retime.apply rg rho in
+    Some (To_circuit.circuit_of ~title:(r.circuit.Circuit.title ^ "-retimed") rg', dropped)
+
+let segments r =
+  List.filter_map
+    (fun (p : Assign.partition) ->
+      let combs =
+        Array.of_list
+          (List.filter
+             (fun v ->
+               match (Circuit.node r.circuit v).Circuit.kind with
+               | Gate.Input | Gate.Dff -> false
+               | Gate.Buff | Gate.Not | Gate.And | Gate.Nand | Gate.Or
+               | Gate.Nor | Gate.Xor | Gate.Xnor -> true)
+             (Array.to_list p.Assign.vertices))
+      in
+      if Array.length combs = 0 then None
+      else Some (Segment.of_members r.circuit combs))
+    r.assignment.Assign.partitions

@@ -1,0 +1,57 @@
+(** Merced — the BIST compiler (paper Table 2).
+
+    STEP 1 builds the multi-pin graph of the netlist, STEP 2 the strongly
+    connected components (for the Eq. 6 retiming budget), STEP 3 runs
+    [Assign_CBIT] on top of [Make_Group] and the saturated network, and
+    STEP 4 reports the partitioning, its CBIT cost and the area
+    comparison against a non-retimed implementation. *)
+
+type result = {
+  circuit : Ppet_netlist.Circuit.t;
+  params : Params.t;
+  graph : Ppet_digraph.Netgraph.t;
+  budget : Ppet_retiming.Scc_budget.t;
+  flow : Flow.result;
+  clustering : Cluster.t;
+  assignment : Assign.t;
+  breakdown : Area_accounting.breakdown;
+  sigma_dff : float;           (** Eq. 4 objective under Table 1 pricing *)
+  testing_time : float;        (** clock cycles, Fig. 1b model *)
+  cpu_seconds : float;         (** wall clock of the whole run *)
+}
+
+val run :
+  ?params:Params.t ->
+  ?locked:(int -> bool) ->
+  Ppet_netlist.Circuit.t ->
+  result
+(** [locked] marks node ids the user excludes from BIST conversion: they
+    stay together in one untouched partition (the paper's lock option,
+    Table 5 STEP 2). *)
+
+val partition_iotas : result -> int list
+(** Input counts of the final partitions, descending. *)
+
+val retiming_feasibility : result -> [ `Feasible | `Needs_mux of int ]
+(** Cross-check of the accounting against the actual Leiserson–Saxe
+    solver: [`Feasible] when a legal retiming puts a register on every
+    cut net, [`Needs_mux n] when n cut nets sit on over-constrained
+    loops (they get multiplexed cells instead, Fig. 3c). *)
+
+val segments : result -> Ppet_netlist.Segment.t list
+(** The combinational CUT of each partition (member gates only;
+    flip-flops and PIs move to the boundary), ready for
+    {!Ppet_bist.Pet}. Partitions with no combinational member are
+    dropped. *)
+
+val retimed_netlist :
+  result -> (Ppet_retiming.To_circuit.emitted * int) option
+(** Realise the register placement: solve for a legal retiming covering
+    every combinational cut-net driver (dropping the requirements of
+    over-constrained loops, whose count is returned), apply it, and emit
+    the retimed netlist with recomputed initial states. [None] only when
+    even the unconstrained identity fails (never on a valid circuit). *)
+
+val log_src : Logs.src
+(** Per-stage debug logging of the Table 2 pipeline; enable with
+    [Logs.Src.set_level Merced.log_src (Some Logs.Debug)]. *)

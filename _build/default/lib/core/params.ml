@@ -1,0 +1,41 @@
+type t = {
+  capacity : float;
+  min_visit : int;
+  alpha : float;
+  delta : float;
+  beta : int;
+  l_k : int;
+  seed : int64;
+  max_iterations : int;
+  max_merge_candidates : int;
+}
+
+let default =
+  {
+    capacity = 1.0;
+    min_visit = 20;
+    alpha = 4.0;
+    delta = 0.01;
+    beta = 50;
+    l_k = 16;
+    seed = 0x4DACL;
+    max_iterations = 20_000;
+    max_merge_candidates = 1_500;
+  }
+
+let with_lk l_k = { default with l_k }
+
+let validate p =
+  if p.capacity <= 0.0 then Error "capacity must be positive"
+  else if p.min_visit < 1 then Error "min_visit must be at least 1"
+  else if p.delta <= 0.0 then Error "delta must be positive"
+  else if p.beta < 1 then Error "beta must be at least 1 (Eq. 6)"
+  else if p.l_k < 2 || p.l_k > 32 then Error "l_k must be in 2..32"
+  else if p.max_iterations < 1 then Error "max_iterations must be positive"
+  else if p.max_merge_candidates < 1 then Error "max_merge_candidates must be positive"
+  else Ok ()
+
+let pp ppf p =
+  Format.fprintf ppf
+    "b=%.2f min_visit=%d alpha=%.2f delta=%.3f beta=%d l_k=%d seed=%Ld"
+    p.capacity p.min_visit p.alpha p.delta p.beta p.l_k p.seed

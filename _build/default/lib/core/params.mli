@@ -1,0 +1,29 @@
+(** Merced parameters (paper Sec. 4.1).
+
+    The published settings are [b = 1], [min_visit = 20], [alpha = 4],
+    [delta = 0.01], [beta = 50] (relaxed so [Assign_CBIT] is
+    unrestricted), and input constraints [l_k] of 16 (Table 10) or 24
+    (Table 11). *)
+
+type t = {
+  capacity : float;       (** b — net capacity in Saturate_Network *)
+  min_visit : int;        (** sampling adequacy threshold *)
+  alpha : float;          (** congestion exponent *)
+  delta : float;          (** flow quantum per shortest-path tree *)
+  beta : int;             (** Eq. 6 loop-cut relaxation factor *)
+  l_k : int;              (** input constraint / CBIT length *)
+  seed : int64;           (** randomness of the flow injection *)
+  max_iterations : int;   (** safety bound on flow-injection rounds *)
+  max_merge_candidates : int;
+      (** Assign_CBIT candidate scan cap per step (quality/speed knob) *)
+}
+
+val default : t
+(** Paper settings with [l_k = 16]. *)
+
+val with_lk : int -> t
+(** Paper settings at another input constraint. *)
+
+val validate : t -> (unit, string) result
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,70 @@
+module Netgraph = Ppet_digraph.Netgraph
+module Pipeline = Ppet_bist.Pipeline
+
+type t = {
+  phase_of : int array;
+  phases : int;
+  adjacency : (int * int) list;
+}
+
+let compute (r : Merced.result) =
+  let n = List.length r.Merced.assignment.Assign.partitions in
+  let part_of = r.Merced.assignment.Assign.partition_of in
+  let adj = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      let a = part_of.(Netgraph.net_src r.Merced.graph e) in
+      Array.iter
+        (fun sink ->
+          let b = part_of.(sink) in
+          if a <> b then
+            Hashtbl.replace adj (min a b, max a b) ())
+        (Netgraph.net_sinks r.Merced.graph e))
+    r.Merced.assignment.Assign.cut_nets;
+  let adjacency = Hashtbl.fold (fun k () acc -> k :: acc) adj [] in
+  let adjacency = List.sort compare adjacency in
+  let neighbours = Array.make n [] in
+  List.iter
+    (fun (a, b) ->
+      neighbours.(a) <- b :: neighbours.(a);
+      neighbours.(b) <- a :: neighbours.(b))
+    adjacency;
+  (* greedy colouring, highest degree first *)
+  let order = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      compare
+        (List.length neighbours.(b), a)
+        (List.length neighbours.(a), b))
+    order;
+  let phase_of = Array.make n (-1) in
+  Array.iter
+    (fun v ->
+      let used = List.filter_map (fun w ->
+          if phase_of.(w) >= 0 then Some phase_of.(w) else None)
+          neighbours.(v)
+      in
+      let rec first_free c = if List.mem c used then first_free (c + 1) else c in
+      phase_of.(v) <- first_free 0)
+    order;
+  let phases = Array.fold_left (fun acc p -> max acc (p + 1)) 1 phase_of in
+  { phase_of; phases; adjacency }
+
+let schedule (r : Merced.result) =
+  let phasing = compute r in
+  let widths =
+    List.map
+      (fun (p : Assign.partition) -> max 1 (min 32 p.Assign.input_count))
+      r.Merced.assignment.Assign.partitions
+  in
+  Pipeline.make ~phases:phasing.phases ~widths:[ widths ] ()
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>%d partitions, %d adjacencies -> %d test phase(s)@,phases: %a@]"
+    (Array.length t.phase_of)
+    (List.length t.adjacency) t.phases
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       Format.pp_print_int)
+    (Array.to_list t.phase_of)

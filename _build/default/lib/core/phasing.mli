@@ -1,0 +1,33 @@
+(** Test-phase assignment for the PPET pipeline (paper Fig. 1a).
+
+    During self test a CBIT cannot generate patterns and compress
+    responses at the same instant for the same neighbouring segments
+    unless the roles alternate: when partition A's responses feed the
+    CBIT that generates for partition B, A and B must be tested in
+    different phases (the CBIT is in PSA mode for A's phase and TPG mode
+    for B's). That is a colouring of the partition adjacency graph; the
+    classic linear pipeline needs exactly 2 colours (the paper's
+    odd/even arrangement), and cyclic partition structures of odd length
+    need 3.
+
+    Total testing time becomes [phases x 2^(dominant width)] plus the
+    scan overhead, which {!Ppet_bist.Pipeline} models. *)
+
+type t = {
+  phase_of : int array;   (** partition index -> phase in [0, phases) *)
+  phases : int;
+  adjacency : (int * int) list;  (** partition pairs sharing a CBIT *)
+}
+
+val compute : Merced.result -> t
+(** Build the partition adjacency from the cut nets (driver partition ->
+    sink partition) and colour it greedily in descending-degree order.
+    Greedy colouring is within one colour of optimal on the near-linear
+    structures PPET produces. *)
+
+val schedule : Merced.result -> Ppet_bist.Pipeline.schedule
+(** The full testing-time model for a Merced result: per-partition CBIT
+    widths from the partition input counts (clamped to 32), phase count
+    from {!compute}. *)
+
+val pp : Format.formatter -> t -> unit

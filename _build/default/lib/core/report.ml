@@ -1,0 +1,75 @@
+module Circuit = Ppet_netlist.Circuit
+
+let title r = r.Merced.circuit.Circuit.title
+
+let table10_header =
+  Printf.sprintf "%-10s %8s %8s %12s %9s %9s" "Circuit" "DFFs" "DFF/SCC"
+    "cuts-on-SCC" "nets-cut" "CPU(s)"
+
+let table10_row r =
+  let b = r.Merced.breakdown in
+  Printf.sprintf "%-10s %8d %8d %12d %9d %9.2f" (title r)
+    b.Area_accounting.dffs_total b.Area_accounting.dffs_on_scc
+    b.Area_accounting.cuts_on_scc b.Area_accounting.cuts_total
+    r.Merced.cpu_seconds
+
+let table12_header =
+  Printf.sprintf "%-10s | %9s %9s | %9s %9s" "Circuit" "16 w/R" "16 w/o"
+    "24 w/R" "24 w/o"
+
+let table12_row ~l16 ~l24 =
+  let b = l16.Merced.breakdown in
+  let w24, wo24 =
+    match l24 with
+    | Some r ->
+      ( Printf.sprintf "%9.1f" r.Merced.breakdown.Area_accounting.ratio_with,
+        Printf.sprintf "%9.1f" r.Merced.breakdown.Area_accounting.ratio_without )
+    | None -> (Printf.sprintf "%9s" "0", Printf.sprintf "%9s" "0")
+  in
+  Printf.sprintf "%-10s | %9.1f %9.1f | %s %s" (title l16)
+    b.Area_accounting.ratio_with b.Area_accounting.ratio_without w24 wo24
+
+let summary r =
+  let b = r.Merced.breakdown in
+  let buf = Buffer.create 512 in
+  let n_partitions = List.length r.Merced.assignment.Assign.partitions in
+  Printf.bprintf buf "Merced result for %s (l_k = %d)\n" (title r)
+    r.Merced.params.Params.l_k;
+  Printf.bprintf buf "  flow: %d shortest-path trees injected\n"
+    r.Merced.flow.Flow.iterations;
+  Printf.bprintf buf "  clusters: %d (boundaries used: %d)\n"
+    (List.length r.Merced.clustering.Cluster.clusters)
+    r.Merced.clustering.Cluster.boundaries_used;
+  Printf.bprintf buf "  partitions: %d after %d merges\n" n_partitions
+    r.Merced.assignment.Assign.merges;
+  Printf.bprintf buf "  cut nets: %d (%d on SCCs; %d retimable, %d muxed)\n"
+    b.Area_accounting.cuts_total b.Area_accounting.cuts_on_scc
+    b.Area_accounting.retimable b.Area_accounting.mux_excess;
+  Printf.bprintf buf
+    "  CBIT area: %.0f units w/ retiming vs %.0f w/o (%.1f%% vs %.1f%% of \
+     total)\n"
+    b.Area_accounting.area_with_retiming
+    b.Area_accounting.area_without_retiming b.Area_accounting.ratio_with
+    b.Area_accounting.ratio_without;
+  Printf.bprintf buf "  sigma (Eq. 4): %.2f DFF; testing time: %.3g cycles\n"
+    r.Merced.sigma_dff r.Merced.testing_time;
+  Printf.bprintf buf "  CPU: %.2f s" r.Merced.cpu_seconds;
+  Buffer.contents buf
+
+let csv_header =
+  "circuit,l_k,dffs,dffs_on_scc,cuts_total,cuts_on_scc,retimable,mux_excess,\
+   partitions,area_circuit,area_cbit_retimed,area_cbit_plain,ratio_with,\
+   ratio_without,sigma_dff,testing_time,cpu_seconds"
+
+let csv_row r =
+  let b = r.Merced.breakdown in
+  Printf.sprintf "%s,%d,%d,%d,%d,%d,%d,%d,%d,%.0f,%.1f,%.1f,%.2f,%.2f,%.2f,%.6g,%.3f"
+    (title r) r.Merced.params.Params.l_k b.Area_accounting.dffs_total
+    b.Area_accounting.dffs_on_scc b.Area_accounting.cuts_total
+    b.Area_accounting.cuts_on_scc b.Area_accounting.retimable
+    b.Area_accounting.mux_excess
+    (List.length r.Merced.assignment.Assign.partitions)
+    b.Area_accounting.circuit_area b.Area_accounting.area_with_retiming
+    b.Area_accounting.area_without_retiming b.Area_accounting.ratio_with
+    b.Area_accounting.ratio_without r.Merced.sigma_dff r.Merced.testing_time
+    r.Merced.cpu_seconds

@@ -1,0 +1,22 @@
+(** Text and CSV rendering of Merced results — the rows of Tables 10/11
+    (partition results) and Table 12 (area comparison). *)
+
+val table10_header : string
+
+val table10_row : Merced.result -> string
+(** Circuit, DFFs, DFFs on SCC, cut nets on SCC, nets cut, CPU time. *)
+
+val table12_header : string
+
+val table12_row : l16:Merced.result -> l24:Merced.result option -> string
+(** ACBIT/ATotal with/without retiming at l_k = 16 and (optionally) 24;
+    the paper prints 0 for circuits whose l_k = 24 run makes no internal
+    cut, which [None] reproduces for circuits outside Table 11. *)
+
+val summary : Merced.result -> string
+(** Multi-line human summary of one run. *)
+
+val csv_header : string
+
+val csv_row : Merced.result -> string
+(** Machine-readable full record, one line. *)

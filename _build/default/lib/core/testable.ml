@@ -1,0 +1,260 @@
+module Netgraph = Ppet_digraph.Netgraph
+module Circuit = Ppet_netlist.Circuit
+module Gate = Ppet_netlist.Gate
+module Gf2_poly = Ppet_bist.Gf2_poly
+
+type cell = {
+  net : int;
+  driver : int;
+  q_name : string;
+  converted : bool;
+  group_index : int;
+  bit_index : int;
+}
+
+type cbit_group = {
+  partition : int;
+  width : int;
+  poly : int;
+  cell_names : string list;
+}
+
+type t = {
+  circuit : Circuit.t;
+  original : Circuit.t;
+  cells : cell list;
+  groups : cbit_group list;
+  test_en : string;
+  fb_en : string;
+  psa_en : string;
+  scan_in : string;
+  added_area : float;
+}
+
+let prefix = "PPET_"
+
+let test_en_name = prefix ^ "TEST_EN"
+let fb_en_name = prefix ^ "FB_EN"
+let psa_en_name = prefix ^ "PSA_EN"
+let scan_in_name = prefix ^ "SCAN_IN"
+let ntest_name = prefix ^ "NTEST"
+let nfb_name = prefix ^ "NFB"
+
+(* Group the cut nets into CBITs: a cell joins the CBIT of the lowest-
+   numbered partition its net enters. *)
+let plan_groups (r : Merced.result) =
+  let g = r.Merced.graph in
+  let part_of = r.Merced.assignment.Assign.partition_of in
+  let by_partition = Hashtbl.create 16 in
+  List.iter
+    (fun net ->
+      let src = Netgraph.net_src g net in
+      let home = part_of.(src) in
+      let target = ref max_int in
+      Array.iter
+        (fun sink ->
+          let p = part_of.(sink) in
+          if p <> home && p < !target then target := p)
+        (Netgraph.net_sinks g net);
+      let p = if !target = max_int then home else !target in
+      let cur = try Hashtbl.find by_partition p with Not_found -> [] in
+      Hashtbl.replace by_partition p (net :: cur))
+    r.Merced.assignment.Assign.cut_nets;
+  Hashtbl.fold (fun p nets acc -> (p, List.sort compare nets) :: acc) by_partition []
+  |> List.sort compare
+
+let insert (r : Merced.result) =
+  let c = r.Merced.circuit in
+  let g = r.Merced.graph in
+  Array.iter
+    (fun (nd : Circuit.node) ->
+      if
+        String.length nd.Circuit.name >= String.length prefix
+        && String.sub nd.Circuit.name 0 (String.length prefix) = prefix
+      then
+        invalid_arg
+          (Printf.sprintf "Testable.insert: signal %S clashes with the PPET_ namespace"
+             nd.Circuit.name))
+    c.Circuit.nodes;
+  let groups_plan = plan_groups r in
+  let gate_seq = ref 0 in
+  let fresh_gate () =
+    incr gate_seq;
+    Printf.sprintf "%sG%d" prefix !gate_seq
+  in
+  let fresh_q =
+    let q_seq = ref 0 in
+    fun () ->
+      incr q_seq;
+      Printf.sprintf "%sQ%d" prefix !q_seq
+  in
+  (* plan the cells: names first, wiring later *)
+  let cells = ref [] in
+  let groups = ref [] in
+  List.iteri
+    (fun group_index (partition, nets) ->
+      let cell_list =
+        List.mapi
+          (fun bit_index net ->
+            let driver = Netgraph.net_src g net in
+            let converted = (Circuit.node c driver).Circuit.kind = Gate.Dff in
+            let q_name =
+              if converted then (Circuit.node c driver).Circuit.name
+              else fresh_q ()
+            in
+            { net; driver; q_name; converted; group_index; bit_index })
+          nets
+      in
+      let width = List.length cell_list in
+      groups :=
+        {
+          partition;
+          width;
+          poly = Gf2_poly.primitive (max 1 (min width 32));
+          cell_names = List.map (fun cl -> cl.q_name) cell_list;
+        }
+        :: !groups;
+      cells := cell_list :: !cells)
+    groups_plan;
+  let groups = List.rev !groups in
+  let cells_by_group = List.rev !cells in
+  let all_cells = List.concat cells_by_group in
+  (* bypass rewiring: fresh cells interpose a mux on their driver *)
+  let mux_of_driver = Hashtbl.create 16 in
+  List.iter
+    (fun cl ->
+      if not cl.converted then
+        Hashtbl.replace mux_of_driver cl.driver (fresh_gate ()))
+    all_cells;
+  let converted_drivers = Hashtbl.create 16 in
+  List.iter
+    (fun cl -> if cl.converted then Hashtbl.replace converted_drivers cl.driver ())
+    all_cells;
+  let name_of id = (Circuit.node c id).Circuit.name in
+  let rewired id =
+    match Hashtbl.find_opt mux_of_driver id with
+    | Some mux -> mux
+    | None -> name_of id
+  in
+  let b = Circuit.Builder.create (c.Circuit.title ^ "-testable") in
+  (* primary inputs: originals plus the controls *)
+  Array.iter (fun pi -> Circuit.Builder.add_input b (name_of pi)) c.Circuit.inputs;
+  List.iter (Circuit.Builder.add_input b)
+    [ test_en_name; fb_en_name; psa_en_name; scan_in_name ];
+  let has_cells = all_cells <> [] in
+  if has_cells then begin
+    Circuit.Builder.add_gate b ~name:ntest_name ~kind:Gate.Not
+      ~fanins:[ test_en_name ];
+    Circuit.Builder.add_gate b ~name:nfb_name ~kind:Gate.Not
+      ~fanins:[ fb_en_name ]
+  end;
+  (* original logic, with cut-net readers rerouted through the muxes;
+     converted flip-flops are emitted by their cells instead *)
+  Array.iter
+    (fun (nd : Circuit.node) ->
+      match nd.Circuit.kind with
+      | Gate.Input -> ()
+      | Gate.Dff when Hashtbl.mem converted_drivers nd.Circuit.id -> ()
+      | Gate.Dff | Gate.Buff | Gate.Not | Gate.And | Gate.Nand | Gate.Or
+      | Gate.Nor | Gate.Xor | Gate.Xnor ->
+        Circuit.Builder.add_gate b ~name:nd.Circuit.name ~kind:nd.Circuit.kind
+          ~fanins:(List.map rewired (Array.to_list nd.Circuit.fanins)))
+    c.Circuit.nodes;
+  (* the test cells, group by group, chained for scan *)
+  let scan_prev = ref scan_in_name in
+  List.iter2
+    (fun group cell_list ->
+      match cell_list with
+      | [] -> ()
+      | first :: _ ->
+        ignore first;
+        let names = Array.of_list group.cell_names in
+        let msb = names.(group.width - 1) in
+        (* feedback gated by FB_EN, shared across the group *)
+        let fb_gated = fresh_gate () in
+        Circuit.Builder.add_gate b ~name:fb_gated ~kind:Gate.And
+          ~fanins:[ msb; fb_en_name ];
+        (* the group's scan entry: previous chain bit, blocked when the
+           feedback network is active (TPG/PSA shift in zero) *)
+        let scan_gate = fresh_gate () in
+        Circuit.Builder.add_gate b ~name:scan_gate ~kind:Gate.And
+          ~fanins:[ !scan_prev; nfb_name ];
+        let degree = Gf2_poly.degree group.poly in
+        List.iter
+          (fun cl ->
+            let i = cl.bit_index in
+            (* functional data arriving at the cell *)
+            let d_sig =
+              if cl.converted then
+                rewired (Circuit.node c cl.driver).Circuit.fanins.(0)
+              else name_of cl.driver
+            in
+            (* test-mode next state *)
+            let shift_src = if i = 0 then scan_gate else names.(i - 1) in
+            let tap = i < degree && group.poly land (1 lsl i) <> 0 in
+            let after_fb =
+              if tap then begin
+                let x = fresh_gate () in
+                Circuit.Builder.add_gate b ~name:x ~kind:Gate.Xor
+                  ~fanins:[ shift_src; fb_gated ];
+                x
+              end
+              else shift_src
+            in
+            let psa_term = fresh_gate () in
+            Circuit.Builder.add_gate b ~name:psa_term ~kind:Gate.And
+              ~fanins:[ d_sig; psa_en_name ];
+            let core = fresh_gate () in
+            Circuit.Builder.add_gate b ~name:core ~kind:Gate.Xor
+              ~fanins:[ after_fb; psa_term ];
+            (* mode selection in front of the register *)
+            let normal_path = fresh_gate () in
+            Circuit.Builder.add_gate b ~name:normal_path ~kind:Gate.And
+              ~fanins:[ d_sig; ntest_name ];
+            let test_path = fresh_gate () in
+            Circuit.Builder.add_gate b ~name:test_path ~kind:Gate.And
+              ~fanins:[ core; test_en_name ];
+            let d_in = fresh_gate () in
+            Circuit.Builder.add_gate b ~name:d_in ~kind:Gate.Or
+              ~fanins:[ normal_path; test_path ];
+            Circuit.Builder.add_gate b ~name:cl.q_name ~kind:Gate.Dff
+              ~fanins:[ d_in ];
+            (* fresh cells bypass through a mux in normal mode (Fig. 3c) *)
+            if not cl.converted then begin
+              let mux = Hashtbl.find mux_of_driver cl.driver in
+              let pass = fresh_gate () in
+              Circuit.Builder.add_gate b ~name:pass ~kind:Gate.And
+                ~fanins:[ name_of cl.driver; ntest_name ];
+              let hold = fresh_gate () in
+              Circuit.Builder.add_gate b ~name:hold ~kind:Gate.And
+                ~fanins:[ cl.q_name; test_en_name ];
+              Circuit.Builder.add_gate b ~name:mux ~kind:Gate.Or
+                ~fanins:[ pass; hold ]
+            end)
+          cell_list;
+        scan_prev := msb)
+    groups cells_by_group;
+  (* primary outputs keep observing the functional signals *)
+  Array.iter
+    (fun po -> Circuit.Builder.add_output b (name_of po))
+    c.Circuit.outputs;
+  let circuit = Circuit.Builder.finish b in
+  {
+    circuit;
+    original = c;
+    cells = all_cells;
+    groups;
+    test_en = test_en_name;
+    fb_en = fb_en_name;
+    psa_en = psa_en_name;
+    scan_in = scan_in_name;
+    added_area = Circuit.area circuit -. Circuit.area c;
+  }
+
+let cell_count t = List.length t.cells
+
+let scan_length = cell_count
+
+let measured_overhead_per_cell t =
+  if t.cells = [] then 0.0
+  else t.added_area /. float_of_int (List.length t.cells)

@@ -1,0 +1,73 @@
+(** Test-hardware insertion: convert a partitioned design into the
+    PPET-testable netlist — the output Merced exists to produce
+    (paper Sec. 1, Figs. 1 and 3).
+
+    Every cut net receives an A_CELL-style register cell; the cells
+    feeding one partition form a CBIT whose feedback polynomial comes
+    from the primitive table, and all CBITs are linked into one scan
+    chain. Three added control inputs select the mode and one carries
+    the serial scan data:
+
+    - [TEST_EN] = 0: normal operation. Converted cells (cut nets already
+      driven by a flip-flop) latch their functional data exactly as
+      before; fresh cells are bypassed combinationally through their
+      multiplexer (Fig. 3c), so normal-mode behaviour and timing are
+      bit-identical to the original circuit.
+    - [TEST_EN] = 1, [FB_EN] = 0: scan — the chain shifts [SCAN_IN]
+      through every cell (initialisation and signature read-out).
+    - [TEST_EN] = 1, [FB_EN] = 1, [PSA_EN] = 0: TPG — each CBIT runs as
+      the Galois LFSR of its polynomial, exactly the sequence of
+      {!Ppet_bist.Cbit} in [Tpg] mode.
+    - [TEST_EN] = 1, [FB_EN] = 1, [PSA_EN] = 1: PSA — each CBIT
+      additionally folds in the arriving functional data, i.e. the
+      responses of the partition driving it: the dual-mode trick that
+      lets one register bank test two segments.
+
+    The gate network per cell is the A_CELL of Fig. 3 realised with the
+    netlist's own primitives (the figure's precise mode decoding is not
+    published, so the cell here is behaviourally specified as above and
+    its measured area is compared against the paper's 1.9/2.3-DFF model
+    by the test suite). *)
+
+type cell = {
+  net : int;            (** partition-view net id the cell registers *)
+  driver : int;         (** original node id driving the cut net *)
+  q_name : string;      (** the cell's register in the new netlist *)
+  converted : bool;     (** reused functional flip-flop (0.9-DFF case) *)
+  group_index : int;    (** CBIT the cell belongs to *)
+  bit_index : int;      (** position inside that CBIT, 0 = LSB *)
+}
+
+type cbit_group = {
+  partition : int;      (** partition this CBIT feeds patterns to *)
+  width : int;
+  poly : int;           (** feedback polynomial (degree = min width 32) *)
+  cell_names : string list;  (** register names, LSB first *)
+}
+
+type t = {
+  circuit : Ppet_netlist.Circuit.t;   (** the testable netlist *)
+  original : Ppet_netlist.Circuit.t;
+  cells : cell list;                  (** scan-chain order *)
+  groups : cbit_group list;
+  test_en : string;
+  fb_en : string;
+  psa_en : string;
+  scan_in : string;
+  added_area : float;    (** units: area(testable) - area(original) *)
+}
+
+val insert : Merced.result -> t
+(** Raises [Invalid_argument] if the result's circuit contains signal
+    names clashing with the generated ones (names starting with
+    ["PPET_"]). Results with no cut nets return the original circuit
+    unchanged apart from the four control inputs. *)
+
+val cell_count : t -> int
+
+val scan_length : t -> int
+(** Total register bits on the scan chain. *)
+
+val measured_overhead_per_cell : t -> float
+(** [added_area / cells], in area units — compare with the model's
+    9 (converted) to 23 (fresh + mux) units. *)

@@ -1,0 +1,1 @@
+lib/digraph/components.ml: Array Hashtbl List Netgraph Union_find

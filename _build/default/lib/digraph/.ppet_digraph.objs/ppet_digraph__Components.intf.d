@@ -1,0 +1,1 @@
+lib/digraph/components.mli: Netgraph

@@ -1,0 +1,1 @@
+lib/digraph/dijkstra.ml: Array Hashtbl Heap Netgraph

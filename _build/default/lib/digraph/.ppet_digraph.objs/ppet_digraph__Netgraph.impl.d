@@ -1,0 +1,1 @@
+lib/digraph/netgraph.ml: Array Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/digraph/netgraph.mli: Format

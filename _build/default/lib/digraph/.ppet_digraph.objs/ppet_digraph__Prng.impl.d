@@ -1,0 +1,1 @@
+lib/digraph/prng.ml: Array Int64

@@ -1,0 +1,1 @@
+lib/digraph/tarjan.ml: Array Netgraph

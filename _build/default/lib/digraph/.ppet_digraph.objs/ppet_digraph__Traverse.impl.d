@@ -1,0 +1,1 @@
+lib/digraph/traverse.ml: Array List Netgraph Queue

@@ -1,0 +1,1 @@
+lib/digraph/traverse.mli: Netgraph

@@ -1,0 +1,1 @@
+lib/digraph/union_find.mli:

@@ -1,0 +1,66 @@
+type partition = {
+  cluster : int array;
+  count : int;
+  members : int array array;
+}
+
+let of_union_find uf n =
+  let root_to_id = Hashtbl.create 16 in
+  let cluster = Array.make n (-1) in
+  let count = ref 0 in
+  for v = 0 to n - 1 do
+    let r = Union_find.find uf v in
+    let id =
+      try Hashtbl.find root_to_id r
+      with Not_found ->
+        let id = !count in
+        Hashtbl.add root_to_id r id;
+        incr count;
+        id
+    in
+    cluster.(v) <- id
+  done;
+  let sizes = Array.make !count 0 in
+  Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) cluster;
+  let members = Array.init !count (fun c -> Array.make sizes.(c) 0) in
+  let fill = Array.make !count 0 in
+  for v = 0 to n - 1 do
+    let c = cluster.(v) in
+    members.(c).(fill.(c)) <- v;
+    fill.(c) <- fill.(c) + 1
+  done;
+  { cluster; count = !count; members }
+
+let weak g ~keep =
+  let n = Netgraph.n_nodes g in
+  let uf = Union_find.create n in
+  Netgraph.iter_nets g (fun e ~src ~sinks ->
+      if keep e then Array.iter (fun v -> Union_find.union uf src v) sinks);
+  of_union_find uf n
+
+let restrict g ~vertices ~keep =
+  let inside = Hashtbl.create (Array.length vertices) in
+  Array.iteri (fun i v -> Hashtbl.replace inside v i) vertices;
+  let m = Array.length vertices in
+  let uf = Union_find.create m in
+  Netgraph.iter_nets g (fun e ~src ~sinks ->
+      if keep e then
+        match Hashtbl.find_opt inside src with
+        | None -> ()
+        | Some i ->
+          Array.iter
+            (fun v ->
+              match Hashtbl.find_opt inside v with
+              | Some j -> Union_find.union uf i j
+              | None -> ())
+            sinks);
+  let part = of_union_find uf m in
+  Array.map (fun idxs -> Array.map (fun i -> vertices.(i)) idxs) part.members
+
+let cut_nets g cluster_of =
+  let acc = ref [] in
+  Netgraph.iter_nets g (fun e ~src ~sinks ->
+      let c = cluster_of.(src) in
+      if Array.exists (fun v -> cluster_of.(v) <> c) sinks then
+        acc := e :: !acc);
+  List.rev !acc

@@ -1,0 +1,54 @@
+type tree = {
+  dist : float array;
+  via : int array;
+  tree_nets : int array;
+}
+
+let run g ~dist ~src =
+  let n = Netgraph.n_nodes g in
+  if src < 0 || src >= n then invalid_arg "Dijkstra.run: bad source";
+  Netgraph.freeze g;
+  let d = Array.make n infinity in
+  let via = Array.make n (-1) in
+  let heap = Heap.create n in
+  d.(src) <- 0.0;
+  Heap.insert heap src 0.0;
+  let settled = Array.make n false in
+  while not (Heap.is_empty heap) do
+    let v, dv = Heap.pop_min heap in
+    if not settled.(v) then begin
+      settled.(v) <- true;
+      let relax e =
+        let w = dist e in
+        if w < 0.0 then invalid_arg "Dijkstra.run: negative net distance";
+        let cand = dv +. w in
+        Array.iter
+          (fun u ->
+            if (not settled.(u)) && cand < d.(u) then begin
+              d.(u) <- cand;
+              via.(u) <- e;
+              Heap.insert_or_decrease heap u cand
+            end)
+          (Netgraph.net_sinks g e)
+      in
+      Array.iter relax (Netgraph.out_nets g v)
+    end
+  done;
+  let seen = Hashtbl.create 16 in
+  let nets = ref [] in
+  for v = n - 1 downto 0 do
+    let e = via.(v) in
+    if e >= 0 && not (Hashtbl.mem seen e) then begin
+      Hashtbl.add seen e ();
+      nets := e :: !nets
+    end
+  done;
+  { dist = d; via; tree_nets = Array.of_list !nets }
+
+let path_to t g v =
+  if t.dist.(v) = infinity then raise Not_found;
+  let rec walk v acc =
+    let e = t.via.(v) in
+    if e < 0 then acc else walk (Netgraph.net_src g e) (e :: acc)
+  in
+  walk v []

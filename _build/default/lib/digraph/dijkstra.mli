@@ -1,0 +1,22 @@
+(** Single-source shortest paths over net distances (STEP 3.2 of the
+    modified [Saturate_Network], Table 3).
+
+    Traversing any branch of net [e] costs [dist e >= 0]. The result
+    records, for every reachable vertex, the net through which it was
+    settled; the set of those nets is the shortest-path tree whose flow
+    the saturation procedure increments. *)
+
+type tree = {
+  dist : float array;      (** vertex -> distance, [infinity] if unreachable *)
+  via : int array;         (** vertex -> settling net id, [-1] for the source
+                               and unreachable vertices *)
+  tree_nets : int array;   (** distinct nets of the shortest-path tree *)
+}
+
+val run : Netgraph.t -> dist:(int -> float) -> src:int -> tree
+(** Raises [Invalid_argument] if some net has a negative distance. *)
+
+val path_to : tree -> Netgraph.t -> int -> int list
+(** [path_to t g v] is the list of net ids on the tree path from the
+    source to [v], source side first. Raises [Not_found] when [v] is
+    unreachable. *)

@@ -1,0 +1,91 @@
+type t = {
+  keys : int array;           (* heap slot -> key *)
+  prios : float array;        (* heap slot -> priority *)
+  pos : int array;            (* key -> heap slot, or -1 when absent *)
+  mutable len : int;
+}
+
+let create capacity =
+  if capacity < 0 then invalid_arg "Heap.create: negative capacity";
+  {
+    keys = Array.make (max capacity 1) (-1);
+    prios = Array.make (max capacity 1) 0.0;
+    pos = Array.make (max capacity 1) (-1);
+    len = 0;
+  }
+
+let is_empty h = h.len = 0
+
+let size h = h.len
+
+let mem h k = k >= 0 && k < Array.length h.pos && h.pos.(k) >= 0
+
+let swap h i j =
+  let ki = h.keys.(i) and kj = h.keys.(j) in
+  h.keys.(i) <- kj;
+  h.keys.(j) <- ki;
+  let pi = h.prios.(i) in
+  h.prios.(i) <- h.prios.(j);
+  h.prios.(j) <- pi;
+  h.pos.(kj) <- i;
+  h.pos.(ki) <- j
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.prios.(parent) > h.prios.(i) then begin
+      swap h parent i;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.len && h.prios.(l) < h.prios.(!smallest) then smallest := l;
+  if r < h.len && h.prios.(r) < h.prios.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let insert h k p =
+  if k < 0 || k >= Array.length h.pos then invalid_arg "Heap.insert: key out of range";
+  if h.pos.(k) >= 0 then invalid_arg "Heap.insert: key already present";
+  let i = h.len in
+  h.keys.(i) <- k;
+  h.prios.(i) <- p;
+  h.pos.(k) <- i;
+  h.len <- h.len + 1;
+  sift_up h i
+
+let decrease h k p =
+  if not (mem h k) then invalid_arg "Heap.decrease: key absent";
+  let i = h.pos.(k) in
+  if p > h.prios.(i) then invalid_arg "Heap.decrease: priority increase";
+  h.prios.(i) <- p;
+  sift_up h i
+
+let insert_or_decrease h k p =
+  if mem h k then begin
+    if p < h.prios.(h.pos.(k)) then decrease h k p
+  end
+  else insert h k p
+
+let pop_min h =
+  if h.len = 0 then invalid_arg "Heap.pop_min: empty heap";
+  let k = h.keys.(0) and p = h.prios.(0) in
+  h.len <- h.len - 1;
+  if h.len > 0 then begin
+    let last = h.len in
+    h.keys.(0) <- h.keys.(last);
+    h.prios.(0) <- h.prios.(last);
+    h.pos.(h.keys.(0)) <- 0;
+    sift_down h 0
+  end;
+  h.pos.(k) <- -1;
+  (k, p)
+
+let priority h k =
+  if not (mem h k) then raise Not_found;
+  h.prios.(h.pos.(k))

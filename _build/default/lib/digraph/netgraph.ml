@@ -1,0 +1,155 @@
+type t = {
+  n : int;
+  mutable srcs : int array;          (* net id -> source vertex *)
+  mutable sinks : int array array;   (* net id -> sink vertices *)
+  mutable n_nets : int;
+  mutable out_idx : int array array; (* vertex -> outgoing net ids *)
+  mutable in_idx : int array array;  (* vertex -> incoming net ids *)
+  mutable frozen : bool;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Netgraph.create: negative size";
+  {
+    n;
+    srcs = Array.make 8 (-1);
+    sinks = Array.make 8 [||];
+    n_nets = 0;
+    out_idx = [||];
+    in_idx = [||];
+    frozen = false;
+  }
+
+let n_nodes g = g.n
+
+let n_nets g = g.n_nets
+
+let grow g =
+  let cap = Array.length g.srcs in
+  if g.n_nets >= cap then begin
+    let srcs = Array.make (2 * cap) (-1) in
+    Array.blit g.srcs 0 srcs 0 cap;
+    g.srcs <- srcs;
+    let sinks = Array.make (2 * cap) [||] in
+    Array.blit g.sinks 0 sinks 0 cap;
+    g.sinks <- sinks
+  end
+
+let add_net g ~src ~sinks =
+  if src < 0 || src >= g.n then invalid_arg "Netgraph.add_net: bad source";
+  if sinks = [] then invalid_arg "Netgraph.add_net: empty sink list";
+  let check v =
+    if v < 0 || v >= g.n then invalid_arg "Netgraph.add_net: bad sink"
+  in
+  List.iter check sinks;
+  grow g;
+  let id = g.n_nets in
+  g.srcs.(id) <- src;
+  g.sinks.(id) <- Array.of_list sinks;
+  g.n_nets <- g.n_nets + 1;
+  g.frozen <- false;
+  id
+
+let dedup_sorted a =
+  let m = Array.length a in
+  if m = 0 then a
+  else begin
+    Array.sort compare a;
+    let k = ref 1 in
+    for i = 1 to m - 1 do
+      if a.(i) <> a.(i - 1) then begin
+        a.(!k) <- a.(i);
+        incr k
+      end
+    done;
+    Array.sub a 0 !k
+  end
+
+let freeze g =
+  if not g.frozen then begin
+    let out_cnt = Array.make g.n 0 and in_cnt = Array.make g.n 0 in
+    for e = 0 to g.n_nets - 1 do
+      out_cnt.(g.srcs.(e)) <- out_cnt.(g.srcs.(e)) + 1;
+      let seen = Hashtbl.create 4 in
+      Array.iter
+        (fun v ->
+          if not (Hashtbl.mem seen v) then begin
+            Hashtbl.add seen v ();
+            in_cnt.(v) <- in_cnt.(v) + 1
+          end)
+        g.sinks.(e)
+    done;
+    let out_idx = Array.init g.n (fun v -> Array.make out_cnt.(v) 0) in
+    let in_idx = Array.init g.n (fun v -> Array.make in_cnt.(v) 0) in
+    let out_fill = Array.make g.n 0 and in_fill = Array.make g.n 0 in
+    for e = 0 to g.n_nets - 1 do
+      let s = g.srcs.(e) in
+      out_idx.(s).(out_fill.(s)) <- e;
+      out_fill.(s) <- out_fill.(s) + 1;
+      let seen = Hashtbl.create 4 in
+      Array.iter
+        (fun v ->
+          if not (Hashtbl.mem seen v) then begin
+            Hashtbl.add seen v ();
+            in_idx.(v).(in_fill.(v)) <- e;
+            in_fill.(v) <- in_fill.(v) + 1
+          end)
+        g.sinks.(e)
+    done;
+    g.out_idx <- out_idx;
+    g.in_idx <- in_idx;
+    g.frozen <- true
+  end
+
+let net_src g e =
+  if e < 0 || e >= g.n_nets then invalid_arg "Netgraph.net_src";
+  g.srcs.(e)
+
+let net_sinks g e =
+  if e < 0 || e >= g.n_nets then invalid_arg "Netgraph.net_sinks";
+  g.sinks.(e)
+
+let out_nets g v =
+  freeze g;
+  g.out_idx.(v)
+
+let in_nets g v =
+  freeze g;
+  g.in_idx.(v)
+
+let arcs g =
+  let acc = ref [] in
+  for e = g.n_nets - 1 downto 0 do
+    let s = g.srcs.(e) in
+    Array.iter (fun v -> acc := (s, v, e) :: !acc) g.sinks.(e)
+  done;
+  Array.of_list !acc
+
+let successors g v =
+  freeze g;
+  let acc = ref [] in
+  Array.iter
+    (fun e -> Array.iter (fun w -> acc := w :: !acc) g.sinks.(e))
+    g.out_idx.(v);
+  dedup_sorted (Array.of_list !acc)
+
+let predecessors g v =
+  freeze g;
+  let acc = ref [] in
+  Array.iter (fun e -> acc := g.srcs.(e) :: !acc) g.in_idx.(v);
+  dedup_sorted (Array.of_list !acc)
+
+let iter_nets g f =
+  for e = 0 to g.n_nets - 1 do
+    f e ~src:g.srcs.(e) ~sinks:g.sinks.(e)
+  done
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>graph: %d nodes, %d nets" g.n g.n_nets;
+  iter_nets g (fun e ~src ~sinks ->
+      Format.fprintf ppf "@,net %d: %d -> %a" e src
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           Format.pp_print_int)
+        (Array.to_list sinks));
+  Format.fprintf ppf "@]"

@@ -1,0 +1,54 @@
+(** Directed graph under the multi-pin net model of the paper (Sec. 2.1).
+
+    Vertices are integers [0 .. n_nodes-1] and stand for circuit modules
+    (combinational cells, registers, primary inputs). Each {e net} has a
+    single source vertex and one or more sink vertices: the multi-pin model
+    represents a fanout net as one edge with branches, so that cutting the
+    net severs the source from every sink and counts as a single cut.
+
+    The graph is built incrementally with [add_net] and then frozen by
+    [freeze]; all queries work on both states but are O(1) only after
+    freezing. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an empty graph on [n] vertices. *)
+
+val add_net : t -> src:int -> sinks:int list -> int
+(** [add_net g ~src ~sinks] records a net and returns its dense id.
+    Self-loop branches ([src] appearing in [sinks]) are allowed and
+    represent direct feedback. Raises [Invalid_argument] on vertex ids out
+    of range or an empty sink list. *)
+
+val freeze : t -> unit
+(** Build the incidence indexes. Implicitly called by accessors; adding a
+    net after freezing unfreezes the graph. *)
+
+val n_nodes : t -> int
+
+val n_nets : t -> int
+
+val net_src : t -> int -> int
+
+val net_sinks : t -> int -> int array
+
+val out_nets : t -> int -> int array
+(** Nets whose source is the given vertex. *)
+
+val in_nets : t -> int -> int array
+(** Nets having the given vertex among their sinks (each net listed once
+    even if the vertex appears as several sink pins). *)
+
+val arcs : t -> (int * int * int) array
+(** All (src, sink, net id) arcs, one per sink pin. *)
+
+val successors : t -> int -> int array
+(** Distinct sink vertices over all outgoing nets. *)
+
+val predecessors : t -> int -> int array
+(** Distinct source vertices over all incoming nets. *)
+
+val iter_nets : t -> (int -> src:int -> sinks:int array -> unit) -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,40 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+let copy g = { state = g.state }
+
+(* splitmix64: Steele, Lea & Flood, "Fast splittable pseudorandom number
+   generators", OOPSLA 2014. *)
+let next_int64 g =
+  let open Int64 in
+  g.state <- add g.state 0x9E3779B97F4A7C15L;
+  let z = g.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let mask = 0x3FFFFFFFFFFFFFFFL in
+  let v = Int64.to_int (Int64.logand (next_int64 g) mask) in
+  v mod bound
+
+let float g bound =
+  (* 53 high bits give a uniform float in [0,1). *)
+  let v = Int64.shift_right_logical (next_int64 g) 11 in
+  Int64.to_float v /. 9007199254740992.0 *. bound
+
+let bool g = Int64.logand (next_int64 g) 1L = 1L
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick g a =
+  if Array.length a = 0 then invalid_arg "Prng.pick: empty array";
+  a.(int g (Array.length a))

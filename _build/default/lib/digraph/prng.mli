@@ -1,0 +1,35 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    The probabilistic multicommodity-flow saturation of the paper needs a
+    reproducible random source so that experiments can be replayed exactly.
+    Splitmix64 is small, fast, and passes BigCrush for this use. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] makes an independent generator. Equal seeds give equal
+    streams. *)
+
+val copy : t -> t
+(** [copy g] duplicates the generator state; both copies then evolve
+    independently. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [0, bound). Raises [Invalid_argument] if
+    [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float g bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. Raises [Invalid_argument] on an
+    empty array. *)

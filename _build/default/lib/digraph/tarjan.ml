@@ -1,0 +1,105 @@
+type result = {
+  component : int array;
+  count : int;
+  members : int array array;
+}
+
+(* Iterative Tarjan: an explicit stack of (vertex, successor cursor) frames
+   avoids stack overflow on the deep netlists of the large benchmarks. *)
+let run g =
+  let n = Netgraph.n_nodes g in
+  Netgraph.freeze g;
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let component = Array.make n (-1) in
+  let comp_count = ref 0 in
+  let succs = Array.init n (fun v -> Netgraph.successors g v) in
+  let visit root =
+    let frames = ref [ (root, ref 0) ] in
+    index.(root) <- !next_index;
+    lowlink.(root) <- !next_index;
+    incr next_index;
+    stack := root :: !stack;
+    on_stack.(root) <- true;
+    while !frames <> [] do
+      match !frames with
+      | [] -> ()
+      | (v, cursor) :: rest ->
+        if !cursor < Array.length succs.(v) then begin
+          let w = succs.(v).(!cursor) in
+          incr cursor;
+          if index.(w) < 0 then begin
+            index.(w) <- !next_index;
+            lowlink.(w) <- !next_index;
+            incr next_index;
+            stack := w :: !stack;
+            on_stack.(w) <- true;
+            frames := (w, ref 0) :: !frames
+          end
+          else if on_stack.(w) then
+            lowlink.(v) <- min lowlink.(v) index.(w)
+        end
+        else begin
+          (* v is fully explored: maybe close a component, then pop. *)
+          if lowlink.(v) = index.(v) then begin
+            let continue = ref true in
+            while !continue do
+              match !stack with
+              | [] -> continue := false
+              | w :: tl ->
+                stack := tl;
+                on_stack.(w) <- false;
+                component.(w) <- !comp_count;
+                if w = v then continue := false
+            done;
+            incr comp_count
+          end;
+          frames := rest;
+          (match rest with
+           | (parent, _) :: _ ->
+             lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
+           | [] -> ())
+        end
+    done
+  in
+  for v = 0 to n - 1 do
+    if index.(v) < 0 then visit v
+  done;
+  let counts = Array.make !comp_count 0 in
+  Array.iter (fun c -> counts.(c) <- counts.(c) + 1) component;
+  let members = Array.init !comp_count (fun c -> Array.make counts.(c) 0) in
+  let fill = Array.make !comp_count 0 in
+  for v = 0 to n - 1 do
+    let c = component.(v) in
+    members.(c).(fill.(c)) <- v;
+    fill.(c) <- fill.(c) + 1
+  done;
+  { component; count = !comp_count; members }
+
+let has_self_loop g v =
+  Array.exists
+    (fun e -> Array.exists (fun w -> w = v) (Netgraph.net_sinks g e))
+    (Netgraph.out_nets g v)
+
+let is_trivial r g c =
+  match r.members.(c) with
+  | [| v |] -> not (has_self_loop g v)
+  | _ -> false
+
+let nontrivial r g =
+  let acc = ref [] in
+  for c = r.count - 1 downto 0 do
+    if not (is_trivial r g c) then acc := c :: !acc
+  done;
+  !acc
+
+let net_internal r g e =
+  let src = Netgraph.net_src g e in
+  let c = r.component.(src) in
+  if is_trivial r g c then None
+  else if Array.exists (fun v -> r.component.(v) = c) (Netgraph.net_sinks g e)
+  then Some c
+  else None

@@ -1,0 +1,80 @@
+let bfs neighbours n from =
+  let seen = Array.make n false in
+  let queue = Queue.create () in
+  List.iter
+    (fun v ->
+      if v < 0 || v >= n then invalid_arg "Traverse: seed out of range";
+      if not seen.(v) then begin
+        seen.(v) <- true;
+        Queue.add v queue
+      end)
+    from;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    Array.iter
+      (fun w ->
+        if not seen.(w) then begin
+          seen.(w) <- true;
+          Queue.add w queue
+        end)
+      (neighbours v)
+  done;
+  seen
+
+let reachable g ~from =
+  bfs (fun v -> Netgraph.successors g v) (Netgraph.n_nodes g) from
+
+let co_reachable g ~from =
+  bfs (fun v -> Netgraph.predecessors g v) (Netgraph.n_nodes g) from
+
+let in_degrees g =
+  let n = Netgraph.n_nodes g in
+  let deg = Array.make n 0 in
+  Netgraph.iter_nets g (fun _ ~src:_ ~sinks ->
+      Array.iter (fun v -> deg.(v) <- deg.(v) + 1) sinks);
+  deg
+
+(* Kahn's algorithm over arcs (each sink pin counts separately). *)
+let topological g =
+  let n = Netgraph.n_nodes g in
+  Netgraph.freeze g;
+  let deg = in_degrees g in
+  let queue = Queue.create () in
+  for v = 0 to n - 1 do
+    if deg.(v) = 0 then Queue.add v queue
+  done;
+  let order = Array.make n (-1) in
+  let filled = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    order.(!filled) <- v;
+    incr filled;
+    Array.iter
+      (fun e ->
+        Array.iter
+          (fun w ->
+            deg.(w) <- deg.(w) - 1;
+            if deg.(w) = 0 then Queue.add w queue)
+          (Netgraph.net_sinks g e))
+      (Netgraph.out_nets g v)
+  done;
+  if !filled = n then Some order else None
+
+let longest_path_levels g ~roots =
+  let n = Netgraph.n_nodes g in
+  let level = Array.make n (-1) in
+  List.iter (fun v -> level.(v) <- 0) roots;
+  match topological g with
+  | None -> level
+  | Some order ->
+    Array.iter
+      (fun v ->
+        if level.(v) >= 0 then
+          Array.iter
+            (fun e ->
+              Array.iter
+                (fun w -> if level.(w) < level.(v) + 1 then level.(w) <- level.(v) + 1)
+                (Netgraph.net_sinks g e))
+            (Netgraph.out_nets g v))
+      order;
+    level

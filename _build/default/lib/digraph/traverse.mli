@@ -1,0 +1,18 @@
+(** Depth-first traversal utilities used across the compiler. *)
+
+val reachable : Netgraph.t -> from:int list -> bool array
+(** Vertices reachable (following net direction) from any seed. Seeds are
+    themselves reachable. *)
+
+val co_reachable : Netgraph.t -> from:int list -> bool array
+(** Vertices from which some seed can be reached (reverse reachability). *)
+
+val topological : Netgraph.t -> int array option
+(** [Some order] listing all vertices so that every net goes forward, or
+    [None] when the graph has a cycle. *)
+
+val longest_path_levels : Netgraph.t -> roots:int list -> int array
+(** For an acyclic traversal from [roots]: level of each vertex = length
+    of the longest net path from a root (roots have level 0, vertices
+    unreachable from the roots have level -1). Behaviour is unspecified on
+    cyclic graphs; use after checking [topological]. *)

@@ -1,0 +1,38 @@
+type t = { parent : int array; rank : int array }
+
+let create n = { parent = Array.init n (fun i -> i); rank = Array.make n 0 }
+
+let rec find t x =
+  let p = t.parent.(x) in
+  if p = x then x
+  else begin
+    let root = find t p in
+    t.parent.(x) <- root;
+    root
+  end
+
+let union t x y =
+  let rx = find t x and ry = find t y in
+  if rx <> ry then begin
+    if t.rank.(rx) < t.rank.(ry) then t.parent.(rx) <- ry
+    else if t.rank.(rx) > t.rank.(ry) then t.parent.(ry) <- rx
+    else begin
+      t.parent.(ry) <- rx;
+      t.rank.(rx) <- t.rank.(rx) + 1
+    end
+  end
+
+let same t x y = find t x = find t y
+
+let groups t =
+  let n = Array.length t.parent in
+  let by_root = Hashtbl.create 16 in
+  for x = n - 1 downto 0 do
+    let r = find t x in
+    let cur = try Hashtbl.find by_root r with Not_found -> [] in
+    Hashtbl.replace by_root r (x :: cur)
+  done;
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) by_root [] in
+  let keys = List.sort compare keys in
+  Array.of_list
+    (List.map (fun k -> Array.of_list (Hashtbl.find by_root k)) keys)

@@ -1,0 +1,16 @@
+(** Disjoint-set forest with union by rank and path compression. *)
+
+type t
+
+val create : int -> t
+
+val find : t -> int -> int
+(** Canonical representative of the element's set. *)
+
+val union : t -> int -> int -> unit
+
+val same : t -> int -> int -> bool
+
+val groups : t -> int array array
+(** Current partition as arrays of members; group order is by smallest
+    member. *)

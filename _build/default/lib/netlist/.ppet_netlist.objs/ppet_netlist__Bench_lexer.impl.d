@@ -1,0 +1,1 @@
+lib/netlist/bench_lexer.ml: Circuit Printf String

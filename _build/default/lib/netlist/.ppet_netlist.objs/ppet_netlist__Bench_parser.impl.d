@@ -1,0 +1,1 @@
+lib/netlist/bench_parser.ml: Bench_lexer Circuit Filename Gate List Printf String

@@ -1,0 +1,1 @@
+lib/netlist/bench_writer.ml: Array Buffer Circuit Gate List Printf String

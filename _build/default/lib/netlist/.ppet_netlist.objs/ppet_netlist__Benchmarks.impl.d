@@ -1,0 +1,1 @@
+lib/netlist/benchmarks.ml: Circuit Generator Hashtbl List String

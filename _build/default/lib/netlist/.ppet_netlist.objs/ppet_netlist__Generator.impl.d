@@ -1,0 +1,1 @@
+lib/netlist/generator.ml: Array Char Circuit Gate Hashtbl Int64 List Ppet_digraph Printf Queue String

@@ -1,0 +1,1 @@
+lib/netlist/s27.mli: Circuit

@@ -1,0 +1,1 @@
+lib/netlist/segment.ml: Array Circuit Format Gate Hashtbl List Seq String

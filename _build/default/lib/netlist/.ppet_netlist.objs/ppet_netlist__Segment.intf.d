@@ -1,0 +1,1 @@
+lib/netlist/segment.mli: Circuit Format

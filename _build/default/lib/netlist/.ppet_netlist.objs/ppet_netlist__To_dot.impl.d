@@ -1,0 +1,1 @@
+lib/netlist/to_dot.ml: Array Buffer Circuit Gate Hashtbl List Printf String

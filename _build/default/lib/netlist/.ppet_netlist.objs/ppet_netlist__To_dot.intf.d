@@ -1,0 +1,1 @@
+lib/netlist/to_dot.mli: Circuit

@@ -1,0 +1,1 @@
+lib/netlist/to_graph.ml: Array Circuit Ppet_digraph

@@ -1,0 +1,1 @@
+lib/netlist/to_graph.mli: Circuit Ppet_digraph

@@ -1,0 +1,88 @@
+type token =
+  | Ident of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Equal
+  | Eof
+
+type t = {
+  file : string;
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable lookahead : token option;
+}
+
+let of_string ?(file = "<string>") src =
+  { file; src; pos = 0; line = 1; lookahead = None }
+
+let is_ident_char c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> true
+  | '_' | '.' | '[' | ']' | '/' | '$' | '-' -> true
+  | _ -> false
+
+let rec skip_blank t =
+  if t.pos < String.length t.src then
+    match t.src.[t.pos] with
+    | ' ' | '\t' | '\r' ->
+      t.pos <- t.pos + 1;
+      skip_blank t
+    | '\n' ->
+      t.pos <- t.pos + 1;
+      t.line <- t.line + 1;
+      skip_blank t
+    | '#' ->
+      while t.pos < String.length t.src && t.src.[t.pos] <> '\n' do
+        t.pos <- t.pos + 1
+      done;
+      skip_blank t
+    | _ -> ()
+
+let lex t =
+  skip_blank t;
+  if t.pos >= String.length t.src then Eof
+  else
+    match t.src.[t.pos] with
+    | '(' ->
+      t.pos <- t.pos + 1;
+      Lparen
+    | ')' ->
+      t.pos <- t.pos + 1;
+      Rparen
+    | ',' ->
+      t.pos <- t.pos + 1;
+      Comma
+    | '=' ->
+      t.pos <- t.pos + 1;
+      Equal
+    | c when is_ident_char c ->
+      let start = t.pos in
+      while t.pos < String.length t.src && is_ident_char t.src.[t.pos] do
+        t.pos <- t.pos + 1
+      done;
+      Ident (String.sub t.src start (t.pos - start))
+    | c ->
+      raise
+        (Circuit.Error
+           (Printf.sprintf "%s:%d: illegal character %C" t.file t.line c))
+
+let next t =
+  match t.lookahead with
+  | Some tok ->
+    t.lookahead <- None;
+    tok
+  | None -> lex t
+
+let peek t =
+  match t.lookahead with
+  | Some tok -> tok
+  | None ->
+    let tok = lex t in
+    t.lookahead <- Some tok;
+    tok
+
+let position t =
+  skip_blank t;
+  Printf.sprintf "%s:%d" t.file t.line

@@ -1,0 +1,29 @@
+(** Handwritten lexer for the ISCAS89 [.bench] netlist format.
+
+    Tokens: identifiers (signal and gate names, including digits, '_',
+    '.', '[', ']', '/', '$'), punctuation ['('], [')'], [','], ['='], and
+    end-of-file. ['#'] starts a comment running to end of line.
+    Whitespace and newlines are insignificant except for terminating
+    comments. Positions are tracked for error reporting. *)
+
+type token =
+  | Ident of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Equal
+  | Eof
+
+type t
+
+val of_string : ?file:string -> string -> t
+
+val next : t -> token
+(** Consume and return the next token.
+    Raises [Circuit.Error] on an illegal character. *)
+
+val peek : t -> token
+(** Look at the next token without consuming it. *)
+
+val position : t -> string
+(** Human-readable "file:line" of the token about to be read. *)

@@ -1,0 +1,77 @@
+let fail lexer fmt =
+  Printf.ksprintf
+    (fun msg ->
+      raise (Circuit.Error (Printf.sprintf "%s: %s" (Bench_lexer.position lexer) msg)))
+    fmt
+
+let expect lexer tok what =
+  let got = Bench_lexer.next lexer in
+  if got <> tok then fail lexer "expected %s" what
+
+let ident lexer what =
+  match Bench_lexer.next lexer with
+  | Bench_lexer.Ident s -> s
+  | Bench_lexer.Lparen | Bench_lexer.Rparen | Bench_lexer.Comma
+  | Bench_lexer.Equal | Bench_lexer.Eof ->
+    fail lexer "expected %s" what
+
+let parse_paren_name lexer =
+  expect lexer Bench_lexer.Lparen "'('";
+  let name = ident lexer "a signal name" in
+  expect lexer Bench_lexer.Rparen "')'";
+  name
+
+let parse_fanins lexer =
+  expect lexer Bench_lexer.Lparen "'('";
+  let rec more acc =
+    match Bench_lexer.next lexer with
+    | Bench_lexer.Comma -> more (ident lexer "a signal name" :: acc)
+    | Bench_lexer.Rparen -> List.rev acc
+    | Bench_lexer.Ident _ | Bench_lexer.Lparen | Bench_lexer.Equal
+    | Bench_lexer.Eof ->
+      fail lexer "expected ',' or ')' in fan-in list"
+  in
+  more [ ident lexer "a signal name" ]
+
+let parse_string ?(title = "bench") ?file src =
+  let lexer = Bench_lexer.of_string ?file src in
+  let builder = Circuit.Builder.create title in
+  let rec stmt () =
+    match Bench_lexer.next lexer with
+    | Bench_lexer.Eof -> ()
+    | Bench_lexer.Ident kw when String.uppercase_ascii kw = "INPUT" ->
+      Circuit.Builder.add_input builder (parse_paren_name lexer);
+      stmt ()
+    | Bench_lexer.Ident kw when String.uppercase_ascii kw = "OUTPUT" ->
+      Circuit.Builder.add_output builder (parse_paren_name lexer);
+      stmt ()
+    | Bench_lexer.Ident lhs ->
+      expect lexer Bench_lexer.Equal "'='";
+      let gate_name = ident lexer "a gate type" in
+      (match Gate.of_name gate_name with
+       | None -> fail lexer "unknown gate type %S" gate_name
+       | Some kind ->
+         let fanins = parse_fanins lexer in
+         Circuit.Builder.add_gate builder ~name:lhs ~kind ~fanins;
+         stmt ())
+    | Bench_lexer.Lparen | Bench_lexer.Rparen | Bench_lexer.Comma
+    | Bench_lexer.Equal ->
+      fail lexer "expected a statement"
+  in
+  stmt ();
+  Circuit.Builder.finish builder
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let src =
+    try
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      s
+    with e ->
+      close_in_noerr ic;
+      raise e
+  in
+  let title = Filename.remove_extension (Filename.basename path) in
+  parse_string ~title ~file:path src

@@ -1,0 +1,21 @@
+(** Recursive-descent parser for ISCAS89 [.bench] netlists.
+
+    Grammar (newline-insensitive):
+    {v
+      file  ::= stmt* EOF
+      stmt  ::= "INPUT"  "(" ident ")"
+              | "OUTPUT" "(" ident ")"
+              | ident "=" gate "(" ident ("," ident)* ")"
+      gate  ::= AND | NAND | OR | NOR | XOR | XNOR | NOT | BUF(F) | DFF
+    v}
+
+    Signals may be referenced before they are defined, as in the MCNC
+    distribution files. *)
+
+val parse_string : ?title:string -> ?file:string -> string -> Circuit.t
+(** Raises [Circuit.Error] with position information on syntax errors and
+    on any inconsistency caught by {!Circuit.Builder.finish}. *)
+
+val parse_file : string -> Circuit.t
+(** Reads and parses the file; the circuit title is the file base name
+    without extension. *)

@@ -1,0 +1,33 @@
+let to_string (c : Circuit.t) =
+  let buf = Buffer.create 4096 in
+  Printf.bprintf buf "# %s\n" c.Circuit.title;
+  Array.iter
+    (fun id ->
+      Printf.bprintf buf "INPUT(%s)\n" (Circuit.node c id).Circuit.name)
+    c.Circuit.inputs;
+  Array.iter
+    (fun id ->
+      Printf.bprintf buf "OUTPUT(%s)\n" (Circuit.node c id).Circuit.name)
+    c.Circuit.outputs;
+  Array.iter
+    (fun nd ->
+      match nd.Circuit.kind with
+      | Gate.Input -> ()
+      | Gate.Buff | Gate.Not | Gate.And | Gate.Nand | Gate.Or | Gate.Nor
+      | Gate.Xor | Gate.Xnor | Gate.Dff ->
+        Printf.bprintf buf "%s = %s(%s)\n" nd.Circuit.name
+          (Gate.name nd.Circuit.kind)
+          (String.concat ", "
+             (List.map
+                (fun f -> (Circuit.node c f).Circuit.name)
+                (Array.to_list nd.Circuit.fanins))))
+    c.Circuit.nodes;
+  Buffer.contents buf
+
+let to_file path c =
+  let oc = open_out path in
+  (try output_string oc (to_string c)
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc

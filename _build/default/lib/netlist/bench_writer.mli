@@ -1,0 +1,9 @@
+(** Emit a circuit back to the ISCAS89 [.bench] format.
+
+    [parse_string (to_string c)] reproduces [c] up to node numbering, so
+    circuits built programmatically (e.g. by the synthetic generator) can
+    be saved and re-read. *)
+
+val to_string : Circuit.t -> string
+
+val to_file : string -> Circuit.t -> unit

@@ -1,0 +1,70 @@
+type entry = {
+  profile : Generator.profile;
+  paper_area : float;
+  paper_dff_on_scc : int;
+  in_table11 : bool;
+}
+
+let mk name n_pi n_dff n_gates n_inv area dff_on_scc in_table11 =
+  {
+    profile =
+      {
+        Generator.name;
+        n_pi;
+        n_dff;
+        n_gates;
+        n_inv;
+        dff_on_scc;
+        area_target = Some area;
+      };
+    paper_area = area;
+    paper_dff_on_scc = dff_on_scc;
+    in_table11;
+  }
+
+(* Columns: name, PIs, DFFs, gates, INVs, area (Table 9);
+   DFFs-on-SCC (Table 10); present in Table 11. *)
+let all =
+  [
+    mk "s510" 19 6 179 32 547. 6 false;
+    mk "s420.1" 18 16 140 78 620. 16 false;
+    mk "s641" 35 19 107 272 832. 15 true;
+    mk "s713" 35 19 139 254 892. 15 true;
+    mk "s820" 18 5 256 33 943. 5 false;
+    mk "s832" 18 5 262 25 961. 5 false;
+    mk "s838.1" 34 32 288 158 1268. 32 false;
+    mk "s1423" 17 74 490 167 2238. 71 false;
+    mk "s5378" 35 179 1004 1775 6241. 124 true;
+    mk "s9234.1" 36 211 2027 3570 11467. 172 true;
+    mk "s9234" 19 228 2027 3570 11637. 173 false;
+    mk "s13207.1" 62 638 2573 5378 19171. 462 true;
+    mk "s13207" 31 669 2573 5378 19476. 463 true;
+    mk "s15850.1" 77 534 3448 6324 21305. 487 true;
+    mk "s35932" 35 1728 12204 3861 50625. 1728 true;
+    mk "s38417" 28 1636 8709 13470 52768. 1166 true;
+    mk "s38584.1" 38 1426 11448 7805 55147. 1424 true;
+  ]
+
+let find name =
+  match List.find_opt (fun e -> String.equal e.profile.Generator.name name) all with
+  | Some e -> e
+  | None -> raise Not_found
+
+let names = List.map (fun e -> e.profile.Generator.name) all
+
+let cache : (string * int64, Circuit.t) Hashtbl.t = Hashtbl.create 17
+
+let circuit ?(seed = 0x5EEDL) name =
+  match Hashtbl.find_opt cache (name, seed) with
+  | Some c -> c
+  | None ->
+    let e = find name in
+    let c = Generator.generate ~seed e.profile in
+    Hashtbl.replace cache (name, seed) c;
+    c
+
+let small =
+  List.filter_map
+    (fun e ->
+      if e.paper_area < 3000. then Some e.profile.Generator.name else None)
+    all

@@ -1,0 +1,30 @@
+(** Registry of the seventeen ISCAS89 benchmark profiles used in the
+    paper's evaluation (Table 9), with the feedback density implied by
+    the "DFFs on SCC" column of Table 10.
+
+    The circuits themselves are synthesized by {!Generator} (see
+    DESIGN.md, substitution 1); their published statistics — PI, DFF,
+    gate and inverter counts and the estimated area — are reproduced
+    exactly or near-exactly. *)
+
+type entry = {
+  profile : Generator.profile;
+  paper_area : float;          (** Table 9 "Estimated Area" *)
+  paper_dff_on_scc : int;      (** Table 10 "DFFs on SCC" *)
+  in_table11 : bool;           (** whether the paper ran it at l_k = 24 *)
+}
+
+val all : entry list
+(** All seventeen, in Table 9 order (small to large). *)
+
+val find : string -> entry
+(** Lookup by circuit name, e.g. ["s5378"]. Raises [Not_found]. *)
+
+val names : string list
+
+val circuit : ?seed:int64 -> string -> Circuit.t
+(** Generate the synthetic stand-in for the named benchmark. Results are
+    cached per (name, seed): repeated calls return the same value. *)
+
+val small : string list
+(** Names of circuits below 3000 area units — convenient for tests. *)

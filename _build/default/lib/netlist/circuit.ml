@@ -1,0 +1,192 @@
+type node = {
+  id : int;
+  name : string;
+  kind : Gate.kind;
+  fanins : int array;
+}
+
+type t = {
+  title : string;
+  nodes : node array;
+  inputs : int array;
+  outputs : int array;
+  fanouts : int array array;
+}
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+(* Combinational levelization; also detects combinational cycles. DFFs and
+   PIs are sources at level 0; a DFF's data input never propagates a level
+   because the register breaks the timing path. *)
+let compute_levels nodes =
+  let n = Array.length nodes in
+  let level = Array.make n (-1) in
+  let visiting = Array.make n false in
+  let rec visit id =
+    if level.(id) >= 0 then level.(id)
+    else begin
+      let nd = nodes.(id) in
+      match nd.kind with
+      | Gate.Input | Gate.Dff ->
+        level.(id) <- 0;
+        0
+      | Gate.Buff | Gate.Not | Gate.And | Gate.Nand | Gate.Or | Gate.Nor
+      | Gate.Xor | Gate.Xnor ->
+        if visiting.(id) then
+          error "combinational cycle through signal %S" nd.name;
+        visiting.(id) <- true;
+        let deepest = Array.fold_left (fun acc f -> max acc (visit f)) 0 nd.fanins in
+        visiting.(id) <- false;
+        level.(id) <- deepest + 1;
+        deepest + 1
+    end
+  in
+  for id = 0 to n - 1 do
+    ignore (visit id)
+  done;
+  level
+
+module Builder = struct
+  type pending = {
+    p_name : string;
+    p_kind : Gate.kind;
+    p_fanins : string list;
+  }
+
+  type t = {
+    b_title : string;
+    mutable rev_pending : pending list;
+    mutable rev_outputs : string list;
+    defined : (string, unit) Hashtbl.t;
+  }
+
+  let create title =
+    { b_title = title; rev_pending = []; rev_outputs = []; defined = Hashtbl.create 64 }
+
+  let define b name =
+    if Hashtbl.mem b.defined name then error "duplicate definition of signal %S" name;
+    Hashtbl.add b.defined name ()
+
+  let add_input b name =
+    define b name;
+    b.rev_pending <- { p_name = name; p_kind = Gate.Input; p_fanins = [] } :: b.rev_pending
+
+  let add_output b name = b.rev_outputs <- name :: b.rev_outputs
+
+  let add_gate b ~name ~kind ~fanins =
+    (match kind with
+     | Gate.Input -> error "signal %S: use add_input for primary inputs" name
+     | Gate.Buff | Gate.Not | Gate.And | Gate.Nand | Gate.Or | Gate.Nor
+     | Gate.Xor | Gate.Xnor | Gate.Dff -> ());
+    define b name;
+    b.rev_pending <- { p_name = name; p_kind = kind; p_fanins = fanins } :: b.rev_pending
+
+  let finish b =
+    let pendings = Array.of_list (List.rev b.rev_pending) in
+    let n = Array.length pendings in
+    if n = 0 then error "empty circuit %S" b.b_title;
+    let by_name = Hashtbl.create (2 * n) in
+    Array.iteri (fun id p -> Hashtbl.replace by_name p.p_name id) pendings;
+    let resolve ctx name =
+      match Hashtbl.find_opt by_name name with
+      | Some id -> id
+      | None -> error "%s references undefined signal %S" ctx name
+    in
+    let nodes =
+      Array.mapi
+        (fun id p ->
+          let fanins =
+            Array.of_list
+              (List.map (resolve (Printf.sprintf "gate %S" p.p_name)) p.p_fanins)
+          in
+          if not (Gate.arity_ok p.p_kind (Array.length fanins)) then
+            error "gate %S: %s cannot take %d inputs" p.p_name
+              (Gate.name p.p_kind) (Array.length fanins);
+          { id; name = p.p_name; kind = p.p_kind; fanins })
+        pendings
+    in
+    let inputs =
+      Array.of_list
+        (List.filter_map
+           (fun nd -> if nd.kind = Gate.Input then Some nd.id else None)
+           (Array.to_list nodes))
+    in
+    let has_dff = Array.exists (fun nd -> nd.kind = Gate.Dff) nodes in
+    if Array.length inputs = 0 && not has_dff then
+      error "circuit %S has neither primary inputs nor flip-flops" b.b_title;
+    let outputs =
+      Array.of_list
+        (List.rev_map (resolve "primary output list") b.rev_outputs)
+    in
+    let fanout_count = Array.make n 0 in
+    Array.iter
+      (fun nd ->
+        Array.iter (fun f -> fanout_count.(f) <- fanout_count.(f) + 1) nd.fanins)
+      nodes;
+    let fanouts = Array.init n (fun id -> Array.make fanout_count.(id) 0) in
+    let fill = Array.make n 0 in
+    Array.iter
+      (fun nd ->
+        Array.iter
+          (fun f ->
+            fanouts.(f).(fill.(f)) <- nd.id;
+            fill.(f) <- fill.(f) + 1)
+          nd.fanins)
+      nodes;
+    let c = { title = b.b_title; nodes; inputs; outputs; fanouts } in
+    ignore (compute_levels nodes);
+    c
+end
+
+let find c name =
+  let n = Array.length c.nodes in
+  let rec loop i =
+    if i >= n then raise Not_found
+    else if String.equal c.nodes.(i).name name then i
+    else loop (i + 1)
+  in
+  loop 0
+
+let node c id = c.nodes.(id)
+
+let size c = Array.length c.nodes
+
+let ids_of_kind pred c =
+  Array.of_list
+    (List.filter_map
+       (fun nd -> if pred nd.kind then Some nd.id else None)
+       (Array.to_list c.nodes))
+
+let dffs = ids_of_kind (fun k -> k = Gate.Dff)
+
+let combinational =
+  ids_of_kind (fun k ->
+      match k with
+      | Gate.Input | Gate.Dff -> false
+      | Gate.Buff | Gate.Not | Gate.And | Gate.Nand | Gate.Or | Gate.Nor
+      | Gate.Xor | Gate.Xnor -> true)
+
+let is_po c id = Array.exists (fun o -> o = id) c.outputs
+
+let area c =
+  Array.fold_left
+    (fun acc nd -> acc +. Gate.area nd.kind (Array.length nd.fanins))
+    0.0 c.nodes
+
+let levels c = compute_levels c.nodes
+
+let pp ppf c =
+  Format.fprintf ppf "@[<v>circuit %S: %d nodes (%d PI, %d DFF, %d PO)"
+    c.title (size c)
+    (Array.length c.inputs)
+    (Array.length (dffs c))
+    (Array.length c.outputs);
+  Array.iter
+    (fun nd ->
+      Format.fprintf ppf "@,%s = %s(%s)" nd.name (Gate.name nd.kind)
+        (String.concat ", "
+           (List.map (fun f -> c.nodes.(f).name) (Array.to_list nd.fanins))))
+    c.nodes;
+  Format.fprintf ppf "@]"

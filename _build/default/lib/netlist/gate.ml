@@ -1,0 +1,103 @@
+type kind =
+  | Input
+  | Buff
+  | Not
+  | And
+  | Nand
+  | Or
+  | Nor
+  | Xor
+  | Xnor
+  | Dff
+
+let all = [ Input; Buff; Not; And; Nand; Or; Nor; Xor; Xnor; Dff ]
+
+let name = function
+  | Input -> "INPUT"
+  | Buff -> "BUFF"
+  | Not -> "NOT"
+  | And -> "AND"
+  | Nand -> "NAND"
+  | Or -> "OR"
+  | Nor -> "NOR"
+  | Xor -> "XOR"
+  | Xnor -> "XNOR"
+  | Dff -> "DFF"
+
+let of_name s =
+  match String.uppercase_ascii s with
+  | "BUFF" | "BUF" -> Some Buff
+  | "NOT" | "INV" -> Some Not
+  | "AND" -> Some And
+  | "NAND" -> Some Nand
+  | "OR" -> Some Or
+  | "NOR" -> Some Nor
+  | "XOR" -> Some Xor
+  | "XNOR" -> Some Xnor
+  | "DFF" -> Some Dff
+  | _ -> None
+
+let arity_ok k n =
+  match k with
+  | Input -> n = 0
+  | Buff | Not | Dff -> n = 1
+  | And | Nand | Or | Nor | Xor | Xnor -> n >= 2
+
+let base_area = function
+  | Input -> 0.0
+  | Buff | Not -> 1.0
+  | And | Or -> 3.0
+  | Nand | Nor -> 2.0
+  | Xor | Xnor -> 4.0
+  | Dff -> 10.0
+
+let area k n_inputs =
+  if not (arity_ok k n_inputs) then
+    invalid_arg
+      (Printf.sprintf "Gate.area: %s cannot take %d inputs" (name k) n_inputs);
+  base_area k +. float_of_int (max 0 (n_inputs - 2))
+
+let dff_area = 10.0
+
+let mux2_area = 3.0
+
+let is_sequential = function
+  | Dff -> true
+  | Input | Buff | Not | And | Nand | Or | Nor | Xor | Xnor -> false
+
+let eval k ins =
+  let fold_and () = Array.for_all (fun b -> b) ins in
+  let fold_or () = Array.exists (fun b -> b) ins in
+  let fold_xor () = Array.fold_left (fun acc b -> acc <> b) false ins in
+  match k with
+  | Buff -> ins.(0)
+  | Not -> not ins.(0)
+  | And -> fold_and ()
+  | Nand -> not (fold_and ())
+  | Or -> fold_or ()
+  | Nor -> not (fold_or ())
+  | Xor -> fold_xor ()
+  | Xnor -> not (fold_xor ())
+  | Input | Dff -> invalid_arg "Gate.eval: not a combinational gate"
+
+(* OCaml native ints carry 63 bits on 64-bit platforms; we use 62 of them
+   (max_int = 2^62 - 1) so the mask is a plain positive constant. *)
+let word_mask = max_int
+
+let bits_per_word = 62
+
+let eval_word k ins =
+  let fold f init = Array.fold_left f init ins in
+  let v =
+    match k with
+    | Buff -> ins.(0)
+    | Not -> lnot ins.(0)
+    | And -> fold ( land ) word_mask
+    | Nand -> lnot (fold ( land ) word_mask)
+    | Or -> fold ( lor ) 0
+    | Nor -> lnot (fold ( lor ) 0)
+    | Xor -> fold ( lxor ) 0
+    | Xnor -> lnot (fold ( lxor ) 0)
+    | Input | Dff -> invalid_arg "Gate.eval_word: not a combinational gate"
+  in
+  v land word_mask

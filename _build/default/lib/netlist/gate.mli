@@ -1,0 +1,56 @@
+(** Gate vocabulary and the CMOS area model of the paper (Sec. 4, ref [14]).
+
+    Area units: 1 per inverter/buffer, 3 per 2-input AND or OR, 2 per
+    2-input NAND or NOR, 4 per 2-input XOR or XNOR, 10 per D flip-flop, and
+    1 extra unit per input beyond two on multi-input gates. A 2-to-1
+    multiplexer costs 3 units (Fig. 3c). *)
+
+type kind =
+  | Input   (** primary input *)
+  | Buff
+  | Not
+  | And
+  | Nand
+  | Or
+  | Nor
+  | Xor
+  | Xnor
+  | Dff     (** D flip-flop, single data input *)
+
+val all : kind list
+
+val name : kind -> string
+(** Canonical ISCAS89 spelling, e.g. ["NAND"], ["DFF"]. *)
+
+val of_name : string -> kind option
+(** Case-insensitive parse of the ISCAS89 spelling ([BUF] and [BUFF] both
+    accepted). [Input] has no spelling and yields [None]. *)
+
+val arity_ok : kind -> int -> bool
+(** Whether a gate of this kind may take the given number of inputs:
+    0 for [Input]; exactly 1 for [Buff], [Not], [Dff]; 2 or more for the
+    rest. *)
+
+val area : kind -> int -> float
+(** [area k n_inputs] in the paper's units, including the +1 per input
+    beyond two. Raises [Invalid_argument] when the arity is not allowed. *)
+
+val dff_area : float
+(** 10.0 — the reference unit for relative test-hardware costs. *)
+
+val mux2_area : float
+(** 3.0 — 2-to-1 multiplexer (Fig. 3c). *)
+
+val is_sequential : kind -> bool
+
+val eval : kind -> bool array -> bool
+(** Combinational evaluation; [Dff] and [Input] are not evaluable and
+    raise [Invalid_argument]. *)
+
+val bits_per_word : int
+(** Number of patterns packed per native word (62 on 64-bit hosts). *)
+
+val eval_word : kind -> int array -> int
+(** Bit-parallel evaluation over [bits_per_word]-bit words (the simulator
+    packs that many patterns per word). Same domain restrictions as
+    {!eval}. *)

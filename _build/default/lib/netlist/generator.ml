@@ -1,0 +1,409 @@
+module Prng = Ppet_digraph.Prng
+
+type profile = {
+  name : string;
+  n_pi : int;
+  n_dff : int;
+  n_gates : int;
+  n_inv : int;
+  dff_on_scc : int;
+  area_target : float option;
+}
+
+(* A published signal: its name, combinational depth (for bounding the
+   logic depth of the result) and how many readers it has so far (to bias
+   fan-in choices toward unconsumed signals). *)
+type signal = {
+  s_name : string;
+  s_depth : int;
+  mutable s_uses : int;
+}
+
+type vec = { mutable data : signal array; mutable len : int }
+
+let vec_create () = { data = Array.make 16 { s_name = ""; s_depth = 0; s_uses = 0 }; len = 0 }
+
+let vec_push v s =
+  if v.len >= Array.length v.data then begin
+    let bigger = Array.make (2 * Array.length v.data) s in
+    Array.blit v.data 0 bigger 0 v.len;
+    v.data <- bigger
+  end;
+  v.data.(v.len) <- s;
+  v.len <- v.len + 1
+
+let vec_get v i = v.data.(i)
+
+let depth_cap = 48
+
+(* Candidate (kind, extra inputs beyond 2, area) choices for non-inverter
+   gates; the generator walks this list to keep the running estimated area
+   close to the published Table 9 value. *)
+let gate_menu =
+  [|
+    (Gate.Nand, 0, 2.0);
+    (Gate.Nor, 0, 2.0);
+    (Gate.And, 0, 3.0);
+    (Gate.Or, 0, 3.0);
+    (Gate.Nand, 1, 3.0);
+    (Gate.Nor, 1, 3.0);
+    (Gate.Xor, 0, 4.0);
+    (Gate.And, 1, 4.0);
+    (Gate.Or, 1, 4.0);
+    (Gate.Xor, 1, 5.0);
+  |]
+
+type state = {
+  rng : Prng.t;
+  builder : Circuit.Builder.t;
+  global : vec;
+  unread_pis : signal Queue.t;
+      (* real benchmarks read every primary input; gates preferentially
+         absorb PIs from this queue until none remain unread *)
+  mutable gate_seq : int;
+  mutable gates_left : int;
+  mutable invs_left : int;
+  mutable gate_area_left : float;
+  locality : float;
+}
+
+let fresh_gate_name st =
+  let n = Printf.sprintf "N%d" st.gate_seq in
+  st.gate_seq <- st.gate_seq + 1;
+  n
+
+(* How far back a local pick may reach. A small window braids the logic
+   locally (like real datapaths) instead of weaving an expander that any
+   partition must cut everywhere. *)
+let local_window = 24
+
+(* Pick a signal, preferring a sliding window of the local pool
+   (locality), shallow depths and unconsumed outputs. *)
+let pick_signal st ~local =
+  let pool, window =
+    if local.len > 0 && (st.global.len = 0 || Prng.float st.rng 1.0 < st.locality)
+    then (local, min local.len local_window)
+    else if st.global.len > 0 then (st.global, st.global.len)
+    else (local, local.len)
+  in
+  let candidate () =
+    vec_get pool (pool.len - window + Prng.int st.rng window)
+  in
+  let best = ref (candidate ()) in
+  (* Two extra draws: prefer unused, then shallow. *)
+  for _ = 1 to 2 do
+    let c = candidate () in
+    let better =
+      if (c.s_uses = 0) <> (!best.s_uses = 0) then c.s_uses = 0
+      else c.s_depth < !best.s_depth
+    in
+    if better then best := c
+  done;
+  !best
+
+let gather_fanins st ~local ~forced n =
+  let chosen = ref (List.rev forced) in
+  let names = Hashtbl.create 4 in
+  List.iter (fun s -> Hashtbl.replace names s.s_name ()) forced;
+  (* absorb a still-unread primary input now and then *)
+  let rec try_pi () =
+    match Queue.take_opt st.unread_pis with
+    | None -> ()
+    | Some pi when pi.s_uses > 0 -> try_pi ()
+    | Some pi ->
+      if List.length !chosen < n && not (Hashtbl.mem names pi.s_name) then begin
+        Hashtbl.replace names pi.s_name ();
+        chosen := pi :: !chosen
+      end
+      else Queue.add pi st.unread_pis
+  in
+  if Prng.float st.rng 1.0 < 0.35 then try_pi ();
+  let attempts = ref 0 in
+  while List.length !chosen < n && !attempts < 30 * n do
+    incr attempts;
+    let s = pick_signal st ~local in
+    if s.s_depth < depth_cap && not (Hashtbl.mem names s.s_name) then begin
+      Hashtbl.replace names s.s_name ();
+      chosen := s :: !chosen
+    end
+  done;
+  (* Tiny pools: relax distinctness (a gate may read a signal twice). *)
+  while List.length !chosen < n do
+    chosen := pick_signal st ~local :: !chosen
+  done;
+  List.rev !chosen
+
+(* Create one gate or inverter reading from [local]; returns the published
+   signal of its output. [forced] fan-ins are always included. *)
+let create_cell st ~local ?(forced = []) ?(allow_inv = true) () =
+  let total_left = st.gates_left + st.invs_left in
+  let make_inv =
+    List.length forced <= 1 && st.invs_left > 0
+    && (st.gates_left = 0
+        || (allow_inv && Prng.int st.rng total_left < st.invs_left))
+  in
+  let name = fresh_gate_name st in
+  let kind, fanins =
+    if make_inv then begin
+      st.invs_left <- st.invs_left - 1;
+      let fanin =
+        match forced with
+        | [ s ] -> s
+        | [] | _ :: _ :: _ -> pick_signal st ~local
+      in
+      (Gate.Not, [ fanin ])
+    end
+    else begin
+      let ideal =
+        if st.gates_left <= 0 then 2.5
+        else st.gate_area_left /. float_of_int st.gates_left
+      in
+      let target = ideal +. Prng.float st.rng 1.0 -. 0.5 in
+      let best = ref gate_menu.(0) in
+      let score (_, _, a) = abs_float (a -. target) in
+      Array.iter
+        (fun cand ->
+          if
+            score cand < score !best
+            || (score cand = score !best && Prng.bool st.rng)
+          then best := cand)
+        gate_menu;
+      let kind, extra, area = !best in
+      st.gates_left <- st.gates_left - 1;
+      st.gate_area_left <- st.gate_area_left -. area;
+      let n = 2 + extra in
+      (kind, gather_fanins st ~local ~forced n)
+    end
+  in
+  List.iter (fun s -> s.s_uses <- s.s_uses + 1) fanins;
+  Circuit.Builder.add_gate st.builder ~name ~kind
+    ~fanins:(List.map (fun s -> s.s_name) fanins);
+  let depth =
+    1 + List.fold_left (fun acc s -> max acc s.s_depth) 0 fanins
+  in
+  let out = { s_name = name; s_depth = min depth depth_cap; s_uses = 0 } in
+  vec_push local out;
+  if Prng.float st.rng 1.0 < 0.15 then vec_push st.global out;
+  out
+
+(* Seed a fresh local pool with a few global signals. *)
+let seed_local st k =
+  let local = vec_create () in
+  if st.global.len > 0 then
+    for _ = 1 to k do
+      vec_push local (vec_get st.global (Prng.int st.rng st.global.len))
+    done;
+  local
+
+(* Build one feedback group: [qs] are the flip-flop output signals (the
+   flip-flops themselves are created by the caller once the data inputs
+   chosen here are known). Returns the D-input driver name for each
+   flip-flop.
+
+   The group's gate budget is spent on one sub-chain per flip-flop:
+   sub-chain i starts at q_i, every gate of it forcibly reads the chain
+   carry, and its last gate drives q_{i+1} — so the ring
+   q_0 -> chain -> q_1 -> chain -> ... -> q_0 closes and EVERY sub-chain
+   gate lies on a directed cycle. Real sequential benchmarks keep most of
+   their logic inside such loops (Table 10: nearly all cut nets fall on
+   SCCs), which is the structural property this reproduces. *)
+let build_scc_group st ~qs ~budget =
+  let k = Array.length qs in
+  let local = seed_local st 3 in
+  (* anchor the group to the rest of the circuit: remember a global seed
+     that the first sub-chain gate is forced to read *)
+  let anchor = if local.len > 0 then Some (vec_get local 0) else None in
+  Array.iter (fun q -> vec_push local q) qs;
+  let drivers =
+    Array.mapi
+      (fun i q ->
+        let chain_len = max 1 ((budget + i) / k) in
+        let carry = ref q in
+        for step = 1 to chain_len do
+          if st.gates_left + st.invs_left > 0 then begin
+            let forced =
+              match anchor with
+              | Some seed when i = 0 && step = 1 && st.gates_left > 0 ->
+                [ !carry; seed ]
+              | Some _ | None -> [ !carry ]
+            in
+            carry := create_cell st ~local ~forced ()
+          end
+        done;
+        (!carry).s_name)
+      qs
+  in
+  (* the chain grown from q_i feeds q_{i+1}: rotate by one. *)
+  Array.init k (fun i -> drivers.((i + k - 1) mod k))
+
+let generate ?(seed = 0x5EEDL) ?(locality = 0.95) p =
+  if p.n_pi < 0 || p.n_dff < 0 || p.n_gates < 0 || p.n_inv < 0 then
+    invalid_arg "Generator.generate: negative counts";
+  if p.dff_on_scc > p.n_dff then
+    invalid_arg "Generator.generate: dff_on_scc exceeds n_dff";
+  if p.n_pi = 0 && p.n_dff = 0 then
+    invalid_arg "Generator.generate: no signal sources";
+  let name_hash =
+    String.fold_left
+      (fun acc ch -> Int64.add (Int64.mul acc 131L) (Int64.of_int (Char.code ch)))
+      7L p.name
+  in
+  let rng = Prng.create (Int64.logxor seed name_hash) in
+  let builder = Circuit.Builder.create p.name in
+  let comb_area_target =
+    match p.area_target with
+    | Some a -> a -. (Gate.dff_area *. float_of_int p.n_dff) -. float_of_int p.n_inv
+    | None -> 2.5 *. float_of_int p.n_gates
+  in
+  let st =
+    {
+      rng;
+      builder;
+      global = vec_create ();
+      unread_pis = Queue.create ();
+      gate_seq = 0;
+      gates_left = p.n_gates;
+      invs_left = p.n_inv;
+      gate_area_left = comb_area_target;
+      locality;
+    }
+  in
+  for i = 0 to p.n_pi - 1 do
+    let name = Printf.sprintf "PI%d" i in
+    Circuit.Builder.add_input builder name;
+    let s = { s_name = name; s_depth = 0; s_uses = 0 } in
+    vec_push st.global s;
+    Queue.add s st.unread_pis
+  done;
+  (* Plan the feedback groups: one large component plus small rings, the
+     shape real sequential benchmarks exhibit. *)
+  let groups =
+    let sizes = ref [] and left = ref p.dff_on_scc in
+    if !left >= 10 then begin
+      (* real sequential benchmarks concentrate their feedback in one
+         dominant SCC; give it 70% of the looping flip-flops *)
+      let big = !left * 7 / 10 in
+      sizes := [ big ];
+      left := !left - big
+    end;
+    while !left > 0 do
+      let s = min !left (1 + Prng.int rng 8) in
+      sizes := s :: !sizes;
+      left := !left - s
+    done;
+    !sizes
+  in
+  let total_steps = p.n_gates + p.n_inv in
+  let scc_budget =
+    if p.dff_on_scc = 0 || p.n_dff = 0 then 0
+    else
+      min total_steps
+        (int_of_float
+           (0.7 *. float_of_int total_steps
+            *. float_of_int p.dff_on_scc
+            /. float_of_int p.n_dff))
+  in
+  let dff_seq = ref 0 in
+  let fresh_q () =
+    let name = Printf.sprintf "R%d" !dff_seq in
+    incr dff_seq;
+    { s_name = name; s_depth = 0; s_uses = 0 }
+  in
+  (* Feedback groups first: they read PIs and each other's published
+     outputs, never the outputs of groups created later, so each group is
+     exactly one SCC. *)
+  List.iter
+    (fun k ->
+      let qs = Array.init k (fun _ -> fresh_q ()) in
+      let budget =
+        if p.dff_on_scc = 0 then 0
+        else scc_budget * k / p.dff_on_scc
+      in
+      let drivers = build_scc_group st ~qs ~budget in
+      Array.iteri
+        (fun i q ->
+          Circuit.Builder.add_gate builder ~name:q.s_name ~kind:Gate.Dff
+            ~fanins:[ drivers.(i) ];
+          vec_push st.global q)
+        qs)
+    groups;
+  (* Feed-forward part: regions of combinational logic, each closed by a
+     few pipeline flip-flops whose outputs are published only to later
+     regions (no cycles by construction). *)
+  let ff_dffs = p.n_dff - p.dff_on_scc in
+  let ff_steps = st.gates_left + st.invs_left in
+  let n_regions = max 1 ((ff_steps / 45) + 1) in
+  let po_candidates = ref [] in
+  for r = 0 to n_regions - 1 do
+    let local = seed_local st 4 in
+    if local.len = 0 && st.global.len = 0 then ()
+    else begin
+      let budget = ff_steps / n_regions in
+      (* anchor the region to the rest of the circuit through its seeds *)
+      if budget > 0 && st.gates_left > 0 && local.len >= 2 then
+        ignore
+          (create_cell st ~local
+             ~forced:[ vec_get local 0; vec_get local 1 ]
+             ~allow_inv:false ());
+      for _ = 2 to budget do
+        if st.gates_left + st.invs_left > 0 then
+          ignore (create_cell st ~local ())
+      done;
+      let dffs_here =
+        (ff_dffs / n_regions) + (if r < ff_dffs mod n_regions then 1 else 0)
+      in
+      let pending = ref [] in
+      for _ = 1 to dffs_here do
+        let q = fresh_q () in
+        let d = pick_signal st ~local in
+        d.s_uses <- d.s_uses + 1;
+        Circuit.Builder.add_gate builder ~name:q.s_name ~kind:Gate.Dff
+          ~fanins:[ d.s_name ];
+        pending := q :: !pending
+      done;
+      (* publish the region's registers only now *)
+      List.iter (fun q -> vec_push st.global q) !pending;
+      if local.len > 0 then
+        po_candidates := vec_get local (local.len - 1) :: !po_candidates
+    end
+  done;
+  (* leftovers (rounding) — drain any still-unread primary inputs first *)
+  let local = seed_local st 6 in
+  let rec drain_pis () =
+    match Queue.take_opt st.unread_pis with
+    | None -> ()
+    | Some pi when pi.s_uses > 0 -> drain_pis ()
+    | Some pi ->
+      if st.gates_left + st.invs_left > 0 then begin
+        ignore (create_cell st ~local ~forced:[ pi ] ());
+        drain_pis ()
+      end
+      else Queue.add pi st.unread_pis
+  in
+  drain_pis ();
+  while st.gates_left + st.invs_left > 0 do
+    ignore (create_cell st ~local ())
+  done;
+  let n_po = max 1 (min (p.n_pi + 5) ((total_steps / 80) + 1)) in
+  let pos = ref [] in
+  List.iteri
+    (fun i s -> if i < n_po then pos := s.s_name :: !pos)
+    !po_candidates;
+  if !pos = [] && st.global.len > 0 then
+    pos := [ (vec_get st.global (st.global.len - 1)).s_name ];
+  List.iter (fun name -> Circuit.Builder.add_output builder name) !pos;
+  Circuit.Builder.finish builder
+
+let small_random ~seed ~n_pi ~n_dff ~n_gates =
+  let p =
+    {
+      name = Printf.sprintf "rand-%Ld-%d-%d-%d" seed n_pi n_dff n_gates;
+      n_pi = max 1 n_pi;
+      n_dff;
+      n_gates;
+      n_inv = n_gates / 4;
+      dff_on_scc = n_dff / 2;
+      area_target = None;
+    }
+  in
+  generate ~seed p

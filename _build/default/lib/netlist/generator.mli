@@ -1,0 +1,43 @@
+(** Profile-driven synthetic netlist generator.
+
+    The ISCAS89 benchmark files are not redistributable, so the
+    experiments run on synthetic circuits that reproduce the published
+    structural statistics of each benchmark (Table 9) plus the
+    sequential-feedback density implied by Table 10 ("DFFs on SCC"):
+
+    - exact numbers of primary inputs, flip-flops, gates and inverters;
+    - gate kinds chosen so the estimated area tracks the published value;
+    - exactly [dff_on_scc] flip-flops woven into directed feedback loops
+      (strongly connected components), the rest strictly feed-forward;
+    - locally clustered combinational regions so that flow-based
+      clustering has structure to discover (a locality parameter controls
+      how often a gate reads signals from its own region).
+
+    Construction is incremental: a gate may only read signals that
+    already exist, and a feed-forward flip-flop's output is published to
+    later regions only after its data input is fixed, so combinational
+    cycles are impossible and the strongly connected components are
+    exactly the designated feedback groups. Generation is deterministic
+    in (profile, seed). *)
+
+type profile = {
+  name : string;
+  n_pi : int;
+  n_dff : int;
+  n_gates : int;      (** non-inverter combinational gates *)
+  n_inv : int;        (** inverters *)
+  dff_on_scc : int;   (** flip-flops that must lie on directed cycles *)
+  area_target : float option;
+      (** steer the gate-kind mix toward this estimated area *)
+}
+
+val generate : ?seed:int64 -> ?locality:float -> profile -> Circuit.t
+(** [generate p] builds the circuit. [locality] (default 0.95) is the
+    probability that a gate input comes from its own region.
+    Raises [Invalid_argument] on inconsistent profiles (negative counts,
+    [dff_on_scc > n_dff], no signal sources). *)
+
+val small_random :
+  seed:int64 -> n_pi:int -> n_dff:int -> n_gates:int -> Circuit.t
+(** Small unconstrained random circuit for property-based tests; valid by
+    construction, roughly half of the flip-flops on feedback loops. *)

@@ -1,0 +1,9 @@
+(** The s27 ISCAS89 benchmark circuit, as printed in Fig. 2(a) of the
+    paper — the one benchmark small enough to be published in full. Used
+    by the worked examples of Sections 3.1-3.2 (Figs. 5-7). *)
+
+val text : string
+(** Netlist source in [.bench] format. *)
+
+val circuit : unit -> Circuit.t
+(** Freshly parsed circuit (4 PIs, 3 DFFs, 1 PO, 10 gates). *)

@@ -1,0 +1,60 @@
+type t = {
+  members : int array;
+  input_drivers : int array;
+  inside_pis : int array;
+  observed : int array;
+}
+
+let of_members (c : Circuit.t) members =
+  let n = Circuit.size c in
+  let inside = Array.make n false in
+  Array.iter
+    (fun id ->
+      if id < 0 || id >= n then invalid_arg "Segment.of_members: bad node id";
+      if inside.(id) then invalid_arg "Segment.of_members: duplicate node id";
+      inside.(id) <- true)
+    members;
+  let drivers = Hashtbl.create 16 and observed = Hashtbl.create 16 in
+  let pis = ref [] in
+  Array.iter
+    (fun id ->
+      let nd = Circuit.node c id in
+      if nd.Circuit.kind = Gate.Input then pis := id :: !pis;
+      Array.iter
+        (fun f -> if not inside.(f) then Hashtbl.replace drivers f ())
+        nd.Circuit.fanins;
+      let read_outside =
+        Array.exists (fun s -> not inside.(s)) c.Circuit.fanouts.(id)
+      in
+      if read_outside || Circuit.is_po c id then Hashtbl.replace observed id ())
+    members;
+  let sorted_of_tbl tbl =
+    let a = Array.of_seq (Seq.map fst (Hashtbl.to_seq tbl)) in
+    Array.sort compare a;
+    a
+  in
+  let members = Array.copy members in
+  Array.sort compare members;
+  {
+    members;
+    input_drivers = sorted_of_tbl drivers;
+    inside_pis = (let a = Array.of_list !pis in Array.sort compare a; a);
+    observed = sorted_of_tbl observed;
+  }
+
+let input_count s = Array.length s.input_drivers + Array.length s.inside_pis
+
+let input_signals s = Array.append s.input_drivers s.inside_pis
+
+let mem s id = Array.exists (fun m -> m = id) s.members
+
+let pp c ppf s =
+  let names ids =
+    String.concat ", "
+      (List.map (fun id -> (Circuit.node c id).Circuit.name) (Array.to_list ids))
+  in
+  Format.fprintf ppf
+    "@[<v>segment: %d members, iota=%d@,members: %s@,inputs: %s@,observed: %s@]"
+    (Array.length s.members) (input_count s) (names s.members)
+    (names (input_signals s))
+    (names s.observed)

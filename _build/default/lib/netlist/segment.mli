@@ -1,0 +1,31 @@
+(** Circuit segments — the CUTs of PPET (Fig. 1a).
+
+    A segment is a set of circuit nodes tested as one unit: its {e input
+    signals} are the distinct drivers feeding it from outside plus the
+    primary inputs inside it (the paper's input count iota, "including
+    primary inputs"), and its {e observation points} are the member
+    signals read from outside (or primary outputs) — where the succeeding
+    CBIT compacts responses. *)
+
+type t = {
+  members : int array;        (** node ids, ascending *)
+  input_drivers : int array;  (** outside nodes driving members, ascending *)
+  inside_pis : int array;     (** PI nodes that are members, ascending *)
+  observed : int array;       (** member nodes read outside or POs, ascending *)
+}
+
+val of_members : Circuit.t -> int array -> t
+(** Compute the boundary of a member set. Raises [Invalid_argument] on
+    duplicate or out-of-range ids. *)
+
+val input_count : t -> int
+(** iota = external drivers + internal PIs; the CBIT width the segment
+    needs, and the exponent of its exhaustive pattern count. *)
+
+val input_signals : t -> int array
+(** Concatenation [input_drivers @ inside_pis] — the signals a CBIT
+    drives during test mode, in a fixed order. *)
+
+val mem : t -> int -> bool
+
+val pp : Circuit.t -> Format.formatter -> t -> unit

@@ -1,0 +1,51 @@
+type t = {
+  title : string;
+  n_pi : int;
+  n_po : int;
+  n_dff : int;
+  n_gates : int;
+  n_inv : int;
+  area : float;
+  max_fanin : int;
+  depth : int;
+}
+
+let of_circuit c =
+  let n_dff = ref 0 and n_gates = ref 0 and n_inv = ref 0 and max_fanin = ref 0 in
+  Array.iter
+    (fun nd ->
+      let arity = Array.length nd.Circuit.fanins in
+      if arity > !max_fanin then max_fanin := arity;
+      match nd.Circuit.kind with
+      | Gate.Input -> ()
+      | Gate.Dff -> incr n_dff
+      | Gate.Not -> incr n_inv
+      | Gate.Buff | Gate.And | Gate.Nand | Gate.Or | Gate.Nor | Gate.Xor
+      | Gate.Xnor ->
+        incr n_gates)
+    c.Circuit.nodes;
+  let depth = Array.fold_left max 0 (Circuit.levels c) in
+  {
+    title = c.Circuit.title;
+    n_pi = Array.length c.Circuit.inputs;
+    n_po = Array.length c.Circuit.outputs;
+    n_dff = !n_dff;
+    n_gates = !n_gates;
+    n_inv = !n_inv;
+    area = Circuit.area c;
+    max_fanin = !max_fanin;
+    depth;
+  }
+
+let header =
+  Printf.sprintf "%-10s %6s %6s %6s %7s %6s %10s" "Circuit" "PIs" "POs" "DFFs"
+    "Gates" "INVs" "Area"
+
+let row s =
+  Printf.sprintf "%-10s %6d %6d %6d %7d %6d %10.0f" s.title s.n_pi s.n_po
+    s.n_dff s.n_gates s.n_inv s.area
+
+let pp ppf s =
+  Format.fprintf ppf
+    "%s: %d PI, %d PO, %d DFF, %d gates, %d INV, area %.0f, max fan-in %d, depth %d"
+    s.title s.n_pi s.n_po s.n_dff s.n_gates s.n_inv s.area s.max_fanin s.depth

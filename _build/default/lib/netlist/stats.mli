@@ -1,0 +1,23 @@
+(** Structural statistics of a circuit — the columns of Table 9. *)
+
+type t = {
+  title : string;
+  n_pi : int;        (** primary inputs *)
+  n_po : int;        (** primary outputs *)
+  n_dff : int;       (** flip-flops *)
+  n_gates : int;     (** combinational gates other than inverters *)
+  n_inv : int;       (** inverters (NOT gates) *)
+  area : float;      (** estimated area in the paper's units *)
+  max_fanin : int;   (** largest gate fan-in — lower bound on feasible l_k *)
+  depth : int;       (** maximal combinational depth *)
+}
+
+val of_circuit : Circuit.t -> t
+
+val header : string
+(** Fixed-width header matching {!row}. *)
+
+val row : t -> string
+(** One fixed-width text row, Table 9 style. *)
+
+val pp : Format.formatter -> t -> unit

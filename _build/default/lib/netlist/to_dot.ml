@@ -1,0 +1,97 @@
+let escape name =
+  let buf = Buffer.create (String.length name + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun ch ->
+      if ch = '"' || ch = '\\' then Buffer.add_char buf '\\';
+      Buffer.add_char buf ch)
+    name;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let node_attrs (nd : Circuit.node) =
+  match nd.Circuit.kind with
+  | Gate.Input -> "shape=triangle, style=filled, fillcolor=lightblue"
+  | Gate.Dff -> "shape=doubleoctagon, style=filled, fillcolor=khaki"
+  | Gate.Not | Gate.Buff -> "shape=invtriangle"
+  | Gate.And | Gate.Nand | Gate.Or | Gate.Nor | Gate.Xor | Gate.Xnor ->
+    "shape=box"
+
+let emit_node buf c (nd : Circuit.node) =
+  Printf.bprintf buf "  %s [label=\"%s\\n%s\", %s];\n" (escape nd.Circuit.name)
+    nd.Circuit.name
+    (Gate.name nd.Circuit.kind)
+    (node_attrs nd);
+  ignore c
+
+let emit_edges buf c ~is_cut_driver =
+  Array.iter
+    (fun (nd : Circuit.node) ->
+      Array.iter
+        (fun sink ->
+          let attrs =
+            if is_cut_driver nd.Circuit.id then
+              " [color=red, penwidth=2.0]"
+            else ""
+          in
+          Printf.bprintf buf "  %s -> %s%s;\n" (escape nd.Circuit.name)
+            (escape (Circuit.node c sink).Circuit.name)
+            attrs)
+        c.Circuit.fanouts.(nd.Circuit.id))
+    c.Circuit.nodes
+
+let emit_outputs buf c =
+  Array.iteri
+    (fun i po ->
+      let sink = Printf.sprintf "PO%d" i in
+      Printf.bprintf buf
+        "  %s [shape=triangle, orientation=180, style=filled, fillcolor=lightgrey, label=\"PO\"];\n"
+        (escape sink);
+      Printf.bprintf buf "  %s -> %s;\n"
+        (escape (Circuit.node c po).Circuit.name)
+        (escape sink))
+    c.Circuit.outputs
+
+let circuit ?title c =
+  let title = match title with Some t -> t | None -> c.Circuit.title in
+  let buf = Buffer.create 4096 in
+  Printf.bprintf buf "digraph %s {\n  rankdir=LR;\n" (escape title);
+  Array.iter (emit_node buf c) c.Circuit.nodes;
+  emit_edges buf c ~is_cut_driver:(fun _ -> false);
+  emit_outputs buf c;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let partitioned ?title c ~cluster_of ~cut_net_drivers =
+  let title = match title with Some t -> t | None -> c.Circuit.title in
+  let buf = Buffer.create 8192 in
+  Printf.bprintf buf "digraph %s {\n  rankdir=LR;\n" (escape title);
+  (* group nodes by cluster *)
+  let clusters = Hashtbl.create 16 in
+  Array.iter
+    (fun (nd : Circuit.node) ->
+      let k = cluster_of nd.Circuit.id in
+      let cur = try Hashtbl.find clusters k with Not_found -> [] in
+      Hashtbl.replace clusters k (nd :: cur))
+    c.Circuit.nodes;
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) clusters [] in
+  List.iter
+    (fun k ->
+      Printf.bprintf buf
+        "  subgraph %s {\n    label=\"CUT %d\";\n    style=filled;\n    \
+         color=lightgrey;\n"
+        (escape (Printf.sprintf "cluster_%d" k))
+        k;
+      List.iter
+        (fun nd ->
+          Buffer.add_string buf "  ";
+          emit_node buf c nd)
+        (Hashtbl.find clusters k);
+      Buffer.add_string buf "  }\n")
+    (List.sort compare keys);
+  let cut = Hashtbl.create 16 in
+  List.iter (fun d -> Hashtbl.replace cut d ()) cut_net_drivers;
+  emit_edges buf c ~is_cut_driver:(Hashtbl.mem cut);
+  emit_outputs buf c;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,20 @@
+(** Graphviz export of circuits and partitionings.
+
+    Produces `dot` source a designer can render to inspect what Merced
+    did: gates as boxes, flip-flops as double octagons, primary inputs
+    as triangles; an optional vertex labelling draws each cluster as a
+    filled subgraph and highlights the cut nets. *)
+
+val circuit : ?title:string -> Circuit.t -> string
+(** Plain structural view. *)
+
+val partitioned :
+  ?title:string ->
+  Circuit.t ->
+  cluster_of:(int -> int) ->
+  cut_net_drivers:int list ->
+  string
+(** [partitioned c ~cluster_of ~cut_net_drivers]: vertices grouped into
+    Graphviz clusters by [cluster_of] (node id -> cluster id); edges
+    leaving a node listed in [cut_net_drivers] are drawn bold red (those
+    nets carry the A_CELLs). *)

@@ -1,0 +1,19 @@
+module Netgraph = Ppet_digraph.Netgraph
+
+let partition_view (c : Circuit.t) =
+  let n = Circuit.size c in
+  let g = Netgraph.create n in
+  for id = 0 to n - 1 do
+    let sinks = c.Circuit.fanouts.(id) in
+    if Array.length sinks > 0 then
+      ignore (Netgraph.add_net g ~src:id ~sinks:(Array.to_list sinks))
+  done;
+  Netgraph.freeze g;
+  g
+
+let driver_of_net = Netgraph.net_src
+
+let net_of_driver (c : Circuit.t) g =
+  let map = Array.make (Circuit.size c) (-1) in
+  Netgraph.iter_nets g (fun e ~src ~sinks:_ -> map.(src) <- e);
+  map

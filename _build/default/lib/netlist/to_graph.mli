@@ -1,0 +1,17 @@
+(** Multi-pin directed-graph extraction (paper Sec. 2.1, Fig. 2).
+
+    Every circuit node (PI, gate, DFF) becomes a graph vertex with the
+    same id; every driven signal becomes one net from its driver to all
+    its reader nodes. Primary outputs do not add vertices: a PO is a net
+    property, not a module. *)
+
+val partition_view : Circuit.t -> Ppet_digraph.Netgraph.t
+(** The graph G(V = R ∪ C, E) on which Merced partitions. *)
+
+val driver_of_net : Ppet_digraph.Netgraph.t -> int -> int
+(** Net id -> driving vertex (same as [Netgraph.net_src]; provided for
+    symmetry in client code). *)
+
+val net_of_driver : Circuit.t -> Ppet_digraph.Netgraph.t -> int array
+(** [net_of_driver c g] maps a node id to the id of the net it drives, or
+    -1 when the node has no fanout. Requires [g = partition_view c]. *)

@@ -1,0 +1,282 @@
+(* Handwritten lexer + recursive-descent parser for the gate-level
+   Verilog subset documented in the interface. *)
+
+type token =
+  | Ident of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Semi
+  | Eof
+
+type lexer = {
+  file : string;
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable lookahead : token option;
+}
+
+let lexer_of ?(file = "<string>") src =
+  { file; src; pos = 0; line = 1; lookahead = None }
+
+let error lx fmt =
+  Printf.ksprintf
+    (fun msg -> raise (Circuit.Error (Printf.sprintf "%s:%d: %s" lx.file lx.line msg)))
+    fmt
+
+let is_ident_char c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '$' -> true
+  | _ -> false
+
+let rec skip_blank lx =
+  let len = String.length lx.src in
+  if lx.pos < len then
+    match lx.src.[lx.pos] with
+    | ' ' | '\t' | '\r' ->
+      lx.pos <- lx.pos + 1;
+      skip_blank lx
+    | '\n' ->
+      lx.pos <- lx.pos + 1;
+      lx.line <- lx.line + 1;
+      skip_blank lx
+    | '/' when lx.pos + 1 < len && lx.src.[lx.pos + 1] = '/' ->
+      while lx.pos < len && lx.src.[lx.pos] <> '\n' do
+        lx.pos <- lx.pos + 1
+      done;
+      skip_blank lx
+    | '/' when lx.pos + 1 < len && lx.src.[lx.pos + 1] = '*' ->
+      lx.pos <- lx.pos + 2;
+      let finished = ref false in
+      while not !finished do
+        if lx.pos + 1 >= len then error lx "unterminated comment"
+        else if lx.src.[lx.pos] = '*' && lx.src.[lx.pos + 1] = '/' then begin
+          lx.pos <- lx.pos + 2;
+          finished := true
+        end
+        else begin
+          if lx.src.[lx.pos] = '\n' then lx.line <- lx.line + 1;
+          lx.pos <- lx.pos + 1
+        end
+      done;
+      skip_blank lx
+    | _ -> ()
+
+let lex lx =
+  skip_blank lx;
+  let len = String.length lx.src in
+  if lx.pos >= len then Eof
+  else
+    match lx.src.[lx.pos] with
+    | '(' -> lx.pos <- lx.pos + 1; Lparen
+    | ')' -> lx.pos <- lx.pos + 1; Rparen
+    | ',' -> lx.pos <- lx.pos + 1; Comma
+    | ';' -> lx.pos <- lx.pos + 1; Semi
+    | '\\' ->
+      (* escaped identifier: backslash to next whitespace *)
+      let start = lx.pos + 1 in
+      let p = ref start in
+      while
+        !p < len
+        && (match lx.src.[!p] with ' ' | '\t' | '\n' | '\r' -> false | _ -> true)
+      do
+        incr p
+      done;
+      if !p = start then error lx "empty escaped identifier";
+      let name = String.sub lx.src start (!p - start) in
+      lx.pos <- !p;
+      Ident name
+    | c when is_ident_char c ->
+      let start = lx.pos in
+      while lx.pos < len && is_ident_char lx.src.[lx.pos] do
+        lx.pos <- lx.pos + 1
+      done;
+      Ident (String.sub lx.src start (lx.pos - start))
+    | c -> error lx "illegal character %C" c
+
+let next lx =
+  match lx.lookahead with
+  | Some t ->
+    lx.lookahead <- None;
+    t
+  | None -> lex lx
+
+let peek lx =
+  match lx.lookahead with
+  | Some t -> t
+  | None ->
+    let t = lex lx in
+    lx.lookahead <- Some t;
+    t
+
+let expect lx tok what =
+  let got = next lx in
+  if got <> tok then error lx "expected %s" what
+
+let ident lx what =
+  match next lx with
+  | Ident s -> s
+  | Lparen | Rparen | Comma | Semi | Eof -> error lx "expected %s" what
+
+let ident_list lx =
+  let rec more acc =
+    match next lx with
+    | Comma -> more (ident lx "an identifier" :: acc)
+    | Semi -> List.rev acc
+    | Ident _ | Lparen | Rparen | Eof -> error lx "expected ',' or ';'"
+  in
+  more [ ident lx "an identifier" ]
+
+let primitive_of_name = function
+  | "and" -> Some Gate.And
+  | "nand" -> Some Gate.Nand
+  | "or" -> Some Gate.Or
+  | "nor" -> Some Gate.Nor
+  | "xor" -> Some Gate.Xor
+  | "xnor" -> Some Gate.Xnor
+  | "not" -> Some Gate.Not
+  | "buf" -> Some Gate.Buff
+  | "dff" | "DFF" -> Some Gate.Dff
+  | _ -> None
+
+let parse_string ?file src =
+  let lx = lexer_of ?file src in
+  (match next lx with
+   | Ident "module" -> ()
+   | _ -> error lx "expected 'module'");
+  let title = ident lx "a module name" in
+  (* port header: names are redundant with the declarations; skip *)
+  (match peek lx with
+   | Lparen ->
+     ignore (next lx);
+     let rec skip_ports () =
+       match next lx with
+       | Rparen -> ()
+       | Eof -> error lx "unterminated port list"
+       | Ident _ | Comma | Lparen | Semi -> skip_ports ()
+     in
+     skip_ports ();
+     expect lx Semi "';' after the port list"
+   | Semi -> ignore (next lx)
+   | Ident _ | Rparen | Comma | Eof -> error lx "expected '(' or ';'");
+  let b = Circuit.Builder.create title in
+  let seq = ref 0 in
+  let finished = ref false in
+  while not !finished do
+    match next lx with
+    | Ident "endmodule" -> finished := true
+    | Eof -> error lx "missing 'endmodule'"
+    | Ident "input" -> List.iter (Circuit.Builder.add_input b) (ident_list lx)
+    | Ident "output" -> List.iter (Circuit.Builder.add_output b) (ident_list lx)
+    | Ident "wire" -> ignore (ident_list lx)
+    | Ident kw ->
+      (match primitive_of_name kw with
+       | None -> error lx "unsupported construct %S (gate-level subset only)" kw
+       | Some kind ->
+         (* [instance_name] ( out, in, ... ) ; *)
+         (match peek lx with
+          | Ident _ -> ignore (next lx)
+          | Lparen | Rparen | Comma | Semi | Eof -> ());
+         expect lx Lparen "'('";
+         let rec conns acc =
+           let name = ident lx "a connection" in
+           match next lx with
+           | Comma -> conns (name :: acc)
+           | Rparen -> List.rev (name :: acc)
+           | Ident _ | Lparen | Semi | Eof -> error lx "expected ',' or ')'"
+         in
+         let connections = conns [] in
+         expect lx Semi "';'";
+         incr seq;
+         (match connections with
+          | out :: (_ :: _ as ins) ->
+            Circuit.Builder.add_gate b ~name:out ~kind ~fanins:ins
+          | [ _ ] | [] ->
+            error lx "primitive %s needs an output and at least one input" kw))
+    | Lparen | Rparen | Comma | Semi -> error lx "expected a statement"
+  done;
+  Circuit.Builder.finish b
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let src =
+    try
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      s
+    with e ->
+      close_in_noerr ic;
+      raise e
+  in
+  parse_string ~file:path src
+
+let plain_identifier name =
+  String.length name > 0
+  && (match name.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all is_ident_char name
+
+let emit_name name =
+  if plain_identifier name then name else "\\" ^ name ^ " "
+
+let keyword_of_kind = function
+  | Gate.And -> "and"
+  | Gate.Nand -> "nand"
+  | Gate.Or -> "or"
+  | Gate.Nor -> "nor"
+  | Gate.Xor -> "xor"
+  | Gate.Xnor -> "xnor"
+  | Gate.Not -> "not"
+  | Gate.Buff -> "buf"
+  | Gate.Dff -> "dff"
+  | Gate.Input -> invalid_arg "Verilog: Input is not a primitive"
+
+let to_string (c : Circuit.t) =
+  let buf = Buffer.create 4096 in
+  let name id = emit_name (Circuit.node c id).Circuit.name in
+  let module_name =
+    if plain_identifier c.Circuit.title then c.Circuit.title else "top"
+  in
+  let ports =
+    Array.to_list (Array.map name c.Circuit.inputs)
+    @ Array.to_list (Array.map name c.Circuit.outputs)
+  in
+  Printf.bprintf buf "module %s (%s);\n" module_name (String.concat ", " ports);
+  Array.iter (fun pi -> Printf.bprintf buf "  input %s;\n" (name pi)) c.Circuit.inputs;
+  Array.iter (fun po -> Printf.bprintf buf "  output %s;\n" (name po)) c.Circuit.outputs;
+  Array.iter
+    (fun (nd : Circuit.node) ->
+      match nd.Circuit.kind with
+      | Gate.Input -> ()
+      | Gate.Buff | Gate.Not | Gate.And | Gate.Nand | Gate.Or | Gate.Nor
+      | Gate.Xor | Gate.Xnor | Gate.Dff ->
+        if not (Circuit.is_po c nd.Circuit.id) then
+          Printf.bprintf buf "  wire %s;\n" (emit_name nd.Circuit.name))
+    c.Circuit.nodes;
+  let seq = ref 0 in
+  Array.iter
+    (fun (nd : Circuit.node) ->
+      match nd.Circuit.kind with
+      | Gate.Input -> ()
+      | Gate.Buff | Gate.Not | Gate.And | Gate.Nand | Gate.Or | Gate.Nor
+      | Gate.Xor | Gate.Xnor | Gate.Dff ->
+        incr seq;
+        Printf.bprintf buf "  %s g%d (%s%s);\n"
+          (keyword_of_kind nd.Circuit.kind)
+          !seq
+          (emit_name nd.Circuit.name)
+          (Array.fold_left
+             (fun acc f -> acc ^ ", " ^ name f)
+             "" nd.Circuit.fanins))
+    c.Circuit.nodes;
+  Buffer.add_string buf "endmodule\n";
+  Buffer.contents buf
+
+let to_file path c =
+  let oc = open_out path in
+  (try output_string oc (to_string c)
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc

@@ -1,0 +1,35 @@
+(** Structural Verilog frontend (gate-level subset).
+
+    The ISCAS89 circuits circulate both as [.bench] files and as
+    flattened structural Verilog; this module reads and writes the
+    subset those netlists use:
+
+    {v
+      module name (a, b, y);
+        input a, b;
+        output y;
+        wire w1;
+        nand g1 (w1, a, b);   // output first, then inputs
+        not  g2 (y, w1);
+        dff  g3 (q, w1);      // q = DFF(w1); clock implied
+      endmodule
+    v}
+
+    Supported: one module per file; scalar ports and wires (comma
+    lists); the primitives [and or nand nor xor xnor not buf dff] with
+    the output as first connection; optional instance names; [//] and
+    [/* */] comments; backslash-escaped identifiers. Unsupported (raises
+    [Circuit.Error]): vectors, assign statements, parameters, multiple
+    modules, behavioural code. *)
+
+val parse_string : ?file:string -> string -> Circuit.t
+(** The circuit title is the module name. *)
+
+val parse_file : string -> Circuit.t
+
+val to_string : Circuit.t -> string
+(** Writes the same subset; [parse_string (to_string c)] reproduces
+    [c] up to node ordering. Signal names that are not Verilog
+    identifiers are emitted in escaped form. *)
+
+val to_file : string -> Circuit.t -> unit

@@ -1,0 +1,1 @@
+lib/retiming/logic3.ml: Array Format Ppet_netlist

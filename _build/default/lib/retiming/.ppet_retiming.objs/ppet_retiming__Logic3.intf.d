@@ -1,0 +1,1 @@
+lib/retiming/logic3.mli: Format Ppet_netlist

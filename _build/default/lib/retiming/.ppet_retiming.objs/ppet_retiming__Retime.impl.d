@@ -1,0 +1,1 @@
+lib/retiming/retime.ml: Array List Logic3 Queue Rgraph

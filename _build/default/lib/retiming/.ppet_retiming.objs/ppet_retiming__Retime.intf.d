@@ -1,0 +1,1 @@
+lib/retiming/retime.mli: Rgraph

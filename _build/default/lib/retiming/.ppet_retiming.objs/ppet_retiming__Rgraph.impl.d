@@ -1,0 +1,1 @@
+lib/retiming/rgraph.ml: Array List Logic3 Ppet_netlist Printf

@@ -1,0 +1,1 @@
+lib/retiming/rgraph.mli: Logic3 Ppet_netlist

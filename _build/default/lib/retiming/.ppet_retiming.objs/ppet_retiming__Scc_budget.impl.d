@@ -1,0 +1,1 @@
+lib/retiming/scc_budget.ml: Array List Ppet_digraph Ppet_netlist

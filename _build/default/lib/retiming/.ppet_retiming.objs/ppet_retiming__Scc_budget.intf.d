@@ -1,0 +1,1 @@
+lib/retiming/scc_budget.mli: Ppet_digraph Ppet_netlist

@@ -1,0 +1,1 @@
+lib/retiming/to_circuit.ml: Array Hashtbl List Logic3 Ppet_netlist Printf Rgraph

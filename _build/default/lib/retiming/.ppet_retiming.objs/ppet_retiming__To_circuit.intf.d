@@ -1,0 +1,1 @@
+lib/retiming/to_circuit.mli: Logic3 Ppet_netlist Rgraph

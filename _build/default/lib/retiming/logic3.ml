@@ -1,0 +1,103 @@
+module Gate = Ppet_netlist.Gate
+
+type t = Zero | One | X
+
+let of_bool b = if b then One else Zero
+
+let to_bool = function
+  | Zero -> Some false
+  | One -> Some true
+  | X -> None
+
+let equal a b =
+  match a, b with
+  | Zero, Zero | One, One | X, X -> true
+  | (Zero | One | X), _ -> false
+
+let compatible a b =
+  match a, b with
+  | X, _ | _, X -> true
+  | Zero, Zero | One, One -> true
+  | Zero, One | One, Zero -> false
+
+let meet a b =
+  match a, b with
+  | X, v | v, X -> Some v
+  | Zero, Zero -> Some Zero
+  | One, One -> Some One
+  | Zero, One | One, Zero -> None
+
+let lnot = function Zero -> One | One -> Zero | X -> X
+
+let land3 a b =
+  match a, b with
+  | Zero, _ | _, Zero -> Zero
+  | One, One -> One
+  | (One | X), _ -> X
+
+let lor3 a b =
+  match a, b with
+  | One, _ | _, One -> One
+  | Zero, Zero -> Zero
+  | (Zero | X), _ -> X
+
+let lxor3 a b =
+  match a, b with
+  | X, _ | _, X -> X
+  | Zero, Zero | One, One -> Zero
+  | Zero, One | One, Zero -> One
+
+let eval k ins =
+  let fold f init = Array.fold_left f init ins in
+  match k with
+  | Gate.Buff -> ins.(0)
+  | Gate.Not -> lnot ins.(0)
+  | Gate.And -> fold land3 One
+  | Gate.Nand -> lnot (fold land3 One)
+  | Gate.Or -> fold lor3 Zero
+  | Gate.Nor -> lnot (fold lor3 Zero)
+  | Gate.Xor -> fold lxor3 Zero
+  | Gate.Xnor -> lnot (fold lxor3 Zero)
+  | Gate.Input | Gate.Dff -> invalid_arg "Logic3.eval: not a combinational gate"
+
+(* Pre-image with minimal commitment: produce the required output while
+   leaving as many inputs X as the gate semantics allow. For AND/OR
+   families a single controlling value suffices for the controlled
+   output; the uncontrolled output needs all inputs at the
+   non-controlling value. XOR/XNOR need every input concrete. *)
+let preimage k arity out =
+  let all v = Array.make arity v in
+  let one_hot v rest =
+    let a = Array.make arity rest in
+    a.(0) <- v;
+    a
+  in
+  let res =
+    match k, out with
+    | (Gate.Buff | Gate.Not), X -> Some (all X)
+    | Gate.Buff, v -> Some (all v)
+    | Gate.Not, v -> Some (all (lnot v))
+    | (Gate.And | Gate.Nand | Gate.Or | Gate.Nor | Gate.Xor | Gate.Xnor), X ->
+      Some (all X)
+    | Gate.And, One -> Some (all One)
+    | Gate.And, Zero -> Some (one_hot Zero X)
+    | Gate.Nand, Zero -> Some (all One)
+    | Gate.Nand, One -> Some (one_hot Zero X)
+    | Gate.Or, Zero -> Some (all Zero)
+    | Gate.Or, One -> Some (one_hot One X)
+    | Gate.Nor, One -> Some (all Zero)
+    | Gate.Nor, Zero -> Some (one_hot One X)
+    | Gate.Xor, Zero -> Some (all Zero)
+    | Gate.Xor, One -> Some (one_hot One Zero)
+    | Gate.Xnor, One -> Some (all Zero)
+    | Gate.Xnor, Zero -> Some (one_hot One Zero)
+    | (Gate.Input | Gate.Dff), _ ->
+      invalid_arg "Logic3.preimage: not a combinational gate"
+  in
+  match res with
+  | Some ins when equal (eval k ins) out || equal out X -> Some ins
+  | Some _ | None -> None
+
+let to_char = function Zero -> '0' | One -> '1' | X -> 'x'
+
+let pp ppf v = Format.pp_print_char ppf (to_char v)

@@ -1,0 +1,39 @@
+(** Three-valued logic (0, 1, X) for initial-state computation.
+
+    Recomputing the reset state of a retimed circuit (paper Sec. 5,
+    ref [16]) moves register values forward through gates — always
+    possible — and backward through gates — possible only when a
+    pre-image exists; X marks the unknown/don't-care outcome, which in
+    hardware is supplied by the scan chain's global initialisation. *)
+
+type t = Zero | One | X
+
+val of_bool : bool -> t
+
+val to_bool : t -> bool option
+
+val equal : t -> t -> bool
+
+val compatible : t -> t -> bool
+(** Values that could denote the same wire: X is compatible with
+    everything. *)
+
+val meet : t -> t -> t option
+(** Greatest lower bound in the information order: [meet Zero One] is
+    [None], [meet X v] is [Some v]. *)
+
+val eval : Ppet_netlist.Gate.kind -> t array -> t
+(** Three-valued gate evaluation with controlling-value shortcuts:
+    [eval And [|Zero; X|]] is [Zero]. Raises [Invalid_argument] for
+    [Input]/[Dff] like {!Gate.eval}. *)
+
+val preimage : Ppet_netlist.Gate.kind -> int -> t -> t array option
+(** [preimage k arity out] finds input values whose {!eval} is exactly
+    [out], committing to as few concrete bits as possible; [None] when no
+    pre-image exists (never happens for the supported gates but callers
+    should not rely on that). *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_char : t -> char
+(** '0', '1' or 'x'. *)

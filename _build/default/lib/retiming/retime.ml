@@ -1,0 +1,230 @@
+type outcome =
+  | Feasible of int array
+  | Infeasible of int list
+
+let pinned g v =
+  match g.Rgraph.kinds.(v) with
+  | Rgraph.Vpi _ | Rgraph.Vhost -> true
+  | Rgraph.Vgate _ -> false
+
+(* Difference constraints rho(u) - rho(v) <= weight(e) - require(e) per
+   edge e = u -> v, plus rho(p) = 0 for pinned vertices, solved by
+   queue-based Bellman-Ford (SPFA). A vertex relaxed >= n times lies on a
+   negative cycle; we walk predecessor links to extract it. *)
+let solve g ~require =
+  let n = Rgraph.n_vertices g in
+  (* constraint arcs: (from, to, length) meaning rho(to) <= rho(from) + len *)
+  let arcs = ref [] in
+  Array.iteri
+    (fun i (e : Rgraph.edge) ->
+      let r = require i in
+      if r < 0 then invalid_arg "Retime.solve: negative requirement";
+      arcs := (e.Rgraph.head, e.Rgraph.tail, e.Rgraph.weight - r) :: !arcs)
+    g.Rgraph.edges;
+  (* pin all PIs and the host together at equal lag *)
+  let first_pinned = ref (-1) in
+  for v = 0 to n - 1 do
+    if pinned g v then begin
+      if !first_pinned < 0 then first_pinned := v
+      else begin
+        arcs := (!first_pinned, v, 0) :: (v, !first_pinned, 0) :: !arcs
+      end
+    end
+  done;
+  let out = Array.make n [] in
+  List.iter (fun (u, v, l) -> out.(u) <- (v, l) :: out.(u)) !arcs;
+  let dist = Array.make n 0 in
+  let pred = Array.make n (-1) in
+  let relax_count = Array.make n 0 in
+  let in_queue = Array.make n true in
+  let queue = Queue.create () in
+  for v = 0 to n - 1 do
+    Queue.add v queue
+  done;
+  let neg_vertex = ref (-1) in
+  (try
+     while not (Queue.is_empty queue) do
+       let u = Queue.pop queue in
+       in_queue.(u) <- false;
+       List.iter
+         (fun (v, l) ->
+           if dist.(u) + l < dist.(v) then begin
+             dist.(v) <- dist.(u) + l;
+             pred.(v) <- u;
+             relax_count.(v) <- relax_count.(v) + 1;
+             if relax_count.(v) > n then begin
+               neg_vertex := v;
+               raise Exit
+             end;
+             if not in_queue.(v) then begin
+               in_queue.(v) <- true;
+               Queue.add v queue
+             end
+           end)
+         out.(u)
+     done
+   with Exit -> ());
+  if !neg_vertex >= 0 then begin
+    (* step back n times to be sure we are on the cycle, then collect it *)
+    let v = ref !neg_vertex in
+    for _ = 1 to n do
+      v := pred.(!v)
+    done;
+    let cycle = ref [] in
+    let cur = ref !v in
+    let continue = ref true in
+    while !continue do
+      cycle := !cur :: !cycle;
+      cur := pred.(!cur);
+      if !cur = !v then continue := false
+    done;
+    Infeasible !cycle
+  end
+  else begin
+    (* normalise so pinned vertices sit at lag 0 *)
+    let shift = if !first_pinned >= 0 then dist.(!first_pinned) else 0 in
+    Feasible (Array.map (fun d -> d - shift) dist)
+  end
+
+let retimed_weight g rho e =
+  let edge = g.Rgraph.edges.(e) in
+  edge.Rgraph.weight + rho.(edge.Rgraph.head) - rho.(edge.Rgraph.tail)
+
+let is_legal g rho =
+  let n = Rgraph.n_vertices g in
+  Array.length rho = n
+  && (let ok = ref true in
+      for v = 0 to n - 1 do
+        if pinned g v && rho.(v) <> 0 then ok := false
+      done;
+      Array.iteri
+        (fun i _ -> if retimed_weight g rho i < 0 then ok := false)
+        g.Rgraph.edges;
+      !ok)
+
+let gate_kind g v =
+  match g.Rgraph.kinds.(v) with
+  | Rgraph.Vgate (k, _) -> Some k
+  | Rgraph.Vpi _ | Rgraph.Vhost -> None
+
+(* Pop the register nearest the head of the edge (last of the tail-first
+   init list). *)
+let pop_head (e : Rgraph.edge) =
+  match List.rev e.Rgraph.inits with
+  | [] -> invalid_arg "Retime: popping an empty edge"
+  | v :: rest ->
+    e.Rgraph.inits <- List.rev rest;
+    e.Rgraph.weight <- e.Rgraph.weight - 1;
+    v
+
+let pop_tail (e : Rgraph.edge) =
+  match e.Rgraph.inits with
+  | [] -> invalid_arg "Retime: popping an empty edge"
+  | v :: rest ->
+    e.Rgraph.inits <- rest;
+    e.Rgraph.weight <- e.Rgraph.weight - 1;
+    v
+
+let push_tail (e : Rgraph.edge) v =
+  e.Rgraph.inits <- v :: e.Rgraph.inits;
+  e.Rgraph.weight <- e.Rgraph.weight + 1
+
+let push_head (e : Rgraph.edge) v =
+  e.Rgraph.inits <- e.Rgraph.inits @ [ v ];
+  e.Rgraph.weight <- e.Rgraph.weight + 1
+
+let apply g rho =
+  if not (is_legal g rho) then invalid_arg "Retime.apply: illegal retiming";
+  let work = Rgraph.copy g in
+  let n = Rgraph.n_vertices work in
+  let rem = Array.copy rho in
+  let progress = ref true in
+  let remaining () = Array.exists (fun r -> r <> 0) rem in
+  while remaining () && !progress do
+    progress := false;
+    for v = 0 to n - 1 do
+      match gate_kind work v with
+      | None -> ()
+      | Some kind ->
+        if rem.(v) < 0 then begin
+          (* forward move: one register from every in-edge to every
+             out-edge, value computed through the gate *)
+          let ins = work.Rgraph.in_edges.(v) in
+          let ready =
+            Array.for_all
+              (fun ei -> work.Rgraph.edges.(ei).Rgraph.weight > 0)
+              ins
+          in
+          if ready then begin
+            let pins =
+              Array.map (fun ei -> pop_head work.Rgraph.edges.(ei)) ins
+            in
+            let value = Logic3.eval kind pins in
+            Array.iter
+              (fun ei -> push_tail work.Rgraph.edges.(ei) value)
+              work.Rgraph.out_edges.(v);
+            rem.(v) <- rem.(v) + 1;
+            progress := true
+          end
+        end
+        else if rem.(v) > 0 then begin
+          (* backward move: justify a register from the outputs back to
+             the inputs *)
+          let outs = work.Rgraph.out_edges.(v) in
+          let ready =
+            Array.for_all
+              (fun ei -> work.Rgraph.edges.(ei).Rgraph.weight > 0)
+              outs
+          in
+          if ready then begin
+            let popped =
+              Array.map (fun ei -> pop_tail work.Rgraph.edges.(ei)) outs
+            in
+            let value =
+              Array.fold_left
+                (fun acc v ->
+                  match acc with
+                  | None -> None
+                  | Some a -> Logic3.meet a v)
+                (Some Logic3.X) popped
+            in
+            let value = match value with Some v -> v | None -> Logic3.X in
+            let arity = Array.length work.Rgraph.in_edges.(v) in
+            let pre =
+              match Logic3.preimage kind arity value with
+              | Some ins -> ins
+              | None -> Array.make arity Logic3.X
+            in
+            Array.iteri
+              (fun pin ei -> push_head work.Rgraph.edges.(ei) pre.(pin))
+              work.Rgraph.in_edges.(v);
+            rem.(v) <- rem.(v) - 1;
+            progress := true
+          end
+        end
+    done
+  done;
+  if remaining () then begin
+    (* Constructive ordering failed (possible when moves interleave
+       through zero-weight regions); fall back to the weight formula.
+       Every edge incident to a lagged vertex has its register contents
+       time-shifted — even at unchanged weight — so only edges between
+       two lag-0 vertices keep their initial values; the rest become X
+       (supplied by the scan chain in hardware). *)
+    let fresh = Rgraph.copy g in
+    Array.iteri
+      (fun i (e : Rgraph.edge) ->
+        if rho.(e.Rgraph.tail) <> 0 || rho.(e.Rgraph.head) <> 0 then begin
+          let w = retimed_weight g rho i in
+          e.Rgraph.weight <- w;
+          e.Rgraph.inits <- List.init w (fun _ -> Logic3.X)
+        end)
+      fresh.Rgraph.edges;
+    fresh
+  end
+  else work
+
+let total_registers_after g rho =
+  let total = ref 0 in
+  Array.iteri (fun i _ -> total := !total + retimed_weight g rho i) g.Rgraph.edges;
+  !total

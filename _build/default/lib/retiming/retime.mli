@@ -1,0 +1,43 @@
+(** Legal retiming (paper Sec. 2.2, after Leiserson & Saxe).
+
+    A retiming is an integer lag [rho] per combinational vertex (primary
+    inputs and the host are pinned at 0: the paper's rho maps C to Z).
+    Edge [e = u -> v] gets the new weight
+    [w_rho e = weight e + rho v - rho u] (Eq. 1); legality demands
+    [w_rho e >= 0] everywhere (Eq. 3), and cycles keep their register
+    count automatically (Eq. 2).
+
+    [solve] finds a legal retiming meeting per-edge minimum register
+    requirements by solving the difference-constraint system
+    [rho u - rho v <= weight e - require e] with Bellman–Ford;
+    infeasibility is reported as the set of vertices on some
+    over-constrained cycle — exactly the loops whose cut count exceeds
+    their register count (chi > f), which the cost model then prices as
+    multiplexed A_CELLs. *)
+
+type outcome =
+  | Feasible of int array      (** rho per vertex; pinned vertices at 0 *)
+  | Infeasible of int list     (** vertices of a negative-weight cycle *)
+
+val solve : Rgraph.t -> require:(int -> int) -> outcome
+(** [solve g ~require] with [require e >= 0] the minimum number of
+    registers wanted on edge [e] after retiming. Use [require = fun _ -> 0]
+    to merely re-check legality of the identity. *)
+
+val retimed_weight : Rgraph.t -> int array -> int -> int
+(** [retimed_weight g rho e] is Eq. 1 for edge [e]. *)
+
+val is_legal : Rgraph.t -> int array -> bool
+(** All retimed weights non-negative and pinned vertices at lag 0. *)
+
+val apply : Rgraph.t -> int array -> Rgraph.t
+(** Rebuild the graph with retimed weights, moving register initial
+    values along by elementary retiming steps: a forward move across a
+    gate computes the new value with {!Logic3.eval}; a backward move
+    justifies it with {!Logic3.preimage} and degrades to X when fanout
+    values disagree. Moves that cannot be ordered constructively fall
+    back to X initial values (in hardware the scan chain supplies
+    those). Raises [Invalid_argument] when [rho] is not legal. *)
+
+val total_registers_after : Rgraph.t -> int array -> int
+(** Per-pin register count after retiming (cheap, does not apply). *)

@@ -1,0 +1,265 @@
+module Gate = Ppet_netlist.Gate
+module Circuit = Ppet_netlist.Circuit
+
+type edge = {
+  tail : int;
+  head : int;
+  mutable weight : int;
+  mutable inits : Logic3.t list;
+}
+
+type vertex_kind =
+  | Vpi of string
+  | Vgate of Gate.kind * string
+  | Vhost
+
+type t = {
+  kinds : vertex_kind array;
+  edges : edge array;
+  out_edges : int array array;
+  in_edges : int array array;
+  host : int;
+}
+
+(* Every all-DFF cycle (a ring of flip-flops with no combinational gate)
+   needs one representative flip-flop "anchored" as a buffer vertex so the
+   collapse terminates; walk the functional graph dff -> dff-fanin with
+   the usual white/gray/black colouring. *)
+let find_anchors (c : Circuit.t) =
+  let n = Circuit.size c in
+  let colour = Array.make n 0 (* 0 white, 1 gray, 2 black *) in
+  let anchored = Array.make n false in
+  let node_kind id = (Circuit.node c id).Circuit.kind in
+  let fanin id = (Circuit.node c id).Circuit.fanins.(0) in
+  let rec walk id trail =
+    if node_kind id <> Gate.Dff || colour.(id) = 2 then
+      List.iter (fun v -> colour.(v) <- 2) trail
+    else if colour.(id) = 1 then begin
+      anchored.(id) <- true;
+      List.iter (fun v -> colour.(v) <- 2) trail;
+      colour.(id) <- 2
+    end
+    else begin
+      colour.(id) <- 1;
+      walk (fanin id) (id :: trail)
+    end
+  in
+  for id = 0 to n - 1 do
+    if node_kind id = Gate.Dff && colour.(id) = 0 then walk id []
+  done;
+  anchored
+
+let of_circuit ?(init = fun _ -> Logic3.Zero) (c : Circuit.t) =
+  let n = Circuit.size c in
+  let anchored = find_anchors c in
+  let vertex_of = Array.make n (-1) in
+  let kinds = ref [] in
+  let n_vertices = ref 0 in
+  let add_vertex k =
+    kinds := k :: !kinds;
+    incr n_vertices;
+    !n_vertices - 1
+  in
+  Array.iter
+    (fun (nd : Circuit.node) ->
+      match nd.Circuit.kind with
+      | Gate.Input -> vertex_of.(nd.Circuit.id) <- add_vertex (Vpi nd.Circuit.name)
+      | Gate.Dff ->
+        if anchored.(nd.Circuit.id) then
+          vertex_of.(nd.Circuit.id) <-
+            add_vertex (Vgate (Gate.Buff, nd.Circuit.name))
+      | Gate.Buff | Gate.Not | Gate.And | Gate.Nand | Gate.Or | Gate.Nor
+      | Gate.Xor | Gate.Xnor ->
+        vertex_of.(nd.Circuit.id) <-
+          add_vertex (Vgate (nd.Circuit.kind, nd.Circuit.name)))
+    c.Circuit.nodes;
+  let host = add_vertex Vhost in
+  let kinds = Array.of_list (List.rev !kinds) in
+  (* Walk a fan-in chain back through flip-flops, accumulating register
+     count and initial values (tail side first). *)
+  let walk_chain start =
+    let rec go cur w vals =
+      let nd = Circuit.node c cur in
+      if nd.Circuit.kind = Gate.Dff then begin
+        let w = w + 1 and vals = init cur :: vals in
+        if anchored.(cur) then (vertex_of.(cur), w, vals)
+        else go nd.Circuit.fanins.(0) w vals
+      end
+      else (vertex_of.(cur), w, vals)
+    in
+    go start 0 []
+  in
+  let edges = ref [] in
+  let n_edges = ref 0 in
+  let add_edge tail head weight inits =
+    edges := { tail; head; weight; inits } :: !edges;
+    incr n_edges
+  in
+  Array.iter
+    (fun (nd : Circuit.node) ->
+      match nd.Circuit.kind with
+      | Gate.Input -> ()
+      | Gate.Dff ->
+        if anchored.(nd.Circuit.id) then begin
+          (* incoming edge of the anchor buffer: the chain behind the
+             anchor's own register *)
+          let tail, w, vals = walk_chain nd.Circuit.fanins.(0) in
+          add_edge tail vertex_of.(nd.Circuit.id) w vals
+        end
+      | Gate.Buff | Gate.Not | Gate.And | Gate.Nand | Gate.Or | Gate.Nor
+      | Gate.Xor | Gate.Xnor ->
+        Array.iter
+          (fun f ->
+            let tail, w, vals = walk_chain f in
+            add_edge tail vertex_of.(nd.Circuit.id) w vals)
+          nd.Circuit.fanins)
+    c.Circuit.nodes;
+  Array.iter
+    (fun po ->
+      let tail, w, vals = walk_chain po in
+      add_edge tail host w vals)
+    c.Circuit.outputs;
+  Array.iter
+    (fun pi -> add_edge host vertex_of.(pi) 0 [])
+    c.Circuit.inputs;
+  let edges = Array.of_list (List.rev !edges) in
+  let nv = Array.length kinds in
+  let out_cnt = Array.make nv 0 and in_cnt = Array.make nv 0 in
+  Array.iter
+    (fun e ->
+      out_cnt.(e.tail) <- out_cnt.(e.tail) + 1;
+      in_cnt.(e.head) <- in_cnt.(e.head) + 1)
+    edges;
+  let out_edges = Array.init nv (fun v -> Array.make out_cnt.(v) 0) in
+  let in_edges = Array.init nv (fun v -> Array.make in_cnt.(v) 0) in
+  let ofill = Array.make nv 0 and ifill = Array.make nv 0 in
+  Array.iteri
+    (fun i e ->
+      out_edges.(e.tail).(ofill.(e.tail)) <- i;
+      ofill.(e.tail) <- ofill.(e.tail) + 1;
+      in_edges.(e.head).(ifill.(e.head)) <- i;
+      ifill.(e.head) <- ifill.(e.head) + 1)
+    edges;
+  { kinds; edges; out_edges; in_edges; host }
+
+let n_vertices g = Array.length g.kinds
+
+let n_registers g = Array.fold_left (fun acc e -> acc + e.weight) 0 g.edges
+
+let copy g =
+  {
+    g with
+    edges =
+      Array.map (fun e -> { e with weight = e.weight; inits = e.inits }) g.edges;
+  }
+
+let vertex_name g v =
+  match g.kinds.(v) with
+  | Vpi name -> name
+  | Vgate (_, name) -> name
+  | Vhost -> "<host>"
+
+let rec last_exn = function
+  | [] -> invalid_arg "Rgraph: empty init list on weighted edge"
+  | [ x ] -> x
+  | _ :: tl -> last_exn tl
+
+let remove_last l =
+  match List.rev l with
+  | [] -> []
+  | _ :: tl -> List.rev tl
+
+let simulate g ~inputs ~cycles =
+  (* run on a private copy: the caller's initial values are not consumed *)
+  let g = copy g in
+  let nv = n_vertices g in
+  let outputs = Array.make (max cycles 0) [] in
+  for cycle = 0 to cycles - 1 do
+    let value = Array.make nv Logic3.X in
+    let state = Array.make nv 0 (* 0 fresh, 1 in progress, 2 done *) in
+    let rec eval_vertex v =
+      match state.(v) with
+      | 2 -> value.(v)
+      | 1 -> invalid_arg "Rgraph.simulate: combinational cycle"
+      | _ ->
+        state.(v) <- 1;
+        let r =
+          match g.kinds.(v) with
+          | Vpi name -> inputs ~cycle name
+          | Vhost -> Logic3.X
+          | Vgate (k, _) ->
+            let pins =
+              Array.map
+                (fun ei ->
+                  let e = g.edges.(ei) in
+                  if e.weight = 0 then eval_vertex e.tail
+                  else last_exn e.inits)
+                g.in_edges.(v)
+            in
+            Logic3.eval k pins
+        in
+        state.(v) <- 2;
+        value.(v) <- r;
+        r
+    in
+    let po_values =
+      Array.to_list
+        (Array.map
+           (fun ei ->
+             let e = g.edges.(ei) in
+             let v =
+               if e.weight = 0 then eval_vertex e.tail else last_exn e.inits
+             in
+             (vertex_name g e.tail, v))
+           g.in_edges.(g.host))
+    in
+    outputs.(cycle) <- po_values;
+    (* Evaluate every weighted edge's tail BEFORE any register shifts:
+       a lazy evaluation during the shift loop would read registers that
+       have already advanced to the next cycle. *)
+    Array.iter
+      (fun e ->
+        if e.weight > 0 then
+          match g.kinds.(e.tail) with
+          | Vhost -> ()
+          | Vpi _ | Vgate _ -> ignore (eval_vertex e.tail))
+      g.edges;
+    (* shift registers at the cycle boundary *)
+    Array.iter
+      (fun e ->
+        if e.weight > 0 then begin
+          let tail_value =
+            match g.kinds.(e.tail) with
+            | Vhost -> Logic3.X
+            | Vpi _ | Vgate _ -> value.(e.tail)
+          in
+          e.inits <- tail_value :: remove_last e.inits
+        end)
+      g.edges
+  done;
+  outputs
+
+let check_invariants g =
+  let problem = ref None in
+  let fail fmt = Printf.ksprintf (fun s -> if !problem = None then problem := Some s) fmt in
+  Array.iteri
+    (fun i e ->
+      if e.weight < 0 then fail "edge %d: negative weight" i;
+      if List.length e.inits <> e.weight then
+        fail "edge %d: %d inits for weight %d" i (List.length e.inits) e.weight;
+      if e.tail < 0 || e.tail >= n_vertices g then fail "edge %d: bad tail" i;
+      if e.head < 0 || e.head >= n_vertices g then fail "edge %d: bad head" i)
+    g.edges;
+  Array.iteri
+    (fun v k ->
+      match k with
+      | Vgate (kind, name) ->
+        let pins = Array.length g.in_edges.(v) in
+        if not (Gate.arity_ok kind pins) then
+          fail "vertex %s: %s with %d pins" name (Gate.name kind) pins
+      | Vpi name ->
+        if Array.length g.in_edges.(v) <> 1 then
+          fail "primary input %s: expected exactly the host edge" name
+      | Vhost -> ())
+    g.kinds;
+  match !problem with None -> Ok () | Some msg -> Error msg

@@ -1,0 +1,66 @@
+(** Collapsed retiming graph in the Leiserson–Saxe style (paper Sec. 2.2).
+
+    Vertices are the primary inputs, the combinational gates, and one
+    {e host} vertex standing for the environment; flip-flops disappear
+    into integer edge weights ([weight e] = number of registers between
+    the tail's output and the head's input pin). Each register carries a
+    three-valued initial value, tail side first, so a retiming can move
+    reset states along with the registers.
+
+    Edges are per input pin: a gate reading two signals has two incoming
+    edges, and a fanout of k produces k edges (the multi-pin sharing of
+    the physical register file is an area concern handled by the cost
+    model, not here). *)
+
+type edge = {
+  tail : int;
+  head : int;
+  mutable weight : int;
+  mutable inits : Logic3.t list;  (** length [weight], tail side first *)
+}
+
+type vertex_kind =
+  | Vpi of string    (** primary input with its signal name *)
+  | Vgate of Ppet_netlist.Gate.kind * string
+  | Vhost
+
+type t = {
+  kinds : vertex_kind array;
+  edges : edge array;
+  out_edges : int array array;  (** vertex -> edge indexes (tail here) *)
+  in_edges : int array array;   (** vertex -> edge indexes (head here), in
+                                    fan-in pin order for gate vertices *)
+  host : int;
+}
+
+val of_circuit : ?init:(int -> Logic3.t) -> Ppet_netlist.Circuit.t -> t
+(** Collapse DFF chains into weighted edges. [init] gives the initial
+    value of each DFF by node id (default: all [Zero], the customary
+    ISCAS89 reset). Primary outputs become zero-weight edges into the
+    host; the host drives every primary input with a zero-weight edge.
+    Isolated flip-flop self-chains are preserved through their reader
+    pins. *)
+
+val n_vertices : t -> int
+
+val n_registers : t -> int
+(** Total edge weight. Because edges are per input pin, a flip-flop read
+    by k pins contributes k — an upper bound on physical registers. *)
+
+val copy : t -> t
+(** Deep copy (weights and init lists are per-copy mutable). *)
+
+val vertex_name : t -> int -> string
+
+val simulate : t -> inputs:(cycle:int -> string -> Logic3.t) -> cycles:int ->
+  (string * Logic3.t) list array
+(** Cycle-accurate 3-valued simulation (non-destructive: runs on an
+    internal copy). Returns, for each cycle, the primary-output values
+    (name = driving vertex name). Registers start at their [inits]; gate
+    evaluation is combinational within a cycle; registers shift at the
+    cycle boundary. Raises [Invalid_argument] if the zero-weight
+    subgraph is cyclic (no legal circuit produces that). *)
+
+val check_invariants : t -> (unit, string) result
+(** Structural sanity: init-list lengths match weights, pin counts match
+    gate arities, weights non-negative. *)

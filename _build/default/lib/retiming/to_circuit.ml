@@ -1,0 +1,138 @@
+module Circuit = Ppet_netlist.Circuit
+module Gate = Ppet_netlist.Gate
+
+type emitted = {
+  circuit : Circuit.t;
+  register_inits : (string * Logic3.t) list;
+}
+
+(* A register chain under construction for one driver: mutable values
+   (meet-refined as edges share it) and the eventual register names. *)
+type chain = {
+  mutable values : Logic3.t array;
+  base : string;  (* name prefix *)
+  id : int;
+}
+
+(* Two registers may share a chain position only when their initial
+   values are IDENTICAL. X is "unknown but specific", not a free choice:
+   refining an X against a concrete value (or unifying two independent
+   unknowns) would commit the emitted netlist to behaviour the retimed
+   graph never justified. *)
+let compatible_prefix chain inits =
+  let w = List.length inits in
+  let upto = min w (Array.length chain.values) in
+  let rec check i = function
+    | [] -> true
+    | v :: tl ->
+      if i >= upto then true
+      else if Logic3.equal chain.values.(i) v && not (Logic3.equal v Logic3.X)
+      then check (i + 1) tl
+      else false
+  in
+  check 0 inits
+
+let absorb chain inits =
+  let w = List.length inits in
+  let len = Array.length chain.values in
+  if w > len then begin
+    let bigger = Array.make w Logic3.X in
+    Array.blit chain.values 0 bigger 0 len;
+    chain.values <- bigger
+  end;
+  (* guarded by compatible_prefix: overlapping positions already equal *)
+  List.iteri (fun i v -> if i >= len then chain.values.(i) <- v) inits
+
+let reg_name chain j = Printf.sprintf "%s__r%d_%d" chain.base chain.id j
+
+let circuit_of ?(title = "retimed") (g : Rgraph.t) =
+  (match Rgraph.check_invariants g with
+   | Ok () -> ()
+   | Error msg -> invalid_arg ("To_circuit.circuit_of: " ^ msg));
+  let nv = Rgraph.n_vertices g in
+  (* build shared chains per tail vertex *)
+  let chains_of_tail : (int, chain list ref) Hashtbl.t = Hashtbl.create 64 in
+  let chain_counter = ref 0 in
+  let edge_chain = Array.make (Array.length g.Rgraph.edges) None in
+  Array.iteri
+    (fun ei (e : Rgraph.edge) ->
+      if e.Rgraph.weight > 0 then begin
+        let lst =
+          match Hashtbl.find_opt chains_of_tail e.Rgraph.tail with
+          | Some l -> l
+          | None ->
+            let l = ref [] in
+            Hashtbl.replace chains_of_tail e.Rgraph.tail l;
+            l
+        in
+        let chain =
+          match List.find_opt (fun ch -> compatible_prefix ch e.Rgraph.inits) !lst with
+          | Some ch -> ch
+          | None ->
+            incr chain_counter;
+            let ch =
+              {
+                values = [||];
+                base = Rgraph.vertex_name g e.Rgraph.tail;
+                id = !chain_counter;
+              }
+            in
+            lst := ch :: !lst;
+            ch
+        in
+        absorb chain e.Rgraph.inits;
+        edge_chain.(ei) <- Some chain
+      end)
+    g.Rgraph.edges;
+  (* signal name an edge's head pin reads *)
+  let pin_signal ei =
+    let e = g.Rgraph.edges.(ei) in
+    match edge_chain.(ei) with
+    | None -> Rgraph.vertex_name g e.Rgraph.tail
+    | Some chain -> reg_name chain e.Rgraph.weight
+  in
+  let b = Circuit.Builder.create title in
+  let register_inits = ref [] in
+  (* vertices *)
+  for v = 0 to nv - 1 do
+    match g.Rgraph.kinds.(v) with
+    | Rgraph.Vhost -> ()
+    | Rgraph.Vpi name -> Circuit.Builder.add_input b name
+    | Rgraph.Vgate (kind, name) ->
+      let fanins =
+        Array.to_list (Array.map pin_signal g.Rgraph.in_edges.(v))
+      in
+      Circuit.Builder.add_gate b ~name ~kind ~fanins
+  done;
+  (* register chains *)
+  Hashtbl.iter
+    (fun tail lst ->
+      let driver = Rgraph.vertex_name g tail in
+      List.iter
+        (fun chain ->
+          Array.iteri
+            (fun j v ->
+              let name = reg_name chain (j + 1) in
+              let fanin = if j = 0 then driver else reg_name chain j in
+              Circuit.Builder.add_gate b ~name ~kind:Gate.Dff
+                ~fanins:[ fanin ];
+              register_inits := (name, v) :: !register_inits)
+            chain.values)
+        !lst)
+    chains_of_tail;
+  (* primary outputs: the host's in-edges *)
+  Array.iter
+    (fun ei -> Circuit.Builder.add_output b (pin_signal ei))
+    g.Rgraph.in_edges.(g.Rgraph.host);
+  let circuit = Circuit.Builder.finish b in
+  { circuit; register_inits = !register_inits }
+
+let init_fn emitted =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (name, v) ->
+      match Circuit.find emitted.circuit name with
+      | id -> Hashtbl.replace tbl id v
+      | exception Not_found -> ())
+    emitted.register_inits;
+  fun id -> match Hashtbl.find_opt tbl id with Some v -> v | None -> Logic3.X

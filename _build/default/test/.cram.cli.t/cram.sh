@@ -1,0 +1,12 @@
+  $ MERCED=../../bin/merced.exe
+  $ $MERCED stats s27
+  $ $MERCED partition s27 --lk 3 | grep -v "CPU:"
+  $ $MERCED partition s27 --lk 3 --csv | head -1
+  $ $MERCED generate s510 -o s510.bench
+  $ $MERCED stats s510.bench | head -2
+  $ $MERCED selftest s27 --lk 4 | head -3
+  $ $MERCED insert s27 --lk 3 -o testable.bench | head -1
+  $ $MERCED stats testable.bench | sed -n 2p
+  $ $MERCED retime s27 --lk 3 -o retimed.bench
+  $ $MERCED stats nosuch 2>&1 | head -1 | cut -c1-30
+  $ $MERCED stats nosuch; echo "exit $?"

@@ -1,0 +1,1 @@
+test/test_aliasing.ml: Alcotest Ppet_bist Printf

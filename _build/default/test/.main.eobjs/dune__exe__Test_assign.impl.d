@@ -1,0 +1,1 @@
+test/test_assign.ml: Alcotest Array Int64 List Ppet_core Ppet_digraph Ppet_netlist Ppet_retiming QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array List Ppet_core Ppet_digraph Ppet_netlist

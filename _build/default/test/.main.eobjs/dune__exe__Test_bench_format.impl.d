@@ -1,0 +1,1 @@
+test/test_bench_format.ml: Alcotest Array Filename Int64 List Ppet_netlist QCheck QCheck_alcotest String Sys

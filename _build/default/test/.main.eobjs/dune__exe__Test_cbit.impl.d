@@ -1,0 +1,1 @@
+test/test_cbit.ml: Alcotest Array List Ppet_bist Printf

@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Array Int64 List Ppet_core Ppet_digraph Ppet_netlist Ppet_retiming Printf QCheck QCheck_alcotest

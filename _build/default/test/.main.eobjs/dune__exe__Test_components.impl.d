@@ -1,0 +1,1 @@
+test/test_components.ml: Alcotest Array Ppet_digraph

@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Array List Ppet_core Ppet_netlist Ppet_retiming

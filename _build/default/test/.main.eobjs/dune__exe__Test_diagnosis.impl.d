@@ -1,0 +1,1 @@
+test/test_diagnosis.ml: Alcotest Array List Ppet_bist Ppet_netlist Printf

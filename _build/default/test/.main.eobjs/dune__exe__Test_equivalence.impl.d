@@ -1,0 +1,1 @@
+test/test_equivalence.ml: Alcotest Int64 Ppet_core Ppet_netlist Ppet_retiming QCheck QCheck_alcotest

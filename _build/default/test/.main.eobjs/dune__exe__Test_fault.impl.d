@@ -1,0 +1,1 @@
+test/test_fault.ml: Alcotest List Ppet_bist Ppet_netlist

@@ -1,0 +1,1 @@
+test/test_fault_sim.ml: Alcotest Array List Ppet_bist Ppet_netlist

@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Ppet_core Ppet_digraph Ppet_netlist Ppet_retiming Printf

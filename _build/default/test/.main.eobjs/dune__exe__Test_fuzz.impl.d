@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Buffer Bytes Char Int64 List Ppet_digraph Ppet_netlist QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_gate.ml: Alcotest Array Int64 List Ppet_digraph Ppet_netlist QCheck QCheck_alcotest

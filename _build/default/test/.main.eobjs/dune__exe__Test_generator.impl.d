@@ -1,0 +1,1 @@
+test/test_generator.ml: Alcotest Array List Ppet_digraph Ppet_netlist Ppet_retiming Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_gf2.ml: Alcotest Format Ppet_bist Printf QCheck QCheck_alcotest

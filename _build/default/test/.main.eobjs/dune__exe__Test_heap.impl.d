@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Array Gen Int64 List Ppet_digraph QCheck QCheck_alcotest

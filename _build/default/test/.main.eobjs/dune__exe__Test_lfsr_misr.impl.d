@@ -1,0 +1,1 @@
+test/test_lfsr_misr.ml: Alcotest Array Gen List Ppet_bist Printf QCheck QCheck_alcotest

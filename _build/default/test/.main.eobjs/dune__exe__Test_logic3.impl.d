@@ -1,0 +1,1 @@
+test/test_logic3.ml: Alcotest Array Gen List Ppet_netlist Ppet_retiming Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_merced.ml: Alcotest Array Lazy List Ppet_bist Ppet_core Ppet_netlist String

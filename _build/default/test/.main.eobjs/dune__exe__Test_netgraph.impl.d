@@ -1,0 +1,1 @@
+test/test_netgraph.ml: Alcotest Array Ppet_digraph

@@ -1,0 +1,1 @@
+test/test_params_report.ml: Alcotest Format List Ppet_core Ppet_netlist String

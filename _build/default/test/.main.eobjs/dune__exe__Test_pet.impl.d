@@ -1,0 +1,1 @@
+test/test_pet.ml: Alcotest Array Format Int64 List Ppet_bist Ppet_netlist Printf QCheck QCheck_alcotest String

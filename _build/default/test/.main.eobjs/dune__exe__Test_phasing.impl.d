@@ -1,0 +1,1 @@
+test/test_phasing.ml: Alcotest Array Format List Ppet_bist Ppet_core Ppet_netlist Printf String

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Format List Ppet_bist String

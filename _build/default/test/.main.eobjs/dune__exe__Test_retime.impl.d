@@ -1,0 +1,1 @@
+test/test_retime.ml: Alcotest Array Hashtbl Int64 List Ppet_digraph Ppet_netlist Ppet_retiming QCheck QCheck_alcotest

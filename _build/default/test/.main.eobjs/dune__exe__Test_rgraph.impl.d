@@ -1,0 +1,1 @@
+test/test_rgraph.ml: Alcotest Array List Ppet_bist Ppet_netlist Ppet_retiming Printf

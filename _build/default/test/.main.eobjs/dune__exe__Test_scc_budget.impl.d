@@ -1,0 +1,1 @@
+test/test_scc_budget.ml: Alcotest Array Ppet_digraph Ppet_netlist Ppet_retiming

@@ -1,0 +1,1 @@
+test/test_segment.ml: Alcotest Array List Ppet_netlist

@@ -1,0 +1,1 @@
+test/test_session.ml: Alcotest Lazy List Ppet_bist Ppet_core Ppet_netlist

@@ -1,0 +1,1 @@
+test/test_simulator.ml: Alcotest Array Hashtbl Int64 List Ppet_bist Ppet_digraph Ppet_netlist QCheck QCheck_alcotest

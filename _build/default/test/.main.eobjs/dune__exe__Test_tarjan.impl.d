@@ -1,0 +1,1 @@
+test/test_tarjan.ml: Alcotest Array Int64 List Ppet_digraph QCheck QCheck_alcotest

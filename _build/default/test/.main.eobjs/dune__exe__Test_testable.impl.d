@@ -1,0 +1,1 @@
+test/test_testable.ml: Alcotest Array Hashtbl Int64 Lazy List Ppet_bist Ppet_core Ppet_digraph Ppet_netlist Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_to_circuit.ml: Alcotest Array Hashtbl Int64 List Ppet_digraph Ppet_netlist Ppet_retiming Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_to_dot.ml: Alcotest Array List Ppet_core Ppet_digraph Ppet_netlist String

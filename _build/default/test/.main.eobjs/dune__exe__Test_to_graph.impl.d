@@ -1,0 +1,1 @@
+test/test_to_graph.ml: Alcotest Array List Ppet_digraph Ppet_netlist

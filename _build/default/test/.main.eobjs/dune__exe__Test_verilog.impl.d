@@ -1,0 +1,1 @@
+test/test_verilog.ml: Alcotest Array Filename Int64 Ppet_core Ppet_netlist QCheck QCheck_alcotest Sys

@@ -1,0 +1,54 @@
+module Aliasing = Ppet_bist.Aliasing
+
+let test_probability () =
+  Alcotest.(check (float 1e-12)) "2^-8" (1.0 /. 256.0) (Aliasing.probability ~width:8);
+  Alcotest.(check (float 1e-12)) "2^-16" (1.0 /. 65536.0) (Aliasing.probability ~width:16)
+
+let test_finite_edges () =
+  Alcotest.(check (float 1e-12)) "no words" 1.0
+    (Aliasing.probability_finite ~width:8 ~cycles:0);
+  Alcotest.(check (float 1e-12)) "one word" 0.0
+    (Aliasing.probability_finite ~width:8 ~cycles:1)
+
+let test_finite_small_exact () =
+  (* width 1, 2 words: streams 01,10,11; aliasing (nonzero -> 0): 11
+     compresses to shift(1) xor 1 = 1 xor 1 = 0 -> 1 of 3 *)
+  Alcotest.(check (float 1e-12)) "k=1 m=2" (1.0 /. 3.0)
+    (Aliasing.probability_finite ~width:1 ~cycles:2)
+
+let test_finite_tends_to_asymptotic () =
+  let p = Aliasing.probability_finite ~width:8 ~cycles:1000 in
+  Alcotest.(check (float 1e-6)) "converges" (Aliasing.probability ~width:8) p;
+  Alcotest.(check bool) "from below" true (p <= Aliasing.probability ~width:8)
+
+let test_monte_carlo_agrees () =
+  let measured =
+    Aliasing.escape_rate ~width:6 ~trials:60_000 ~seed:11L ~burst:20
+  in
+  let expect = Aliasing.probability ~width:6 in
+  Alcotest.(check bool)
+    (Printf.sprintf "measured %.5f vs %.5f" measured expect)
+    true
+    (abs_float (measured -. expect) < 0.006)
+
+let test_recommended_width () =
+  (* union bound: 100 segments below 1e-4 needs 2^-w <= 1e-6: w = 20 *)
+  Alcotest.(check int) "width" 20
+    (Aliasing.recommended_width ~segments:100 ~target:1e-4);
+  Alcotest.(check int) "one segment 1%" 7
+    (Aliasing.recommended_width ~segments:1 ~target:0.01);
+  Alcotest.(check bool) "unreachable" true
+    (try
+       ignore (Aliasing.recommended_width ~segments:1 ~target:1e-12);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "asymptotic probability" `Quick test_probability;
+    Alcotest.test_case "finite stream edges" `Quick test_finite_edges;
+    Alcotest.test_case "finite small exact" `Quick test_finite_small_exact;
+    Alcotest.test_case "finite tends to 2^-k" `Quick test_finite_tends_to_asymptotic;
+    Alcotest.test_case "Monte-Carlo agrees" `Slow test_monte_carlo_agrees;
+    Alcotest.test_case "recommended width" `Quick test_recommended_width;
+  ]

@@ -1,0 +1,116 @@
+module Baseline_random = Ppet_core.Baseline_random
+module Baseline_annealing = Ppet_core.Baseline_annealing
+module Assign = Ppet_core.Assign
+module Params = Ppet_core.Params
+module Merced = Ppet_core.Merced
+module Netgraph = Ppet_digraph.Netgraph
+module Prng = Ppet_digraph.Prng
+module To_graph = Ppet_netlist.To_graph
+module Generator = Ppet_netlist.Generator
+module S27 = Ppet_netlist.S27
+
+let params = { Params.default with Params.l_k = 4 }
+
+let check_valid g l_k (a : Assign.t) =
+  let seen = Array.make (Netgraph.n_nodes g) 0 in
+  List.iter
+    (fun p -> Array.iter (fun v -> seen.(v) <- seen.(v) + 1) p.Assign.vertices)
+    a.Assign.partitions;
+  Alcotest.(check bool) "covers once" true (Array.for_all (fun k -> k = 1) seen);
+  List.iter
+    (fun p ->
+      if not p.Assign.oversize then
+        Alcotest.(check bool) "iota ok" true (p.Assign.input_count <= l_k))
+    a.Assign.partitions
+
+let test_random_valid () =
+  let c = S27.circuit () in
+  let g = To_graph.partition_view c in
+  let a = Baseline_random.run c g params (Prng.create 3L) in
+  check_valid g params.Params.l_k a
+
+let test_random_deterministic () =
+  let c = S27.circuit () in
+  let g = To_graph.partition_view c in
+  let a = Baseline_random.run c g params (Prng.create 3L) in
+  let b = Baseline_random.run c g params (Prng.create 3L) in
+  Alcotest.(check int) "same cuts" (List.length a.Assign.cut_nets)
+    (List.length b.Assign.cut_nets)
+
+let test_annealing_valid () =
+  let c = S27.circuit () in
+  let g = To_graph.partition_view c in
+  let s =
+    Baseline_annealing.run ~initial_temp:2.0 ~cooling:0.7 ~moves_per_temp:200
+      c g params (Prng.create 3L)
+  in
+  check_valid g params.Params.l_k s.Baseline_annealing.result;
+  Alcotest.(check bool) "tried moves" true (s.Baseline_annealing.moves_tried > 0)
+
+let test_annealing_improves_on_random () =
+  let c = Generator.small_random ~seed:13L ~n_pi:6 ~n_dff:5 ~n_gates:60 in
+  let g = To_graph.partition_view c in
+  let random = Baseline_random.run c g params (Prng.create 5L) in
+  let annealed =
+    Baseline_annealing.run ~initial_temp:3.0 ~cooling:0.8 ~moves_per_temp:400
+      c g params (Prng.create 5L)
+  in
+  Alcotest.(check bool) "annealing not worse" true
+    (List.length annealed.Baseline_annealing.result.Assign.cut_nets
+     <= List.length random.Assign.cut_nets)
+
+let test_merced_beats_random () =
+  (* the headline ablation: flow-based clustering cuts fewer nets than
+     random growth at the same constraint *)
+  let c = Generator.small_random ~seed:21L ~n_pi:6 ~n_dff:6 ~n_gates:80 in
+  let g = To_graph.partition_view c in
+  let random = Baseline_random.run c g params (Prng.create 9L) in
+  let merced = Merced.run ~params c in
+  Alcotest.(check bool) "merced cuts fewer" true
+    (List.length merced.Merced.assignment.Assign.cut_nets
+     <= List.length random.Assign.cut_nets)
+
+let suite =
+  [
+    Alcotest.test_case "random baseline valid" `Quick test_random_valid;
+    Alcotest.test_case "random deterministic" `Quick test_random_deterministic;
+    Alcotest.test_case "annealing valid" `Quick test_annealing_valid;
+    Alcotest.test_case "annealing >= random" `Slow test_annealing_improves_on_random;
+    Alcotest.test_case "merced >= random" `Slow test_merced_beats_random;
+  ]
+
+(* appended: Fiduccia-Mattheyses baseline *)
+module Baseline_fm = Ppet_core.Baseline_fm
+
+let test_fm_valid () =
+  let c = S27.circuit () in
+  let g = To_graph.partition_view c in
+  let s = Baseline_fm.run c g params (Prng.create 3L) in
+  check_valid g params.Params.l_k s.Baseline_fm.result;
+  Alcotest.(check bool) "ran passes" true (s.Baseline_fm.passes >= 1)
+
+let test_fm_improves_on_random () =
+  let c = Generator.small_random ~seed:13L ~n_pi:6 ~n_dff:5 ~n_gates:60 in
+  let g = To_graph.partition_view c in
+  let random = Baseline_random.run c g params (Prng.create 5L) in
+  let fm = Baseline_fm.run c g params (Prng.create 5L) in
+  Alcotest.(check bool) "fm not worse" true
+    (List.length fm.Baseline_fm.result.Assign.cut_nets
+     <= List.length random.Assign.cut_nets)
+
+let test_fm_deterministic () =
+  let c = S27.circuit () in
+  let g = To_graph.partition_view c in
+  let a = Baseline_fm.run c g params (Prng.create 9L) in
+  let b = Baseline_fm.run c g params (Prng.create 9L) in
+  Alcotest.(check int) "same cuts"
+    (List.length a.Baseline_fm.result.Assign.cut_nets)
+    (List.length b.Baseline_fm.result.Assign.cut_nets)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "FM baseline valid" `Quick test_fm_valid;
+      Alcotest.test_case "FM >= random" `Slow test_fm_improves_on_random;
+      Alcotest.test_case "FM deterministic" `Quick test_fm_deterministic;
+    ]

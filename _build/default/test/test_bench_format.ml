@@ -1,0 +1,135 @@
+module Circuit = Ppet_netlist.Circuit
+module Gate = Ppet_netlist.Gate
+module Parser = Ppet_netlist.Bench_parser
+module Writer = Ppet_netlist.Bench_writer
+module Lexer = Ppet_netlist.Bench_lexer
+module S27 = Ppet_netlist.S27
+module Generator = Ppet_netlist.Generator
+
+let test_lexer_tokens () =
+  let l = Lexer.of_string "G1 = AND(G2, G3) # comment\nINPUT(G2)" in
+  Alcotest.(check bool) "ident" true (Lexer.next l = Lexer.Ident "G1");
+  Alcotest.(check bool) "equal" true (Lexer.next l = Lexer.Equal);
+  Alcotest.(check bool) "and" true (Lexer.next l = Lexer.Ident "AND");
+  Alcotest.(check bool) "lparen" true (Lexer.next l = Lexer.Lparen);
+  Alcotest.(check bool) "g2" true (Lexer.next l = Lexer.Ident "G2");
+  Alcotest.(check bool) "comma" true (Lexer.next l = Lexer.Comma);
+  Alcotest.(check bool) "g3" true (Lexer.next l = Lexer.Ident "G3");
+  Alcotest.(check bool) "rparen" true (Lexer.next l = Lexer.Rparen);
+  (* comment swallowed *)
+  Alcotest.(check bool) "input" true (Lexer.next l = Lexer.Ident "INPUT")
+
+let test_lexer_peek () =
+  let l = Lexer.of_string "abc def" in
+  Alcotest.(check bool) "peek" true (Lexer.peek l = Lexer.Ident "abc");
+  Alcotest.(check bool) "peek stable" true (Lexer.peek l = Lexer.Ident "abc");
+  Alcotest.(check bool) "next" true (Lexer.next l = Lexer.Ident "abc");
+  Alcotest.(check bool) "advances" true (Lexer.next l = Lexer.Ident "def");
+  Alcotest.(check bool) "eof" true (Lexer.next l = Lexer.Eof)
+
+let test_lexer_illegal_char () =
+  let l = Lexer.of_string "a ; b" in
+  ignore (Lexer.next l);
+  Alcotest.(check bool) "illegal" true
+    (try
+       ignore (Lexer.next l);
+       false
+     with Circuit.Error msg -> String.length msg > 0 && String.sub msg 0 8 = "<string>")
+
+let test_parse_s27 () =
+  let c = Parser.parse_string ~title:"s27" S27.text in
+  Alcotest.(check int) "nodes" 17 (Circuit.size c);
+  let g9 = Circuit.node c (Circuit.find c "G9") in
+  Alcotest.(check bool) "g9 nand" true (g9.Circuit.kind = Gate.Nand)
+
+let test_parse_case_insensitive_keywords () =
+  let c = Parser.parse_string "input(a)\noutput(y)\ny = not(a)" in
+  Alcotest.(check int) "nodes" 2 (Circuit.size c)
+
+let test_parse_whitespace_insensitive () =
+  let c = Parser.parse_string "INPUT(a) OUTPUT(y) y=NOT( a )" in
+  Alcotest.(check int) "nodes" 2 (Circuit.size c)
+
+let test_parse_unknown_gate () =
+  Alcotest.(check bool) "unknown gate" true
+    (try
+       ignore (Parser.parse_string "INPUT(a)\ny = FROB(a)");
+       false
+     with Circuit.Error msg ->
+       (* position + message *)
+       String.length msg > 0)
+
+let test_parse_syntax_error_position () =
+  Alcotest.(check bool) "line reported" true
+    (try
+       ignore (Parser.parse_string ~file:"t.bench" "INPUT(a)\ny = AND(a,)\n");
+       false
+     with Circuit.Error msg ->
+       (* the error mentions the file *)
+       String.length msg >= 7 && String.sub msg 0 7 = "t.bench")
+
+let test_parse_missing_paren () =
+  Alcotest.(check bool) "missing paren" true
+    (try
+       ignore (Parser.parse_string "INPUT a)");
+       false
+     with Circuit.Error _ -> true)
+
+let test_roundtrip_s27 () =
+  let c = S27.circuit () in
+  let c2 = Parser.parse_string ~title:"s27" (Writer.to_string c) in
+  Alcotest.(check int) "same size" (Circuit.size c) (Circuit.size c2);
+  Alcotest.(check (float 1e-9)) "same area" (Circuit.area c) (Circuit.area c2);
+  (* same structure signal by signal *)
+  Array.iter
+    (fun (nd : Circuit.node) ->
+      let nd2 = Circuit.node c2 (Circuit.find c2 nd.Circuit.name) in
+      Alcotest.(check bool) ("kind of " ^ nd.Circuit.name) true
+        (nd.Circuit.kind = nd2.Circuit.kind);
+      let names c nd =
+        List.map
+          (fun f -> (Circuit.node c f).Circuit.name)
+          (Array.to_list nd.Circuit.fanins)
+      in
+      Alcotest.(check (list string)) ("fanins of " ^ nd.Circuit.name)
+        (names c nd) (names c2 nd2))
+    c.Circuit.nodes
+
+let test_file_io () =
+  let path = Filename.temp_file "ppet" ".bench" in
+  Writer.to_file path (S27.circuit ());
+  let c = Parser.parse_file path in
+  Sys.remove path;
+  Alcotest.(check int) "parsed back" 17 (Circuit.size c);
+  Alcotest.(check bool) "title from filename" true
+    (String.length c.Circuit.title > 0)
+
+(* property: writer/parser roundtrip on generated circuits *)
+let prop_roundtrip =
+  QCheck.Test.make ~name:"write/parse roundtrip on random circuits" ~count:30
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let c =
+        Generator.small_random ~seed:(Int64.of_int (seed + 3)) ~n_pi:4 ~n_dff:5
+          ~n_gates:40
+      in
+      let c2 = Parser.parse_string (Writer.to_string c) in
+      Circuit.size c = Circuit.size c2
+      && Circuit.area c = Circuit.area c2
+      && Array.length c.Circuit.outputs = Array.length c2.Circuit.outputs)
+
+let suite =
+  [
+    Alcotest.test_case "lexer tokens" `Quick test_lexer_tokens;
+    Alcotest.test_case "lexer peek" `Quick test_lexer_peek;
+    Alcotest.test_case "lexer rejects illegal chars" `Quick test_lexer_illegal_char;
+    Alcotest.test_case "parse s27" `Quick test_parse_s27;
+    Alcotest.test_case "keywords case-insensitive" `Quick test_parse_case_insensitive_keywords;
+    Alcotest.test_case "whitespace-insensitive" `Quick test_parse_whitespace_insensitive;
+    Alcotest.test_case "unknown gate rejected" `Quick test_parse_unknown_gate;
+    Alcotest.test_case "error carries position" `Quick test_parse_syntax_error_position;
+    Alcotest.test_case "missing paren rejected" `Quick test_parse_missing_paren;
+    Alcotest.test_case "s27 roundtrip" `Quick test_roundtrip_s27;
+    Alcotest.test_case "file io" `Quick test_file_io;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+  ]

@@ -1,0 +1,149 @@
+module Cbit = Ppet_bist.Cbit
+module Acell = Ppet_bist.Acell
+module Lfsr = Ppet_bist.Lfsr
+module Misr = Ppet_bist.Misr
+module Scan_chain = Ppet_bist.Scan_chain
+
+let test_acell_areas () =
+  (* Fig. 3: A_CELL = 1.9 DFF; +MUX = 2.3; converted = 0.9 *)
+  Alcotest.(check (float 1e-9)) "fresh" 1.9 (Acell.relative_area Acell.Fresh);
+  Alcotest.(check (float 1e-9)) "muxed" 2.3 (Acell.relative_area Acell.Fresh_with_mux);
+  Alcotest.(check (float 1e-9)) "converted" 0.9 (Acell.relative_area Acell.Converted);
+  Alcotest.(check (float 1e-9)) "units" 23.0 (Acell.area_units Acell.Fresh_with_mux)
+
+let test_acell_modes () =
+  let next = Acell.next_bit ~data_in:true ~feedback:false ~scan_in:false ~current:false in
+  Alcotest.(check bool) "normal latches data" true (next Acell.Normal);
+  Alcotest.(check bool) "tpg latches feedback" false (next Acell.Tpg);
+  Alcotest.(check bool) "psa xors" true (next Acell.Psa);
+  Alcotest.(check bool) "scan shifts" false (next Acell.Scan)
+
+let test_cbit_tpg_equals_lfsr () =
+  let cb = Cbit.create ~width:8 () in
+  Cbit.load cb 1;
+  Cbit.set_mode cb Acell.Tpg;
+  let l = Lfsr.create ~width:8 () in
+  for i = 1 to 100 do
+    Cbit.clock cb ();
+    Alcotest.(check int) (Printf.sprintf "step %d" i) (Lfsr.step l) (Cbit.state cb)
+  done
+
+let test_cbit_psa_equals_misr () =
+  let cb = Cbit.create ~width:8 () in
+  Cbit.set_mode cb Acell.Psa;
+  let m = Misr.create ~width:8 () in
+  List.iter
+    (fun w ->
+      Cbit.clock cb ~data:w ();
+      Alcotest.(check int) "psa = misr" (Misr.absorb m w) (Cbit.state cb))
+    [ 17; 0; 255; 3; 128; 77 ]
+
+let test_cbit_normal_transparent () =
+  let cb = Cbit.create ~width:8 () in
+  Cbit.clock cb ~data:0xAB ();
+  Alcotest.(check int) "latches data" 0xAB (Cbit.state cb)
+
+let test_cbit_dual_mode_switch () =
+  (* the same register generates, then compresses — the PPET trick *)
+  let cb = Cbit.create ~width:4 () in
+  Cbit.load cb 1;
+  Cbit.set_mode cb Acell.Tpg;
+  for _ = 1 to 5 do
+    Cbit.clock cb ()
+  done;
+  let after_tpg = Cbit.state cb in
+  Cbit.set_mode cb Acell.Psa;
+  Cbit.clock cb ~data:0xF ();
+  Alcotest.(check bool) "state evolved" true (Cbit.state cb <> after_tpg)
+
+let test_cost_table_values () =
+  (* Table 1 rows verbatim *)
+  let row i = Cbit.cost_table.(i) in
+  Alcotest.(check int) "d1 length" 4 (row 0).Cbit.length;
+  Alcotest.(check (float 1e-9)) "d1 area" 8.14 (row 0).Cbit.area_per_dff;
+  Alcotest.(check (float 1e-9)) "d4 area" 32.21 (row 3).Cbit.area_per_dff;
+  Alcotest.(check (float 1e-9)) "d6 area" 63.12 (row 5).Cbit.area_per_dff;
+  Alcotest.(check (float 1e-2)) "d5 per-bit" 1.99 (row 4).Cbit.per_bit
+
+let test_per_bit_decreases () =
+  (* Fig. 4's lesson: longer CBITs cost less per bit. The published table
+     itself dips at d1 (2.04 -> 2.09 -> ...), so the property holds from
+     d2 onward, and the longest type is the cheapest per bit. *)
+  let rows = Array.to_list Cbit.cost_table in
+  let rec non_increasing = function
+    | a :: (b :: _ as tl) ->
+      a.Cbit.per_bit >= b.Cbit.per_bit && non_increasing tl
+    | [ _ ] | [] -> true
+  in
+  (match rows with
+   | _d1 :: rest -> Alcotest.(check bool) "monotone from d2" true (non_increasing rest)
+   | [] -> Alcotest.fail "table empty");
+  Alcotest.(check bool) "d6 cheapest" true
+    (Cbit.cost_table.(5).Cbit.per_bit < Cbit.cost_table.(0).Cbit.per_bit)
+
+let test_area_interpolation () =
+  (* table lengths exact, intermediate lengths between neighbours *)
+  Alcotest.(check (float 1e-9)) "exact 16" 32.21 (Cbit.area_per_dff 16);
+  let a20 = Cbit.area_per_dff 20 in
+  Alcotest.(check bool) "20 between 16 and 24" true (a20 > 32.21 && a20 < 47.66);
+  Alcotest.(check bool) "overhead positive" true (Cbit.feedback_overhead 10 > 0.0)
+
+let test_testing_time () =
+  Alcotest.(check (float 1e-9)) "2^16" 65536.0 (Cbit.testing_time 16);
+  Alcotest.(check (float 1e-9)) "2^24" 16777216.0 (Cbit.testing_time 24);
+  Alcotest.check_raises "33" (Invalid_argument "Cbit.testing_time: length must be in 1..32")
+    (fun () -> ignore (Cbit.testing_time 33))
+
+let test_scan_chain_roundtrip () =
+  let cb1 = Cbit.create ~width:4 () and cb2 = Cbit.create ~width:8 () in
+  let chain = Scan_chain.create [ cb1; cb2 ] in
+  Alcotest.(check int) "length" 12 (Scan_chain.total_bits chain);
+  Scan_chain.initialise chain ~seeds:[ 0x5; 0xA7 ];
+  Alcotest.(check int) "cb1 seeded" 0x5 (Cbit.state cb1);
+  Alcotest.(check int) "cb2 seeded" 0xA7 (Cbit.state cb2)
+
+let test_scan_chain_readout () =
+  let cb1 = Cbit.create ~width:4 () and cb2 = Cbit.create ~width:4 () in
+  let chain = Scan_chain.create [ cb1; cb2 ] in
+  Cbit.load cb1 0x3;
+  Cbit.load cb2 0xC;
+  Alcotest.(check (list int)) "signatures" [ 0x3; 0xC ]
+    (Scan_chain.read_signatures chain)
+
+let test_scan_chain_full_session () =
+  (* init -> TPG burst -> read out: states must match a reference LFSR *)
+  let cb = Cbit.create ~width:8 () in
+  let chain = Scan_chain.create [ cb ] in
+  Scan_chain.initialise chain ~seeds:[ 1 ];
+  Scan_chain.set_all_modes chain Acell.Tpg;
+  for _ = 1 to 10 do
+    Cbit.clock cb ()
+  done;
+  let l = Lfsr.create ~width:8 () in
+  ignore (Lfsr.run l 10);
+  Alcotest.(check (list int)) "burst result" [ Lfsr.state l ]
+    (Scan_chain.read_signatures chain)
+
+let test_scan_chain_seed_mismatch () =
+  let chain = Scan_chain.create [ Cbit.create ~width:4 () ] in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Scan_chain.initialise: need one seed per CBIT")
+    (fun () -> Scan_chain.initialise chain ~seeds:[ 1; 2 ])
+
+let suite =
+  [
+    Alcotest.test_case "A_CELL areas (Fig. 3)" `Quick test_acell_areas;
+    Alcotest.test_case "A_CELL mode behaviour" `Quick test_acell_modes;
+    Alcotest.test_case "TPG mode = LFSR" `Quick test_cbit_tpg_equals_lfsr;
+    Alcotest.test_case "PSA mode = MISR" `Quick test_cbit_psa_equals_misr;
+    Alcotest.test_case "Normal mode transparent" `Quick test_cbit_normal_transparent;
+    Alcotest.test_case "dual-mode switching" `Quick test_cbit_dual_mode_switch;
+    Alcotest.test_case "Table 1 verbatim" `Quick test_cost_table_values;
+    Alcotest.test_case "per-bit cost decreases (Fig. 4)" `Quick test_per_bit_decreases;
+    Alcotest.test_case "area interpolation" `Quick test_area_interpolation;
+    Alcotest.test_case "testing time 2^l" `Quick test_testing_time;
+    Alcotest.test_case "scan chain initialise" `Quick test_scan_chain_roundtrip;
+    Alcotest.test_case "scan chain readout" `Quick test_scan_chain_readout;
+    Alcotest.test_case "scan full session" `Quick test_scan_chain_full_session;
+    Alcotest.test_case "scan seed mismatch" `Quick test_scan_chain_seed_mismatch;
+  ]

@@ -1,0 +1,134 @@
+module Circuit = Ppet_netlist.Circuit
+module Gate = Ppet_netlist.Gate
+module S27 = Ppet_netlist.S27
+
+let build_small () =
+  let b = Circuit.Builder.create "small" in
+  Circuit.Builder.add_input b "a";
+  Circuit.Builder.add_input b "b";
+  Circuit.Builder.add_output b "y";
+  Circuit.Builder.add_gate b ~name:"y" ~kind:Gate.And ~fanins:[ "a"; "b" ];
+  Circuit.Builder.finish b
+
+let test_build_basics () =
+  let c = build_small () in
+  Alcotest.(check int) "size" 3 (Circuit.size c);
+  Alcotest.(check int) "inputs" 2 (Array.length c.Circuit.inputs);
+  Alcotest.(check int) "outputs" 1 (Array.length c.Circuit.outputs);
+  let y = Circuit.find c "y" in
+  Alcotest.(check bool) "is po" true (Circuit.is_po c y);
+  Alcotest.(check bool) "a not po" false (Circuit.is_po c (Circuit.find c "a"))
+
+let test_forward_reference () =
+  let b = Circuit.Builder.create "fwd" in
+  Circuit.Builder.add_input b "a";
+  (* g1 references g2 before definition, as ISCAS89 files do *)
+  Circuit.Builder.add_gate b ~name:"g1" ~kind:Gate.Not ~fanins:[ "g2" ];
+  Circuit.Builder.add_gate b ~name:"g2" ~kind:Gate.Not ~fanins:[ "a" ];
+  let c = Circuit.Builder.finish b in
+  let g1 = Circuit.node c (Circuit.find c "g1") in
+  Alcotest.(check string) "resolved" "g2"
+    (Circuit.node c g1.Circuit.fanins.(0)).Circuit.name
+
+let test_duplicate_rejected () =
+  let b = Circuit.Builder.create "dup" in
+  Circuit.Builder.add_input b "a";
+  Alcotest.check_raises "duplicate"
+    (Circuit.Error "duplicate definition of signal \"a\"") (fun () ->
+      Circuit.Builder.add_gate b ~name:"a" ~kind:Gate.Not ~fanins:[ "a" ])
+
+let test_undefined_rejected () =
+  let b = Circuit.Builder.create "undef" in
+  Circuit.Builder.add_input b "a";
+  Circuit.Builder.add_gate b ~name:"g" ~kind:Gate.Not ~fanins:[ "nope" ];
+  Alcotest.check_raises "undefined"
+    (Circuit.Error "gate \"g\" references undefined signal \"nope\"")
+    (fun () -> ignore (Circuit.Builder.finish b))
+
+let test_arity_rejected () =
+  let b = Circuit.Builder.create "arity" in
+  Circuit.Builder.add_input b "a";
+  Circuit.Builder.add_gate b ~name:"g" ~kind:Gate.And ~fanins:[ "a" ];
+  Alcotest.check_raises "arity" (Circuit.Error "gate \"g\": AND cannot take 1 inputs")
+    (fun () -> ignore (Circuit.Builder.finish b))
+
+let test_comb_cycle_rejected () =
+  let b = Circuit.Builder.create "cycle" in
+  Circuit.Builder.add_input b "a";
+  Circuit.Builder.add_gate b ~name:"g1" ~kind:Gate.And ~fanins:[ "a"; "g2" ];
+  Circuit.Builder.add_gate b ~name:"g2" ~kind:Gate.Not ~fanins:[ "g1" ];
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Circuit.Builder.finish b);
+       false
+     with Circuit.Error _ -> true)
+
+let test_dff_breaks_cycle () =
+  let b = Circuit.Builder.create "seqcycle" in
+  Circuit.Builder.add_gate b ~name:"q" ~kind:Gate.Dff ~fanins:[ "g" ];
+  Circuit.Builder.add_gate b ~name:"g" ~kind:Gate.Not ~fanins:[ "q" ];
+  let c = Circuit.Builder.finish b in
+  Alcotest.(check int) "two nodes" 2 (Circuit.size c)
+
+let test_empty_rejected () =
+  let b = Circuit.Builder.create "empty" in
+  Alcotest.check_raises "empty" (Circuit.Error "empty circuit \"empty\"") (fun () ->
+      ignore (Circuit.Builder.finish b))
+
+let test_no_sources_rejected () =
+  let b = Circuit.Builder.create "nosrc" in
+  Circuit.Builder.add_gate b ~name:"g" ~kind:Gate.And ~fanins:[ "g2"; "g2" ];
+  Circuit.Builder.add_gate b ~name:"g2" ~kind:Gate.Not ~fanins:[ "g" ];
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Circuit.Builder.finish b);
+       false
+     with Circuit.Error _ -> true)
+
+let test_fanouts () =
+  let c = build_small () in
+  let a = Circuit.find c "a" and y = Circuit.find c "y" in
+  Alcotest.(check (array int)) "a feeds y" [| y |] c.Circuit.fanouts.(a);
+  Alcotest.(check (array int)) "y feeds nothing" [||] c.Circuit.fanouts.(y)
+
+let test_s27_shape () =
+  let c = S27.circuit () in
+  Alcotest.(check int) "size" 17 (Circuit.size c);
+  Alcotest.(check int) "pis" 4 (Array.length c.Circuit.inputs);
+  Alcotest.(check int) "dffs" 3 (Array.length (Circuit.dffs c));
+  Alcotest.(check int) "combs" 10 (Array.length (Circuit.combinational c));
+  Alcotest.(check int) "pos" 1 (Array.length c.Circuit.outputs)
+
+let test_s27_area () =
+  (* 2 INV (1) + 1 AND2 (3) + 2 OR2 (3) + 1 NAND2 (2) + 4 NOR2 (2) + 3 DFF (10) *)
+  Alcotest.(check (float 1e-9)) "area" 51.0 (Circuit.area (S27.circuit ()))
+
+let test_levels () =
+  let c = S27.circuit () in
+  let lv = Circuit.levels c in
+  Alcotest.(check int) "PI level" 0 lv.(Circuit.find c "G0");
+  Alcotest.(check int) "DFF level" 0 lv.(Circuit.find c "G5");
+  Alcotest.(check int) "G14 = NOT(G0)" 1 lv.(Circuit.find c "G14");
+  Alcotest.(check int) "G8 = AND(G14,G6)" 2 lv.(Circuit.find c "G8")
+
+let test_find_missing () =
+  let c = build_small () in
+  Alcotest.check_raises "missing" Not_found (fun () -> ignore (Circuit.find c "zz"))
+
+let suite =
+  [
+    Alcotest.test_case "builder basics" `Quick test_build_basics;
+    Alcotest.test_case "forward references" `Quick test_forward_reference;
+    Alcotest.test_case "duplicate signal rejected" `Quick test_duplicate_rejected;
+    Alcotest.test_case "undefined signal rejected" `Quick test_undefined_rejected;
+    Alcotest.test_case "illegal arity rejected" `Quick test_arity_rejected;
+    Alcotest.test_case "combinational cycle rejected" `Quick test_comb_cycle_rejected;
+    Alcotest.test_case "DFF breaks cycles" `Quick test_dff_breaks_cycle;
+    Alcotest.test_case "empty circuit rejected" `Quick test_empty_rejected;
+    Alcotest.test_case "sourceless circuit rejected" `Quick test_no_sources_rejected;
+    Alcotest.test_case "fanout index" `Quick test_fanouts;
+    Alcotest.test_case "s27 shape" `Quick test_s27_shape;
+    Alcotest.test_case "s27 estimated area" `Quick test_s27_area;
+    Alcotest.test_case "levelization" `Quick test_levels;
+    Alcotest.test_case "find raises Not_found" `Quick test_find_missing;
+  ]

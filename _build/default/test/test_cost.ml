@@ -1,0 +1,100 @@
+module Cost = Ppet_core.Cost
+module Area = Ppet_core.Area_accounting
+module Merced = Ppet_core.Merced
+module Params = Ppet_core.Params
+module To_graph = Ppet_netlist.To_graph
+module Scc_budget = Ppet_retiming.Scc_budget
+module Circuit = Ppet_netlist.Circuit
+module S27 = Ppet_netlist.S27
+
+let test_catalogue () =
+  Alcotest.(check int) "six types" 6 (List.length Cost.catalogue);
+  let d4 = Cost.choose 16 in
+  Alcotest.(check string) "d4" "d4" d4.Cost.label;
+  Alcotest.(check (float 1e-9)) "p4" 32.21 d4.Cost.area_dff
+
+let test_choose_rounds_up () =
+  Alcotest.(check int) "5 -> 8" 8 (Cost.choose 5).Cost.length;
+  Alcotest.(check int) "17 -> 24" 24 (Cost.choose 17).Cost.length;
+  Alcotest.(check int) "1 -> 4" 4 (Cost.choose 1).Cost.length;
+  Alcotest.(check int) "32 -> 32" 32 (Cost.choose 32).Cost.length;
+  Alcotest.check_raises "33"
+    (Invalid_argument "Cost.choose: no CBIT type beyond 32 bits (partition further)")
+    (fun () -> ignore (Cost.choose 33))
+
+let test_sigma () =
+  (* Eq. 4: two d4 CBITs + one d1 *)
+  Alcotest.(check (float 1e-9)) "sigma" (32.21 +. 32.21 +. 8.14)
+    (Cost.sigma [ 16; 13; 3 ]);
+  Alcotest.(check (float 1e-9)) "units x10" ((32.21 +. 8.14) *. 10.0)
+    (Cost.sigma_units [ 14; 2 ])
+
+let test_testing_time () =
+  (* dominated by the widest assigned CBIT (Fig. 1b) *)
+  Alcotest.(check (float 1e-9)) "2^16" 65536.0 (Cost.testing_time_cycles [ 3; 16; 9 ]);
+  Alcotest.(check (float 1e-9)) "rounding to type" 65536.0
+    (Cost.testing_time_cycles [ 13 ]);
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (Cost.testing_time_cycles [])
+
+let test_bitwise_cost () =
+  Alcotest.(check (float 1e-4)) "sigma_16" (32.21 /. 16.0) (Cost.bitwise_cost 16);
+  Alcotest.(check bool) "longer cheaper" true
+    (Cost.bitwise_cost 32 < Cost.bitwise_cost 8)
+
+let breakdown_of ~cut_nets ~iotas c =
+  let g = To_graph.partition_view c in
+  let sb = Scc_budget.create c g in
+  Area.compute c sb ~cut_nets ~partition_iotas:iotas
+
+let test_area_no_cuts () =
+  let c = S27.circuit () in
+  let b = breakdown_of ~cut_nets:[] ~iotas:[] c in
+  Alcotest.(check int) "no cuts" 0 b.Area.cuts_total;
+  Alcotest.(check (float 1e-9)) "no area" 0.0 b.Area.area_with_retiming;
+  Alcotest.(check (float 1e-9)) "ratio 0" 0.0 b.Area.ratio_with
+
+let test_area_model_arithmetic () =
+  let c = S27.circuit () in
+  let g = To_graph.partition_view c in
+  let map = To_graph.net_of_driver c g in
+  (* one feed-forward-ish cut: net driven by G14 (feeds G8, G10) *)
+  let cut = map.(Circuit.find c "G14") in
+  let b = breakdown_of ~cut_nets:[ cut ] ~iotas:[ 3 ] c in
+  Alcotest.(check int) "one cut" 1 b.Area.cuts_total;
+  (* without retiming: 2.3 DFF = 23 units + overhead *)
+  Alcotest.(check (float 1e-6)) "w/o = 23 + fb"
+    (23.0 +. b.Area.feedback_overhead)
+    b.Area.area_without_retiming;
+  Alcotest.(check bool) "retiming cheaper" true
+    (b.Area.area_with_retiming < b.Area.area_without_retiming);
+  Alcotest.(check bool) "saving positive" true (b.Area.saving > 0.0)
+
+let test_full_utilization_bound () =
+  let r = Merced.run ~params:(Params.with_lk 3) (S27.circuit ()) in
+  let b = r.Merced.breakdown in
+  Alcotest.(check bool) "strict >= optimistic area" true
+    (b.Area.area_with_retiming >= b.Area.area_full_utilization);
+  Alcotest.(check bool) "optimistic saving at least strict" true
+    (b.Area.saving_full_utilization >= b.Area.saving)
+
+let test_ratio_definition () =
+  let r = Merced.run ~params:(Params.with_lk 3) (S27.circuit ()) in
+  let b = r.Merced.breakdown in
+  let expect =
+    100.0 *. b.Area.area_with_retiming
+    /. (b.Area.circuit_area +. b.Area.area_with_retiming)
+  in
+  Alcotest.(check (float 1e-9)) "ACBIT/ATotal" expect b.Area.ratio_with
+
+let suite =
+  [
+    Alcotest.test_case "catalogue of Table 1" `Quick test_catalogue;
+    Alcotest.test_case "choose rounds up" `Quick test_choose_rounds_up;
+    Alcotest.test_case "sigma objective (Eq. 4)" `Quick test_sigma;
+    Alcotest.test_case "testing time" `Quick test_testing_time;
+    Alcotest.test_case "bitwise cost (Fig. 4)" `Quick test_bitwise_cost;
+    Alcotest.test_case "no cuts, no area" `Quick test_area_no_cuts;
+    Alcotest.test_case "area model arithmetic" `Quick test_area_model_arithmetic;
+    Alcotest.test_case "full-utilization bound" `Quick test_full_utilization_bound;
+    Alcotest.test_case "ratio definition" `Quick test_ratio_definition;
+  ]

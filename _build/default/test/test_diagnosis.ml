@@ -1,0 +1,106 @@
+module Circuit = Ppet_netlist.Circuit
+module Segment = Ppet_netlist.Segment
+module Parser = Ppet_netlist.Bench_parser
+module Fault = Ppet_bist.Fault
+module Diagnosis = Ppet_bist.Diagnosis
+module Simulator = Ppet_bist.Simulator
+module S27 = Ppet_netlist.S27
+
+let seg_of c names =
+  Segment.of_members c (Array.of_list (List.map (Circuit.find c) names))
+
+let and_setup () =
+  let c = Parser.parse_string "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n" in
+  let sim = Simulator.create c in
+  let seg = seg_of c [ "y" ] in
+  let faults = Fault.of_segment c seg in
+  (c, sim, seg, faults)
+
+let test_dictionary_basics () =
+  let _, sim, seg, faults = and_setup () in
+  let d = Diagnosis.build sim seg ~misr_width:8 faults in
+  Alcotest.(check bool) "classes positive" true
+    (Diagnosis.distinguishable_classes d > 0);
+  Alcotest.(check (list bool)) "nothing undiagnosable" []
+    (List.map (fun _ -> true) (Diagnosis.undiagnosable d))
+
+let test_lookup_roundtrip () =
+  (* building a dictionary, then observing each fault's signature,
+     returns a candidate set containing that fault *)
+  let c, sim, seg, faults = and_setup () in
+  let d = Diagnosis.build sim seg ~misr_width:8 faults in
+  let member = Array.make (Circuit.size c) false in
+  Array.iter (fun id -> member.(id) <- true) seg.Segment.members;
+  List.iter
+    (fun f ->
+      (* recompute the fault's signature by rebuilding a single-fault
+         dictionary — same deterministic session *)
+      let d1 = Diagnosis.build sim seg ~misr_width:8 [ f ] in
+      let s =
+        match Diagnosis.undiagnosable d1 with
+        | [] ->
+          (* detected: its signature is the only non-fault-free key *)
+          let found = ref None in
+          for sig_ = 0 to 255 do
+            if sig_ <> Diagnosis.fault_free d1 && Diagnosis.lookup d1 sig_ <> []
+            then found := Some sig_
+          done;
+          (match !found with Some s -> s | None -> Alcotest.fail "no signature")
+        | _ -> Diagnosis.fault_free d1
+      in
+      let candidates = Diagnosis.lookup d s in
+      Alcotest.(check bool)
+        (Fault.describe c f ^ " in candidates")
+        true
+        (List.exists (Fault.equal f) candidates
+         || s = Diagnosis.fault_free d))
+    faults
+
+let test_fault_free_differs () =
+  let _, sim, seg, faults = and_setup () in
+  let d = Diagnosis.build sim seg ~misr_width:8 faults in
+  (* every AND-gate fault is detectable, so no faulty signature may equal
+     the fault-free one *)
+  Alcotest.(check int) "no escapes" 0 (List.length (Diagnosis.undiagnosable d))
+
+let test_resolution_bounds () =
+  let _, sim, seg, faults = and_setup () in
+  let d = Diagnosis.build sim seg ~misr_width:8 faults in
+  let r = Diagnosis.resolution d in
+  Alcotest.(check bool) "in (0,1]" true (r > 0.0 && r <= 1.0)
+
+let test_s27_dictionary () =
+  let c = S27.circuit () in
+  let sim = Simulator.create c in
+  let seg = Segment.of_members c (Circuit.combinational c) in
+  let faults = Fault.collapse c (Fault.of_segment c seg) in
+  let d = Diagnosis.build sim seg ~misr_width:16 faults in
+  (* the redundant faults of the exhaustive run are exactly the
+     undiagnosable ones (MISR aliasing at width 16 over 128 cycles is
+     negligible but not impossible; allow a small slack) *)
+  let pet = Ppet_bist.Pet.run ~collapse:true sim seg in
+  let und = List.length (Diagnosis.undiagnosable d) in
+  Alcotest.(check bool)
+    (Printf.sprintf "undiagnosable %d ~ redundant %d" und pet.Ppet_bist.Pet.n_redundant)
+    true
+    (und >= pet.Ppet_bist.Pet.n_redundant
+     && und <= pet.Ppet_bist.Pet.n_redundant + 2);
+  Alcotest.(check bool) "good resolution" true (Diagnosis.resolution d > 0.3)
+
+let test_width_guards () =
+  let _, sim, seg, faults = and_setup () in
+  Alcotest.(check bool) "bad misr width" true
+    (try
+       ignore (Diagnosis.build sim seg ~misr_width:0 faults);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "dictionary basics" `Quick test_dictionary_basics;
+    Alcotest.test_case "lookup round trip" `Quick test_lookup_roundtrip;
+    Alcotest.test_case "fault-free distinct" `Quick test_fault_free_differs;
+    Alcotest.test_case "resolution bounds" `Quick test_resolution_bounds;
+    Alcotest.test_case "s27 dictionary vs PET" `Quick test_s27_dictionary;
+    Alcotest.test_case "width guards" `Quick test_width_guards;
+  ]

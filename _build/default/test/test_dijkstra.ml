@@ -1,0 +1,102 @@
+module Netgraph = Ppet_digraph.Netgraph
+module Dijkstra = Ppet_digraph.Dijkstra
+module Prng = Ppet_digraph.Prng
+
+let simple () =
+  (* 0 -e0(1)-> 1 -e1(1)-> 2 ; 0 -e2(3)-> 2 *)
+  let g = Netgraph.create 3 in
+  let e0 = Netgraph.add_net g ~src:0 ~sinks:[ 1 ] in
+  let e1 = Netgraph.add_net g ~src:1 ~sinks:[ 2 ] in
+  let e2 = Netgraph.add_net g ~src:0 ~sinks:[ 2 ] in
+  let w = [| 1.0; 1.0; 3.0 |] in
+  (g, (fun e -> w.(e)), e0, e1, e2)
+
+let test_shortest () =
+  let g, dist, _, _, _ = simple () in
+  let t = Dijkstra.run g ~dist ~src:0 in
+  Alcotest.(check (float 1e-9)) "d0" 0.0 t.Dijkstra.dist.(0);
+  Alcotest.(check (float 1e-9)) "d1" 1.0 t.Dijkstra.dist.(1);
+  Alcotest.(check (float 1e-9)) "d2" 2.0 t.Dijkstra.dist.(2)
+
+let test_tree_nets () =
+  let g, dist, e0, e1, _ = simple () in
+  let t = Dijkstra.run g ~dist ~src:0 in
+  let nets = Array.copy t.Dijkstra.tree_nets in
+  Array.sort compare nets;
+  Alcotest.(check (array int)) "tree follows cheap path" [| e0; e1 |] nets
+
+let test_path_to () =
+  let g, dist, e0, e1, _ = simple () in
+  let t = Dijkstra.run g ~dist ~src:0 in
+  Alcotest.(check (list int)) "path" [ e0; e1 ] (Dijkstra.path_to t g 2)
+
+let test_unreachable () =
+  let g = Netgraph.create 3 in
+  let _ = Netgraph.add_net g ~src:0 ~sinks:[ 1 ] in
+  let t = Dijkstra.run g ~dist:(fun _ -> 1.0) ~src:0 in
+  Alcotest.(check bool) "2 unreachable" true (t.Dijkstra.dist.(2) = infinity);
+  Alcotest.check_raises "path raises" Not_found (fun () ->
+      ignore (Dijkstra.path_to t g 2))
+
+let test_multisink_costs_once () =
+  (* one net reaching two sinks: both get distance = weight of that net *)
+  let g = Netgraph.create 3 in
+  let e = Netgraph.add_net g ~src:0 ~sinks:[ 1; 2 ] in
+  let t = Dijkstra.run g ~dist:(fun _ -> 2.5) ~src:0 in
+  Alcotest.(check (float 1e-9)) "sink1" 2.5 t.Dijkstra.dist.(1);
+  Alcotest.(check (float 1e-9)) "sink2" 2.5 t.Dijkstra.dist.(2);
+  Alcotest.(check (array int)) "tree has one net" [| e |] t.Dijkstra.tree_nets
+
+let test_negative_rejected () =
+  let g = Netgraph.create 2 in
+  let _ = Netgraph.add_net g ~src:0 ~sinks:[ 1 ] in
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Dijkstra.run: negative net distance") (fun () ->
+      ignore (Dijkstra.run g ~dist:(fun _ -> -1.0) ~src:0))
+
+(* property: triangle inequality of the computed distances over the
+   relaxation structure, and tree consistency d(v) = d(src e) + w(e) *)
+let prop_relaxed =
+  QCheck.Test.make ~name:"dijkstra fixpoint: no edge can relax further" ~count:100
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Prng.create (Int64.of_int (seed + 5)) in
+      let n = 2 + Prng.int rng 30 in
+      let g = Netgraph.create n in
+      let m = 3 * n in
+      let w = Array.init m (fun _ -> Prng.float rng 10.0) in
+      for _ = 1 to m do
+        let s = Prng.int rng n in
+        let k = 1 + Prng.int rng 3 in
+        let sinks = List.init k (fun _ -> Prng.int rng n) in
+        ignore (Netgraph.add_net g ~src:s ~sinks)
+      done;
+      let t = Dijkstra.run g ~dist:(fun e -> w.(e)) ~src:0 in
+      let ok = ref true in
+      Netgraph.iter_nets g (fun e ~src ~sinks ->
+          Array.iter
+            (fun v ->
+              if t.Dijkstra.dist.(src) +. w.(e) < t.Dijkstra.dist.(v) -. 1e-9
+              then ok := false)
+            sinks);
+      (* via-net consistency *)
+      for v = 0 to n - 1 do
+        let e = t.Dijkstra.via.(v) in
+        if e >= 0 then begin
+          let s = Netgraph.net_src g e in
+          if abs_float (t.Dijkstra.dist.(s) +. w.(e) -. t.Dijkstra.dist.(v)) > 1e-9
+          then ok := false
+        end
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "shortest distances" `Quick test_shortest;
+    Alcotest.test_case "tree nets" `Quick test_tree_nets;
+    Alcotest.test_case "path reconstruction" `Quick test_path_to;
+    Alcotest.test_case "unreachable vertices" `Quick test_unreachable;
+    Alcotest.test_case "multi-sink net costs once" `Quick test_multisink_costs_once;
+    Alcotest.test_case "negative distance rejected" `Quick test_negative_rejected;
+    QCheck_alcotest.to_alcotest prop_relaxed;
+  ]

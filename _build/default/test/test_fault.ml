@@ -1,0 +1,72 @@
+module Circuit = Ppet_netlist.Circuit
+module Segment = Ppet_netlist.Segment
+module Fault = Ppet_bist.Fault
+module Parser = Ppet_netlist.Bench_parser
+module S27 = Ppet_netlist.S27
+
+let small () =
+  Parser.parse_string "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ng = AND(a, b)\ny = NOT(g)\n"
+
+let test_all_of_circuit_count () =
+  let c = small () in
+  (* outputs: a, b, g, y (4 sites); pins: g has 2, y has 1 (3 sites);
+     two polarities each *)
+  let faults = Fault.all_of_circuit c in
+  Alcotest.(check int) "count" 14 (List.length faults);
+  Alcotest.(check int) "sites" 7 (Fault.count_sites faults)
+
+let test_of_segment_scope () =
+  let c = small () in
+  let seg = Segment.of_members c [| Circuit.find c "g" |] in
+  let faults = Fault.of_segment c seg in
+  (* g output + 2 pins, both polarities *)
+  Alcotest.(check int) "count" 6 (List.length faults)
+
+let test_collapse_single_fanout () =
+  let c = small () in
+  let faults = Fault.all_of_circuit c in
+  let collapsed = Fault.collapse c faults in
+  (* g's pins read single-fanout nets a,b -> collapsed into their output
+     faults; y's pin likewise; only the 4 output sites remain *)
+  Alcotest.(check int) "collapsed" 8 (List.length collapsed)
+
+let test_collapse_keeps_fanout_pins () =
+  let c =
+    Parser.parse_string
+      "INPUT(a)\nOUTPUT(y)\nOUTPUT(z)\ny = AND(a, a)\nz = NOT(a)\n"
+  in
+  let faults = Fault.all_of_circuit c in
+  let collapsed = Fault.collapse c faults in
+  (* a has fanout 3 (two pins of y + z): y's pin faults survive, z's pin
+     is a NOT input (dominated) *)
+  let pin_faults =
+    List.filter
+      (fun f -> match f.Fault.site with Fault.Input_pin _ -> true | Fault.Output _ -> false)
+      collapsed
+  in
+  Alcotest.(check int) "fanout pins kept" 4 (List.length pin_faults)
+
+let test_describe () =
+  let c = small () in
+  let g = Circuit.find c "g" in
+  Alcotest.(check string) "output" "g output s-a-1"
+    (Fault.describe c { Fault.site = Fault.Output g; stuck_at = true });
+  Alcotest.(check string) "pin" "g input 0 s-a-0"
+    (Fault.describe c { Fault.site = Fault.Input_pin (g, 0); stuck_at = false })
+
+let test_s27_fault_count () =
+  let c = S27.circuit () in
+  let faults = Fault.all_of_circuit c in
+  (* 17 outputs + pins: 3 DFF pins + 2 NOT pins + 8 two-input gates x2 =
+     21 pins; (17+21) x 2 = 76 *)
+  Alcotest.(check int) "s27 faults" 76 (List.length faults)
+
+let suite =
+  [
+    Alcotest.test_case "fault universe of a circuit" `Quick test_all_of_circuit_count;
+    Alcotest.test_case "segment-scoped faults" `Quick test_of_segment_scope;
+    Alcotest.test_case "collapse merges single-fanout pins" `Quick test_collapse_single_fanout;
+    Alcotest.test_case "collapse keeps fanout pins" `Quick test_collapse_keeps_fanout_pins;
+    Alcotest.test_case "describe" `Quick test_describe;
+    Alcotest.test_case "s27 fault count" `Quick test_s27_fault_count;
+  ]

@@ -1,0 +1,100 @@
+(* Robustness fuzzing: the parsers must either succeed or fail with
+   [Circuit.Error] — never crash with any other exception — on arbitrary
+   input, including mutations of valid netlists. *)
+
+module Circuit = Ppet_netlist.Circuit
+module Bench_parser = Ppet_netlist.Bench_parser
+module Verilog = Ppet_netlist.Verilog
+module Prng = Ppet_digraph.Prng
+
+let graceful f src =
+  match f src with
+  | (_ : Circuit.t) -> true
+  | exception Circuit.Error _ -> true
+  | exception _ -> false
+
+let token_soup rng len =
+  let pieces =
+    [| "INPUT"; "OUTPUT"; "AND"; "DFF"; "="; "("; ")"; ","; "G1"; "G2"; "\n";
+       " "; "#x"; "module"; "endmodule"; "input"; "output"; "wire"; "nand";
+       ";"; "\\esc "; "//c\n"; "/*"; "*/"; "99"; "_a" |]
+  in
+  let buf = Buffer.create 64 in
+  for _ = 1 to len do
+    Buffer.add_string buf (Prng.pick rng pieces)
+  done;
+  Buffer.contents buf
+
+let mutate rng src =
+  let b = Bytes.of_string src in
+  let n = Bytes.length b in
+  if n = 0 then src
+  else begin
+    for _ = 1 to 1 + Prng.int rng 5 do
+      let i = Prng.int rng n in
+      let c = Char.chr (32 + Prng.int rng 95) in
+      Bytes.set b i c
+    done;
+    Bytes.to_string b
+  end
+
+let prop_bench_soup =
+  QCheck.Test.make ~name:"bench parser survives token soup" ~count:300
+    QCheck.(pair (int_bound 1_000_000) (int_range 1 60))
+    (fun (seed, len) ->
+      let rng = Prng.create (Int64.of_int (seed + 1)) in
+      graceful (Bench_parser.parse_string ?title:None ?file:None) (token_soup rng len))
+
+let prop_bench_mutations =
+  QCheck.Test.make ~name:"bench parser survives mutations of s27" ~count:300
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Prng.create (Int64.of_int (seed + 7)) in
+      graceful (Bench_parser.parse_string ?title:None ?file:None)
+        (mutate rng Ppet_netlist.S27.text))
+
+let prop_verilog_soup =
+  QCheck.Test.make ~name:"verilog parser survives token soup" ~count:300
+    QCheck.(pair (int_bound 1_000_000) (int_range 1 60))
+    (fun (seed, len) ->
+      let rng = Prng.create (Int64.of_int (seed + 13)) in
+      graceful (Verilog.parse_string ?file:None) (token_soup rng len))
+
+let prop_verilog_mutations =
+  QCheck.Test.make ~name:"verilog parser survives mutations" ~count:300
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Prng.create (Int64.of_int (seed + 23)) in
+      let valid = Verilog.to_string (Ppet_netlist.S27.circuit ()) in
+      graceful (Verilog.parse_string ?file:None) (mutate rng valid))
+
+let test_pathological_inputs () =
+  List.iter
+    (fun src ->
+      Alcotest.(check bool) ("bench: " ^ String.escaped src) true
+        (graceful (Bench_parser.parse_string ?title:None ?file:None) src);
+      Alcotest.(check bool) ("verilog: " ^ String.escaped src) true
+        (graceful (Verilog.parse_string ?file:None) src))
+    [
+      "";
+      "(";
+      "\\";
+      "module";
+      "module ;";
+      "INPUT(";
+      "a = AND(a, a)";
+      String.make 10_000 '(';
+      "G0 = DFF(G0)";
+      "module m (a; input a; endmodule";
+      "/*";
+      "# only a comment";
+    ]
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_bench_soup;
+    QCheck_alcotest.to_alcotest prop_bench_mutations;
+    QCheck_alcotest.to_alcotest prop_verilog_soup;
+    QCheck_alcotest.to_alcotest prop_verilog_mutations;
+    Alcotest.test_case "pathological inputs" `Quick test_pathological_inputs;
+  ]

@@ -1,0 +1,105 @@
+module Gate = Ppet_netlist.Gate
+
+let test_names_roundtrip () =
+  List.iter
+    (fun k ->
+      match k with
+      | Gate.Input -> Alcotest.(check bool) "input unnamed" true (Gate.of_name "INPUT" = None)
+      | _ ->
+        Alcotest.(check bool)
+          (Gate.name k ^ " roundtrips")
+          true
+          (Gate.of_name (Gate.name k) = Some k))
+    Gate.all
+
+let test_of_name_aliases () =
+  Alcotest.(check bool) "BUF" true (Gate.of_name "BUF" = Some Gate.Buff);
+  Alcotest.(check bool) "buff lowercase" true (Gate.of_name "buff" = Some Gate.Buff);
+  Alcotest.(check bool) "INV" true (Gate.of_name "INV" = Some Gate.Not);
+  Alcotest.(check bool) "dff lowercase" true (Gate.of_name "dff" = Some Gate.Dff);
+  Alcotest.(check bool) "garbage" true (Gate.of_name "FOO" = None)
+
+let test_arity () =
+  Alcotest.(check bool) "NOT unary" true (Gate.arity_ok Gate.Not 1);
+  Alcotest.(check bool) "NOT not binary" false (Gate.arity_ok Gate.Not 2);
+  Alcotest.(check bool) "AND binary" true (Gate.arity_ok Gate.And 2);
+  Alcotest.(check bool) "AND quaternary" true (Gate.arity_ok Gate.And 4);
+  Alcotest.(check bool) "AND not unary" false (Gate.arity_ok Gate.And 1);
+  Alcotest.(check bool) "DFF unary" true (Gate.arity_ok Gate.Dff 1);
+  Alcotest.(check bool) "INPUT nullary" true (Gate.arity_ok Gate.Input 0)
+
+let test_area_paper_numbers () =
+  (* the unit costs of Sec. 4 *)
+  Alcotest.(check (float 1e-9)) "INV" 1.0 (Gate.area Gate.Not 1);
+  Alcotest.(check (float 1e-9)) "AND2" 3.0 (Gate.area Gate.And 2);
+  Alcotest.(check (float 1e-9)) "NAND2" 2.0 (Gate.area Gate.Nand 2);
+  Alcotest.(check (float 1e-9)) "OR2" 3.0 (Gate.area Gate.Or 2);
+  Alcotest.(check (float 1e-9)) "NOR2" 2.0 (Gate.area Gate.Nor 2);
+  Alcotest.(check (float 1e-9)) "XOR2" 4.0 (Gate.area Gate.Xor 2);
+  Alcotest.(check (float 1e-9)) "DFF" 10.0 (Gate.area Gate.Dff 1);
+  Alcotest.(check (float 1e-9)) "MUX const" 3.0 Gate.mux2_area
+
+let test_area_fanin_scaling () =
+  (* 1 extra unit per input beyond two *)
+  Alcotest.(check (float 1e-9)) "AND3" 4.0 (Gate.area Gate.And 3);
+  Alcotest.(check (float 1e-9)) "NAND4" 4.0 (Gate.area Gate.Nand 4);
+  Alcotest.check_raises "bad arity" (Invalid_argument "Gate.area: NOT cannot take 2 inputs")
+    (fun () -> ignore (Gate.area Gate.Not 2))
+
+let test_eval_truth_tables () =
+  let t = true and f = false in
+  Alcotest.(check bool) "and" true (Gate.eval Gate.And [| t; t |]);
+  Alcotest.(check bool) "and f" false (Gate.eval Gate.And [| t; f |]);
+  Alcotest.(check bool) "nand" true (Gate.eval Gate.Nand [| t; f |]);
+  Alcotest.(check bool) "or" true (Gate.eval Gate.Or [| f; t |]);
+  Alcotest.(check bool) "nor" true (Gate.eval Gate.Nor [| f; f |]);
+  Alcotest.(check bool) "xor" true (Gate.eval Gate.Xor [| t; f |]);
+  Alcotest.(check bool) "xor even" false (Gate.eval Gate.Xor [| t; t |]);
+  Alcotest.(check bool) "xnor" true (Gate.eval Gate.Xnor [| t; t |]);
+  Alcotest.(check bool) "not" true (Gate.eval Gate.Not [| f |]);
+  Alcotest.(check bool) "buff" true (Gate.eval Gate.Buff [| t |])
+
+let test_eval_multi_input () =
+  Alcotest.(check bool) "and3" false (Gate.eval Gate.And [| true; true; false |]);
+  Alcotest.(check bool) "or4" true (Gate.eval Gate.Or [| false; false; false; true |]);
+  Alcotest.(check bool) "xor3 parity" true
+    (Gate.eval Gate.Xor [| true; true; true |])
+
+let test_eval_rejects_sequential () =
+  Alcotest.check_raises "dff" (Invalid_argument "Gate.eval: not a combinational gate")
+    (fun () -> ignore (Gate.eval Gate.Dff [| true |]))
+
+(* property: word evaluation agrees with bit evaluation on every lane *)
+let prop_word_matches_bool =
+  let kinds = [| Gate.Buff; Gate.Not; Gate.And; Gate.Nand; Gate.Or; Gate.Nor; Gate.Xor; Gate.Xnor |] in
+  QCheck.Test.make ~name:"eval_word agrees with eval per lane" ~count:300
+    QCheck.(triple (int_bound 7) (int_bound 2) (int_bound 0x3FFFFFF))
+    (fun (ki, extra, seed) ->
+      let kind = kinds.(ki) in
+      let arity = match kind with Gate.Buff | Gate.Not -> 1 | _ -> 2 + extra in
+      let rng = Ppet_digraph.Prng.create (Int64.of_int (seed + 1)) in
+      let words =
+        Array.init arity (fun _ ->
+            Int64.to_int (Int64.logand (Ppet_digraph.Prng.next_int64 rng) (Int64.of_int max_int)))
+      in
+      let wout = Gate.eval_word kind words in
+      let ok = ref true in
+      for b = 0 to Gate.bits_per_word - 1 do
+        let bits = Array.map (fun w -> (w lsr b) land 1 = 1) words in
+        let expect = Gate.eval kind bits in
+        if ((wout lsr b) land 1 = 1) <> expect then ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "names roundtrip" `Quick test_names_roundtrip;
+    Alcotest.test_case "name aliases" `Quick test_of_name_aliases;
+    Alcotest.test_case "arity rules" `Quick test_arity;
+    Alcotest.test_case "paper area numbers" `Quick test_area_paper_numbers;
+    Alcotest.test_case "fan-in area scaling" `Quick test_area_fanin_scaling;
+    Alcotest.test_case "truth tables" `Quick test_eval_truth_tables;
+    Alcotest.test_case "multi-input gates" `Quick test_eval_multi_input;
+    Alcotest.test_case "sequential not evaluable" `Quick test_eval_rejects_sequential;
+    QCheck_alcotest.to_alcotest prop_word_matches_bool;
+  ]

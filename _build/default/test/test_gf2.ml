@@ -1,0 +1,85 @@
+module P = Ppet_bist.Gf2_poly
+
+let test_degree () =
+  Alcotest.(check int) "x^4+x+1" 4 (P.degree 0b10011);
+  Alcotest.(check int) "x+1" 1 (P.degree 0b11);
+  Alcotest.(check int) "1" 0 (P.degree 1)
+
+let test_taps () =
+  Alcotest.(check (list int)) "taps" [ 4; 1; 0 ] (P.taps 0b10011)
+
+let test_mul_mod () =
+  (* x * x = x^2 mod x^2+x+1 = x+1 *)
+  Alcotest.(check int) "x*x mod x2+x+1" 0b11 (P.mul_mod 2 2 ~modulus:0b111);
+  (* (x+1)^2 = x^2+1 mod x^2+x+1 = x *)
+  Alcotest.(check int) "(x+1)^2" 0b10 (P.mul_mod 3 3 ~modulus:0b111)
+
+let test_pow_mod () =
+  (* order of x modulo x^4+x+1 is 15: x^15 = 1, x^5 <> 1 *)
+  Alcotest.(check int) "x^15 = 1" 1 (P.pow_mod 2 15L ~modulus:0b10011);
+  Alcotest.(check bool) "x^5 <> 1" true (P.pow_mod 2 5L ~modulus:0b10011 <> 1);
+  Alcotest.(check int) "x^0 = 1" 1 (P.pow_mod 2 0L ~modulus:0b10011)
+
+let test_irreducible () =
+  Alcotest.(check bool) "x^2+x+1" true (P.is_irreducible 0b111);
+  Alcotest.(check bool) "x^2+1 = (x+1)^2" false (P.is_irreducible 0b101);
+  Alcotest.(check bool) "x^4+x+1" true (P.is_irreducible 0b10011);
+  (* x^4+x^2+1 = (x^2+x+1)^2 *)
+  Alcotest.(check bool) "x^4+x^2+1" false (P.is_irreducible 0b10101)
+
+let test_primitive_vs_irreducible () =
+  (* x^4+x^3+x^2+x+1 is irreducible but has order 5, not 15 *)
+  Alcotest.(check bool) "irreducible" true (P.is_irreducible 0b11111);
+  Alcotest.(check bool) "not primitive" false (P.is_primitive 0b11111);
+  Alcotest.(check bool) "x^4+x+1 primitive" true (P.is_primitive 0b10011)
+
+let test_table_all_primitive () =
+  (* the embedded table self-checks against the mathematical test *)
+  for n = 1 to 32 do
+    let p = P.primitive n in
+    Alcotest.(check int) (Printf.sprintf "degree %d" n) n (P.degree p);
+    Alcotest.(check bool) (Printf.sprintf "primitive %d" n) true (P.is_primitive p)
+  done
+
+let test_primitive_out_of_range () =
+  Alcotest.check_raises "zero" (Invalid_argument "Gf2_poly.primitive: degree must be in 1..32")
+    (fun () -> ignore (P.primitive 0));
+  Alcotest.check_raises "33" (Invalid_argument "Gf2_poly.primitive: degree must be in 1..32")
+    (fun () -> ignore (P.primitive 33))
+
+let test_pp () =
+  Alcotest.(check string) "pretty" "x^4 + x + 1"
+    (Format.asprintf "%a" P.pp 0b10011)
+
+let prop_mul_commutative =
+  QCheck.Test.make ~name:"mul_mod is commutative and associative" ~count:300
+    QCheck.(triple (int_range 1 0xFFFF) (int_range 1 0xFFFF) (int_range 1 0xFFFF))
+    (fun (a, b, c) ->
+      let m = P.primitive 16 in
+      P.mul_mod a b ~modulus:m = P.mul_mod b a ~modulus:m
+      && P.mul_mod (P.mul_mod a b ~modulus:m) c ~modulus:m
+         = P.mul_mod a (P.mul_mod b c ~modulus:m) ~modulus:m)
+
+let prop_distributive =
+  QCheck.Test.make ~name:"mul_mod distributes over xor" ~count:300
+    QCheck.(pair (int_range 1 0xFFF) (int_range 1 0xFFF))
+    (fun (a, b) ->
+      let m = P.primitive 12 in
+      let c = 0b1011 in
+      P.mul_mod c (a lxor b) ~modulus:m
+      = P.mul_mod c a ~modulus:m lxor P.mul_mod c b ~modulus:m)
+
+let suite =
+  [
+    Alcotest.test_case "degree" `Quick test_degree;
+    Alcotest.test_case "taps" `Quick test_taps;
+    Alcotest.test_case "modular multiplication" `Quick test_mul_mod;
+    Alcotest.test_case "modular power" `Quick test_pow_mod;
+    Alcotest.test_case "irreducibility" `Quick test_irreducible;
+    Alcotest.test_case "primitive vs merely irreducible" `Quick test_primitive_vs_irreducible;
+    Alcotest.test_case "table is primitive (1..32)" `Slow test_table_all_primitive;
+    Alcotest.test_case "primitive range check" `Quick test_primitive_out_of_range;
+    Alcotest.test_case "pretty printing" `Quick test_pp;
+    QCheck_alcotest.to_alcotest prop_mul_commutative;
+    QCheck_alcotest.to_alcotest prop_distributive;
+  ]

@@ -1,0 +1,139 @@
+module Lfsr = Ppet_bist.Lfsr
+module Misr = Ppet_bist.Misr
+module Gf2_poly = Ppet_bist.Gf2_poly
+
+let test_maximal_period () =
+  (* primitive polynomial -> period 2^n - 1 (the pseudo-exhaustive core) *)
+  List.iter
+    (fun w ->
+      let l = Lfsr.create ~width:w () in
+      Alcotest.(check int)
+        (Printf.sprintf "width %d" w)
+        ((1 lsl w) - 1)
+        (Lfsr.period l))
+    [ 2; 3; 4; 8; 12; 16 ]
+
+let test_non_primitive_shorter () =
+  (* x^4+x^3+x^2+x+1 has order 5 *)
+  let l = Lfsr.create ~poly:0b11111 ~width:4 () in
+  Alcotest.(check int) "period 5" 5 (Lfsr.period l)
+
+let test_never_zero () =
+  let l = Lfsr.create ~width:6 () in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "nonzero" true (Lfsr.step l <> 0)
+  done
+
+let test_zero_absorbing () =
+  let l = Lfsr.create ~width:4 () in
+  Lfsr.set_state l 0;
+  Alcotest.(check int) "zero stays" 0 (Lfsr.step l);
+  Alcotest.(check int) "period of zero" 1 (Lfsr.period l)
+
+let test_covers_all_states () =
+  let w = 8 in
+  let l = Lfsr.create ~width:w () in
+  let seen = Array.make (1 lsl w) false in
+  seen.(Lfsr.state l) <- true;
+  for _ = 1 to (1 lsl w) - 2 do
+    seen.(Lfsr.step l) <- true
+  done;
+  let missing = ref 0 in
+  Array.iteri (fun i s -> if (not s) && i <> 0 then incr missing) seen;
+  Alcotest.(check int) "all non-zero states visited" 0 !missing
+
+let test_deterministic_sequence () =
+  let a = Lfsr.create ~width:8 () and b = Lfsr.create ~width:8 () in
+  Alcotest.(check (list int)) "same" (Lfsr.sequence a 50) (Lfsr.sequence b 50)
+
+let test_run () =
+  let a = Lfsr.create ~width:8 () and b = Lfsr.create ~width:8 () in
+  let fin = Lfsr.run a 37 in
+  ignore (Lfsr.sequence b 37);
+  Alcotest.(check int) "run = 37 steps" (Lfsr.state b) fin
+
+let test_bad_widths () =
+  Alcotest.check_raises "0" (Invalid_argument "Lfsr.create: width must be in 1..32")
+    (fun () -> ignore (Lfsr.create ~width:0 ()));
+  Alcotest.check_raises "33" (Invalid_argument "Lfsr.create: width must be in 1..32")
+    (fun () -> ignore (Lfsr.create ~width:33 ()));
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Lfsr.create: polynomial degree differs from width")
+    (fun () -> ignore (Lfsr.create ~poly:0b111 ~width:4 ()))
+
+let test_set_state_guard () =
+  let l = Lfsr.create ~width:4 () in
+  Alcotest.check_raises "wide" (Invalid_argument "Lfsr.set_state: value too wide")
+    (fun () -> Lfsr.set_state l 16)
+
+let test_misr_distinguishes_streams () =
+  let s1 = [ 1; 2; 3; 4; 5 ] and s2 = [ 1; 2; 3; 4; 6 ] in
+  Alcotest.(check bool) "different signatures" true
+    (Misr.reference ~width:8 s1 <> Misr.reference ~width:8 s2)
+
+let test_misr_deterministic () =
+  let s = [ 9; 8; 7; 6 ] in
+  Alcotest.(check int) "stable" (Misr.reference ~width:8 s) (Misr.reference ~width:8 s)
+
+let test_misr_zero_stream () =
+  (* all-zero stream from zero state keeps the zero signature *)
+  Alcotest.(check int) "zero" 0 (Misr.reference ~width:8 [ 0; 0; 0; 0 ])
+
+let test_misr_absorb_incremental () =
+  let m = Misr.create ~width:8 () in
+  ignore (Misr.absorb m 5);
+  ignore (Misr.absorb m 9);
+  Alcotest.(check int) "same as reference" (Misr.reference ~width:8 [ 5; 9 ])
+    (Misr.signature m)
+
+(* property: MISR is linear — signature of (a xor b) stream equals
+   signature(a) xor signature(b) when starting from zero *)
+let prop_misr_linear =
+  QCheck.Test.make ~name:"MISR linearity over GF(2)" ~count:200
+    QCheck.(pair (list_of_size Gen.(1 -- 20) (int_bound 255))
+              (list_of_size Gen.(1 -- 20) (int_bound 255)))
+    (fun (a, b) ->
+      let n = min (List.length a) (List.length b) in
+      let take l = List.filteri (fun i _ -> i < n) l in
+      let a = take a and b = take b in
+      let x = List.map2 ( lxor ) a b in
+      Misr.reference ~width:8 x
+      = Misr.reference ~width:8 a lxor Misr.reference ~width:8 b)
+
+(* property: single-bit corruption is always detected (non-aliasing for
+   one fault) *)
+let prop_misr_single_corruption =
+  QCheck.Test.make ~name:"MISR detects any single-word corruption" ~count:200
+    QCheck.(triple (list_of_size Gen.(1 -- 20) (int_bound 255)) (int_bound 19) (int_range 1 255))
+    (fun (stream, pos, flip) ->
+      QCheck.assume (pos < List.length stream);
+      let corrupted =
+        List.mapi (fun i w -> if i = pos then w lxor flip else w) stream
+      in
+      Misr.reference ~width:8 stream <> Misr.reference ~width:8 corrupted)
+
+let test_lfsr_consistent_with_gf2 () =
+  (* the LFSR's state sequence has period equal to the order of x *)
+  let poly = Gf2_poly.primitive 10 in
+  let l = Lfsr.create ~poly ~width:10 () in
+  Alcotest.(check int) "period = 2^10 - 1" 1023 (Lfsr.period l)
+
+let suite =
+  [
+    Alcotest.test_case "maximal period (primitive)" `Quick test_maximal_period;
+    Alcotest.test_case "non-primitive shorter period" `Quick test_non_primitive_shorter;
+    Alcotest.test_case "never reaches zero" `Quick test_never_zero;
+    Alcotest.test_case "zero state absorbs" `Quick test_zero_absorbing;
+    Alcotest.test_case "covers all non-zero states" `Quick test_covers_all_states;
+    Alcotest.test_case "deterministic sequence" `Quick test_deterministic_sequence;
+    Alcotest.test_case "run equals repeated step" `Quick test_run;
+    Alcotest.test_case "width guards" `Quick test_bad_widths;
+    Alcotest.test_case "set_state guard" `Quick test_set_state_guard;
+    Alcotest.test_case "MISR distinguishes streams" `Quick test_misr_distinguishes_streams;
+    Alcotest.test_case "MISR deterministic" `Quick test_misr_deterministic;
+    Alcotest.test_case "MISR zero stream" `Quick test_misr_zero_stream;
+    Alcotest.test_case "MISR incremental absorb" `Quick test_misr_absorb_incremental;
+    Alcotest.test_case "LFSR period via GF(2) order" `Quick test_lfsr_consistent_with_gf2;
+    QCheck_alcotest.to_alcotest prop_misr_linear;
+    QCheck_alcotest.to_alcotest prop_misr_single_corruption;
+  ]

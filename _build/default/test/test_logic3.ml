@@ -1,0 +1,116 @@
+module L = Ppet_retiming.Logic3
+module Gate = Ppet_netlist.Gate
+
+let test_of_to_bool () =
+  Alcotest.(check bool) "one" true (L.to_bool (L.of_bool true) = Some true);
+  Alcotest.(check bool) "zero" true (L.to_bool (L.of_bool false) = Some false);
+  Alcotest.(check bool) "x" true (L.to_bool L.X = None)
+
+let test_compatible () =
+  Alcotest.(check bool) "x anything" true (L.compatible L.X L.One);
+  Alcotest.(check bool) "same" true (L.compatible L.Zero L.Zero);
+  Alcotest.(check bool) "differ" false (L.compatible L.Zero L.One)
+
+let test_meet () =
+  Alcotest.(check bool) "x meets v" true (L.meet L.X L.One = Some L.One);
+  Alcotest.(check bool) "v meets x" true (L.meet L.Zero L.X = Some L.Zero);
+  Alcotest.(check bool) "conflict" true (L.meet L.Zero L.One = None);
+  Alcotest.(check bool) "same" true (L.meet L.One L.One = Some L.One)
+
+let test_controlling_values () =
+  (* a controlling 0 decides AND even with X on the other pin *)
+  Alcotest.(check bool) "and 0,x" true (L.eval Gate.And [| L.Zero; L.X |] = L.Zero);
+  Alcotest.(check bool) "or 1,x" true (L.eval Gate.Or [| L.One; L.X |] = L.One);
+  Alcotest.(check bool) "nand 0,x" true (L.eval Gate.Nand [| L.Zero; L.X |] = L.One);
+  Alcotest.(check bool) "nor 1,x" true (L.eval Gate.Nor [| L.One; L.X |] = L.Zero);
+  (* no controlling value for xor *)
+  Alcotest.(check bool) "xor 1,x" true (L.eval Gate.Xor [| L.One; L.X |] = L.X)
+
+let test_eval_concrete_matches_bool () =
+  let kinds = [ Gate.Buff; Gate.Not; Gate.And; Gate.Nand; Gate.Or; Gate.Nor; Gate.Xor; Gate.Xnor ] in
+  List.iter
+    (fun kind ->
+      let arity = match kind with Gate.Buff | Gate.Not -> 1 | _ -> 2 in
+      let combos = if arity = 1 then [ [| false |]; [| true |] ]
+        else [ [| false; false |]; [| false; true |]; [| true; false |]; [| true; true |] ]
+      in
+      List.iter
+        (fun bits ->
+          let expect = L.of_bool (Gate.eval kind bits) in
+          let got = L.eval kind (Array.map L.of_bool bits) in
+          Alcotest.(check bool) (Gate.name kind ^ " concrete") true (L.equal got expect))
+        combos)
+    kinds
+
+let test_preimage_exact () =
+  let kinds = [ Gate.Buff; Gate.Not; Gate.And; Gate.Nand; Gate.Or; Gate.Nor; Gate.Xor; Gate.Xnor ] in
+  List.iter
+    (fun kind ->
+      let arities = match kind with Gate.Buff | Gate.Not -> [ 1 ] | _ -> [ 2; 3 ] in
+      List.iter
+        (fun arity ->
+          List.iter
+            (fun out ->
+              match L.preimage kind arity out with
+              | Some ins ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s/%d pre-image of %c" (Gate.name kind) arity (L.to_char out))
+                  true
+                  (L.equal (L.eval kind ins) out)
+              | None -> Alcotest.fail "pre-image should exist")
+            [ L.Zero; L.One; L.X ])
+        arities)
+    kinds
+
+let test_preimage_minimal_commitment () =
+  (* AND output 0 needs only one committed input *)
+  match L.preimage Gate.And 3 L.Zero with
+  | Some ins ->
+    let committed = Array.to_list ins |> List.filter (fun v -> not (L.equal v L.X)) in
+    Alcotest.(check int) "one committed pin" 1 (List.length committed)
+  | None -> Alcotest.fail "pre-image should exist"
+
+let test_chars () =
+  Alcotest.(check char) "zero" '0' (L.to_char L.Zero);
+  Alcotest.(check char) "one" '1' (L.to_char L.One);
+  Alcotest.(check char) "x" 'x' (L.to_char L.X)
+
+(* property: 3-valued eval is monotone: replacing X by any concrete value
+   can only refine the output (never contradict a concrete output) *)
+let prop_monotone =
+  let kinds = [| Gate.And; Gate.Nand; Gate.Or; Gate.Nor; Gate.Xor; Gate.Xnor |] in
+  QCheck.Test.make ~name:"3-valued eval is monotone in the information order"
+    ~count:500
+    QCheck.(triple (int_bound 5) (int_bound 2) (list_of_size Gen.(2 -- 4) (int_bound 2)))
+    (fun (ki, _, vals) ->
+      QCheck.assume (List.length vals >= 2);
+      let kind = kinds.(ki) in
+      let of_int = function 0 -> L.Zero | 1 -> L.One | _ -> L.X in
+      let ins = Array.of_list (List.map of_int vals) in
+      let out = L.eval kind ins in
+      (* refine each X to 0 and to 1; the result must stay compatible *)
+      let ok = ref true in
+      Array.iteri
+        (fun i v ->
+          if L.equal v L.X then
+            List.iter
+              (fun r ->
+                let ins' = Array.copy ins in
+                ins'.(i) <- r;
+                if not (L.compatible (L.eval kind ins') out) then ok := false)
+              [ L.Zero; L.One ])
+        ins;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "bool conversions" `Quick test_of_to_bool;
+    Alcotest.test_case "compatibility" `Quick test_compatible;
+    Alcotest.test_case "meet" `Quick test_meet;
+    Alcotest.test_case "controlling values" `Quick test_controlling_values;
+    Alcotest.test_case "concrete agrees with bool eval" `Quick test_eval_concrete_matches_bool;
+    Alcotest.test_case "pre-images evaluate back" `Quick test_preimage_exact;
+    Alcotest.test_case "pre-image commits minimally" `Quick test_preimage_minimal_commitment;
+    Alcotest.test_case "character rendering" `Quick test_chars;
+    QCheck_alcotest.to_alcotest prop_monotone;
+  ]

@@ -1,0 +1,131 @@
+module Merced = Ppet_core.Merced
+module Params = Ppet_core.Params
+module Assign = Ppet_core.Assign
+module Area = Ppet_core.Area_accounting
+module Report = Ppet_core.Report
+module Segment = Ppet_netlist.Segment
+module Circuit = Ppet_netlist.Circuit
+module Gate = Ppet_netlist.Gate
+module Benchmarks = Ppet_netlist.Benchmarks
+module Pet = Ppet_bist.Pet
+module Simulator = Ppet_bist.Simulator
+module S27 = Ppet_netlist.S27
+
+let s27_result = lazy (Merced.run ~params:(Params.with_lk 3) (S27.circuit ()))
+
+let test_runs_end_to_end () =
+  let r = Lazy.force s27_result in
+  Alcotest.(check bool) "partitions exist" true
+    (List.length r.Merced.assignment.Assign.partitions >= 2);
+  Alcotest.(check bool) "cpu time measured" true (r.Merced.cpu_seconds >= 0.0)
+
+let test_deterministic () =
+  let a = Merced.run ~params:(Params.with_lk 3) (S27.circuit ()) in
+  let b = Merced.run ~params:(Params.with_lk 3) (S27.circuit ()) in
+  Alcotest.(check int) "same cuts"
+    a.Merced.breakdown.Area.cuts_total
+    b.Merced.breakdown.Area.cuts_total;
+  Alcotest.(check (float 1e-9)) "same sigma" a.Merced.sigma_dff b.Merced.sigma_dff
+
+let test_iotas_descending () =
+  let r = Lazy.force s27_result in
+  let rec desc = function
+    | a :: (b :: _ as tl) -> a >= b && desc tl
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "descending" true (desc (Merced.partition_iotas r))
+
+let test_testing_time_vs_lk () =
+  (* larger l_k means longer testing time but fewer cuts *)
+  let c = Benchmarks.circuit "s641" in
+  let r16 = Merced.run ~params:(Params.with_lk 16) c in
+  let r24 = Merced.run ~params:(Params.with_lk 24) c in
+  Alcotest.(check bool) "time grows" true
+    (r24.Merced.testing_time >= r16.Merced.testing_time);
+  Alcotest.(check bool) "cuts shrink" true
+    (r24.Merced.breakdown.Area.cuts_total
+     <= r16.Merced.breakdown.Area.cuts_total)
+
+let test_retiming_always_saves () =
+  let r = Lazy.force s27_result in
+  let b = r.Merced.breakdown in
+  Alcotest.(check bool) "saving >= 0" true (b.Area.saving >= 0.0);
+  Alcotest.(check bool) "ratio ordering" true
+    (b.Area.ratio_with <= b.Area.ratio_without)
+
+let test_feasibility_crosscheck () =
+  let r = Lazy.force s27_result in
+  (match Merced.retiming_feasibility r with
+   | `Feasible -> ()
+   | `Needs_mux n ->
+     Alcotest.(check bool) "mux count sane" true
+       (n > 0 && n <= r.Merced.breakdown.Area.cuts_total))
+
+let test_segments_are_combinational () =
+  let r = Lazy.force s27_result in
+  List.iter
+    (fun seg ->
+      Array.iter
+        (fun id ->
+          let k = (Circuit.node r.Merced.circuit id).Circuit.kind in
+          Alcotest.(check bool) "comb only" true
+            (k <> Gate.Dff && k <> Gate.Input))
+        seg.Segment.members)
+    (Merced.segments r)
+
+let test_segments_testable () =
+  (* every produced segment passes pseudo-exhaustive testing with full
+     detectable coverage — the end-to-end PPET promise *)
+  let r = Lazy.force s27_result in
+  let sim = Simulator.create r.Merced.circuit in
+  List.iter
+    (fun seg ->
+      if Segment.input_count seg <= 16 && Segment.input_count seg > 0 then begin
+        let rep = Pet.run sim seg in
+        Alcotest.(check (float 1e-9)) "detectable coverage" 1.0
+          rep.Pet.detectable_coverage
+      end)
+    (Merced.segments r)
+
+let test_report_rows () =
+  let r = Lazy.force s27_result in
+  Alcotest.(check bool) "t10 row" true (String.length (Report.table10_row r) > 20);
+  Alcotest.(check bool) "t12 row" true
+    (String.length (Report.table12_row ~l16:r ~l24:None) > 20);
+  Alcotest.(check bool) "summary" true (String.length (Report.summary r) > 100);
+  let csv = Report.csv_row r in
+  let cols = String.split_on_char ',' csv in
+  let headers = String.split_on_char ',' Report.csv_header in
+  Alcotest.(check int) "csv arity" (List.length headers) (List.length cols)
+
+let test_invalid_params_rejected () =
+  Alcotest.(check bool) "bad l_k" true
+    (try
+       ignore (Merced.run ~params:{ Params.default with Params.l_k = 1 } (S27.circuit ()));
+       false
+     with Invalid_argument _ -> true)
+
+let test_benchmark_run_sane () =
+  let c = Benchmarks.circuit "s510" in
+  let r = Merced.run ~params:(Params.with_lk 16) c in
+  let b = r.Merced.breakdown in
+  Alcotest.(check bool) "cuts positive" true (b.Area.cuts_total > 0);
+  Alcotest.(check bool) "most cuts on SCC" true
+    (b.Area.cuts_on_scc * 2 > b.Area.cuts_total);
+  Alcotest.(check int) "dff count" 6 b.Area.dffs_total;
+  Alcotest.(check int) "dffs on scc" 6 b.Area.dffs_on_scc
+
+let suite =
+  [
+    Alcotest.test_case "end-to-end run" `Quick test_runs_end_to_end;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "iotas sorted" `Quick test_iotas_descending;
+    Alcotest.test_case "l_k trade-off" `Slow test_testing_time_vs_lk;
+    Alcotest.test_case "retiming saves area" `Quick test_retiming_always_saves;
+    Alcotest.test_case "LS feasibility cross-check" `Quick test_feasibility_crosscheck;
+    Alcotest.test_case "segments combinational" `Quick test_segments_are_combinational;
+    Alcotest.test_case "segments pseudo-exhaustively testable" `Quick test_segments_testable;
+    Alcotest.test_case "report rendering" `Quick test_report_rows;
+    Alcotest.test_case "invalid params rejected" `Quick test_invalid_params_rejected;
+    Alcotest.test_case "benchmark s510 sane" `Slow test_benchmark_run_sane;
+  ]

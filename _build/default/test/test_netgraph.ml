@@ -1,0 +1,86 @@
+module Netgraph = Ppet_digraph.Netgraph
+
+(* the s27 graph of paper Fig. 2(b): a small multi-pin net structure *)
+let diamond () =
+  (* 0 -> {1,2}; 1 -> {3}; 2 -> {3}; 3 -> {0} (a loop) *)
+  let g = Netgraph.create 4 in
+  let e0 = Netgraph.add_net g ~src:0 ~sinks:[ 1; 2 ] in
+  let e1 = Netgraph.add_net g ~src:1 ~sinks:[ 3 ] in
+  let e2 = Netgraph.add_net g ~src:2 ~sinks:[ 3 ] in
+  let e3 = Netgraph.add_net g ~src:3 ~sinks:[ 0 ] in
+  (g, e0, e1, e2, e3)
+
+let test_counts () =
+  let g, _, _, _, _ = diamond () in
+  Alcotest.(check int) "nodes" 4 (Netgraph.n_nodes g);
+  Alcotest.(check int) "nets" 4 (Netgraph.n_nets g)
+
+let test_net_access () =
+  let g, e0, _, _, _ = diamond () in
+  Alcotest.(check int) "src" 0 (Netgraph.net_src g e0);
+  Alcotest.(check (array int)) "sinks" [| 1; 2 |] (Netgraph.net_sinks g e0)
+
+let test_out_in_nets () =
+  let g, e0, e1, e2, e3 = diamond () in
+  Alcotest.(check (array int)) "out of 0" [| e0 |] (Netgraph.out_nets g 0);
+  let in3 = Netgraph.in_nets g 3 in
+  Array.sort compare in3;
+  Alcotest.(check (array int)) "in of 3" [| e1; e2 |] in3;
+  Alcotest.(check (array int)) "in of 0" [| e3 |] (Netgraph.in_nets g 0)
+
+let test_successors_predecessors () =
+  let g, _, _, _, _ = diamond () in
+  Alcotest.(check (array int)) "succ 0" [| 1; 2 |] (Netgraph.successors g 0);
+  Alcotest.(check (array int)) "pred 3" [| 1; 2 |] (Netgraph.predecessors g 3);
+  Alcotest.(check (array int)) "succ 3" [| 0 |] (Netgraph.successors g 3)
+
+let test_arcs () =
+  let g, _, _, _, _ = diamond () in
+  Alcotest.(check int) "arc count" 5 (Array.length (Netgraph.arcs g))
+
+let test_multisink_dedup_in_nets () =
+  let g = Netgraph.create 2 in
+  let e = Netgraph.add_net g ~src:0 ~sinks:[ 1; 1 ] in
+  (* the net is listed once in in_nets even though vertex 1 reads twice *)
+  Alcotest.(check (array int)) "in nets deduped" [| e |] (Netgraph.in_nets g 1)
+
+let test_self_loop () =
+  let g = Netgraph.create 1 in
+  let _ = Netgraph.add_net g ~src:0 ~sinks:[ 0 ] in
+  Alcotest.(check (array int)) "self succ" [| 0 |] (Netgraph.successors g 0)
+
+let test_add_after_freeze () =
+  let g = Netgraph.create 3 in
+  let _ = Netgraph.add_net g ~src:0 ~sinks:[ 1 ] in
+  ignore (Netgraph.out_nets g 0);
+  let _ = Netgraph.add_net g ~src:1 ~sinks:[ 2 ] in
+  Alcotest.(check int) "refrozen" 1 (Array.length (Netgraph.out_nets g 1))
+
+let test_bad_vertex () =
+  let g = Netgraph.create 2 in
+  Alcotest.check_raises "bad source" (Invalid_argument "Netgraph.add_net: bad source")
+    (fun () -> ignore (Netgraph.add_net g ~src:5 ~sinks:[ 0 ]));
+  Alcotest.check_raises "bad sink" (Invalid_argument "Netgraph.add_net: bad sink")
+    (fun () -> ignore (Netgraph.add_net g ~src:0 ~sinks:[ 9 ]));
+  Alcotest.check_raises "empty sinks" (Invalid_argument "Netgraph.add_net: empty sink list")
+    (fun () -> ignore (Netgraph.add_net g ~src:0 ~sinks:[]))
+
+let test_iter_nets () =
+  let g, _, _, _, _ = diamond () in
+  let total_pins = ref 0 in
+  Netgraph.iter_nets g (fun _ ~src:_ ~sinks -> total_pins := !total_pins + Array.length sinks);
+  Alcotest.(check int) "pins" 5 !total_pins
+
+let suite =
+  [
+    Alcotest.test_case "node and net counts" `Quick test_counts;
+    Alcotest.test_case "net accessors" `Quick test_net_access;
+    Alcotest.test_case "out/in nets" `Quick test_out_in_nets;
+    Alcotest.test_case "successors/predecessors" `Quick test_successors_predecessors;
+    Alcotest.test_case "arcs enumerate pins" `Quick test_arcs;
+    Alcotest.test_case "in_nets dedups multi-pin sink" `Quick test_multisink_dedup_in_nets;
+    Alcotest.test_case "self loop allowed" `Quick test_self_loop;
+    Alcotest.test_case "adding after freeze refreezes" `Quick test_add_after_freeze;
+    Alcotest.test_case "bad vertices rejected" `Quick test_bad_vertex;
+    Alcotest.test_case "iter_nets sees every pin" `Quick test_iter_nets;
+  ]

@@ -1,0 +1,120 @@
+module Circuit = Ppet_netlist.Circuit
+module Segment = Ppet_netlist.Segment
+module Pet = Ppet_bist.Pet
+module Simulator = Ppet_bist.Simulator
+module Parser = Ppet_netlist.Bench_parser
+module Generator = Ppet_netlist.Generator
+module Gate = Ppet_netlist.Gate
+module S27 = Ppet_netlist.S27
+
+let seg_of c names =
+  Segment.of_members c (Array.of_list (List.map (Circuit.find c) names))
+
+let test_and_tree () =
+  let c =
+    Parser.parse_string
+      "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(y)\n\
+       g1 = AND(a, b)\ng2 = AND(c, d)\ny = AND(g1, g2)\n"
+  in
+  let sim = Simulator.create c in
+  let r = Pet.run sim (seg_of c [ "g1"; "g2"; "y" ]) in
+  Alcotest.(check int) "width" 4 r.Pet.width;
+  Alcotest.(check int) "patterns 2^4" 16 r.Pet.patterns_applied;
+  Alcotest.(check (float 1e-9)) "full coverage" 1.0 r.Pet.coverage;
+  Alcotest.(check int) "no redundancy" 0 r.Pet.n_redundant
+
+let test_redundant_logic_reported () =
+  let c = Parser.parse_string "INPUT(a)\nOUTPUT(y)\nn = NOT(a)\ny = OR(a, n)\n" in
+  let sim = Simulator.create c in
+  let r = Pet.run sim (seg_of c [ "n"; "y" ]) in
+  Alcotest.(check bool) "has redundant faults" true (r.Pet.n_redundant > 0);
+  Alcotest.(check (float 1e-9)) "detectable coverage still 1" 1.0
+    r.Pet.detectable_coverage
+
+let test_s27_whole_combinational () =
+  (* the headline PPET property on the real published circuit: exhaustive
+     patterns detect every detectable fault of the combinational core *)
+  let c = S27.circuit () in
+  let sim = Simulator.create c in
+  let combs = Circuit.combinational c in
+  let seg = Segment.of_members c combs in
+  let r = Pet.run sim seg in
+  Alcotest.(check int) "width 7 (4 PI + 3 DFF)" 7 r.Pet.width;
+  Alcotest.(check (float 1e-9)) "detectable coverage 1.0" 1.0
+    r.Pet.detectable_coverage;
+  Alcotest.(check bool) "most faults detectable" true (r.Pet.coverage > 0.9)
+
+let test_lfsr_matches_exhaustive () =
+  let c = S27.circuit () in
+  let sim = Simulator.create c in
+  let seg = Segment.of_members c (Circuit.combinational c) in
+  let a = Pet.run sim seg in
+  let b = Pet.run_with_lfsr sim seg in
+  Alcotest.(check int) "same detections" a.Pet.n_detected b.Pet.n_detected
+
+let test_width_cap () =
+  let c =
+    Generator.generate
+      {
+        Generator.name = "wide";
+        n_pi = 25;
+        n_dff = 0;
+        n_gates = 30;
+        n_inv = 5;
+        dff_on_scc = 0;
+        area_target = None;
+      }
+  in
+  let sim = Simulator.create c in
+  let seg = Segment.of_members c (Circuit.combinational c) in
+  if Segment.input_count seg > 20 then
+    Alcotest.(check bool) "raises" true
+      (try
+         ignore (Pet.run sim seg);
+         false
+       with Invalid_argument _ -> true)
+  else Alcotest.(check bool) "narrow enough" true true
+
+let test_report_printing () =
+  let c = Parser.parse_string "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n" in
+  let sim = Simulator.create c in
+  let r = Pet.run sim (seg_of c [ "y" ]) in
+  let s = Format.asprintf "%a" Pet.pp r in
+  Alcotest.(check bool) "mentions coverage" true (String.length s > 20)
+
+(* property: pseudo-exhaustive testing reaches detectable-coverage 1.0 on
+   random combinational segments — the theorem PPET rests on *)
+let prop_pet_complete =
+  QCheck.Test.make ~name:"exhaustive test detects all detectable faults"
+    ~count:15
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let c =
+        Generator.generate
+          {
+            Generator.name = Printf.sprintf "pet%d" seed;
+            n_pi = 5;
+            n_dff = 3;
+            n_gates = 18;
+            n_inv = 4;
+            dff_on_scc = 1;
+            area_target = None;
+          }
+          ~seed:(Int64.of_int (seed + 21))
+      in
+      let sim = Simulator.create c in
+      let seg = Ppet_netlist.Segment.of_members c (Circuit.combinational c) in
+      QCheck.assume (Segment.input_count seg <= 16);
+      let r = Pet.run sim seg in
+      r.Pet.detectable_coverage = 1.0)
+
+let suite =
+  [
+    Alcotest.test_case "AND tree fully covered" `Quick test_and_tree;
+    Alcotest.test_case "redundant faults reported" `Quick test_redundant_logic_reported;
+    Alcotest.test_case "s27 pseudo-exhaustive" `Quick test_s27_whole_combinational;
+    Alcotest.test_case "LFSR source matches exhaustive" `Quick test_lfsr_matches_exhaustive;
+    Alcotest.test_case "width cap enforced" `Quick test_width_cap;
+    Alcotest.test_case "report prints" `Quick test_report_printing;
+    QCheck_alcotest.to_alcotest prop_pet_complete;
+  ]

@@ -1,0 +1,65 @@
+module Phasing = Ppet_core.Phasing
+module Merced = Ppet_core.Merced
+module Params = Ppet_core.Params
+module Pipeline = Ppet_bist.Pipeline
+module S27 = Ppet_netlist.S27
+module Benchmarks = Ppet_netlist.Benchmarks
+
+let test_s27_phases () =
+  let r = Merced.run ~params:(Params.with_lk 3) (S27.circuit ()) in
+  let p = Phasing.compute r in
+  Alcotest.(check int) "one phase per partition"
+    (List.length r.Merced.assignment.Ppet_core.Assign.partitions)
+    (Array.length p.Phasing.phase_of);
+  Alcotest.(check bool) "at least one phase" true (p.Phasing.phases >= 1);
+  (* proper colouring: adjacent partitions differ *)
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%d-%d differ" a b)
+        true
+        (p.Phasing.phase_of.(a) <> p.Phasing.phase_of.(b)))
+    p.Phasing.adjacency
+
+let test_phases_bounded () =
+  (* the classic PPET arrangement needs few phases: 2 for pipelines,
+     3 for odd cycles — never more than max degree + 1 *)
+  let r = Merced.run ~params:(Params.with_lk 16) (Benchmarks.circuit "s641") in
+  let p = Phasing.compute r in
+  let deg = Array.make (Array.length p.Phasing.phase_of) 0 in
+  List.iter
+    (fun (a, b) ->
+      deg.(a) <- deg.(a) + 1;
+      deg.(b) <- deg.(b) + 1)
+    p.Phasing.adjacency;
+  let max_deg = Array.fold_left max 0 deg in
+  Alcotest.(check bool) "greedy bound" true (p.Phasing.phases <= max_deg + 1)
+
+let test_schedule_consistent () =
+  let r = Merced.run ~params:(Params.with_lk 3) (S27.circuit ()) in
+  let p = Phasing.compute r in
+  let s = Phasing.schedule r in
+  Alcotest.(check int) "phases carried over" p.Phasing.phases s.Pipeline.phases;
+  Alcotest.(check bool) "positive time" true (Pipeline.total_cycles s > 0.0)
+
+let test_no_adjacency_one_phase () =
+  (* a partitioning with no cut nets has no adjacencies: one phase *)
+  let r = Merced.run ~params:(Params.with_lk 16) (S27.circuit ()) in
+  let p = Phasing.compute r in
+  Alcotest.(check (list (pair int int))) "no adjacency" [] p.Phasing.adjacency;
+  Alcotest.(check int) "one phase" 1 p.Phasing.phases
+
+let test_pp () =
+  let r = Merced.run ~params:(Params.with_lk 3) (S27.circuit ()) in
+  let p = Phasing.compute r in
+  Alcotest.(check bool) "prints" true
+    (String.length (Format.asprintf "%a" Phasing.pp p) > 10)
+
+let suite =
+  [
+    Alcotest.test_case "s27 proper colouring" `Quick test_s27_phases;
+    Alcotest.test_case "greedy bound respected" `Quick test_phases_bounded;
+    Alcotest.test_case "schedule consistency" `Quick test_schedule_consistent;
+    Alcotest.test_case "no cuts, one phase" `Quick test_no_adjacency_one_phase;
+    Alcotest.test_case "pretty printing" `Quick test_pp;
+  ]

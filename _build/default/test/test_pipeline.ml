@@ -1,0 +1,86 @@
+module Pipeline = Ppet_bist.Pipeline
+
+let test_total_time_model () =
+  let s = Pipeline.make ~widths:[ [ 4; 8 ]; [ 8; 6 ] ] () in
+  Alcotest.(check int) "dominant width" 8 (Pipeline.dominated_by s);
+  Alcotest.(check int) "scan bits" 26 s.Pipeline.scan_bits;
+  (* burst = 2 phases x 2^8 *)
+  Alcotest.(check (float 1e-9)) "burst" 512.0 (Pipeline.burst_cycles s);
+  Alcotest.(check (float 1e-9)) "total" (512.0 +. 52.0) (Pipeline.total_cycles s)
+
+let test_dominated_by_widest () =
+  (* Fig. 1(b): the widest CBIT dominates regardless of count *)
+  let narrow = Pipeline.of_segment_widths [ 4; 4; 4; 4; 4; 4; 4; 4 ] in
+  let wide = Pipeline.of_segment_widths [ 12 ] in
+  Alcotest.(check bool) "one wide CBIT beats many narrow" true
+    (Pipeline.burst_cycles wide > Pipeline.burst_cycles narrow)
+
+let test_speedup_grows_with_segments () =
+  let few = Pipeline.of_segment_widths [ 10; 10 ] in
+  let many = Pipeline.of_segment_widths [ 10; 10; 10; 10; 10; 10 ] in
+  Alcotest.(check bool) "concurrency pays" true
+    (Pipeline.speedup_vs_serial many > Pipeline.speedup_vs_serial few)
+
+let test_single_phase () =
+  let s = Pipeline.make ~phases:1 ~widths:[ [ 6 ] ] () in
+  Alcotest.(check (float 1e-9)) "one burst" 64.0 (Pipeline.burst_cycles s)
+
+let test_guards () =
+  Alcotest.(check bool) "bad width" true
+    (try
+       ignore (Pipeline.make ~widths:[ [ 0 ] ] ());
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad phases" true
+    (try
+       ignore (Pipeline.make ~phases:0 ~widths:[ [ 4 ] ] ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_pp () =
+  let s = Pipeline.of_segment_widths [ 4; 8 ] in
+  Alcotest.(check bool) "prints" true
+    (String.length (Format.asprintf "%a" Pipeline.pp s) > 30)
+
+let suite =
+  [
+    Alcotest.test_case "total-time model" `Quick test_total_time_model;
+    Alcotest.test_case "widest CBIT dominates (Fig. 1b)" `Quick test_dominated_by_widest;
+    Alcotest.test_case "speed-up grows with segments" `Quick test_speedup_grows_with_segments;
+    Alcotest.test_case "single phase" `Quick test_single_phase;
+    Alcotest.test_case "guards" `Quick test_guards;
+    Alcotest.test_case "pretty printing" `Quick test_pp;
+  ]
+
+(* appended: power-constrained scheduling *)
+let test_power_constrained_chunks () =
+  let s = Pipeline.power_constrained ~widths:[ 4; 16; 8; 12 ] ~max_per_pipe:2 in
+  Alcotest.(check int) "two pipes" 2 (List.length s.Pipeline.pipes);
+  (* sorted descending and chunked: [16;12] [8;4] *)
+  (match s.Pipeline.pipes with
+   | [ a; b ] ->
+     Alcotest.(check (list int)) "pipe 0" [ 16; 12 ] a.Pipeline.widths;
+     Alcotest.(check (list int)) "pipe 1" [ 8; 4 ] b.Pipeline.widths
+   | _ -> Alcotest.fail "expected two pipes")
+
+let test_sequential_cycles () =
+  let s = Pipeline.power_constrained ~widths:[ 8; 8; 4; 4 ] ~max_per_pipe:2 in
+  (* pipes [8;8] and [4;4]: 2 phases x (256 + 16) + 2 x 24 scan bits *)
+  Alcotest.(check (float 1e-9)) "sum of bursts" (48.0 +. 2.0 *. (256.0 +. 16.0))
+    (Pipeline.sequential_cycles s)
+
+let test_similar_widths_grouping_pays () =
+  (* mixing a wide CBIT into a narrow pipe wastes cycles *)
+  let good = Pipeline.power_constrained ~widths:[ 16; 16; 4; 4 ] ~max_per_pipe:2 in
+  let bad = Pipeline.make ~widths:[ [ 16; 4 ]; [ 16; 4 ] ] () in
+  Alcotest.(check bool) "sorted chunking wins" true
+    (Pipeline.sequential_cycles good < Pipeline.sequential_cycles bad
+     || Pipeline.sequential_cycles good = Pipeline.sequential_cycles bad)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "power-constrained chunking" `Quick test_power_constrained_chunks;
+      Alcotest.test_case "sequential cycle count" `Quick test_sequential_cycles;
+      Alcotest.test_case "similar widths grouped" `Quick test_similar_widths_grouping_pays;
+    ]

@@ -1,0 +1,88 @@
+module Circuit = Ppet_netlist.Circuit
+module To_graph = Ppet_netlist.To_graph
+module Netgraph = Ppet_digraph.Netgraph
+module Scc_budget = Ppet_retiming.Scc_budget
+module Parser = Ppet_netlist.Bench_parser
+module S27 = Ppet_netlist.S27
+
+let make src =
+  let c = Parser.parse_string src in
+  let g = To_graph.partition_view c in
+  (c, g, Scc_budget.create c g)
+
+let ring =
+  "INPUT(a)\nOUTPUT(y)\nq = DFF(g2)\ng1 = AND(q, a)\ng2 = NOT(g1)\ny = BUFF(g1)\n"
+
+let test_ring_registers () =
+  let _, _, sb = make ring in
+  Alcotest.(check int) "one dff on scc" 1 (Scc_budget.dffs_on_scc sb)
+
+let test_s27_dffs_on_scc () =
+  let c = S27.circuit () in
+  let g = To_graph.partition_view c in
+  let sb = Scc_budget.create c g in
+  (* G5 and G6 sit on loops (G10/G11 feedback); G7's loop: G7->G12->G13->G7 *)
+  Alcotest.(check int) "all three loop" 3 (Scc_budget.dffs_on_scc sb)
+
+let test_net_scc () =
+  let c, g, sb = make ring in
+  (* the net g1 -> {g2, y}: g1 and g2 are in the loop, so it is internal *)
+  let g1 = Circuit.find c "g1" in
+  let net = (To_graph.net_of_driver c g).(g1) in
+  Alcotest.(check bool) "loop-internal" true (Scc_budget.net_scc sb net <> None);
+  (* a -> g1 comes from outside the loop *)
+  let a = Circuit.find c "a" in
+  let net_a = (To_graph.net_of_driver c g).(a) in
+  Alcotest.(check bool) "entering net not internal" true
+    (Scc_budget.net_scc sb net_a = None)
+
+let test_cuts_by_scc_and_excess () =
+  let c, g, sb = make ring in
+  let g1 = Circuit.find c "g1" and q = Circuit.find c "q" in
+  let map = To_graph.net_of_driver c g in
+  let cuts = [ map.(g1); map.(q) ] in
+  let hist = Scc_budget.cuts_by_scc sb cuts in
+  Alcotest.(check int) "two cuts on the loop" 2 (Array.fold_left ( + ) 0 hist);
+  (* one register available: one cut coverable, one excess *)
+  Alcotest.(check int) "excess" 1 (Scc_budget.mux_excess sb ~cuts_on_scc:hist);
+  Alcotest.(check int) "coverable" 1
+    (Scc_budget.coverable sb ~cuts_on_scc:hist ~cuts_total:2)
+
+let test_feedforward_cuts_all_coverable () =
+  let c, g, sb =
+    make "INPUT(a)\nOUTPUT(y)\nq = DFF(a)\ng = NOT(q)\ny = BUFF(g)\n"
+  in
+  let gid = Circuit.find c "g" in
+  let map = To_graph.net_of_driver c g in
+  let cuts = [ map.(gid) ] in
+  let hist = Scc_budget.cuts_by_scc sb cuts in
+  Alcotest.(check int) "no loop cuts" 0 (Array.fold_left ( + ) 0 hist);
+  Alcotest.(check int) "no excess" 0 (Scc_budget.mux_excess sb ~cuts_on_scc:hist);
+  Alcotest.(check int) "fully coverable" 1
+    (Scc_budget.coverable sb ~cuts_on_scc:hist ~cuts_total:1)
+
+let test_graph_mismatch_rejected () =
+  let c = S27.circuit () in
+  let g = Netgraph.create 3 in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Scc_budget.create: graph does not match circuit")
+    (fun () -> ignore (Scc_budget.create c g))
+
+let test_is_loop_registers () =
+  let c, _, sb = make ring in
+  let q = Circuit.find c "q" in
+  let scc = Scc_budget.scc sb in
+  let comp = scc.Ppet_digraph.Tarjan.component.(q) in
+  Alcotest.(check bool) "loop" true (Scc_budget.is_loop sb comp);
+  Alcotest.(check int) "f = 1" 1 (Scc_budget.registers sb comp)
+
+let suite =
+  [
+    Alcotest.test_case "ring registers" `Quick test_ring_registers;
+    Alcotest.test_case "s27 DFFs on SCC" `Quick test_s27_dffs_on_scc;
+    Alcotest.test_case "net_scc classification" `Quick test_net_scc;
+    Alcotest.test_case "cut histogram and excess" `Quick test_cuts_by_scc_and_excess;
+    Alcotest.test_case "feed-forward cuts coverable" `Quick test_feedforward_cuts_all_coverable;
+    Alcotest.test_case "graph mismatch rejected" `Quick test_graph_mismatch_rejected;
+    Alcotest.test_case "is_loop and registers" `Quick test_is_loop_registers;
+  ]

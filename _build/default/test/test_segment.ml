@@ -1,0 +1,82 @@
+module Circuit = Ppet_netlist.Circuit
+module Segment = Ppet_netlist.Segment
+module S27 = Ppet_netlist.S27
+
+let s27_ids c names = Array.of_list (List.map (Circuit.find c) names)
+
+let test_single_gate () =
+  let c = S27.circuit () in
+  (* G8 = AND(G14, G6): inputs are its two drivers, observed is itself *)
+  let seg = Segment.of_members c (s27_ids c [ "G8" ]) in
+  Alcotest.(check int) "iota" 2 (Segment.input_count seg);
+  Alcotest.(check int) "observed" 1 (Array.length seg.Segment.observed);
+  Alcotest.(check int) "no inside PIs" 0 (Array.length seg.Segment.inside_pis)
+
+let test_pi_member () =
+  let c = S27.circuit () in
+  (* G0 (PI) + G14 = NOT(G0): PI counts as an input, G14 observed *)
+  let seg = Segment.of_members c (s27_ids c [ "G0"; "G14" ]) in
+  Alcotest.(check int) "iota = 1 (the PI)" 1 (Segment.input_count seg);
+  Alcotest.(check int) "one inside PI" 1 (Array.length seg.Segment.inside_pis);
+  Alcotest.(check int) "no external drivers" 0 (Array.length seg.Segment.input_drivers)
+
+let test_observed_po () =
+  let c = S27.circuit () in
+  (* G17 = NOT(G11) is the PO; with G17 alone, it is observed as a PO *)
+  let seg = Segment.of_members c (s27_ids c [ "G17" ]) in
+  Alcotest.(check bool) "po observed" true
+    (Array.exists (fun o -> o = Circuit.find c "G17") seg.Segment.observed)
+
+let test_internal_not_observed () =
+  let c = S27.circuit () in
+  (* G12 feeds G15 and G13; with all three inside, G12 is internal *)
+  let seg = Segment.of_members c (s27_ids c [ "G12"; "G15"; "G13" ]) in
+  Alcotest.(check bool) "g12 hidden" false
+    (Array.exists (fun o -> o = Circuit.find c "G12") seg.Segment.observed)
+
+let test_input_signals_order () =
+  let c = S27.circuit () in
+  let seg = Segment.of_members c (s27_ids c [ "G0"; "G8" ]) in
+  let signals = Segment.input_signals seg in
+  Alcotest.(check int) "drivers then PIs" (Segment.input_count seg)
+    (Array.length signals)
+
+let test_mem () =
+  let c = S27.circuit () in
+  let seg = Segment.of_members c (s27_ids c [ "G8" ]) in
+  Alcotest.(check bool) "member" true (Segment.mem seg (Circuit.find c "G8"));
+  Alcotest.(check bool) "non-member" false (Segment.mem seg (Circuit.find c "G9"))
+
+let test_duplicate_rejected () =
+  let c = S27.circuit () in
+  let g8 = Circuit.find c "G8" in
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Segment.of_members: duplicate node id") (fun () ->
+      ignore (Segment.of_members c [| g8; g8 |]))
+
+let test_bad_id_rejected () =
+  let c = S27.circuit () in
+  Alcotest.check_raises "range" (Invalid_argument "Segment.of_members: bad node id")
+    (fun () -> ignore (Segment.of_members c [| 999 |]))
+
+let test_whole_circuit () =
+  let c = S27.circuit () in
+  let all = Array.init (Circuit.size c) (fun i -> i) in
+  let seg = Segment.of_members c all in
+  (* everything inside: inputs are exactly the 4 PIs *)
+  Alcotest.(check int) "iota = PIs" 4 (Segment.input_count seg);
+  Alcotest.(check int) "no external drivers" 0
+    (Array.length seg.Segment.input_drivers)
+
+let suite =
+  [
+    Alcotest.test_case "single gate boundary" `Quick test_single_gate;
+    Alcotest.test_case "PI member counts as input" `Quick test_pi_member;
+    Alcotest.test_case "PO is observed" `Quick test_observed_po;
+    Alcotest.test_case "internal node not observed" `Quick test_internal_not_observed;
+    Alcotest.test_case "input signal ordering" `Quick test_input_signals_order;
+    Alcotest.test_case "membership" `Quick test_mem;
+    Alcotest.test_case "duplicate rejected" `Quick test_duplicate_rejected;
+    Alcotest.test_case "bad id rejected" `Quick test_bad_id_rejected;
+    Alcotest.test_case "whole circuit segment" `Quick test_whole_circuit;
+  ]

@@ -1,0 +1,140 @@
+module Circuit = Ppet_netlist.Circuit
+module Gate = Ppet_netlist.Gate
+module Parser = Ppet_netlist.Bench_parser
+module Simulator = Ppet_bist.Simulator
+module S27 = Ppet_netlist.S27
+
+let word_of_bool b = if b then max_int else 0
+
+let test_eval_all_comb () =
+  let c = Parser.parse_string "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\nz = OR(a, b)\n" in
+  let sim = Simulator.create c in
+  let values = Array.make (Circuit.size c) 0 in
+  values.(Circuit.find c "a") <- word_of_bool true;
+  values.(Circuit.find c "b") <- word_of_bool false;
+  Simulator.eval_all sim values;
+  Alcotest.(check int) "and" 0 values.(Circuit.find c "y");
+  Alcotest.(check int) "or" max_int values.(Circuit.find c "z")
+
+let test_order_respects_dependencies () =
+  let c = S27.circuit () in
+  let sim = Simulator.create c in
+  let pos = Array.make (Circuit.size c) (-1) in
+  Array.iteri (fun i id -> pos.(id) <- i) (Simulator.order sim);
+  Array.iter
+    (fun id ->
+      let nd = Circuit.node c id in
+      Array.iter
+        (fun f ->
+          let fk = (Circuit.node c f).Circuit.kind in
+          if fk <> Gate.Input && fk <> Gate.Dff then
+            Alcotest.(check bool) "fanin earlier" true (pos.(f) < pos.(id)))
+        nd.Circuit.fanins)
+      (Simulator.order sim)
+
+let test_eval_members_only () =
+  let c = Parser.parse_string "INPUT(a)\nOUTPUT(y)\ng1 = NOT(a)\ny = NOT(g1)\n" in
+  let sim = Simulator.create c in
+  let values = Array.make (Circuit.size c) 0 in
+  let member = Array.make (Circuit.size c) false in
+  member.(Circuit.find c "y") <- true;
+  (* g1 is NOT evaluated: its preset value 0 is used as the boundary *)
+  values.(Circuit.find c "g1") <- 0;
+  Simulator.eval_members sim values ~member;
+  Alcotest.(check int) "y = NOT(boundary 0)" max_int values.(Circuit.find c "y")
+
+let test_step_counter () =
+  (* 1-bit toggler: q = DFF(NOT(q)) *)
+  let c = Parser.parse_string "INPUT(en)\nOUTPUT(q)\nq = DFF(n)\nn = NOT(q)\n" in
+  let sim = Simulator.create c in
+  let state = [| 0 |] in
+  let next1, _ = Simulator.step sim ~state ~pi:[| 0 |] in
+  Alcotest.(check int) "toggles to 1" max_int next1.(0);
+  let next2, _ = Simulator.step sim ~state:next1 ~pi:[| 0 |] in
+  Alcotest.(check int) "toggles back" 0 next2.(0)
+
+let test_run_collects_outputs () =
+  let c = Parser.parse_string "INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n" in
+  let sim = Simulator.create c in
+  let final, outs =
+    Simulator.run sim ~state:[| 0 |] ~pis:[ [| max_int |]; [| 0 |]; [| max_int |] ]
+  in
+  Alcotest.(check int) "final state" max_int final.(0);
+  Alcotest.(check (list (list int))) "delayed stream"
+    [ [ 0 ]; [ max_int ]; [ 0 ] ]
+    (List.map Array.to_list outs)
+
+let test_size_guards () =
+  let c = S27.circuit () in
+  let sim = Simulator.create c in
+  Alcotest.check_raises "state" (Invalid_argument "Simulator.step: state size mismatch")
+    (fun () -> ignore (Simulator.step sim ~state:[| 0 |] ~pi:[| 0; 0; 0; 0 |]));
+  Alcotest.check_raises "pi" (Invalid_argument "Simulator.step: pi size mismatch")
+    (fun () -> ignore (Simulator.step sim ~state:[| 0; 0; 0 |] ~pi:[| 0 |]))
+
+(* property: word-parallel sequential simulation of s27 agrees with a
+   naive per-bit boolean reference *)
+let prop_s27_matches_reference =
+  QCheck.Test.make ~name:"s27 word simulation = boolean reference" ~count:60
+    QCheck.(pair (int_bound 0xFFFFFF) (int_range 1 6))
+    (fun (seed, cycles) ->
+      let c = S27.circuit () in
+      let sim = Simulator.create c in
+      let rng = Ppet_digraph.Prng.create (Int64.of_int (seed + 1)) in
+      let n_pi = Array.length c.Circuit.inputs in
+      let pis =
+        List.init cycles (fun _ ->
+            Array.init n_pi (fun _ ->
+                Int64.to_int
+                  (Int64.logand (Ppet_digraph.Prng.next_int64 rng)
+                     (Int64.of_int max_int))))
+      in
+      let dffs = Circuit.dffs c in
+      let _, outs = Simulator.run sim ~state:(Array.make (Array.length dffs) 0) ~pis in
+      (* boolean reference on lane 0 and lane 17 *)
+      let check_lane lane =
+        let state = Hashtbl.create 8 in
+        Array.iter (fun d -> Hashtbl.replace state d false) dffs;
+        let ok = ref true in
+        List.iteri
+          (fun t pi_words ->
+            let values = Hashtbl.create 32 in
+            Array.iteri
+              (fun i p ->
+                Hashtbl.replace values p ((pi_words.(i) lsr lane) land 1 = 1))
+              c.Circuit.inputs;
+            Array.iter
+              (fun d -> Hashtbl.replace values d (Hashtbl.find state d))
+              dffs;
+            let rec value id =
+              match Hashtbl.find_opt values id with
+              | Some v -> v
+              | None ->
+                let nd = Circuit.node c id in
+                let v = Gate.eval nd.Circuit.kind (Array.map value nd.Circuit.fanins) in
+                Hashtbl.replace values id v;
+                v
+            in
+            let po = value c.Circuit.outputs.(0) in
+            let word = (List.nth outs t).(0) in
+            if (word lsr lane) land 1 = 1 <> po then ok := false;
+            Array.iter
+              (fun d ->
+                let nd = Circuit.node c d in
+                Hashtbl.replace state d (value nd.Circuit.fanins.(0)))
+              dffs)
+          pis;
+        !ok
+      in
+      check_lane 0 && check_lane 17)
+
+let suite =
+  [
+    Alcotest.test_case "combinational eval" `Quick test_eval_all_comb;
+    Alcotest.test_case "topological order" `Quick test_order_respects_dependencies;
+    Alcotest.test_case "member-restricted eval" `Quick test_eval_members_only;
+    Alcotest.test_case "sequential toggler" `Quick test_step_counter;
+    Alcotest.test_case "run collects outputs" `Quick test_run_collects_outputs;
+    Alcotest.test_case "size guards" `Quick test_size_guards;
+    QCheck_alcotest.to_alcotest prop_s27_matches_reference;
+  ]

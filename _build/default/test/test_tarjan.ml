@@ -1,0 +1,143 @@
+module Netgraph = Ppet_digraph.Netgraph
+module Tarjan = Ppet_digraph.Tarjan
+module Prng = Ppet_digraph.Prng
+
+let graph edges n =
+  let g = Netgraph.create n in
+  List.iter (fun (s, ts) -> ignore (Netgraph.add_net g ~src:s ~sinks:ts)) edges;
+  g
+
+let test_dag () =
+  let g = graph [ (0, [ 1 ]); (1, [ 2 ]); (0, [ 2 ]) ] 3 in
+  let r = Tarjan.run g in
+  Alcotest.(check int) "three components" 3 r.Tarjan.count;
+  Alcotest.(check int) "all trivial" 0 (List.length (Tarjan.nontrivial r g))
+
+let test_cycle () =
+  let g = graph [ (0, [ 1 ]); (1, [ 2 ]); (2, [ 0 ]) ] 3 in
+  let r = Tarjan.run g in
+  Alcotest.(check int) "one component" 1 r.Tarjan.count;
+  Alcotest.(check int) "one loop" 1 (List.length (Tarjan.nontrivial r g))
+
+let test_two_sccs () =
+  (* 0<->1 and 2<->3, with 1 -> 2 *)
+  let g = graph [ (0, [ 1 ]); (1, [ 0; 2 ]); (2, [ 3 ]); (3, [ 2 ]) ] 4 in
+  let r = Tarjan.run g in
+  Alcotest.(check int) "two components" 2 r.Tarjan.count;
+  Alcotest.(check bool) "0 and 1 together" true
+    (r.Tarjan.component.(0) = r.Tarjan.component.(1));
+  Alcotest.(check bool) "2 and 3 together" true
+    (r.Tarjan.component.(2) = r.Tarjan.component.(3));
+  Alcotest.(check bool) "separate" true
+    (r.Tarjan.component.(0) <> r.Tarjan.component.(2))
+
+let test_reverse_topological_numbering () =
+  let g = graph [ (0, [ 1 ]); (1, [ 2 ]) ] 3 in
+  let r = Tarjan.run g in
+  (* edge a->b across components implies component(a) > component(b) *)
+  Alcotest.(check bool) "ordering" true
+    (r.Tarjan.component.(0) > r.Tarjan.component.(1)
+     && r.Tarjan.component.(1) > r.Tarjan.component.(2))
+
+let test_self_loop_nontrivial () =
+  let g = graph [ (0, [ 0 ]); (1, [ 0 ]) ] 2 in
+  let r = Tarjan.run g in
+  Alcotest.(check bool) "self loop is a loop" false
+    (Tarjan.is_trivial r g r.Tarjan.component.(0));
+  Alcotest.(check bool) "plain vertex trivial" true
+    (Tarjan.is_trivial r g r.Tarjan.component.(1))
+
+let test_members () =
+  let g = graph [ (0, [ 1 ]); (1, [ 0 ]); (2, [ 0 ]) ] 3 in
+  let r = Tarjan.run g in
+  let c01 = r.Tarjan.component.(0) in
+  let m = Array.copy r.Tarjan.members.(c01) in
+  Array.sort compare m;
+  Alcotest.(check (array int)) "members of scc" [| 0; 1 |] m
+
+let test_net_internal () =
+  let g = Netgraph.create 3 in
+  let e_loop = Netgraph.add_net g ~src:0 ~sinks:[ 1 ] in
+  let _ = Netgraph.add_net g ~src:1 ~sinks:[ 0 ] in
+  let e_out = Netgraph.add_net g ~src:1 ~sinks:[ 2 ] in
+  let r = Tarjan.run g in
+  Alcotest.(check bool) "loop net internal" true
+    (Tarjan.net_internal r g e_loop <> None);
+  Alcotest.(check bool) "escaping net not internal" true
+    (Tarjan.net_internal r g e_out = None)
+
+let test_big_chain_no_overflow () =
+  (* deep linear graph exercises the iterative implementation *)
+  let n = 200_000 in
+  let g = Netgraph.create n in
+  for i = 0 to n - 2 do
+    ignore (Netgraph.add_net g ~src:i ~sinks:[ i + 1 ])
+  done;
+  let r = Tarjan.run g in
+  Alcotest.(check int) "all singletons" n r.Tarjan.count
+
+let test_big_cycle () =
+  let n = 100_000 in
+  let g = Netgraph.create n in
+  for i = 0 to n - 1 do
+    ignore (Netgraph.add_net g ~src:i ~sinks:[ (i + 1) mod n ])
+  done;
+  let r = Tarjan.run g in
+  Alcotest.(check int) "one giant scc" 1 r.Tarjan.count
+
+(* property: components partition V, and every cycle of a random graph
+   stays within one component *)
+let prop_partition =
+  QCheck.Test.make ~name:"components partition the vertex set" ~count:100
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let rng = Prng.create (Int64.of_int (seed + 1)) in
+      let n = 2 + Prng.int rng 40 in
+      let g = Netgraph.create n in
+      for _ = 1 to 2 * n do
+        let s = Prng.int rng n and t = Prng.int rng n in
+        ignore (Netgraph.add_net g ~src:s ~sinks:[ t ])
+      done;
+      let r = Tarjan.run g in
+      let seen = Array.make n 0 in
+      Array.iter
+        (fun ms -> Array.iter (fun v -> seen.(v) <- seen.(v) + 1) ms)
+        r.Tarjan.members;
+      Array.for_all (fun k -> k = 1) seen
+      && Array.for_all (fun c -> c >= 0 && c < r.Tarjan.count) r.Tarjan.component)
+
+let prop_condensation_acyclic =
+  QCheck.Test.make ~name:"condensation is acyclic (numbering monotone)" ~count:100
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let rng = Prng.create (Int64.of_int (seed + 77)) in
+      let n = 2 + Prng.int rng 40 in
+      let g = Netgraph.create n in
+      for _ = 1 to 2 * n do
+        let s = Prng.int rng n and t = Prng.int rng n in
+        ignore (Netgraph.add_net g ~src:s ~sinks:[ t ])
+      done;
+      let r = Tarjan.run g in
+      let ok = ref true in
+      Netgraph.iter_nets g (fun _ ~src ~sinks ->
+          Array.iter
+            (fun t ->
+              let cs = r.Tarjan.component.(src) and ct = r.Tarjan.component.(t) in
+              if cs <> ct && cs <= ct then ok := false)
+            sinks);
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "dag has trivial components" `Quick test_dag;
+    Alcotest.test_case "cycle is one component" `Quick test_cycle;
+    Alcotest.test_case "two sccs separated" `Quick test_two_sccs;
+    Alcotest.test_case "reverse topological ids" `Quick test_reverse_topological_numbering;
+    Alcotest.test_case "self loop nontrivial" `Quick test_self_loop_nontrivial;
+    Alcotest.test_case "members listed" `Quick test_members;
+    Alcotest.test_case "net_internal" `Quick test_net_internal;
+    Alcotest.test_case "deep chain (iterative)" `Slow test_big_chain_no_overflow;
+    Alcotest.test_case "giant cycle" `Slow test_big_cycle;
+    QCheck_alcotest.to_alcotest prop_partition;
+    QCheck_alcotest.to_alcotest prop_condensation_acyclic;
+  ]

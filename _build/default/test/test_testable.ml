@@ -1,0 +1,226 @@
+module Circuit = Ppet_netlist.Circuit
+module Gate = Ppet_netlist.Gate
+module Generator = Ppet_netlist.Generator
+module Simulator = Ppet_bist.Simulator
+module Cbit = Ppet_bist.Cbit
+module Acell = Ppet_bist.Acell
+module Params = Ppet_core.Params
+module Merced = Ppet_core.Merced
+module Testable = Ppet_core.Testable
+module Prng = Ppet_digraph.Prng
+module S27 = Ppet_netlist.S27
+
+let s27_testable =
+  lazy (Testable.insert (Merced.run ~params:(Params.with_lk 3) (S27.circuit ())))
+
+(* A tiny manual stepper exposing every internal signal: values keyed by
+   node id; [force] overrides named signals (the controls). *)
+let make_stepper circuit =
+  let sim = Simulator.create circuit in
+  let dffs = Circuit.dffs circuit in
+  let state = Hashtbl.create 32 in
+  Array.iter (fun d -> Hashtbl.replace state d 0) dffs;
+  let step ~pi_words ~force =
+    let values = Array.make (Circuit.size circuit) 0 in
+    Array.iteri (fun i p -> values.(p) <- pi_words.(i)) circuit.Circuit.inputs;
+    List.iter
+      (fun (name, w) -> values.(Circuit.find circuit name) <- w)
+      force;
+    Array.iter (fun d -> values.(d) <- Hashtbl.find state d) dffs;
+    Simulator.eval_all sim values;
+    Array.iter
+      (fun d ->
+        Hashtbl.replace state d
+          values.((Circuit.node circuit d).Circuit.fanins.(0)))
+      dffs;
+    values
+  in
+  let get_state name = Hashtbl.find state (Circuit.find circuit name) in
+  let set_state name v = Hashtbl.replace state (Circuit.find circuit name) v in
+  (step, get_state, set_state)
+
+let test_structure () =
+  let t = Lazy.force s27_testable in
+  Alcotest.(check bool) "has cells" true (Testable.cell_count t > 0);
+  Alcotest.(check int) "scan = cells" (Testable.cell_count t)
+    (Testable.scan_length t);
+  Alcotest.(check bool) "area grew" true (t.Testable.added_area > 0.0);
+  List.iter
+    (fun (g : Testable.cbit_group) ->
+      Alcotest.(check int) "group width" g.Testable.width
+        (List.length g.Testable.cell_names))
+    t.Testable.groups
+
+let test_namespace_guard () =
+  let b = Circuit.Builder.create "clash" in
+  Circuit.Builder.add_input b "PPET_X";
+  Circuit.Builder.add_gate b ~name:"y" ~kind:Gate.Not ~fanins:[ "PPET_X" ];
+  Circuit.Builder.add_output b "y";
+  let c = Circuit.Builder.finish b in
+  let r = Merced.run ~params:(Params.with_lk 4) c in
+  Alcotest.(check bool) "rejected" true
+    (try
+       ignore (Testable.insert r);
+       false
+     with Invalid_argument _ -> true)
+
+let normal_mode_equivalent original (t : Testable.t) cycles seed =
+  let rng = Prng.create seed in
+  let rand_word () =
+    Int64.to_int (Int64.logand (Prng.next_int64 rng) (Int64.of_int max_int))
+  in
+  let step_o, _, _ = make_stepper original in
+  let step_t, _, _ = make_stepper t.Testable.circuit in
+  let n_pi_o = Array.length original.Circuit.inputs in
+  let n_pi_t = Array.length t.Testable.circuit.Circuit.inputs in
+  let ok = ref true in
+  for _ = 1 to cycles do
+    let pi_o = Array.init n_pi_o (fun _ -> rand_word ()) in
+    (* the testable circuit's PIs are the originals followed by controls *)
+    let pi_t = Array.make n_pi_t 0 in
+    Array.blit pi_o 0 pi_t 0 n_pi_o;
+    let vo = step_o ~pi_words:pi_o ~force:[] in
+    let vt = step_t ~pi_words:pi_t ~force:[] in
+    Array.iteri
+      (fun k po ->
+        let po_t = t.Testable.circuit.Circuit.outputs.(k) in
+        if vo.(po) <> vt.(po_t) then ok := false)
+      original.Circuit.outputs
+  done;
+  !ok
+
+let test_normal_mode_s27 () =
+  let t = Lazy.force s27_testable in
+  Alcotest.(check bool) "bit-identical in normal mode" true
+    (normal_mode_equivalent t.Testable.original t 12 5L)
+
+let test_tpg_matches_cbit_model () =
+  (* gate-level TPG sequence = the behavioural Cbit in Tpg mode *)
+  let t = Lazy.force s27_testable in
+  let c = t.Testable.circuit in
+  let step, get_state, set_state = make_stepper c in
+  let group = List.hd t.Testable.groups in
+  let names = Array.of_list group.Testable.cell_names in
+  let w = group.Testable.width in
+  let model = Cbit.create ~poly:group.Testable.poly ~width:w () in
+  Cbit.load model 1;
+  Cbit.set_mode model Acell.Tpg;
+  (* seed the gate-level cells with the same value *)
+  Array.iteri (fun i n -> set_state n (if i = 0 then max_int else 0)) names;
+  let n_pi = Array.length c.Circuit.inputs in
+  for cycle = 1 to 40 do
+    ignore
+      (step ~pi_words:(Array.make n_pi 0)
+         ~force:
+           [ (t.Testable.test_en, max_int); (t.Testable.fb_en, max_int);
+             (t.Testable.psa_en, 0); (t.Testable.scan_in, 0) ]);
+    ignore (Cbit.clock model ());
+    let gate_level = ref 0 in
+    Array.iteri
+      (fun i n -> if get_state n land 1 = 1 then gate_level := !gate_level lor (1 lsl i))
+      names;
+    Alcotest.(check int)
+      (Printf.sprintf "cycle %d" cycle)
+      (Cbit.state model) !gate_level
+  done
+
+let test_scan_shifts () =
+  let t = Lazy.force s27_testable in
+  let c = t.Testable.circuit in
+  let step, get_state, _ = make_stepper c in
+  let total = Testable.scan_length t in
+  let n_pi = Array.length c.Circuit.inputs in
+  (* push an alternating serial stream for [total] cycles *)
+  let stream = List.init total (fun i -> i mod 2 = 1) in
+  List.iter
+    (fun bit ->
+      ignore
+        (step ~pi_words:(Array.make n_pi 0)
+           ~force:
+             [ (t.Testable.test_en, max_int); (t.Testable.fb_en, 0);
+               (t.Testable.psa_en, 0);
+               (t.Testable.scan_in, if bit then max_int else 0) ]))
+    stream;
+  (* the chain content, LSB-of-first-group first, equals the stream with
+     the last-pushed bit at the entry point *)
+  let chain_names =
+    List.concat_map (fun (g : Testable.cbit_group) -> g.Testable.cell_names)
+      t.Testable.groups
+  in
+  let got = List.map (fun n -> get_state n land 1 = 1) chain_names in
+  (* bit pushed at time t ends up at position total-t along the chain:
+     position k holds stream element total-1-k *)
+  let expect = List.rev stream in
+  Alcotest.(check (list bool)) "chain content" expect got
+
+let test_psa_folds_data () =
+  (* with PSA enabled, the signature differs from autonomous TPG unless
+     all arriving data is zero *)
+  let t = Lazy.force s27_testable in
+  let c = t.Testable.circuit in
+  let run psa =
+    let step, get_state, set_state = make_stepper c in
+    let group = List.hd t.Testable.groups in
+    let names = Array.of_list group.Testable.cell_names in
+    Array.iteri (fun i n -> set_state n (if i = 0 then max_int else 0)) names;
+    let n_pi = Array.length c.Circuit.inputs in
+    for _ = 1 to 16 do
+      ignore
+        (step ~pi_words:(Array.make n_pi max_int)
+           ~force:
+             [ (t.Testable.test_en, max_int); (t.Testable.fb_en, max_int);
+               (t.Testable.psa_en, psa); (t.Testable.scan_in, 0) ])
+    done;
+    Array.fold_left
+      (fun acc n -> (acc lsl 1) lor (get_state n land 1))
+      0 names
+  in
+  Alcotest.(check bool) "psa changes the signature" true (run max_int <> run 0)
+
+let test_overhead_within_model_range () =
+  let t = Lazy.force s27_testable in
+  let per_cell = Testable.measured_overhead_per_cell t in
+  (* The paper's model prices cells between 9 (converted) and 23
+     (fresh + mux) units; our netlist spells out the mode decoding the
+     3-gate A_CELL of Fig. 3(a) leaves implicit, measuring ~34-44 on
+     small designs (fixed per-group gates amortise poorly on s27's three
+     cells). EXPERIMENTS.md discusses the gap. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "per-cell overhead %.1f in [6, 50]" per_cell)
+    true
+    (per_cell >= 6.0 && per_cell <= 50.0)
+
+let test_no_cut_nets_degenerate () =
+  (* a circuit whose partitioning needs no cuts gets only the controls *)
+  let c = S27.circuit () in
+  let r = Merced.run ~params:(Params.with_lk 16) c in
+  let t = Testable.insert r in
+  Alcotest.(check int) "no cells" 0 (Testable.cell_count t);
+  Alcotest.(check int) "four new PIs" 4
+    (Array.length t.Testable.circuit.Circuit.inputs
+     - Array.length c.Circuit.inputs)
+
+let prop_normal_mode_random =
+  QCheck.Test.make ~name:"insertion preserves normal-mode behaviour" ~count:12
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let c =
+        Generator.small_random ~seed:(Int64.of_int (seed + 87)) ~n_pi:5
+          ~n_dff:6 ~n_gates:40
+      in
+      let r = Merced.run ~params:(Params.with_lk 5) c in
+      let t = Testable.insert r in
+      normal_mode_equivalent c t 8 (Int64.of_int (seed * 7)))
+
+let suite =
+  [
+    Alcotest.test_case "structure" `Quick test_structure;
+    Alcotest.test_case "namespace guard" `Quick test_namespace_guard;
+    Alcotest.test_case "normal mode bit-identical (s27)" `Quick test_normal_mode_s27;
+    Alcotest.test_case "TPG = behavioural CBIT" `Quick test_tpg_matches_cbit_model;
+    Alcotest.test_case "scan chain shifts" `Quick test_scan_shifts;
+    Alcotest.test_case "PSA folds responses" `Quick test_psa_folds_data;
+    Alcotest.test_case "overhead within model range" `Quick test_overhead_within_model_range;
+    Alcotest.test_case "degenerate: no cuts" `Quick test_no_cut_nets_degenerate;
+    QCheck_alcotest.to_alcotest prop_normal_mode_random;
+  ]

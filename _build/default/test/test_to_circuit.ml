@@ -1,0 +1,204 @@
+module Circuit = Ppet_netlist.Circuit
+module Parser = Ppet_netlist.Bench_parser
+module Generator = Ppet_netlist.Generator
+module Stats = Ppet_netlist.Stats
+module Rgraph = Ppet_retiming.Rgraph
+module Retime = Ppet_retiming.Retime
+module To_circuit = Ppet_retiming.To_circuit
+module L = Ppet_retiming.Logic3
+module S27 = Ppet_netlist.S27
+
+let roundtrip c =
+  let rg = Rgraph.of_circuit c in
+  To_circuit.circuit_of rg
+
+let test_roundtrip_preserves_registers () =
+  let c = S27.circuit () in
+  let e = roundtrip c in
+  Alcotest.(check int) "same register count"
+    (Array.length (Circuit.dffs c))
+    (Array.length (Circuit.dffs e.To_circuit.circuit))
+
+let test_roundtrip_preserves_gates () =
+  let c = S27.circuit () in
+  let e = roundtrip c in
+  let s = Stats.of_circuit c and s' = Stats.of_circuit e.To_circuit.circuit in
+  Alcotest.(check int) "gates" s.Stats.n_gates s'.Stats.n_gates;
+  Alcotest.(check int) "invs" s.Stats.n_inv s'.Stats.n_inv;
+  Alcotest.(check int) "pis" s.Stats.n_pi s'.Stats.n_pi;
+  Alcotest.(check int) "pos" s.Stats.n_po s'.Stats.n_po
+
+let test_roundtrip_inits_zero () =
+  let c = S27.circuit () in
+  let e = roundtrip c in
+  List.iter
+    (fun (name, v) ->
+      Alcotest.(check bool) (name ^ " zero") true (L.equal v L.Zero))
+    e.To_circuit.register_inits
+
+let cosim_equal c =
+  (* original vs emitted, 3-valued, on random concrete inputs *)
+  let rg = Rgraph.of_circuit c in
+  let e = To_circuit.circuit_of rg in
+  let rg' =
+    Rgraph.of_circuit ~init:(To_circuit.init_fn e) e.To_circuit.circuit
+  in
+  let rng = Ppet_digraph.Prng.create 31L in
+  let stim = Hashtbl.create 16 in
+  let inputs ~cycle name =
+    match Hashtbl.find_opt stim (cycle, name) with
+    | Some v -> v
+    | None ->
+      let v = if Ppet_digraph.Prng.bool rng then L.One else L.Zero in
+      Hashtbl.replace stim (cycle, name) v;
+      v
+  in
+  let cycles = 8 in
+  let a = Rgraph.simulate rg ~inputs ~cycles in
+  let b = Rgraph.simulate rg' ~inputs ~cycles in
+  let ok = ref true in
+  for t = 0 to cycles - 1 do
+    (* outputs are positionally aligned: same PO order *)
+    List.iter2
+      (fun (_, v0) (_, v1) -> if not (L.compatible v0 v1) then ok := false)
+      a.(t) b.(t)
+  done;
+  !ok
+
+let test_roundtrip_behaviour () =
+  Alcotest.(check bool) "s27 behaviour preserved" true (cosim_equal (S27.circuit ()))
+
+let test_retimed_emission_behaviour () =
+  (* a pipeline where the register in front of the inverter must move
+     forward across it; emit the retimed netlist and co-simulate *)
+  let src =
+    "INPUT(a)\nOUTPUT(y)\nq1 = DFF(a)\ng1 = NOT(q1)\nq2 = DFF(g1)\n\
+     y = BUFF(q2)\n"
+  in
+  let c = Parser.parse_string ~title:"pipe" src in
+  let rg = Rgraph.of_circuit c in
+  let target =
+    let rec find v =
+      if Rgraph.vertex_name rg v = "g1" then v else find (v + 1)
+    in
+    find 0
+  in
+  let require e = if rg.Rgraph.edges.(e).Rgraph.tail = target then 2 else 0 in
+  match Retime.solve rg ~require with
+  | Retime.Infeasible _ -> Alcotest.fail "expected feasible"
+  | Retime.Feasible rho ->
+    let rg' = Retime.apply rg rho in
+    let e = To_circuit.circuit_of ~title:"pipe-retimed" rg' in
+    (* the emitted netlist has both registers after g1 *)
+    let c' = e.To_circuit.circuit in
+    let g1 = Circuit.find c' "g1" in
+    let feeds_dff =
+      Array.exists
+        (fun s -> (Circuit.node c' s).Circuit.kind = Ppet_netlist.Gate.Dff)
+        c'.Circuit.fanouts.(g1)
+    in
+    Alcotest.(check bool) "register at g1 output" true feeds_dff;
+    Alcotest.(check int) "two registers" 2
+      (Array.length (Circuit.dffs c'));
+    (* the moved register's initial value was inverted: one init is 1 *)
+    Alcotest.(check bool) "justified init" true
+      (List.exists (fun (_, v) -> L.equal v L.One) e.To_circuit.register_inits);
+    (* and behaves like the original *)
+    let rg'' = Rgraph.of_circuit ~init:(To_circuit.init_fn e) c' in
+    let rng = Ppet_digraph.Prng.create 17L in
+    let stim = Hashtbl.create 16 in
+    let inputs ~cycle name =
+      match Hashtbl.find_opt stim (cycle, name) with
+      | Some v -> v
+      | None ->
+        let v = if Ppet_digraph.Prng.bool rng then L.One else L.Zero in
+        Hashtbl.replace stim (cycle, name) v;
+        v
+    in
+    let a = Rgraph.simulate (Rgraph.of_circuit c) ~inputs ~cycles:8 in
+    let b = Rgraph.simulate rg'' ~inputs ~cycles:8 in
+    for t = 0 to 7 do
+      List.iter2
+        (fun (_, v0) (_, v1) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "cycle %d compatible" t)
+            true (L.compatible v0 v1))
+        a.(t) b.(t)
+    done
+
+let test_emitted_is_writable () =
+  let e = roundtrip (S27.circuit ()) in
+  let text = Ppet_netlist.Bench_writer.to_string e.To_circuit.circuit in
+  let c2 = Parser.parse_string text in
+  Alcotest.(check int) "reparses" (Circuit.size e.To_circuit.circuit) (Circuit.size c2)
+
+let prop_roundtrip_random =
+  QCheck.Test.make ~name:"emission round-trip preserves behaviour" ~count:25
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let c =
+        Generator.small_random ~seed:(Int64.of_int (seed + 41)) ~n_pi:3
+          ~n_dff:5 ~n_gates:20
+      in
+      cosim_equal c)
+
+let prop_retime_emit_random =
+  QCheck.Test.make ~name:"retime+emit preserves behaviour" ~count:15
+    QCheck.(pair (int_bound 100_000) (int_bound 5))
+    (fun (seed, pick) ->
+      let c =
+        Generator.small_random ~seed:(Int64.of_int (seed + 43)) ~n_pi:3
+          ~n_dff:4 ~n_gates:15
+      in
+      let rg = Rgraph.of_circuit c in
+      let gates = ref [] in
+      for v = 0 to Rgraph.n_vertices rg - 1 do
+        match rg.Rgraph.kinds.(v) with
+        | Rgraph.Vgate _ -> gates := v :: !gates
+        | Rgraph.Vpi _ | Rgraph.Vhost -> ()
+      done;
+      let gates = Array.of_list !gates in
+      QCheck.assume (Array.length gates > 0);
+      let target = gates.(pick mod Array.length gates) in
+      let require e =
+        if rg.Rgraph.edges.(e).Rgraph.tail = target then 1 else 0
+      in
+      match Retime.solve rg ~require with
+      | Retime.Infeasible _ -> true
+      | Retime.Feasible rho ->
+        let e = To_circuit.circuit_of (Retime.apply rg rho) in
+        let rg'' =
+          Rgraph.of_circuit ~init:(To_circuit.init_fn e) e.To_circuit.circuit
+        in
+        let rng = Ppet_digraph.Prng.create 53L in
+        let stim = Hashtbl.create 16 in
+        let inputs ~cycle name =
+          match Hashtbl.find_opt stim (cycle, name) with
+          | Some v -> v
+          | None ->
+            let v = if Ppet_digraph.Prng.bool rng then L.One else L.Zero in
+            Hashtbl.replace stim (cycle, name) v;
+            v
+        in
+        let a = Rgraph.simulate rg ~inputs ~cycles:8 in
+        let b = Rgraph.simulate rg'' ~inputs ~cycles:8 in
+        let ok = ref true in
+        for t = 0 to 7 do
+          List.iter2
+            (fun (_, v0) (_, v1) ->
+              if not (L.compatible v0 v1) then ok := false)
+            a.(t) b.(t)
+        done;
+        !ok)
+
+let suite =
+  [
+    Alcotest.test_case "round trip register count" `Quick test_roundtrip_preserves_registers;
+    Alcotest.test_case "round trip gate counts" `Quick test_roundtrip_preserves_gates;
+    Alcotest.test_case "round trip zero inits" `Quick test_roundtrip_inits_zero;
+    Alcotest.test_case "round trip behaviour" `Quick test_roundtrip_behaviour;
+    Alcotest.test_case "retimed netlist emission" `Quick test_retimed_emission_behaviour;
+    Alcotest.test_case "emitted netlist writable" `Quick test_emitted_is_writable;
+    QCheck_alcotest.to_alcotest prop_roundtrip_random;
+    QCheck_alcotest.to_alcotest prop_retime_emit_random;
+  ]

@@ -1,0 +1,77 @@
+module To_dot = Ppet_netlist.To_dot
+module Circuit = Ppet_netlist.Circuit
+module Merced = Ppet_core.Merced
+module Params = Ppet_core.Params
+module Netgraph = Ppet_digraph.Netgraph
+module S27 = Ppet_netlist.S27
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec loop i =
+    if i + ln > lh then false
+    else if String.sub hay i ln = needle then true
+    else loop (i + 1)
+  in
+  loop 0
+
+let test_circuit_dot () =
+  let c = S27.circuit () in
+  let dot = To_dot.circuit c in
+  Alcotest.(check bool) "digraph" true (contains dot "digraph \"s27\"");
+  Alcotest.(check bool) "every node present" true
+    (Array.for_all
+       (fun (nd : Circuit.node) -> contains dot ("\"" ^ nd.Circuit.name ^ "\""))
+       c.Circuit.nodes);
+  Alcotest.(check bool) "dff styled" true (contains dot "doubleoctagon");
+  Alcotest.(check bool) "pi styled" true (contains dot "shape=triangle");
+  Alcotest.(check bool) "closes" true (contains dot "}\n")
+
+let test_edge_count () =
+  let c = S27.circuit () in
+  let dot = To_dot.circuit c in
+  let arrow_count =
+    List.length
+      (String.split_on_char '\n' dot
+       |> List.filter (fun l -> contains l "->"))
+  in
+  let pin_count =
+    Array.fold_left
+      (fun acc (nd : Circuit.node) -> acc + Array.length nd.Circuit.fanins)
+      0 c.Circuit.nodes
+  in
+  (* one arrow per pin plus one per primary output *)
+  Alcotest.(check int) "arrows" (pin_count + Array.length c.Circuit.outputs)
+    arrow_count
+
+let test_partitioned_dot () =
+  let c = S27.circuit () in
+  let r = Merced.run ~params:(Params.with_lk 3) c in
+  let drivers =
+    List.map
+      (fun e -> Netgraph.net_src r.Merced.graph e)
+      r.Merced.assignment.Ppet_core.Assign.cut_nets
+  in
+  let dot =
+    To_dot.partitioned c
+      ~cluster_of:(fun v -> r.Merced.assignment.Ppet_core.Assign.partition_of.(v))
+      ~cut_net_drivers:drivers
+  in
+  Alcotest.(check bool) "has subgraphs" true (contains dot "subgraph \"cluster_0\"");
+  Alcotest.(check bool) "cut nets highlighted" true (contains dot "color=red")
+
+let test_escaping () =
+  let b = Circuit.Builder.create "weird" in
+  Circuit.Builder.add_input b "a\"b";
+  Circuit.Builder.add_gate b ~name:"y" ~kind:Ppet_netlist.Gate.Not ~fanins:[ "a\"b" ];
+  Circuit.Builder.add_output b "y";
+  let c = Circuit.Builder.finish b in
+  let dot = To_dot.circuit c in
+  Alcotest.(check bool) "escaped quote" true (contains dot "\\\"")
+
+let suite =
+  [
+    Alcotest.test_case "plain circuit dot" `Quick test_circuit_dot;
+    Alcotest.test_case "edge count" `Quick test_edge_count;
+    Alcotest.test_case "partitioned dot" `Quick test_partitioned_dot;
+    Alcotest.test_case "name escaping" `Quick test_escaping;
+  ]

@@ -1,0 +1,60 @@
+module Circuit = Ppet_netlist.Circuit
+module To_graph = Ppet_netlist.To_graph
+module Netgraph = Ppet_digraph.Netgraph
+module S27 = Ppet_netlist.S27
+
+let test_vertex_count () =
+  let c = S27.circuit () in
+  let g = To_graph.partition_view c in
+  Alcotest.(check int) "one vertex per node" (Circuit.size c) (Netgraph.n_nodes g)
+
+let test_net_per_driven_signal () =
+  let c = S27.circuit () in
+  let g = To_graph.partition_view c in
+  (* every node except the PO G17 (read by nobody) drives a net *)
+  let driven =
+    Array.to_list c.Circuit.nodes
+    |> List.filter (fun (nd : Circuit.node) ->
+           Array.length c.Circuit.fanouts.(nd.Circuit.id) > 0)
+    |> List.length
+  in
+  Alcotest.(check int) "net count" driven (Netgraph.n_nets g)
+
+let test_fanout_as_one_net () =
+  let c = S27.circuit () in
+  let g = To_graph.partition_view c in
+  (* G8 feeds G15 and G16: one net, two sinks (multi-pin model, Fig 2b) *)
+  let g8 = Circuit.find c "G8" in
+  let out = Netgraph.out_nets g g8 in
+  Alcotest.(check int) "single net" 1 (Array.length out);
+  let sinks = Array.copy (Netgraph.net_sinks g out.(0)) in
+  Array.sort compare sinks;
+  let expect = [| Circuit.find c "G15"; Circuit.find c "G16" |] in
+  Array.sort compare expect;
+  Alcotest.(check (array int)) "both sinks" expect sinks
+
+let test_net_of_driver () =
+  let c = S27.circuit () in
+  let g = To_graph.partition_view c in
+  let map = To_graph.net_of_driver c g in
+  let g8 = Circuit.find c "G8" in
+  Alcotest.(check int) "maps back" g8 (To_graph.driver_of_net g map.(g8));
+  let g17 = Circuit.find c "G17" in
+  Alcotest.(check int) "PO drives nothing" (-1) map.(g17)
+
+let test_dff_is_vertex () =
+  let c = S27.circuit () in
+  let g = To_graph.partition_view c in
+  let g5 = Circuit.find c "G5" in
+  (* G5 = DFF(G10), feeds G11: it has both in and out nets *)
+  Alcotest.(check int) "dff has out net" 1 (Array.length (Netgraph.out_nets g g5));
+  Alcotest.(check int) "dff has in net" 1 (Array.length (Netgraph.in_nets g g5))
+
+let suite =
+  [
+    Alcotest.test_case "vertex per node" `Quick test_vertex_count;
+    Alcotest.test_case "net per driven signal" `Quick test_net_per_driven_signal;
+    Alcotest.test_case "fanout is one multi-pin net" `Quick test_fanout_as_one_net;
+    Alcotest.test_case "net_of_driver mapping" `Quick test_net_of_driver;
+    Alcotest.test_case "registers are vertices" `Quick test_dff_is_vertex;
+  ]

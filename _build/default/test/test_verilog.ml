@@ -1,0 +1,124 @@
+module Circuit = Ppet_netlist.Circuit
+module Gate = Ppet_netlist.Gate
+module Verilog = Ppet_netlist.Verilog
+module Generator = Ppet_netlist.Generator
+module Equivalence = Ppet_core.Equivalence
+module S27 = Ppet_netlist.S27
+
+let sample =
+  "// a tiny sequential design\n\
+   module toy (a, b, y);\n\
+  \  input a, b;\n\
+  \  output y;\n\
+  \  wire w1, q;\n\
+  \  nand g1 (w1, a, b);\n\
+  \  dff  g2 (q, w1);\n\
+  \  not  g3 (y, q);\n\
+   endmodule\n"
+
+let test_parse_sample () =
+  let c = Verilog.parse_string sample in
+  Alcotest.(check string) "title" "toy" c.Circuit.title;
+  Alcotest.(check int) "pis" 2 (Array.length c.Circuit.inputs);
+  Alcotest.(check int) "pos" 1 (Array.length c.Circuit.outputs);
+  Alcotest.(check int) "dffs" 1 (Array.length (Circuit.dffs c));
+  let w1 = Circuit.node c (Circuit.find c "w1") in
+  Alcotest.(check bool) "nand" true (w1.Circuit.kind = Gate.Nand)
+
+let test_comments_and_block_comments () =
+  let src =
+    "module m (a, y); /* block\n comment */ input a; output y;\n\
+     buf g (y, a); // trailing\nendmodule"
+  in
+  let c = Verilog.parse_string src in
+  Alcotest.(check int) "two nodes" 2 (Circuit.size c)
+
+let test_instance_name_optional () =
+  let c =
+    Verilog.parse_string
+      "module m (a, y); input a; output y; not (y, a); endmodule"
+  in
+  Alcotest.(check int) "parsed" 2 (Circuit.size c)
+
+let test_escaped_identifiers () =
+  let c =
+    Verilog.parse_string
+      "module m (a, y); input a; output y;\n\
+       not g1 (\\w[0] , a);\n\
+       buf g2 (y, \\w[0] );\n\
+       endmodule"
+  in
+  let w = Circuit.node c (Circuit.find c "w[0]") in
+  Alcotest.(check bool) "escaped wire parsed" true (w.Circuit.kind = Gate.Not);
+  (* and the writer emits it back in escaped form *)
+  let c2 = Verilog.parse_string (Verilog.to_string c) in
+  Alcotest.(check int) "roundtrips" (Circuit.size c) (Circuit.size c2)
+
+let test_rejects_behavioural () =
+  Alcotest.(check bool) "assign rejected" true
+    (try
+       ignore
+         (Verilog.parse_string
+            "module m (a, y); input a; output y; assign y = a; endmodule");
+       false
+     with Circuit.Error _ -> true)
+
+let test_rejects_missing_endmodule () =
+  Alcotest.(check bool) "unterminated" true
+    (try
+       ignore (Verilog.parse_string "module m (a); input a;");
+       false
+     with Circuit.Error _ -> true)
+
+let test_roundtrip_s27 () =
+  let c = S27.circuit () in
+  let c2 = Verilog.parse_string (Verilog.to_string c) in
+  Alcotest.(check int) "same size" (Circuit.size c) (Circuit.size c2);
+  Alcotest.(check (float 1e-9)) "same area" (Circuit.area c) (Circuit.area c2);
+  let v = Equivalence.check_bool c c2 in
+  Alcotest.(check bool) "equivalent" true v.Equivalence.equivalent
+
+let test_cross_format () =
+  (* bench -> circuit -> verilog -> circuit -> bench: all equivalent *)
+  let c = S27.circuit () in
+  let via_v = Verilog.parse_string (Verilog.to_string c) in
+  let via_b =
+    Ppet_netlist.Bench_parser.parse_string
+      (Ppet_netlist.Bench_writer.to_string via_v)
+  in
+  let v = Equivalence.check_bool c via_b in
+  Alcotest.(check bool) "equivalent through both formats" true
+    v.Equivalence.equivalent
+
+let test_file_io () =
+  let path = Filename.temp_file "ppet" ".v" in
+  Verilog.to_file path (S27.circuit ());
+  let c = Verilog.parse_file path in
+  Sys.remove path;
+  Alcotest.(check int) "parsed back" 17 (Circuit.size c)
+
+let prop_roundtrip_random =
+  QCheck.Test.make ~name:"verilog round trip on random circuits" ~count:20
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let c =
+        Generator.small_random ~seed:(Int64.of_int (seed + 17)) ~n_pi:4
+          ~n_dff:4 ~n_gates:30
+      in
+      let c2 = Verilog.parse_string (Verilog.to_string c) in
+      Circuit.size c = Circuit.size c2
+      && (Equivalence.check_bool ~cycles:8 c c2).Equivalence.equivalent)
+
+let suite =
+  [
+    Alcotest.test_case "parse sample" `Quick test_parse_sample;
+    Alcotest.test_case "comments" `Quick test_comments_and_block_comments;
+    Alcotest.test_case "optional instance name" `Quick test_instance_name_optional;
+    Alcotest.test_case "escaped identifiers" `Quick test_escaped_identifiers;
+    Alcotest.test_case "behavioural rejected" `Quick test_rejects_behavioural;
+    Alcotest.test_case "missing endmodule" `Quick test_rejects_missing_endmodule;
+    Alcotest.test_case "s27 round trip" `Quick test_roundtrip_s27;
+    Alcotest.test_case "cross-format equivalence" `Quick test_cross_format;
+    Alcotest.test_case "file io" `Quick test_file_io;
+    QCheck_alcotest.to_alcotest prop_roundtrip_random;
+  ]
