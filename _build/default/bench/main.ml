@@ -19,6 +19,10 @@ module Cbit = Ppet_bist.Cbit
 module Pipeline = Ppet_bist.Pipeline
 module Pet = Ppet_bist.Pet
 module Simulator = Ppet_bist.Simulator
+module Fault = Ppet_bist.Fault
+module Fault_sim = Ppet_bist.Fault_sim
+module Fault_engine = Ppet_bist.Fault_engine
+module Domain_pool = Ppet_parallel.Domain_pool
 module Params = Ppet_core.Params
 module Flow = Ppet_core.Flow
 module Cluster = Ppet_core.Cluster
@@ -556,6 +560,102 @@ let bechamel_timings () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* fault-engine timings: seed serial loop vs cone-restricted engine    *)
+
+let bench_fault_engine () =
+  section "Fault engine: seed serial vs cone-restricted vs parallel";
+  let open Bechamel in
+  (* one large PPET-partition-profile CUT: the several hundred
+     topologically earliest combinational gates of the s5378 stand-in *)
+  let c = Benchmarks.circuit "s5378" in
+  let sim = Simulator.create c in
+  let order = Simulator.order sim in
+  let members = Array.sub order 0 (min 400 (Array.length order)) in
+  let seg = Segment.of_members c members in
+  let faults = Fault.collapse c (Fault.of_segment c seg) in
+  let n_in = Array.length (Segment.input_signals seg) in
+  (* random word batches: 62 patterns per batch, 12 batches *)
+  let rng = Prng.create 0xBE5CL in
+  let word () =
+    Int64.to_int (Int64.logand (Prng.next_int64 rng) (Int64.of_int max_int))
+  in
+  let patterns = List.init 12 (fun _ -> Array.init n_in (fun _ -> word ())) in
+  let n_patterns =
+    Ppet_netlist.Gate.bits_per_word * List.length patterns
+  in
+  let engine = Fault_engine.create sim seg in
+  Printf.printf
+    "segment: %d members, iota-signals %d; %d collapsed faults x %d patterns\n"
+    (Array.length seg.Segment.members)
+    n_in (List.length faults) n_patterns;
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 1.0) ~kde:None () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let time_ns test =
+    let results = Benchmark.all cfg [ instance ] test in
+    let analysed = Analyze.all ols instance results in
+    let ns = ref nan in
+    Hashtbl.iter
+      (fun _ ols_result ->
+        match Analyze.OLS.estimates ols_result with
+        | Some [ v ] -> ns := v
+        | Some _ | None -> ())
+      analysed;
+    !ns
+  in
+  let seed_ns =
+    time_ns
+      (Test.make ~name:"fault-sim-seed-serial"
+         (Staged.stage (fun () ->
+              Fault_sim.segment_detects sim seg ~patterns faults)))
+  in
+  let cone_ns =
+    time_ns
+      (Test.make ~name:"fault-engine-jobs1"
+         (Staged.stage (fun () -> Fault_engine.detects engine ~patterns faults)))
+  in
+  let par_ns =
+    Domain_pool.with_pool ~jobs:4 (fun pool ->
+        time_ns
+          (Test.make ~name:"fault-engine-jobs4"
+             (Staged.stage (fun () ->
+                  Fault_engine.detects ~pool engine ~patterns faults))))
+  in
+  let per_fp ns =
+    ns /. (float_of_int (List.length faults) *. float_of_int n_patterns)
+  in
+  Printf.printf "%-28s %16s %16s\n" "engine" "time per run" "ns/fault-pattern";
+  List.iter
+    (fun (name, ns) ->
+      Printf.printf "%-28s %13.2f ms %16.3f\n" name (ns /. 1e6) (per_fp ns))
+    [
+      ("seed serial loop", seed_ns);
+      ("cone-restricted, jobs 1", cone_ns);
+      ("parallel, jobs 4", par_ns);
+    ];
+  Printf.printf "speedup vs seed: %.1fx (jobs 1), %.1fx (jobs 4)\n"
+    (seed_ns /. cone_ns) (seed_ns /. par_ns);
+  let json =
+    Report.bench_json ~name:"fault_sim"
+      ~metrics:
+        [
+          ("n_faults", float_of_int (List.length faults));
+          ("n_patterns", float_of_int n_patterns);
+          ("seed_serial_ns_per_fault_pattern", per_fp seed_ns);
+          ("cone_jobs1_ns_per_fault_pattern", per_fp cone_ns);
+          ("parallel_jobs4_ns_per_fault_pattern", per_fp par_ns);
+          ("speedup_cone_jobs1", seed_ns /. cone_ns);
+          ("speedup_jobs4", seed_ns /. par_ns);
+        ]
+  in
+  let oc = open_out "BENCH_fault_sim.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote BENCH_fault_sim.json\n"
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Printf.printf "PPET benchmark harness%s\n"
@@ -573,4 +673,5 @@ let () =
   ablation_flow_params ();
   validation_coverage ();
   bechamel_timings ();
+  bench_fault_engine ();
   print_newline ()

@@ -58,6 +58,20 @@ let seed_arg =
   let doc = "Random seed for the flow injection." in
   Arg.(value & opt int 0x4DAC & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Shard fault simulation across $(docv) parallel domains (default 1 = \
+     serial). Results are bit-identical at any job count; only the wall \
+     clock changes."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+(* run [f] with the pool a --jobs value asks for: none for the serial
+   default, a shared domain pool otherwise *)
+let with_jobs jobs f =
+  if jobs = 1 then f None
+  else Ppet_parallel.Domain_pool.with_pool ~jobs (fun p -> f (Some p))
+
 (* write in the format the file extension asks for *)
 let write_circuit path c =
   if Filename.check_suffix path ".v" then Ppet_netlist.Verilog.to_file path c
@@ -192,7 +206,7 @@ let generate_cmd =
 (* ------------------------------------------------------------------ *)
 (* selftest                                                            *)
 
-let selftest_run spec lk beta seed max_width =
+let selftest_run spec lk beta seed max_width jobs =
   wrap (fun () ->
       let c = load_circuit spec in
       let r = Merced.run ~params:(params_of lk beta seed) c in
@@ -200,18 +214,19 @@ let selftest_run spec lk beta seed max_width =
       let segments = Merced.segments r in
       Printf.printf "circuit %s: %d segments\n" c.Circuit.title
         (List.length segments);
-      List.iteri
-        (fun i seg ->
-          let w = Segment.input_count seg in
-          if w > 0 && w <= max_width then begin
-            let rep = Pet.run sim seg in
-            Format.printf "  segment %d: %a@." i Pet.pp rep
-          end
-          else
-            Printf.printf
-              "  segment %d: iota = %d, skipped (exhaustive bound %d)\n" i w
-              max_width)
-        segments;
+      with_jobs jobs (fun pool ->
+          List.iteri
+            (fun i seg ->
+              let w = Segment.input_count seg in
+              if w > 0 && w <= max_width then begin
+                let rep = Pet.run ?pool sim seg in
+                Format.printf "  segment %d: %a@." i Pet.pp rep
+              end
+              else
+                Printf.printf
+                  "  segment %d: iota = %d, skipped (exhaustive bound %d)\n" i
+                  w max_width)
+            segments);
       let phasing = Ppet_core.Phasing.compute r in
       Format.printf "%a@." Ppet_core.Phasing.pp phasing;
       let sched = Ppet_core.Phasing.schedule r in
@@ -227,7 +242,8 @@ let selftest_cmd =
            ~doc:"Skip exhaustive simulation of segments wider than this.")
   in
   Cmd.v (Cmd.info "selftest" ~doc)
-    Term.(const selftest_run $ circuit_arg $ lk_arg $ beta_arg $ seed_arg $ max_width)
+    Term.(const selftest_run $ circuit_arg $ lk_arg $ beta_arg $ seed_arg
+          $ max_width $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* insert                                                              *)

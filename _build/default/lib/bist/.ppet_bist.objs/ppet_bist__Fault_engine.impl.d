@@ -1,0 +1,1 @@
+lib/bist/fault_engine.ml: Array Fault Hashtbl List Ppet_netlist Ppet_parallel Simulator

@@ -1,0 +1,1 @@
+lib/bist/fault_engine.mli: Fault Ppet_netlist Ppet_parallel Simulator

@@ -1,1 +1,1 @@
-lib/bist/pet.ml: Fault Fault_sim Format List Ppet_netlist Simulator
+lib/bist/pet.ml: Fault Fault_engine Fault_sim Format List Ppet_netlist Simulator

@@ -1,1 +1,1 @@
-lib/bist/pet.mli: Format Ppet_netlist Simulator
+lib/bist/pet.mli: Format Ppet_netlist Ppet_parallel Simulator

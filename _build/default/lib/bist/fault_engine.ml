@@ -1,0 +1,267 @@
+module Circuit = Ppet_netlist.Circuit
+module Gate = Ppet_netlist.Gate
+module Segment = Ppet_netlist.Segment
+module Domain_pool = Ppet_parallel.Domain_pool
+
+let word_mask = max_int
+
+let const_of stuck_at = if stuck_at then word_mask else 0
+
+type t = {
+  c : Circuit.t;
+  seg : Segment.t;
+  inputs : int array;        (* Segment.input_signals, batch order *)
+  seg_order : int array;     (* member combinational gates, topo order *)
+  pos_of : int array;        (* node id -> position in seg_order, -1 *)
+  observed : bool array;     (* node id -> member observation point *)
+  last_reader : int array;   (* node id -> max position reading it, -1 *)
+  max_arity : int;
+  cones : (int, int array) Hashtbl.t;
+      (* fault-site node id -> member positions in its transitive
+         fanout, ascending; the site itself is excluded (combinational
+         members cannot cycle). Shared read-only by the workers;
+         populated serially before each dispatch. *)
+  cone_stamp : int array;    (* per position, for cone construction *)
+  mutable cone_epoch : int;
+}
+
+let check_members c (seg : Segment.t) =
+  Array.iter
+    (fun id ->
+      if (Circuit.node c id).Circuit.kind = Gate.Dff then
+        invalid_arg
+          "Fault_engine: segment members must be combinational (map \
+           clusters with their flip-flops on the boundary)")
+    seg.Segment.members
+
+let create sim (seg : Segment.t) =
+  let c = Simulator.circuit sim in
+  check_members c seg;
+  let n = Circuit.size c in
+  let member = Array.make n false in
+  Array.iter (fun id -> member.(id) <- true) seg.Segment.members;
+  let seg_order =
+    Array.of_list
+      (List.filter
+         (fun id -> member.(id))
+         (Array.to_list (Simulator.order sim)))
+  in
+  let pos_of = Array.make n (-1) in
+  Array.iteri (fun k id -> pos_of.(id) <- k) seg_order;
+  let observed = Array.make n false in
+  Array.iter (fun id -> observed.(id) <- true) seg.Segment.observed;
+  let last_reader = Array.make n (-1) in
+  let max_arity = ref 0 in
+  Array.iteri
+    (fun k id ->
+      let fanins = (Circuit.node c id).Circuit.fanins in
+      if Array.length fanins > !max_arity then
+        max_arity := Array.length fanins;
+      Array.iter
+        (fun f -> if last_reader.(f) < k then last_reader.(f) <- k)
+        fanins)
+    seg_order;
+  {
+    c;
+    seg;
+    inputs = Segment.input_signals seg;
+    seg_order;
+    pos_of;
+    observed;
+    last_reader;
+    max_arity = !max_arity;
+    cones = Hashtbl.create 64;
+    cone_stamp = Array.make (max (Array.length seg_order) 1) 0;
+    cone_epoch = 0;
+  }
+
+(* Member positions reachable from signal [root] through member gates.
+   Cached: both polarities of an output fault and every pin fault of a
+   gate share one cone. *)
+let cone t root =
+  match Hashtbl.find_opt t.cones root with
+  | Some arr -> arr
+  | None ->
+    t.cone_epoch <- t.cone_epoch + 1;
+    let ep = t.cone_epoch in
+    let acc = ref [] in
+    let rec expand id =
+      Array.iter
+        (fun sink ->
+          let p = t.pos_of.(sink) in
+          if p >= 0 && t.cone_stamp.(p) <> ep then begin
+            t.cone_stamp.(p) <- ep;
+            acc := p :: !acc;
+            expand sink
+          end)
+        t.c.Circuit.fanouts.(id)
+    in
+    expand root;
+    let arr = Array.of_list !acc in
+    Array.sort compare arr;
+    Hashtbl.replace t.cones root arr;
+    arr
+
+let root_of (f : Fault.t) =
+  match f.Fault.site with
+  | Fault.Output id -> id
+  | Fault.Input_pin (gid, _) -> gid
+
+(* ------------------------------------------------------------------ *)
+(* per-worker scratch: allocated once per dispatch, reused across every
+   fault and batch                                                     *)
+
+type scratch = {
+  good : int array;          (* fault-free values of the current batch *)
+  faulty : int array;        (* valid only where stamp = epoch *)
+  stamp : int array;
+  mutable epoch : int;
+  ins : int array array;     (* arity -> reusable fan-in buffer *)
+}
+
+let make_scratch t =
+  let n = Circuit.size t.c in
+  {
+    good = Array.make (max n 1) 0;
+    faulty = Array.make (max n 1) 0;
+    stamp = Array.make (max n 1) 0;
+    epoch = 0;
+    ins = Array.init (t.max_arity + 1) (fun a -> Array.make (max a 1) 0);
+  }
+
+let eval_good t s batch =
+  Array.iteri (fun i sig_id -> s.good.(sig_id) <- batch.(i)) t.inputs;
+  let order = t.seg_order in
+  for k = 0 to Array.length order - 1 do
+    let id = order.(k) in
+    let nd = Circuit.node t.c id in
+    let fanins = nd.Circuit.fanins in
+    let a = Array.length fanins in
+    let buf = s.ins.(a) in
+    for j = 0 to a - 1 do
+      buf.(j) <- s.good.(fanins.(j))
+    done;
+    s.good.(id) <- Gate.eval_word nd.Circuit.kind buf
+  done
+
+(* One fault against the batch currently in [s.good]. Returns whether
+   some observed signal differs — exactly the seed criterion. *)
+let sim_fault t s (f : Fault.t) =
+  s.epoch <- s.epoch + 1;
+  let epoch = s.epoch in
+  let detected = ref false in
+  let max_reach = ref (-1) in
+  let mark id v =
+    s.faulty.(id) <- v;
+    s.stamp.(id) <- epoch;
+    if t.observed.(id) then detected := true
+    else if t.last_reader.(id) > !max_reach then max_reach := t.last_reader.(id)
+  in
+  let live =
+    match f.Fault.site with
+    | Fault.Output id ->
+      (* a stuck output — of a member gate, an inside PI, or a boundary
+         source — shows the constant to every reader *)
+      let v = const_of f.Fault.stuck_at in
+      if v = s.good.(id) then false
+      else begin
+        mark id v;
+        true
+      end
+    | Fault.Input_pin (gid, pin) ->
+      (* only the one gate sees the stuck pin; outside members the seed
+         never injects it *)
+      if t.pos_of.(gid) < 0 then false
+      else begin
+        let nd = Circuit.node t.c gid in
+        let fanins = nd.Circuit.fanins in
+        let a = Array.length fanins in
+        let buf = s.ins.(a) in
+        for j = 0 to a - 1 do
+          buf.(j) <- s.good.(fanins.(j))
+        done;
+        buf.(pin) <- const_of f.Fault.stuck_at;
+        let v = Gate.eval_word nd.Circuit.kind buf in
+        if v = s.good.(gid) then false
+        else begin
+          mark gid v;
+          true
+        end
+      end
+  in
+  if live && not !detected then begin
+    let cone = cone t (root_of f) in
+    let len = Array.length cone in
+    let i = ref 0 in
+    (* positions ascend, so once the next position is past the furthest
+       reader of any changed signal the effect has converged *)
+    while (not !detected) && !i < len && cone.(!i) <= !max_reach do
+      let id = t.seg_order.(cone.(!i)) in
+      incr i;
+      let nd = Circuit.node t.c id in
+      let fanins = nd.Circuit.fanins in
+      let a = Array.length fanins in
+      let buf = s.ins.(a) in
+      let touched = ref false in
+      for j = 0 to a - 1 do
+        let fid = fanins.(j) in
+        if s.stamp.(fid) = epoch then begin
+          touched := true;
+          buf.(j) <- s.faulty.(fid)
+        end
+        else buf.(j) <- s.good.(fid)
+      done;
+      if !touched then begin
+        let v = Gate.eval_word nd.Circuit.kind buf in
+        if v <> s.good.(id) then mark id v
+      end
+    done
+  end;
+  !detected
+
+(* ------------------------------------------------------------------ *)
+
+let detects ?pool t ~patterns faults =
+  let width = Array.length t.inputs in
+  List.iter
+    (fun batch ->
+      if Array.length batch <> width then
+        invalid_arg "Fault_engine.detects: batch arity mismatch")
+    patterns;
+  let fs = Array.of_list faults in
+  let nf = Array.length fs in
+  (* populate the shared cone cache before going parallel *)
+  Array.iter (fun f -> ignore (cone t (root_of f))) fs;
+  let verdict = Array.make (max nf 1) false in
+  let worker lo hi =
+    if lo < hi then begin
+      let s = make_scratch t in
+      let undetected = ref (hi - lo) in
+      try
+        List.iter
+          (fun batch ->
+            if !undetected = 0 then raise Exit;
+            eval_good t s batch;
+            for i = lo to hi - 1 do
+              if (not verdict.(i)) && sim_fault t s fs.(i) then begin
+                verdict.(i) <- true;
+                decr undetected
+              end
+            done)
+          patterns
+      with Exit -> ()
+    end
+  in
+  (match pool with
+   | None -> worker 0 nf
+   | Some p ->
+     let jobs = Domain_pool.jobs p in
+     if jobs = 1 then worker 0 nf
+     else
+       Domain_pool.run p (fun w ->
+           let lo, hi = Domain_pool.chunk ~jobs ~n:nf w in
+           worker lo hi));
+  List.mapi (fun i f -> (f, verdict.(i))) faults
+
+let segment_detects ?pool sim seg ~patterns faults =
+  detects ?pool (create sim seg) ~patterns faults

@@ -90,29 +90,28 @@ let segment_detects sim (seg : Segment.t) ~patterns faults =
     patterns;
   List.map (fun f -> (f, Hashtbl.find detected f)) faults
 
+(* Single pass over the vector list: open a fresh word batch every
+   [bits_per_word] vectors (the last one ragged), OR each vector's bits
+   into the open batch as it streams by. *)
 let pack_vectors ~width vectors =
   let bpw = Gate.bits_per_word in
-  let rec batches vs acc =
-    match vs with
-    | [] -> List.rev acc
-    | _ ->
-      let rec take k l = if k = 0 then ([], l) else
-          match l with
-          | [] -> ([], [])
-          | x :: tl -> let got, rest = take (k - 1) tl in (x :: got, rest)
-      in
-      let chunk, rest = take bpw vs in
-      let words = Array.make width 0 in
-      List.iteri
-        (fun b vector ->
-          for i = 0 to width - 1 do
-            if (vector lsr i) land 1 = 1 then
-              words.(i) <- words.(i) lor (1 lsl b)
-          done)
-        chunk;
-      batches rest (words :: acc)
-  in
-  batches vectors []
+  let rev_batches = ref [] in
+  let words = ref [||] in
+  let b = ref bpw in
+  List.iter
+    (fun vector ->
+      if !b = bpw then begin
+        words := Array.make width 0;
+        rev_batches := !words :: !rev_batches;
+        b := 0
+      end;
+      let w = !words in
+      for i = 0 to width - 1 do
+        if (vector lsr i) land 1 = 1 then w.(i) <- w.(i) lor (1 lsl !b)
+      done;
+      incr b)
+    vectors;
+  List.rev !rev_batches
 
 let exhaustive_patterns ~width =
   if width < 0 || width > 24 then

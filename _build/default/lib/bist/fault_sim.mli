@@ -23,6 +23,12 @@ val segment_detects :
     segment's [observed] nodes. Returns each fault with its detection
     verdict over all batches. *)
 
+val pack_vectors : width:int -> int list -> int array list
+(** Pack bit vectors (input i = bit i of each vector) into word batches
+    of [Gate.bits_per_word] vectors each, the final batch ragged. One
+    pass over the list; the packing {!exhaustive_patterns} and
+    {!lfsr_patterns} are built from. *)
+
 val exhaustive_patterns : width:int -> int array list
 (** All [2^width] input vectors, packed into word batches: batch j gives,
     for input bit i, the word whose bit b is the value of input i in

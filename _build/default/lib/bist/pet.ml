@@ -37,7 +37,7 @@ let fault_list ?(collapse = true) sim seg =
   let faults = Fault.of_segment c seg in
   if collapse then Fault.collapse c faults else faults
 
-let run ?collapse sim seg =
+let run ?collapse ?pool sim seg =
   let width = Segment.input_count seg in
   if width > 20 then
     invalid_arg
@@ -45,17 +45,17 @@ let run ?collapse sim seg =
        is what PPET is for)";
   let faults = fault_list ?collapse sim seg in
   let patterns = Fault_sim.exhaustive_patterns ~width in
-  let results = Fault_sim.segment_detects sim seg ~patterns faults in
+  let results = Fault_engine.segment_detects ?pool sim seg ~patterns faults in
   summarise ~width ~patterns_applied:(1 lsl width) results
 
-let run_with_lfsr ?(extra_cycles = 0) sim seg =
+let run_with_lfsr ?(extra_cycles = 0) ?pool sim seg =
   let width = Segment.input_count seg in
   if width > 20 then invalid_arg "Pet.run_with_lfsr: more than 20 inputs";
   if width < 1 then invalid_arg "Pet.run_with_lfsr: segment has no inputs";
   let faults = fault_list sim seg in
   let count = (1 lsl width) + extra_cycles in
   let patterns = Fault_sim.lfsr_patterns ~width ~count in
-  let results = Fault_sim.segment_detects sim seg ~patterns faults in
+  let results = Fault_engine.segment_detects ?pool sim seg ~patterns faults in
   summarise ~width ~patterns_applied:count results
 
 let pp ppf r =

@@ -19,6 +19,7 @@ type report = {
 
 val run :
   ?collapse:bool ->
+  ?pool:Ppet_parallel.Domain_pool.t ->
   Simulator.t ->
   Ppet_netlist.Segment.t ->
   report
@@ -26,10 +27,17 @@ val run :
     [Invalid_argument] beyond, exactly the reason the paper partitions
     with an input constraint). Redundancy is decided by the exhaustive
     run itself: a fault no exhaustive pattern distinguishes at the
-    segment boundary is untestable in that segment. *)
+    segment boundary is untestable in that segment.
+
+    Fault simulation runs on the cone-restricted {!Fault_engine};
+    [?pool] shards the fault list across its domains. Results are
+    bit-identical at any job count (and to the seed serial loop in
+    {!Fault_sim.segment_detects}), so the default serial run and a
+    parallel run print the same report. *)
 
 val run_with_lfsr :
   ?extra_cycles:int ->
+  ?pool:Ppet_parallel.Domain_pool.t ->
   Simulator.t ->
   Ppet_netlist.Segment.t ->
   report

@@ -26,12 +26,29 @@ val eval_members : t -> int array -> member:bool array -> unit
     read from the preset entries — exactly how a CUT sees its CBIT-driven
     boundary. *)
 
+val step_into :
+  t ->
+  values:int array ->
+  state:int array ->
+  pi:int array ->
+  next:int array ->
+  po:int array ->
+  unit
+(** Allocation-free sequential step: [values] is a caller-owned scratch
+    array of size [Circuit.size] (contents need not be cleared between
+    steps), [state]/[pi] are read as in {!step}, and the next flip-flop
+    state and primary output words are written into [next] and [po].
+    [next] may alias [state]. Raises [Invalid_argument] on any size
+    mismatch. *)
+
 val step : t -> state:int array -> pi:int array -> int array * int array
 (** Sequential step: [state] gives each DFF's current output word
     (indexed by position in [Circuit.dffs]), [pi] each primary input's
     word (indexed by position in [Circuit.inputs]). Returns
-    (next flip-flop state, primary output words). *)
+    (next flip-flop state, primary output words). A fresh-array wrapper
+    over {!step_into}. *)
 
 val run : t -> state:int array -> pis:int array list -> int array * int array list
 (** Clock the circuit through a list of input words; returns the final
-    state and the per-cycle primary outputs. *)
+    state and the per-cycle primary outputs. Internally reuses one
+    values buffer and one state buffer across all cycles. *)

@@ -1,1 +1,1 @@
-lib/core/report.ml: Area_accounting Assign Buffer Cluster Flow List Merced Params Ppet_netlist Printf
+lib/core/report.ml: Area_accounting Assign Buffer Cluster Flow List Merced Params Ppet_netlist Printf String

@@ -1,1 +1,1 @@
-lib/core/session.ml: Array Hashtbl Int64 List Ppet_bist Ppet_digraph Ppet_netlist Printf Testable
+lib/core/session.ml: Array Hashtbl Int64 List Ppet_bist Ppet_digraph Ppet_netlist Ppet_parallel Printf Testable

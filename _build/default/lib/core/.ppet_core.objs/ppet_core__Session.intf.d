@@ -1,1 +1,1 @@
-lib/core/session.mli: Ppet_bist Testable
+lib/core/session.mli: Ppet_bist Ppet_parallel Testable

@@ -34,10 +34,11 @@ let saturate g (p : Params.t) rng =
       done;
       n_pending := !k
     in
+    let ws = Dijkstra.workspace g in
     while !n_pending > 0 && !iterations < p.Params.max_iterations do
       let src = pending.(Prng.int rng !n_pending) in
       visits.(src) <- visits.(src) + 1;
-      let tree = Dijkstra.run g ~dist:(fun e -> distance.(e)) ~src in
+      let tree = Dijkstra.run_into ws g ~dist:(fun e -> distance.(e)) ~src in
       Array.iter
         (fun e ->
           flow.(e) <- flow.(e) +. p.Params.delta;

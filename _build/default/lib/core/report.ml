@@ -61,6 +61,18 @@ let csv_header =
    partitions,area_circuit,area_cbit_retimed,area_cbit_plain,ratio_with,\
    ratio_without,sigma_dff,testing_time,cpu_seconds"
 
+(* Machine-readable perf baselines (BENCH_*.json artefacts): a flat
+   JSON object of float metrics, stable enough to diff across PRs. *)
+let bench_json ~name ~metrics =
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "{\n  \"name\": \"%s\"" (String.escaped name);
+  List.iter
+    (fun (key, v) ->
+      Printf.bprintf buf ",\n  \"%s\": %.6g" (String.escaped key) v)
+    metrics;
+  Buffer.add_string buf "\n}\n";
+  Buffer.contents buf
+
 let csv_row r =
   let b = r.Merced.breakdown in
   Printf.sprintf "%s,%d,%d,%d,%d,%d,%d,%d,%d,%.0f,%.1f,%.1f,%.2f,%.2f,%.2f,%.6g,%.3f"

@@ -20,3 +20,9 @@ val csv_header : string
 
 val csv_row : Merced.result -> string
 (** Machine-readable full record, one line. *)
+
+val bench_json : name:string -> metrics:(string * float) list -> string
+(** Flat JSON object ["name" + float metrics] — the format of the
+    BENCH_*.json perf baselines the bench harness emits (e.g. the fault
+    engine's ns/fault-pattern and speedup-vs-seed numbers), so future
+    changes can diff against a recorded baseline. *)

@@ -57,7 +57,7 @@ let remap_fault original testable f =
   | Fault.Input_pin (id, pin) ->
     { f with Fault.site = Fault.Input_pin (resolve id, pin) }
 
-let run ?(max_burst = 1024) ?faults ?(observe_pos = true) (t : Testable.t) =
+let run ?(max_burst = 1024) ?faults ?(observe_pos = true) ?pool (t : Testable.t) =
   let original = t.Testable.original in
   let testable = t.Testable.circuit in
   let fault_list =
@@ -99,24 +99,29 @@ let run ?(max_burst = 1024) ?faults ?(observe_pos = true) (t : Testable.t) =
                  (Int64.of_int word_mask)))
           original.Circuit.inputs)
   in
-  let detected = Hashtbl.create (List.length fault_list) in
   let passes =
-    let rec chunk = function
-      | [] -> []
-      | fs ->
-        let rec take k l =
-          if k = 0 then ([], l)
-          else match l with [] -> ([], []) | x :: tl ->
-            let got, rest = take (k - 1) tl in
-            (x :: got, rest)
-        in
-        let batch, rest = take lanes_per_pass fs in
-        batch :: chunk rest
-    in
-    chunk fault_list
+    (* single pass over the fault list: open a fresh lane batch every
+       [lanes_per_pass] faults (the last one ragged) *)
+    let rev = ref [] and cur = ref [] and k = ref 0 in
+    List.iter
+      (fun f ->
+        if !k = lanes_per_pass then begin
+          rev := List.rev !cur :: !rev;
+          cur := [];
+          k := 0
+        end;
+        cur := f :: !cur;
+        incr k)
+      fault_list;
+    if !cur <> [] then rev := List.rev !cur :: !rev;
+    Array.of_list (List.rev !rev)
   in
-  List.iter
-    (fun batch ->
+  (* One pass = one bit-sliced burst over up to [lanes_per_pass] faults.
+     Passes are independent (they share only read-only structures), so
+     they shard across the pool's domains; the per-pass hit lists are
+     merged in pass order, keeping the report identical to the serial
+     run. *)
+  let run_pass batch =
       (* per-node output masks and per-pin masks for this pass *)
       let out_clear = Array.make n 0 and out_set = Array.make n 0 in
       let pin_masks = Hashtbl.create 16 in
@@ -197,12 +202,23 @@ let run ?(max_burst = 1024) ?faults ?(observe_pos = true) (t : Testable.t) =
       in
       List.iter (fun id -> fold state.(id)) cell_ids;
       if observe_pos then Array.iter fold (Sliced_misr.state observer);
-      List.iteri
-        (fun lane_minus_1 f ->
-          if !diff land (1 lsl (lane_minus_1 + 1)) <> 0 then
-            Hashtbl.replace detected f ())
-        batch)
-    passes;
+      List.filteri
+        (fun lane_minus_1 _ -> !diff land (1 lsl (lane_minus_1 + 1)) <> 0)
+        batch
+  in
+  let hits = Array.make (Array.length passes) [] in
+  (match pool with
+   | None -> Array.iteri (fun i batch -> hits.(i) <- run_pass batch) passes
+   | Some p ->
+     let jobs = Ppet_parallel.Domain_pool.jobs p in
+     let n = Array.length passes in
+     Ppet_parallel.Domain_pool.run p (fun w ->
+         let lo, hi = Ppet_parallel.Domain_pool.chunk ~jobs ~n w in
+         for i = lo to hi - 1 do
+           hits.(i) <- run_pass passes.(i)
+         done));
+  let detected = Hashtbl.create (List.length fault_list) in
+  Array.iter (List.iter (fun f -> Hashtbl.replace detected f ())) hits;
   let n_faults = List.length fault_list in
   let n_detected = Hashtbl.length detected in
   {

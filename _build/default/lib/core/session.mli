@@ -33,6 +33,7 @@ val run :
   ?max_burst:int ->
   ?faults:Ppet_bist.Fault.t list ->
   ?observe_pos:bool ->
+  ?pool:Ppet_parallel.Domain_pool.t ->
   Testable.t ->
   report
 (** [run t] injects each fault (default: the collapsed stuck-at list of
@@ -43,4 +44,8 @@ val run :
     [observe_pos] (default true) adds a 16-bit virtual MISR on the
     primary outputs, standing for the output CBIT of the final pipe
     stage. Raises [Invalid_argument] if a fault site's signal does not
-    exist in the testable netlist. *)
+    exist in the testable netlist.
+
+    [?pool] shards the independent 61-fault simulation passes across
+    the pool's domains; per-pass results are merged in pass order, so
+    the report is identical at any job count. *)

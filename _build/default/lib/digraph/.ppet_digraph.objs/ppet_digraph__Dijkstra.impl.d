@@ -1,1 +1,1 @@
-lib/digraph/dijkstra.ml: Array Hashtbl Heap Netgraph
+lib/digraph/dijkstra.ml: Array Heap Netgraph

@@ -4,16 +4,49 @@ type tree = {
   tree_nets : int array;
 }
 
-let run g ~dist ~src =
+(* Everything a run needs, preallocated once and reused: the
+   multicommodity saturation loop calls Dijkstra thousands of times on
+   one graph, and reallocating dist/heap/parent arrays per call used to
+   dominate its constant factor. *)
+type workspace = {
+  ws_dist : float array;
+  ws_via : int array;
+  ws_settled : bool array;
+  ws_heap : Heap.t;
+  ws_net_seen : int array;  (* stamp per net, for tree-net dedup *)
+  ws_net_buf : int array;
+  mutable ws_stamp : int;
+}
+
+let workspace g =
+  let n = Netgraph.n_nodes g in
+  let m = Netgraph.n_nets g in
+  {
+    ws_dist = Array.make (max n 1) infinity;
+    ws_via = Array.make (max n 1) (-1);
+    ws_settled = Array.make (max n 1) false;
+    ws_heap = Heap.create n;
+    ws_net_seen = Array.make (max m 1) 0;
+    ws_net_buf = Array.make (max m 1) 0;
+    ws_stamp = 0;
+  }
+
+let run_into ws g ~dist ~src =
   let n = Netgraph.n_nodes g in
   if src < 0 || src >= n then invalid_arg "Dijkstra.run: bad source";
+  if Array.length ws.ws_dist < n || Array.length ws.ws_net_seen < Netgraph.n_nets g
+  then invalid_arg "Dijkstra.run_into: workspace too small for this graph";
   Netgraph.freeze g;
-  let d = Array.make n infinity in
-  let via = Array.make n (-1) in
-  let heap = Heap.create n in
+  let d = ws.ws_dist in
+  let via = ws.ws_via in
+  let settled = ws.ws_settled in
+  let heap = ws.ws_heap in
+  Array.fill d 0 n infinity;
+  Array.fill via 0 n (-1);
+  Array.fill settled 0 n false;
+  Heap.clear heap;
   d.(src) <- 0.0;
   Heap.insert heap src 0.0;
-  let settled = Array.make n false in
   while not (Heap.is_empty heap) do
     let v, dv = Heap.pop_min heap in
     if not settled.(v) then begin
@@ -34,16 +67,21 @@ let run g ~dist ~src =
       Array.iter relax (Netgraph.out_nets g v)
     end
   done;
-  let seen = Hashtbl.create 16 in
-  let nets = ref [] in
+  ws.ws_stamp <- ws.ws_stamp + 1;
+  let stamp = ws.ws_stamp in
+  let k = ref 0 in
   for v = n - 1 downto 0 do
     let e = via.(v) in
-    if e >= 0 && not (Hashtbl.mem seen e) then begin
-      Hashtbl.add seen e ();
-      nets := e :: !nets
+    if e >= 0 && ws.ws_net_seen.(e) <> stamp then begin
+      ws.ws_net_seen.(e) <- stamp;
+      ws.ws_net_buf.(!k) <- e;
+      incr k
     end
   done;
-  { dist = d; via; tree_nets = Array.of_list !nets }
+  let count = !k in
+  { dist = d; via; tree_nets = Array.init count (fun i -> ws.ws_net_buf.(count - 1 - i)) }
+
+let run g ~dist ~src = run_into (workspace g) g ~dist ~src
 
 let path_to t g v =
   if t.dist.(v) = infinity then raise Not_found;

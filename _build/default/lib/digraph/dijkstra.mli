@@ -16,6 +16,21 @@ type tree = {
 val run : Netgraph.t -> dist:(int -> float) -> src:int -> tree
 (** Raises [Invalid_argument] if some net has a negative distance. *)
 
+type workspace
+(** Preallocated dist/parent/settled arrays and heap, reusable across
+    runs on one graph — the saturation loop's per-call allocations
+    removed. *)
+
+val workspace : Netgraph.t -> workspace
+(** A workspace sized for [g]'s current node and net counts. *)
+
+val run_into : workspace -> Netgraph.t -> dist:(int -> float) -> src:int -> tree
+(** Exactly {!run}, but computing into the workspace: the returned
+    tree's [dist] and [via] arrays {e alias the workspace} and are
+    only valid until the next [run_into] on it ([tree_nets] is fresh).
+    Raises [Invalid_argument] if the workspace is too small for the
+    graph (e.g. nets were added after {!workspace}). *)
+
 val path_to : tree -> Netgraph.t -> int -> int list
 (** [path_to t g v] is the list of net ids on the tree path from the
     source to [v], source side first. Raises [Not_found] when [v] is

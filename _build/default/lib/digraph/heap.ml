@@ -86,6 +86,12 @@ let pop_min h =
   h.pos.(k) <- -1;
   (k, p)
 
+let clear h =
+  for i = 0 to h.len - 1 do
+    h.pos.(h.keys.(i)) <- -1
+  done;
+  h.len <- 0
+
 let priority h k =
   if not (mem h k) then raise Not_found;
   h.prios.(h.pos.(k))

@@ -33,5 +33,9 @@ val pop_min : t -> int * float
 (** Remove and return the (key, priority) pair with minimal priority.
     Raises [Invalid_argument] on an empty heap. *)
 
+val clear : t -> unit
+(** Remove every key in O(size), leaving the heap ready for reuse —
+    cheaper than reallocating when the same heap serves many runs. *)
+
 val priority : t -> int -> float
 (** Current priority of a present key. Raises [Not_found] otherwise. *)

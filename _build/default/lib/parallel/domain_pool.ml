@@ -1,0 +1,108 @@
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable task : (int -> unit) option;
+  mutable generation : int;  (* bumped once per dispatch *)
+  mutable remaining : int;   (* workers still inside the current task *)
+  mutable stop : bool;
+  mutable failure : exn option;
+  mutable workers : unit Domain.t array;
+}
+
+let jobs t = t.jobs
+
+let record_failure t e =
+  Mutex.lock t.mutex;
+  if t.failure = None then t.failure <- Some e;
+  Mutex.unlock t.mutex
+
+(* Each worker sleeps until the generation counter moves past the last
+   task it ran, so a dispatch issued before the worker got back to the
+   condition variable is still picked up. *)
+let rec worker_loop t w seen =
+  Mutex.lock t.mutex;
+  while (not t.stop) && t.generation = seen do
+    Condition.wait t.work_ready t.mutex
+  done;
+  if t.stop then Mutex.unlock t.mutex
+  else begin
+    let gen = t.generation in
+    let task = match t.task with Some f -> f | None -> assert false in
+    Mutex.unlock t.mutex;
+    (try task w with e -> record_failure t e);
+    Mutex.lock t.mutex;
+    t.remaining <- t.remaining - 1;
+    if t.remaining = 0 then Condition.broadcast t.work_done;
+    Mutex.unlock t.mutex;
+    worker_loop t w gen
+  end
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Domain_pool.create: jobs must be >= 1";
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      task = None;
+      generation = 0;
+      remaining = 0;
+      stop = false;
+      failure = None;
+      workers = [||];
+    }
+  in
+  t.workers <-
+    Array.init (jobs - 1) (fun i ->
+        Domain.spawn (fun () -> worker_loop t (i + 1) 0));
+  t
+
+let run t f =
+  if t.jobs = 1 then f 0
+  else begin
+    Mutex.lock t.mutex;
+    if t.stop then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Domain_pool.run: pool is shut down"
+    end;
+    t.task <- Some f;
+    t.failure <- None;
+    t.remaining <- t.jobs - 1;
+    t.generation <- t.generation + 1;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.mutex;
+    let own = try f 0; None with e -> Some e in
+    Mutex.lock t.mutex;
+    while t.remaining > 0 do
+      Condition.wait t.work_done t.mutex
+    done;
+    t.task <- None;
+    let worker_exn = t.failure in
+    t.failure <- None;
+    Mutex.unlock t.mutex;
+    match own, worker_exn with
+    | Some e, _ | None, Some e -> raise e
+    | None, None -> ()
+  end
+
+let chunk ~jobs ~n w =
+  if jobs < 1 then invalid_arg "Domain_pool.chunk: jobs must be >= 1";
+  if n < 0 then invalid_arg "Domain_pool.chunk: negative n";
+  if w < 0 || w >= jobs then invalid_arg "Domain_pool.chunk: bad worker";
+  (w * n / jobs, (w + 1) * n / jobs)
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let ws = t.workers in
+  t.stop <- true;
+  t.workers <- [||];
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.mutex;
+  Array.iter Domain.join ws
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

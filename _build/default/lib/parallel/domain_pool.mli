@@ -1,0 +1,43 @@
+(** Reusable pool of OCaml 5 domains for deterministic data parallelism.
+
+    The pool owns [jobs - 1] worker domains parked on a condition
+    variable; the calling domain always participates as worker 0, so a
+    pool of [jobs = 1] never spawns a domain and runs everything inline
+    (the serial path costs nothing). Work is dispatched as a closure run
+    once per worker; determinism is the caller's business and is easy to
+    get: give each worker a disjoint, index-ordered slice of the input
+    (see {!chunk}) and merge the per-slice results in slice order.
+
+    A pool is cheap to keep alive — idle workers hold no locks and burn
+    no CPU — so create one per session and reuse it across every
+    dispatch; spawning a domain costs orders of magnitude more than a
+    dispatch. [run] is not reentrant: a task must not itself call [run]
+    on the same pool. *)
+
+type t
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [jobs - 1] worker domains.
+    Raises [Invalid_argument] when [jobs < 1]. *)
+
+val jobs : t -> int
+
+val run : t -> (int -> unit) -> unit
+(** [run t f] executes [f w] for every worker index [w] in
+    [0, jobs), concurrently, and returns when all are done. [f 0] runs
+    on the calling domain. If any [f w] raises, one of the exceptions is
+    re-raised after every worker has finished its call. *)
+
+val chunk : jobs:int -> n:int -> int -> int * int
+(** [chunk ~jobs ~n w] is the half-open index range [(lo, hi)] of
+    worker [w]'s slice in a balanced contiguous split of [0, n):
+    slices are in worker order, differ in length by at most one, and
+    cover [0, n) exactly — the deterministic sharding used throughout. *)
+
+val shutdown : t -> unit
+(** Park, join and release the worker domains. The pool must not be
+    used afterwards; calling [shutdown] twice is harmless. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] on a fresh pool and shuts it down on
+    exit, normal or exceptional. *)

@@ -5,6 +5,9 @@
   $ $MERCED generate s510 -o s510.bench
   $ $MERCED stats s510.bench | head -2
   $ $MERCED selftest s27 --lk 4 | head -3
+  $ $MERCED selftest s27 --lk 4 > serial.out
+  $ $MERCED selftest s27 --lk 4 --jobs 2 > parallel.out
+  $ cmp serial.out parallel.out && echo identical
   $ $MERCED insert s27 --lk 3 -o testable.bench | head -1
   $ $MERCED stats testable.bench | sed -n 2p
   $ $MERCED retime s27 --lk 3 -o retimed.bench

@@ -1,0 +1,1 @@
+test/test_fault_engine.ml: Alcotest Array Gen Int64 List Ppet_bist Ppet_digraph Ppet_netlist Ppet_parallel QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Array Atomic Domain List Ppet_parallel QCheck QCheck_alcotest

@@ -40,6 +40,13 @@ Self-test validation reaches full coverage on s27's segments:
     segment 0: width 7: 32/32 faults detected (100.0%; 0 redundant; detectable coverage 100.0%) with 128 patterns
     segment 1: width 1: 2/2 faults detected (100.0%; 0 redundant; detectable coverage 100.0%) with 2 patterns
 
+Parallel fault simulation is bit-identical to the serial default:
+
+  $ $MERCED selftest s27 --lk 4 > serial.out
+  $ $MERCED selftest s27 --lk 4 --jobs 2 > parallel.out
+  $ cmp serial.out parallel.out && echo identical
+  identical
+
 Test-hardware insertion and the retimed netlist both emit valid .bench:
 
   $ $MERCED insert s27 --lk 3 -o testable.bench | head -1

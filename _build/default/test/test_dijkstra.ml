@@ -90,6 +90,47 @@ let prop_relaxed =
       done;
       !ok)
 
+(* property: a workspace reused across many runs (different sources,
+   different weights) gives exactly what fresh runs give — distances,
+   via nets, and tree_nets in the same order *)
+let prop_run_into_reuse =
+  QCheck.Test.make ~name:"run_into reuse = fresh run" ~count:100
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Prng.create (Int64.of_int (seed + 17)) in
+      let n = 2 + Prng.int rng 25 in
+      let g = Netgraph.create n in
+      let m = 3 * n in
+      let w = Array.init m (fun _ -> Prng.float rng 10.0) in
+      for _ = 1 to m do
+        let s = Prng.int rng n in
+        let sinks = List.init (1 + Prng.int rng 3) (fun _ -> Prng.int rng n) in
+        ignore (Netgraph.add_net g ~src:s ~sinks)
+      done;
+      let ws = Dijkstra.workspace g in
+      let ok = ref true in
+      for round = 0 to 4 do
+        let dist e = w.(e) +. float_of_int round in
+        let src = Prng.int rng n in
+        let fresh = Dijkstra.run g ~dist ~src in
+        let reused = Dijkstra.run_into ws g ~dist ~src in
+        if
+          Array.to_list reused.Dijkstra.dist <> Array.to_list fresh.Dijkstra.dist
+          || Array.to_list reused.Dijkstra.via <> Array.to_list fresh.Dijkstra.via
+          || reused.Dijkstra.tree_nets <> fresh.Dijkstra.tree_nets
+        then ok := false
+      done;
+      !ok)
+
+let test_run_into_too_small () =
+  let g = Netgraph.create 2 in
+  let _ = Netgraph.add_net g ~src:0 ~sinks:[ 1 ] in
+  let ws = Dijkstra.workspace g in
+  let _ = Netgraph.add_net g ~src:1 ~sinks:[ 0 ] in
+  Alcotest.check_raises "stale workspace"
+    (Invalid_argument "Dijkstra.run_into: workspace too small for this graph")
+    (fun () -> ignore (Dijkstra.run_into ws g ~dist:(fun _ -> 1.0) ~src:0))
+
 let suite =
   [
     Alcotest.test_case "shortest distances" `Quick test_shortest;
@@ -98,5 +139,7 @@ let suite =
     Alcotest.test_case "unreachable vertices" `Quick test_unreachable;
     Alcotest.test_case "multi-sink net costs once" `Quick test_multisink_costs_once;
     Alcotest.test_case "negative distance rejected" `Quick test_negative_rejected;
+    Alcotest.test_case "run_into rejects a stale workspace" `Quick test_run_into_too_small;
     QCheck_alcotest.to_alcotest prop_relaxed;
+    QCheck_alcotest.to_alcotest prop_run_into_reuse;
   ]

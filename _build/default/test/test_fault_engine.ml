@@ -1,0 +1,167 @@
+(* The cone-restricted engine must be bit-identical to the seed serial
+   loop in Fault_sim — on any circuit, any pattern set, any job count. *)
+
+module Circuit = Ppet_netlist.Circuit
+module Segment = Ppet_netlist.Segment
+module Generator = Ppet_netlist.Generator
+module Fault = Ppet_bist.Fault
+module Fault_sim = Ppet_bist.Fault_sim
+module Fault_engine = Ppet_bist.Fault_engine
+module Simulator = Ppet_bist.Simulator
+module Domain_pool = Ppet_parallel.Domain_pool
+module Prng = Ppet_digraph.Prng
+module Parser = Ppet_netlist.Bench_parser
+
+(* random sequential circuit, segment = all its combinational gates,
+   random word batches as patterns *)
+let random_case seed =
+  let rng = Prng.create (Int64.of_int (seed + 11)) in
+  let c =
+    Generator.small_random
+      ~seed:(Int64.of_int ((seed * 7) + 1))
+      ~n_pi:(2 + Prng.int rng 4) ~n_dff:(Prng.int rng 3)
+      ~n_gates:(4 + Prng.int rng 14)
+  in
+  let seg = Segment.of_members c (Circuit.combinational c) in
+  let faults = Fault.of_segment c seg in
+  let n_in = Array.length (Segment.input_signals seg) in
+  let word () =
+    Int64.to_int (Int64.logand (Prng.next_int64 rng) (Int64.of_int max_int))
+  in
+  let patterns =
+    List.init (1 + Prng.int rng 3) (fun _ -> Array.init n_in (fun _ -> word ()))
+  in
+  (c, seg, faults, patterns)
+
+let prop_engine_matches_seed =
+  QCheck.Test.make ~name:"engine = seed serial at jobs 1/2/4" ~count:40
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let c, seg, faults, patterns = random_case seed in
+      let sim = Simulator.create c in
+      let expected = Fault_sim.segment_detects sim seg ~patterns faults in
+      let serial = Fault_engine.segment_detects sim seg ~patterns faults in
+      let par jobs =
+        Domain_pool.with_pool ~jobs (fun pool ->
+            Fault_engine.segment_detects ~pool sim seg ~patterns faults)
+      in
+      serial = expected && par 1 = expected && par 2 = expected
+      && par 4 = expected)
+
+(* a fault whose fanout cone reaches no observed signal: undetected,
+   not a crash (the event-driven walk just runs dry) *)
+let test_cone_misses_observed () =
+  let c =
+    Parser.parse_string
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\nd = NAND(a, b)\n"
+  in
+  let sim = Simulator.create c in
+  let seg = Segment.of_members c (Circuit.combinational c) in
+  let d = Circuit.find c "d" in
+  Alcotest.(check bool) "d is a member, not observed" true
+    (Segment.mem seg d
+    && not (Array.exists (fun o -> o = d) seg.Segment.observed));
+  let faults =
+    [
+      { Fault.site = Fault.Output d; stuck_at = true };
+      { Fault.site = Fault.Output d; stuck_at = false };
+      { Fault.site = Fault.Input_pin (d, 0); stuck_at = true };
+    ]
+  in
+  let patterns = Fault_sim.exhaustive_patterns ~width:2 in
+  let r = Fault_engine.segment_detects sim seg ~patterns faults in
+  List.iter
+    (fun (_, det) -> Alcotest.(check bool) "unobservable" false det)
+    r;
+  Alcotest.(check bool) "matches seed" true
+    (r = Fault_sim.segment_detects sim seg ~patterns faults)
+
+let test_full_coverage_and_gate () =
+  let c = Parser.parse_string "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n" in
+  let sim = Simulator.create c in
+  let seg = Segment.of_members c (Circuit.combinational c) in
+  let faults = Fault.of_segment c seg in
+  let patterns = Fault_sim.exhaustive_patterns ~width:2 in
+  let r = Fault_engine.segment_detects sim seg ~patterns faults in
+  Alcotest.(check bool) "all detected" true (List.for_all snd r)
+
+let test_dff_member_rejected () =
+  let c = Parser.parse_string "INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n" in
+  let sim = Simulator.create c in
+  let seg = Segment.of_members c [| Circuit.find c "q" |] in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Fault_engine.create sim seg);
+       false
+     with Invalid_argument _ -> true)
+
+let test_batch_arity_guard () =
+  let c = Parser.parse_string "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n" in
+  let sim = Simulator.create c in
+  let seg = Segment.of_members c (Circuit.combinational c) in
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Fault_engine.detects: batch arity mismatch")
+    (fun () ->
+      ignore (Fault_engine.segment_detects sim seg ~patterns:[ [| 1 |] ] []))
+
+(* --- pack_vectors: the single-pass chunker vs the old take-based one *)
+
+let old_pack ~width vectors =
+  let bpw = Ppet_netlist.Gate.bits_per_word in
+  let rec batches vs acc =
+    match vs with
+    | [] -> List.rev acc
+    | _ ->
+      let rec take k l =
+        if k = 0 then ([], l)
+        else
+          match l with
+          | [] -> ([], [])
+          | x :: tl ->
+            let got, rest = take (k - 1) tl in
+            (x :: got, rest)
+      in
+      let chunk, rest = take bpw vs in
+      let words = Array.make width 0 in
+      List.iteri
+        (fun b vector ->
+          for i = 0 to width - 1 do
+            if (vector lsr i) land 1 = 1 then words.(i) <- words.(i) lor (1 lsl b)
+          done)
+        chunk;
+      batches rest (words :: acc)
+  in
+  batches vectors []
+
+let prop_pack_vectors =
+  QCheck.Test.make ~name:"single-pass pack_vectors = take-based packing"
+    ~count:300
+    QCheck.(
+      pair (int_range 1 24)
+        (list_of_size Gen.(0 -- 200) (int_bound ((1 lsl 24) - 1))))
+    (fun (width, vectors) ->
+      Fault_sim.pack_vectors ~width vectors = old_pack ~width vectors)
+
+let test_pack_ragged_final_chunk () =
+  (* 63 vectors on width 3: one full 62-bit batch plus a 1-bit tail *)
+  let vectors = List.init 63 (fun i -> i land 7) in
+  match Fault_sim.pack_vectors ~width:3 vectors with
+  | [ full; tail ] ->
+    Alcotest.(check int) "full batch wide" 3 (Array.length full);
+    (* tail holds only vector 62 = 6 = 0b110 in bit 0 of each word *)
+    Alcotest.(check (array int)) "ragged tail" [| 0; 1; 1 |] tail
+  | l -> Alcotest.failf "expected 2 batches, got %d" (List.length l)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_engine_matches_seed;
+    Alcotest.test_case "cone missing observed = undetected" `Quick
+      test_cone_misses_observed;
+    Alcotest.test_case "AND gate full coverage" `Quick
+      test_full_coverage_and_gate;
+    Alcotest.test_case "DFF member rejected" `Quick test_dff_member_rejected;
+    Alcotest.test_case "batch arity guard" `Quick test_batch_arity_guard;
+    QCheck_alcotest.to_alcotest prop_pack_vectors;
+    Alcotest.test_case "pack_vectors ragged final chunk" `Quick
+      test_pack_ragged_final_chunk;
+  ]

@@ -1,0 +1,83 @@
+module Domain_pool = Ppet_parallel.Domain_pool
+
+let test_create_guard () =
+  Alcotest.check_raises "jobs 0"
+    (Invalid_argument "Domain_pool.create: jobs must be >= 1") (fun () ->
+      ignore (Domain_pool.create ~jobs:0))
+
+let test_serial_inline () =
+  (* jobs = 1 spawns nothing: the task runs on the calling domain *)
+  Domain_pool.with_pool ~jobs:1 (fun p ->
+      Alcotest.(check int) "jobs" 1 (Domain_pool.jobs p);
+      let caller = Domain.self () in
+      let seen = ref [] in
+      Domain_pool.run p (fun w ->
+          Alcotest.(check bool) "same domain" true (Domain.self () = caller);
+          seen := w :: !seen);
+      Alcotest.(check (list int)) "worker 0 only, once" [ 0 ] !seen)
+
+let test_every_worker_runs () =
+  Domain_pool.with_pool ~jobs:4 (fun p ->
+      let ran = Array.make 4 0 in
+      (* reuse across dispatches: the same pool must serve many rounds *)
+      for _ = 1 to 3 do
+        Domain_pool.run p (fun w -> ran.(w) <- ran.(w) + 1)
+      done;
+      Alcotest.(check (array int)) "each worker ran each round"
+        [| 3; 3; 3; 3 |] ran)
+
+let test_exception_propagates () =
+  Domain_pool.with_pool ~jobs:3 (fun p ->
+      Alcotest.check_raises "worker failure surfaces" (Failure "boom")
+        (fun () -> Domain_pool.run p (fun w -> if w = 1 then failwith "boom"));
+      Alcotest.check_raises "caller failure surfaces" (Failure "own")
+        (fun () -> Domain_pool.run p (fun w -> if w = 0 then failwith "own"));
+      (* the pool stays usable after a failed dispatch *)
+      let total = Atomic.make 0 in
+      Domain_pool.run p (fun _ -> Atomic.incr total);
+      Alcotest.(check int) "pool alive after failure" 3 (Atomic.get total))
+
+let test_shutdown_idempotent () =
+  let p = Domain_pool.create ~jobs:2 in
+  Domain_pool.shutdown p;
+  Domain_pool.shutdown p;
+  Alcotest.check_raises "run after shutdown"
+    (Invalid_argument "Domain_pool.run: pool is shut down") (fun () ->
+      Domain_pool.run p (fun _ -> ()))
+
+let test_with_pool_returns () =
+  Alcotest.(check int) "value" 42 (Domain_pool.with_pool ~jobs:2 (fun _ -> 42))
+
+(* property: chunk is a balanced contiguous partition of [0, n) *)
+let prop_chunk_partition =
+  QCheck.Test.make ~name:"chunk partitions [0,n) in order" ~count:500
+    QCheck.(pair (int_range 1 9) (int_bound 100))
+    (fun (jobs, n) ->
+      let edges = List.init jobs (fun w -> Domain_pool.chunk ~jobs ~n w) in
+      let contiguous =
+        List.for_all2
+          (fun (_, hi) (lo, _) -> hi = lo)
+          (List.filteri (fun i _ -> i < jobs - 1) edges)
+          (List.tl edges)
+      and balanced =
+        List.for_all
+          (fun (lo, hi) -> hi - lo >= n / jobs && hi - lo <= (n / jobs) + 1)
+          edges
+      in
+      fst (List.hd edges) = 0
+      && snd (List.nth edges (jobs - 1)) = n
+      && contiguous && balanced)
+
+let suite =
+  [
+    Alcotest.test_case "create rejects jobs < 1" `Quick test_create_guard;
+    Alcotest.test_case "1-job pool runs inline" `Quick test_serial_inline;
+    Alcotest.test_case "every worker runs, pool reusable" `Quick
+      test_every_worker_runs;
+    Alcotest.test_case "exceptions propagate, pool survives" `Quick
+      test_exception_propagates;
+    Alcotest.test_case "shutdown is idempotent" `Quick test_shutdown_idempotent;
+    Alcotest.test_case "with_pool returns the result" `Quick
+      test_with_pool_returns;
+    QCheck_alcotest.to_alcotest prop_chunk_partition;
+  ]

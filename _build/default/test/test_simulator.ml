@@ -72,6 +72,50 @@ let test_size_guards () =
   Alcotest.check_raises "pi" (Invalid_argument "Simulator.step: pi size mismatch")
     (fun () -> ignore (Simulator.step sim ~state:[| 0; 0; 0 |] ~pi:[| 0 |]))
 
+(* step_into writes the same next-state and outputs step returns, with
+   every buffer (including an aliased next/state) reused across cycles *)
+let prop_step_into_matches_step =
+  QCheck.Test.make ~name:"step_into = step across reused buffers" ~count:100
+    QCheck.(pair (int_bound 0xFFFFFF) (int_range 1 5))
+    (fun (seed, cycles) ->
+      let c = S27.circuit () in
+      let sim = Simulator.create c in
+      let rng = Ppet_digraph.Prng.create (Int64.of_int (seed + 3)) in
+      let word () =
+        Int64.to_int
+          (Int64.logand (Ppet_digraph.Prng.next_int64 rng) (Int64.of_int max_int))
+      in
+      let n_dff = Array.length (Circuit.dffs c) in
+      let n_pi = Array.length c.Circuit.inputs in
+      let n_po = Array.length c.Circuit.outputs in
+      let values = Array.make (Circuit.size c) (word ()) in
+      let state = Array.init n_dff (fun _ -> word ()) in
+      let expect_state = Array.copy state in
+      let po = Array.make n_po 0 in
+      let ok = ref true in
+      for _ = 1 to cycles do
+        let pi = Array.init n_pi (fun _ -> word ()) in
+        let exp_next, exp_po = Simulator.step sim ~state:expect_state ~pi in
+        (* next aliases state: the in-place reuse pattern run uses *)
+        Simulator.step_into sim ~values ~state ~pi ~next:state ~po;
+        if state <> exp_next || po <> exp_po then ok := false;
+        Array.blit exp_next 0 expect_state 0 n_dff
+      done;
+      !ok)
+
+let test_step_into_guards () =
+  let c = S27.circuit () in
+  let sim = Simulator.create c in
+  let values = Array.make (Circuit.size c) 0 in
+  Alcotest.check_raises "values" (Invalid_argument "Simulator.step: values size mismatch")
+    (fun () ->
+      Simulator.step_into sim ~values:[| 0 |] ~state:[| 0; 0; 0 |]
+        ~pi:[| 0; 0; 0; 0 |] ~next:[| 0; 0; 0 |] ~po:[| 0 |]);
+  Alcotest.check_raises "state" (Invalid_argument "Simulator.step: state size mismatch")
+    (fun () ->
+      Simulator.step_into sim ~values ~state:[| 0 |] ~pi:[| 0; 0; 0; 0 |]
+        ~next:[| 0 |] ~po:[| 0 |])
+
 (* property: word-parallel sequential simulation of s27 agrees with a
    naive per-bit boolean reference *)
 let prop_s27_matches_reference =
@@ -136,5 +180,7 @@ let suite =
     Alcotest.test_case "sequential toggler" `Quick test_step_counter;
     Alcotest.test_case "run collects outputs" `Quick test_run_collects_outputs;
     Alcotest.test_case "size guards" `Quick test_size_guards;
+    Alcotest.test_case "step_into size guards" `Quick test_step_into_guards;
+    QCheck_alcotest.to_alcotest prop_step_into_matches_step;
     QCheck_alcotest.to_alcotest prop_s27_matches_reference;
   ]

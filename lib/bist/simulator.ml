@@ -32,33 +32,45 @@ let eval_members t values ~member =
     invalid_arg "Simulator.eval_members: values array size mismatch";
   Array.iter (fun id -> if member.(id) then eval_gate t values id) t.topo
 
-let step t ~state ~pi =
+let step_into t ~values ~state ~pi ~next ~po =
   let dffs = Circuit.dffs t.c in
   let pis = t.c.Circuit.inputs in
+  if Array.length values <> Circuit.size t.c then
+    invalid_arg "Simulator.step: values size mismatch";
   if Array.length state <> Array.length dffs then
     invalid_arg "Simulator.step: state size mismatch";
   if Array.length pi <> Array.length pis then
     invalid_arg "Simulator.step: pi size mismatch";
-  let values = Array.make (Circuit.size t.c) 0 in
+  if Array.length next <> Array.length dffs then
+    invalid_arg "Simulator.step: next size mismatch";
+  if Array.length po <> Array.length t.c.Circuit.outputs then
+    invalid_arg "Simulator.step: po size mismatch";
   Array.iteri (fun i d -> values.(d) <- state.(i)) dffs;
   Array.iteri (fun i p -> values.(p) <- pi.(i)) pis;
   eval_all t values;
-  let next =
-    Array.map
-      (fun d -> values.((Circuit.node t.c d).Circuit.fanins.(0)))
-      dffs
-  in
-  let pos = Array.map (fun o -> values.(o)) t.c.Circuit.outputs in
-  (next, pos)
+  Array.iteri
+    (fun i d -> next.(i) <- values.((Circuit.node t.c d).Circuit.fanins.(0)))
+    dffs;
+  Array.iteri (fun i o -> po.(i) <- values.(o)) t.c.Circuit.outputs
+
+let step t ~state ~pi =
+  let values = Array.make (Circuit.size t.c) 0 in
+  let next = Array.make (Array.length (Circuit.dffs t.c)) 0 in
+  let po = Array.make (Array.length t.c.Circuit.outputs) 0 in
+  step_into t ~values ~state ~pi ~next ~po;
+  (next, po)
 
 let run t ~state ~pis =
-  let state = ref (Array.copy state) in
+  let values = Array.make (Circuit.size t.c) 0 in
+  let cur = Array.copy state in
+  let next = Array.make (Array.length state) 0 in
   let outs =
     List.map
       (fun pi ->
-        let next, po = step t ~state:!state ~pi in
-        state := next;
+        let po = Array.make (Array.length t.c.Circuit.outputs) 0 in
+        step_into t ~values ~state:cur ~pi ~next ~po;
+        Array.blit next 0 cur 0 (Array.length next);
         po)
       pis
   in
-  (!state, outs)
+  (cur, outs)

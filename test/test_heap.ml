@@ -63,6 +63,21 @@ let test_insert_or_decrease () =
   Heap.insert_or_decrease h 1 9.0;
   Alcotest.(check (float 1e-9)) "kept min" 3.0 (Heap.priority h 1)
 
+let test_clear_reusable () =
+  let h = Heap.create 8 in
+  Heap.insert h 0 3.0;
+  Heap.insert h 5 1.0;
+  Heap.insert h 2 2.0;
+  Heap.clear h;
+  Alcotest.(check int) "emptied" 0 (Heap.size h);
+  Alcotest.(check bool) "old key gone" false (Heap.mem h 5);
+  (* all keys insertable again after a clear *)
+  Heap.insert h 5 7.0;
+  Heap.insert h 0 4.0;
+  let k, p = Heap.pop_min h in
+  Alcotest.(check int) "fresh min key" 0 k;
+  Alcotest.(check (float 1e-9)) "fresh min prio" 4.0 p
+
 (* property: popping everything yields priorities in ascending order *)
 let prop_heapsort =
   QCheck.Test.make ~name:"heap drains in sorted order" ~count:200
@@ -115,6 +130,7 @@ let suite =
     Alcotest.test_case "pop rejects empty" `Quick test_pop_empty;
     Alcotest.test_case "mem and priority" `Quick test_mem_priority;
     Alcotest.test_case "insert_or_decrease keeps min" `Quick test_insert_or_decrease;
+    Alcotest.test_case "clear makes the heap reusable" `Quick test_clear_reusable;
     QCheck_alcotest.to_alcotest prop_heapsort;
     QCheck_alcotest.to_alcotest prop_decrease_key;
   ]
