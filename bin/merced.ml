@@ -1,5 +1,6 @@
 (* Merced — the BIST compiler of the paper (Table 2), as a command-line
-   tool. Subcommands: stats, partition, generate, selftest, sweep. *)
+   tool. Subcommands: stats, partition, generate, selftest, insert,
+   retime, dot, sweep, check, fuzz. *)
 
 module Circuit = Ppet_netlist.Circuit
 module Stats = Ppet_netlist.Stats
@@ -15,6 +16,9 @@ module Assign = Ppet_core.Assign
 module Pet = Ppet_bist.Pet
 module Simulator = Ppet_bist.Simulator
 module Pipeline = Ppet_bist.Pipeline
+module Check_error = Ppet_check.Error
+module Seq_check = Ppet_check.Seq_check
+module Fuzz = Ppet_check.Fuzz
 
 open Cmdliner
 
@@ -80,17 +84,24 @@ let write_circuit path c =
 let params_of lk beta seed =
   { Params.default with Params.l_k = lk; beta; seed = Int64.of_int seed }
 
-let wrap f =
-  try
-    f ();
-    0
-  with
+(* run a subcommand body returning its exit status; library failures
+   (typed or stringly) become an error line and status 1 *)
+let wrap_status f =
+  try f () with
+  | Check_error.Error e ->
+    Printf.eprintf "error: %s\n" (Check_error.to_string e);
+    1
   | Circuit.Error msg ->
     Printf.eprintf "error: %s\n" msg;
     1
   | Invalid_argument msg ->
     Printf.eprintf "error: %s\n" msg;
     1
+
+let wrap f =
+  wrap_status (fun () ->
+      f ();
+      0)
 
 (* ------------------------------------------------------------------ *)
 (* stats                                                               *)
@@ -399,12 +410,122 @@ let sweep_cmd =
     Term.(const sweep_run $ circuit_arg $ lks $ beta_arg $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
+(* check                                                               *)
+
+let check_run spec lk beta seed sequences cycles =
+  wrap_status (fun () ->
+      let c = load_circuit spec in
+      let failures = ref 0 in
+      let pass what = Printf.printf "%-11s ok: %s\n" what in
+      let fail what =
+        incr failures;
+        Printf.printf "%-11s FAILED: %s\n" what
+      in
+      (* 1. writer -> parser round trip *)
+      (match Bench_parser.parse_string (Bench_writer.to_string c) with
+       | c' ->
+         if Circuit.equal c c' then
+           pass "round-trip" "writer -> parser is the identity"
+         else fail "round-trip" "re-parsed netlist differs structurally"
+       | exception Circuit.Error msg -> fail "round-trip" msg);
+      let r = Merced.run ~params:(params_of lk beta seed) c in
+      (* 2. retimed netlist vs the original, 3-valued *)
+      (match Merced.retimed_netlist r with
+       | None -> Printf.printf "%-11s skipped: no legal retiming\n" "retimed"
+       | Some (emitted, dropped) ->
+         let c' = emitted.Ppet_retiming.To_circuit.circuit in
+         (match
+            Seq_check.check ~sequences ~cycles c c'
+              ~init_right:(Ppet_retiming.To_circuit.init_fn emitted)
+          with
+          | Seq_check.Equivalent { sequences; cycles; latency } ->
+            pass "retimed"
+              (Printf.sprintf
+                 "equivalent over %d sequences x %d cycles (latency %d; %d \
+                  cuts left to mux cells)"
+                 sequences cycles latency dropped)
+          | Seq_check.Inequivalent d ->
+            incr failures;
+            Printf.printf "%-11s FAILED:\n" "retimed";
+            Format.printf "  @[<v>%a@]@." Seq_check.pp_divergence d));
+      (* 3. testable netlist in normal mode, word-parallel boolean *)
+      let t = Ppet_core.Testable.insert r in
+      let v =
+        Ppet_core.Equivalence.check_bool ~cycles:(max 32 cycles) c
+          t.Ppet_core.Testable.circuit
+          ~force_right:
+            [ (t.Ppet_core.Testable.test_en, false);
+              (t.Ppet_core.Testable.fb_en, false);
+              (t.Ppet_core.Testable.psa_en, false);
+              (t.Ppet_core.Testable.scan_in, false) ]
+      in
+      if v.Ppet_core.Equivalence.equivalent then
+        pass "testable"
+          (Printf.sprintf "normal mode bit-identical over %d random streams"
+             (v.Ppet_core.Equivalence.cycles_run * 62))
+      else
+        fail "testable"
+          (match v.Ppet_core.Equivalence.first_mismatch with
+           | Some (cy, name) ->
+             Printf.sprintf "output %s diverges at cycle %d" name cy
+           | None -> "diverges");
+      if !failures = 0 then begin
+        print_endline "check passed";
+        0
+      end
+      else begin
+        Printf.printf "check FAILED (%d of 3 checks)\n" !failures;
+        1
+      end)
+
+let check_cmd =
+  let doc =
+    "Differentially verify one compile: writer/parser round trip, \
+     3-valued sequential equivalence of the retimed netlist, and \
+     normal-mode equivalence of the testable netlist."
+  in
+  let sequences =
+    Arg.(value & opt int 4 & info [ "sequences" ] ~docv:"N"
+           ~doc:"Random input sequences per equivalence check (on top of \
+                 the 4 directed ones).")
+  in
+  let cycles =
+    Arg.(value & opt int 24 & info [ "cycles" ] ~docv:"C"
+           ~doc:"Cycles per input sequence.")
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(const check_run $ circuit_arg $ lk_arg $ beta_arg $ seed_arg
+          $ sequences $ cycles)
+
+(* ------------------------------------------------------------------ *)
+(* fuzz                                                                *)
+
+let fuzz_run seed count =
+  wrap_status (fun () ->
+      let r = Fuzz.run ~seed:(Int64.of_int seed) ~count () in
+      Format.printf "%a@." Fuzz.pp_report r;
+      if r.Fuzz.violations = [] then 0 else 1)
+
+let fuzz_cmd =
+  let doc =
+    "Fuzz the full Merced flow (parse, partition, retime, CBIT \
+     synthesis, self-test session) with generated and mutated netlists \
+     under a crash/invariant/equivalence oracle. Exits non-zero on any \
+     oracle violation; runs are deterministic in --seed/--count."
+  in
+  let count =
+    Arg.(value & opt int 50 & info [ "count"; "n" ] ~docv:"K"
+           ~doc:"Number of fuzz cases.")
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc) Term.(const fuzz_run $ seed_arg $ count)
+
+(* ------------------------------------------------------------------ *)
 
 let main_cmd =
   let doc = "Merced: area-efficient pipelined pseudo-exhaustive testing with retiming" in
   let info = Cmd.info "merced" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ stats_cmd; partition_cmd; generate_cmd; selftest_cmd; insert_cmd;
-      retime_cmd; dot_cmd; sweep_cmd ]
+      retime_cmd; dot_cmd; sweep_cmd; check_cmd; fuzz_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,66 @@
+module Circuit = Ppet_netlist.Circuit
+
+type stage = Parse | Partition | Retime | Synthesis | Session | Check
+
+type t = {
+  stage : stage;
+  position : string option;
+  message : string;
+}
+
+exception Error of t
+
+let stage_name = function
+  | Parse -> "parse"
+  | Partition -> "partition"
+  | Retime -> "retime"
+  | Synthesis -> "synthesis"
+  | Session -> "session"
+  | Check -> "check"
+
+let to_string e =
+  match e.position with
+  | Some pos -> Printf.sprintf "%s: %s: %s" (stage_name e.stage) pos e.message
+  | None -> Printf.sprintf "%s: %s" (stage_name e.stage) e.message
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+let raisef stage ?position fmt =
+  Printf.ksprintf
+    (fun message -> raise (Error { stage; position; message }))
+    fmt
+
+(* The parser prefixes messages with "file:line: "; recover that prefix
+   as the structured position. A prefix qualifies when its last ':'
+   separates a non-empty head from a run of digits. *)
+let split_position msg =
+  let is_digits s lo hi =
+    lo < hi
+    &&
+    let ok = ref true in
+    for i = lo to hi - 1 do
+      match s.[i] with '0' .. '9' -> () | _ -> ok := false
+    done;
+    !ok
+  in
+  match String.index_opt msg ' ' with
+  | Some sp when sp >= 2 && msg.[sp - 1] = ':' -> (
+    let head = String.sub msg 0 (sp - 1) in
+    match String.rindex_opt head ':' with
+    | Some colon when colon > 0 && is_digits head (colon + 1) (String.length head)
+      ->
+      (Some head, String.sub msg (sp + 1) (String.length msg - sp - 1))
+    | _ -> (None, msg))
+  | _ -> (None, msg)
+
+let wrap stage f =
+  match f () with
+  | v -> Ok v
+  | exception Error e -> Result.Error e
+  | exception Circuit.Error msg ->
+    let position, message = split_position msg in
+    Result.Error { stage; position; message }
+  | exception Invalid_argument message ->
+    Result.Error { stage; position = None; message }
+  | exception Failure message ->
+    Result.Error { stage; position = None; message }

@@ -1,0 +1,47 @@
+(** Typed, positioned diagnostics for the Merced pipeline.
+
+    The libraries underneath raise three stringly exceptions —
+    {!Ppet_netlist.Circuit.Error}, [Invalid_argument], [Failure] — which
+    tell a caller neither {e where} in the flow the failure happened nor
+    whether it was expected (a malformed input netlist) or a bug (a valid
+    circuit crashing the partitioner). This module gives every pipeline
+    stage a machine-readable failure: the stage, the source position when
+    one is known (the parser embeds ["file:line"] prefixes), and the
+    message. {!wrap} is the adapter the fuzzer and the CLI run each stage
+    under. *)
+
+type stage =
+  | Parse       (** .bench / .v text to {!Ppet_netlist.Circuit.t} *)
+  | Partition   (** the Merced flow: saturate, cluster, Assign_CBIT *)
+  | Retime      (** legal-retiming solve and netlist emission *)
+  | Synthesis   (** A_CELL / CBIT / scan-chain insertion *)
+  | Session     (** whole-chip self-test simulation *)
+  | Check       (** equivalence checking itself *)
+
+type t = {
+  stage : stage;
+  position : string option;  (** ["file:line"] when the source is known *)
+  message : string;
+}
+
+exception Error of t
+
+val stage_name : stage -> string
+(** Lower-case stage tag, e.g. ["retime"]. *)
+
+val to_string : t -> string
+(** ["stage: file:line: message"], position omitted when absent. *)
+
+val pp : Format.formatter -> t -> unit
+
+val raisef :
+  stage -> ?position:string -> ('a, unit, string, 'b) format4 -> 'a
+(** Raise {!Error} with a formatted message. *)
+
+val wrap : stage -> (unit -> 'a) -> ('a, t) result
+(** Run the thunk, converting the library's untyped failures into a
+    positioned [t] tagged with the stage: {!Circuit.Error} (its
+    ["file:line:"] prefix, when present, becomes the position),
+    [Invalid_argument] and [Failure]. A typed {!Error} passes through
+    unchanged. Any other exception escapes — the fuzzer's crash oracle
+    treats an escapee as a violation, never as a diagnostic. *)

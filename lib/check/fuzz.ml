@@ -1,0 +1,319 @@
+module Circuit = Ppet_netlist.Circuit
+module Bench_parser = Ppet_netlist.Bench_parser
+module Bench_writer = Ppet_netlist.Bench_writer
+module Generator = Ppet_netlist.Generator
+module Prng = Ppet_digraph.Prng
+module Params = Ppet_core.Params
+module Merced = Ppet_core.Merced
+module Assign = Ppet_core.Assign
+module Testable = Ppet_core.Testable
+module Session = Ppet_core.Session
+module Equivalence = Ppet_core.Equivalence
+module To_circuit = Ppet_retiming.To_circuit
+
+type kind = Generated | Mutated
+
+type violation = {
+  case : int;
+  case_seed : int64;
+  kind : kind;
+  stage : Error.stage;
+  detail : string;
+}
+
+type report = {
+  cases : int;
+  entered : int;
+  rejected : int;
+  completed : int;
+  violations : violation list;
+}
+
+let case_seed seed i =
+  Int64.add seed (Int64.mul (Int64.of_int (i + 1)) 0x9E3779B97F4A7C15L)
+
+(* Perturb a valid netlist. Half the operators are structure-preserving
+   (same-arity gate-kind swaps, line drops/duplicates) so a useful share
+   of mutants re-parses and exercises the whole flow as a genuinely
+   different circuit; the rest are byte noise aimed at the parser. *)
+let multi_input_kinds = [| "AND"; "NAND"; "OR"; "NOR"; "XOR"; "XNOR" |]
+
+let mutate rng src =
+  let lines = String.split_on_char '\n' src in
+  let arr = Array.of_list lines in
+  let n_lines = Array.length arr in
+  match Prng.int rng 4 with
+  | 0 ->
+    (* byte noise *)
+    let b = Bytes.of_string src in
+    let n = Bytes.length b in
+    if n = 0 then src
+    else begin
+      for _ = 1 to 1 + Prng.int rng 5 do
+        let i = Prng.int rng n in
+        Bytes.set b i (Char.chr (32 + Prng.int rng 95))
+      done;
+      Bytes.to_string b
+    end
+  | 1 ->
+    (* swap one multi-input gate kind for another: still parses, still a
+       valid circuit, different function *)
+    let candidates =
+      Array.of_list
+        (List.filter
+           (fun i ->
+             Array.exists
+               (fun k ->
+                 let pat = "= " ^ k ^ "(" in
+                 let len = String.length pat and s = arr.(i) in
+                 let rec at j =
+                   j + len <= String.length s
+                   && (String.sub s j len = pat || at (j + 1))
+                 in
+                 at 0)
+               multi_input_kinds)
+           (List.init n_lines (fun i -> i)))
+    in
+    if Array.length candidates = 0 then src
+    else begin
+      let i = Prng.pick rng candidates in
+      let replacement = Prng.pick rng multi_input_kinds in
+      let s = arr.(i) in
+      let swapped =
+        Array.fold_left
+          (fun acc k ->
+            match acc with
+            | Some _ -> acc
+            | None ->
+              let pat = "= " ^ k ^ "(" in
+              let len = String.length pat in
+              let rec find j =
+                if j + len > String.length s then None
+                else if String.sub s j len = pat then Some j
+                else find (j + 1)
+              in
+              (match find 0 with
+               | Some j ->
+                 Some
+                   (String.sub s 0 j ^ "= " ^ replacement ^ "("
+                   ^ String.sub s
+                       (j + len)
+                       (String.length s - j - len))
+               | None -> None))
+          None multi_input_kinds
+      in
+      (match swapped with
+       | Some s' ->
+         arr.(i) <- s';
+         String.concat "\n" (Array.to_list arr)
+       | None -> src)
+    end
+  | 2 ->
+    (* drop a line: dangling references are a parser rejection, dropped
+       OUTPUT declarations flow on with fewer observation points *)
+    if n_lines <= 1 then src
+    else begin
+      let i = Prng.int rng n_lines in
+      String.concat "\n"
+        (List.filteri (fun j _ -> j <> i) (Array.to_list arr))
+    end
+  | _ ->
+    (* duplicate a line: duplicate definitions must be refused cleanly *)
+    if n_lines = 0 then src
+    else begin
+      let i = Prng.int rng n_lines in
+      String.concat "\n"
+        (List.concat_map
+           (fun j -> if j = i then [ arr.(j); arr.(j) ] else [ arr.(j) ])
+           (List.init n_lines (fun j -> j)))
+    end
+
+(* area-accounting / partition self-consistency; returns complaints *)
+let accounting_violations (r : Merced.result) =
+  let errs = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let b = r.Merced.breakdown in
+  let a = r.Merced.assignment in
+  if b.Ppet_core.Area_accounting.cuts_total <> List.length a.Assign.cut_nets
+  then
+    add "cuts_total %d does not match the %d cut nets"
+      b.Ppet_core.Area_accounting.cuts_total
+      (List.length a.Assign.cut_nets);
+  let open Ppet_core.Area_accounting in
+  if b.cuts_on_scc < 0 || b.cuts_on_scc > b.cuts_total then
+    add "cuts_on_scc %d outside [0, %d]" b.cuts_on_scc b.cuts_total;
+  if b.retimable < 0 || b.mux_excess < 0 || b.retimable + b.mux_excess <> b.cuts_total
+  then
+    add "retimable %d + mux_excess %d does not decompose cuts_total %d"
+      b.retimable b.mux_excess b.cuts_total;
+  if b.area_with_retiming > b.area_without_retiming +. 1e-9 then
+    add "retimed CBIT area %.1f exceeds the plain variant %.1f"
+      b.area_with_retiming b.area_without_retiming;
+  List.iter
+    (fun (what, v) ->
+      if not (v >= 0.0 && v <= 100.0) then add "%s %.3f outside [0, 100]" what v)
+    [ ("ratio_with", b.ratio_with); ("ratio_without", b.ratio_without);
+      ("ratio_full_utilization", b.ratio_full_utilization) ];
+  if not (r.Merced.sigma_dff >= 0.0) then
+    add "sigma_dff %.3f negative" r.Merced.sigma_dff;
+  if not (r.Merced.testing_time >= 0.0) then
+    add "testing_time %.3f negative" r.Merced.testing_time;
+  (* every graph vertex assigned, partition sizes covering the graph *)
+  let n = Array.length a.Assign.partition_of in
+  let n_parts = List.length a.Assign.partitions in
+  Array.iteri
+    (fun v p ->
+      if p < 0 || p >= n_parts then add "vertex %d has partition index %d" v p)
+    a.Assign.partition_of;
+  let total =
+    List.fold_left
+      (fun acc (p : Assign.partition) ->
+        if p.Assign.input_count < 0 then
+          add "partition with negative iota %d" p.Assign.input_count;
+        acc + Array.length p.Assign.vertices)
+      0 a.Assign.partitions
+  in
+  if total <> n then add "partition sizes sum to %d, graph has %d vertices" total n;
+  List.rev !errs
+
+let run ?(seed = 0xF522L) ?(count = 50) () =
+  let violations = ref [] in
+  let entered = ref 0 and rejected = ref 0 and completed = ref 0 in
+  for case = 0 to count - 1 do
+    let cseed = case_seed seed case in
+    let rng = Prng.create cseed in
+    let kind = if case land 1 = 0 then Generated else Mutated in
+    let clean = ref true in
+    let report stage detail =
+      clean := false;
+      violations := { case; case_seed = cseed; kind; stage; detail } :: !violations
+    in
+    let attempt stage f =
+      match Error.wrap stage f with
+      | Ok v -> Some v
+      | Result.Error e ->
+        report stage ("diagnostic on an accepted input: " ^ Error.to_string e);
+        None
+      | exception ex ->
+        report stage ("exception escaped: " ^ Printexc.to_string ex);
+        None
+    in
+    let flow c =
+      incr entered;
+      (* writer -> parser round trip must be the identity *)
+      (match
+         attempt Error.Parse (fun () ->
+             Bench_parser.parse_string (Bench_writer.to_string c))
+       with
+       | Some c' when Circuit.equal c c' -> ()
+       | Some _ ->
+         report Error.Parse "writer -> parser round-trip is not the identity"
+       | None -> ());
+      let lk = 4 + Prng.int rng 12 in
+      let params = { (Params.with_lk lk) with Params.seed = cseed } in
+      match attempt Error.Partition (fun () -> Merced.run ~params c) with
+      | None -> ()
+      | Some r ->
+        List.iter (report Error.Partition) (accounting_violations r);
+        (match attempt Error.Retime (fun () -> Merced.retimed_netlist r) with
+         | None | Some None -> ()
+         | Some (Some (emitted, dropped)) ->
+           if dropped < 0 then report Error.Retime "negative mux-cut count";
+           (match
+              attempt Error.Check (fun () ->
+                  Seq_check.check ~sequences:2 ~cycles:12 ~max_latency:2 c
+                    emitted.To_circuit.circuit
+                    ~init_right:(To_circuit.init_fn emitted))
+            with
+            | None | Some (Seq_check.Equivalent _) -> ()
+            | Some (Seq_check.Inequivalent d) ->
+              report Error.Check
+                (Printf.sprintf
+                   "retimed netlist diverges on %s at cycle %d (sequence %s)"
+                   d.Seq_check.output d.Seq_check.cycle d.Seq_check.sequence)));
+        (match attempt Error.Synthesis (fun () -> Testable.insert r) with
+         | None -> ()
+         | Some t ->
+           if t.Testable.added_area < -1e-9 then
+             report Error.Synthesis
+               (Printf.sprintf "negative added area %.3f" t.Testable.added_area);
+           (match
+              attempt Error.Check (fun () ->
+                  Equivalence.check_bool ~cycles:12 c t.Testable.circuit
+                    ~force_right:
+                      [ (t.Testable.test_en, false); (t.Testable.fb_en, false);
+                        (t.Testable.psa_en, false); (t.Testable.scan_in, false)
+                      ])
+            with
+            | None -> ()
+            | Some v ->
+              if not v.Equivalence.equivalent then
+                report Error.Check
+                  (Printf.sprintf "testable netlist differs in normal mode%s"
+                     (match v.Equivalence.first_mismatch with
+                      | Some (cy, name) ->
+                        Printf.sprintf " (output %s at cycle %d)" name cy
+                      | None -> "")));
+           (match
+              attempt Error.Session (fun () -> Session.run ~max_burst:32 t)
+            with
+            | None -> ()
+            | Some s ->
+              if
+                not
+                  (s.Session.coverage >= 0.0 && s.Session.coverage <= 1.0
+                  && s.Session.n_detected <= s.Session.n_faults
+                  && s.Session.n_detected >= 0)
+              then
+                report Error.Session
+                  (Printf.sprintf "implausible session report: %d/%d detected"
+                     s.Session.n_detected s.Session.n_faults)));
+        if !clean then incr completed
+    in
+    let base () =
+      Generator.small_random ~seed:cseed ~n_pi:(2 + Prng.int rng 6)
+        ~n_dff:(1 + Prng.int rng 5)
+        ~n_gates:(5 + Prng.int rng 36)
+    in
+    match kind with
+    | Generated -> (
+      match attempt Error.Parse (fun () -> base ()) with
+      | Some c -> flow c
+      | None -> ())
+    | Mutated -> (
+      match attempt Error.Parse (fun () -> Bench_writer.to_string (base ()))
+      with
+      | None -> ()
+      | Some text -> (
+        let mutated = mutate rng text in
+        match
+          Error.wrap Error.Parse (fun () ->
+              Bench_parser.parse_string ~title:"fuzz" mutated)
+        with
+        | Ok c -> flow c
+        | Result.Error _ -> incr rejected  (* clean refusal: oracle satisfied *)
+        | exception ex ->
+          report Error.Parse ("exception escaped: " ^ Printexc.to_string ex)))
+  done;
+  {
+    cases = count;
+    entered = !entered;
+    rejected = !rejected;
+    completed = !completed;
+    violations = List.rev !violations;
+  }
+
+let pp_violation ppf v =
+  Format.fprintf ppf "case %d (%s, seed %Ld) at %s: %s" v.case
+    (match v.kind with Generated -> "generated" | Mutated -> "mutated")
+    v.case_seed
+    (Error.stage_name v.stage)
+    v.detail
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>fuzz: %d cases@,  entered the flow: %d@,  cleanly rejected: %d@,  \
+     flows fully clean: %d@,  oracle violations: %d@]"
+    r.cases r.entered r.rejected r.completed
+    (List.length r.violations);
+  List.iter (fun v -> Format.fprintf ppf "@,  %a" pp_violation v) r.violations

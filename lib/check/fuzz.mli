@@ -1,0 +1,60 @@
+(** Pipeline fuzzing of the whole Merced flow.
+
+    Each case builds a netlist — alternating {!Ppet_netlist.Generator}
+    circuits (valid by construction) and mutation-perturbed [.bench]
+    text of such circuits — and pushes it through
+    parse -> partition -> retime -> CBIT synthesis -> self-test session
+    under a crash/invariant oracle:
+
+    - {b crash}: no stage may let an exception escape on a circuit the
+      parser accepted; a mutant the parser {e cleanly} refuses (typed
+      {!Error.t} / {!Ppet_netlist.Circuit.Error}) is counted as a
+      rejection, not a violation;
+    - {b round-trip}: [Bench_parser.parse_string (Bench_writer.to_string c)]
+      is structurally [c] ({!Ppet_netlist.Circuit.equal});
+    - {b accounting}: the area breakdown is self-consistent (cut counts
+      match the cut-net list, ratios within bounds, retiming never
+      priced above the plain variant, partition sizes cover the graph);
+    - {b equivalence}: the retimed netlist is 3-valued sequentially
+      equivalent to its source ({!Seq_check}), and the testable netlist
+      matches it bit-exactly in normal mode
+      ({!Ppet_core.Equivalence.check_bool} with control pins forced 0);
+    - {b session}: the self-test session completes with a coverage in
+      [0, 1] and detections within the fault count.
+
+    Runs are deterministic in (seed, count): a report names the exact
+    case index and per-case seed of every violation, so a failure
+    replays by re-running with the same arguments. *)
+
+type kind =
+  | Generated  (** a [Generator.small_random] circuit, fed directly *)
+  | Mutated    (** its [.bench] text byte-mutated, then re-parsed *)
+
+type violation = {
+  case : int;
+  case_seed : int64;
+  kind : kind;
+  stage : Error.stage;
+  detail : string;
+}
+
+type report = {
+  cases : int;
+  entered : int;     (** circuits the parser accepted into the flow *)
+  rejected : int;    (** mutants cleanly refused by the parser *)
+  completed : int;   (** flows that ran every stage to the end *)
+  violations : violation list;
+}
+
+val mutate : Ppet_digraph.Prng.t -> string -> string
+(** One mutation step over [.bench] text: byte noise, a same-arity
+    gate-kind swap, a dropped line, or a duplicated line — exposed so a
+    violation case can be rebuilt outside the fuzzer. *)
+
+val run : ?seed:int64 -> ?count:int -> unit -> report
+(** [run ~seed ~count ()] fuzzes [count] cases (default 50) derived
+    deterministically from [seed] (default [0xF522]). *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,244 @@
+module Circuit = Ppet_netlist.Circuit
+module Logic3 = Ppet_retiming.Logic3
+module Rgraph = Ppet_retiming.Rgraph
+module Prng = Ppet_digraph.Prng
+
+type stimulus = {
+  input_names : string array;
+  values : Logic3.t array array;
+}
+
+type divergence = {
+  sequence : string;
+  cycle : int;
+  output : string;
+  left : Logic3.t;
+  right : Logic3.t;
+  latency : int;
+  stimulus : stimulus;
+}
+
+type verdict =
+  | Equivalent of { sequences : int; cycles : int; latency : int }
+  | Inequivalent of divergence
+
+let input_names_union left right =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  let add c =
+    Array.iter
+      (fun id ->
+        let n = (Circuit.node c id).Circuit.name in
+        if not (Hashtbl.mem seen n) then begin
+          Hashtbl.add seen n ();
+          acc := n :: !acc
+        end)
+      c.Circuit.inputs
+  in
+  add left;
+  add right;
+  Array.of_list (List.rev !acc)
+
+(* drive a simulation from a stimulus; [force] wins over the recorded
+   trace, names absent from both read constant zero *)
+let drive stimulus force =
+  let index = Hashtbl.create (Array.length stimulus.input_names) in
+  Array.iteri
+    (fun i n -> Hashtbl.replace index n i)
+    stimulus.input_names;
+  fun ~cycle name ->
+    match Hashtbl.find_opt force name with
+    | Some v -> v
+    | None -> (
+      match Hashtbl.find_opt index name with
+      | Some i when cycle < Array.length stimulus.values ->
+        stimulus.values.(cycle).(i)
+      | Some _ | None -> Logic3.Zero)
+
+let force_table force_right =
+  let tbl = Hashtbl.create 8 in
+  List.iter (fun (n, v) -> Hashtbl.replace tbl n v) force_right;
+  tbl
+
+(* per-cycle output values as arrays, in PO position order *)
+let simulate c ?init ~inputs ~cycles () =
+  let rg = Rgraph.of_circuit ?init c in
+  let rows = Rgraph.simulate rg ~inputs ~cycles in
+  Array.map (fun row -> Array.of_list (List.map snd row)) rows
+
+let output_names rows =
+  match Array.length rows with
+  | 0 -> [||]
+  | _ -> Array.of_list (List.map fst rows.(0))
+
+let directed_stimuli input_names cycles =
+  let n = Array.length input_names in
+  let make name value_at =
+    ( name,
+      {
+        input_names;
+        values = Array.init cycles (fun t -> Array.init n (value_at t));
+      } )
+  in
+  [
+    make "directed:zeros" (fun _ _ -> Logic3.Zero);
+    make "directed:ones" (fun _ _ -> Logic3.One);
+    make "directed:alternating" (fun t _ ->
+        if t land 1 = 0 then Logic3.Zero else Logic3.One);
+    make "directed:walking-one" (fun t i ->
+        if n > 0 && i = t mod n then Logic3.One else Logic3.Zero);
+  ]
+
+let random_stimuli input_names cycles sequences seed =
+  let n = Array.length input_names in
+  let rng = Prng.create seed in
+  List.init sequences (fun s ->
+      ( Printf.sprintf "random#%d" s,
+        {
+          input_names;
+          values =
+            Array.init cycles (fun _ ->
+                Array.init n (fun _ ->
+                    if Prng.bool rng then Logic3.One else Logic3.Zero));
+        } ))
+
+let first_mismatch ~cycles ~latency runs =
+  let rec over_runs = function
+    | [] -> None
+    | (label, stim, l_out, l_names, r_out) :: rest ->
+      let n_po = if Array.length l_out = 0 then 0 else Array.length l_out.(0) in
+      let found = ref None in
+      (try
+         for t = 0 to cycles - 1 do
+           for k = 0 to n_po - 1 do
+             let lv = l_out.(t).(k) and rv = r_out.(t + latency).(k) in
+             if not (Logic3.compatible lv rv) then begin
+               found :=
+                 Some
+                   {
+                     sequence = label;
+                     cycle = t;
+                     output = l_names.(k);
+                     left = lv;
+                     right = rv;
+                     latency;
+                     stimulus = stim;
+                   };
+               raise Exit
+             end
+           done
+         done
+       with Exit -> ());
+      (match !found with Some _ as d -> d | None -> over_runs rest)
+  in
+  over_runs runs
+
+let check ?(sequences = 4) ?(cycles = 24) ?(seed = 0xC4ECL)
+    ?(max_latency = 4) ?init_left ?init_right ?(force_right = []) left right =
+  if Array.length left.Circuit.outputs <> Array.length right.Circuit.outputs
+  then
+    Error.raisef Error.Check
+      "output counts differ: left has %d primary outputs, right has %d"
+      (Array.length left.Circuit.outputs)
+      (Array.length right.Circuit.outputs);
+  let input_names = input_names_union left right in
+  let total = cycles + max_latency in
+  let stimuli =
+    directed_stimuli input_names total
+    @ random_stimuli input_names total sequences seed
+  in
+  let no_force = Hashtbl.create 1 in
+  let force = force_table force_right in
+  let runs =
+    List.map
+      (fun (label, stim) ->
+        let l_rows =
+          Rgraph.simulate
+            (Rgraph.of_circuit ?init:init_left left)
+            ~inputs:(drive stim no_force) ~cycles:total
+        in
+        let l_out =
+          Array.map (fun row -> Array.of_list (List.map snd row)) l_rows
+        in
+        let r_out =
+          simulate right ?init:init_right ~inputs:(drive stim force)
+            ~cycles:total ()
+        in
+        (label, stim, l_out, output_names l_rows, r_out))
+      stimuli
+  in
+  let n_sequences = List.length stimuli in
+  (* smallest offset under which every sequence agrees; on failure keep,
+     per offset, how deep the agreement ran and report the deepest *)
+  let rec align d best =
+    if d > max_latency then
+      match best with
+      | Some div -> Inequivalent div
+      | None -> assert false
+    else
+      match first_mismatch ~cycles ~latency:d runs with
+      | None -> Equivalent { sequences = n_sequences; cycles; latency = d }
+      | Some div ->
+        let best =
+          match best with
+          | Some b when b.cycle >= div.cycle -> Some b
+          | Some _ | None -> Some div
+        in
+        align (d + 1) best
+  in
+  align 0 None
+
+let replay ?(latency = 0) ?init_left ?init_right ?(force_right = []) left
+    right stim =
+  let cycles = Array.length stim.values - latency in
+  if cycles <= 0 then None
+  else begin
+    let total = Array.length stim.values in
+    let no_force = Hashtbl.create 1 in
+    let force = force_table force_right in
+    let l_rows =
+      Rgraph.simulate
+        (Rgraph.of_circuit ?init:init_left left)
+        ~inputs:(drive stim no_force) ~cycles:total
+    in
+    let l_out = Array.map (fun row -> Array.of_list (List.map snd row)) l_rows in
+    let r_out =
+      simulate right ?init:init_right ~inputs:(drive stim force) ~cycles:total
+        ()
+    in
+    first_mismatch ~cycles ~latency
+      [ ("replay", stim, l_out, output_names l_rows, r_out) ]
+  end
+
+let pp_stimulus ppf stim =
+  let widths =
+    Array.map (fun n -> max 1 (String.length n)) stim.input_names
+  in
+  Format.fprintf ppf "@[<v>cycle";
+  Array.iteri
+    (fun i n -> Format.fprintf ppf " %*s" widths.(i) n)
+    stim.input_names;
+  Array.iteri
+    (fun t row ->
+      Format.fprintf ppf "@,%5d" t;
+      Array.iteri
+        (fun i v ->
+          Format.fprintf ppf " %*s" widths.(i)
+            (String.make 1 (Logic3.to_char v)))
+        row)
+    stim.values;
+  Format.fprintf ppf "@]"
+
+let pp_divergence ppf d =
+  Format.fprintf ppf
+    "@[<v>divergence: output %s at cycle %d: left %a, right %a (latency %d, \
+     sequence %s)@,replayable stimulus:@,  @[<v>%a@]@]"
+    d.output d.cycle Logic3.pp d.left Logic3.pp d.right d.latency d.sequence
+    pp_stimulus d.stimulus
+
+let pp_verdict ppf = function
+  | Equivalent { sequences; cycles; latency } ->
+    Format.fprintf ppf
+      "equivalent over %d sequences x %d cycles (output latency %d)"
+      sequences cycles latency
+  | Inequivalent d -> pp_divergence ppf d

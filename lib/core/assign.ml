@@ -175,7 +175,12 @@ let run c g (clustering : Cluster.t) (p : Params.t) rng =
   in
   outer ();
   let partitions =
-    List.sort (fun a b -> compare b.input_count a.input_count) !partitions
+    List.sort
+      (fun a b ->
+        match compare b.input_count a.input_count with
+        | 0 -> compare a.vertices b.vertices
+        | c -> c)
+      !partitions
   in
   let partition_of = Array.make (Netgraph.n_nodes g) (-1) in
   List.iteri

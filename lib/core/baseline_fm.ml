@@ -23,7 +23,7 @@ let run ?(max_passes = 8) ?(lambda = 4.0) c g (p : Params.t) rng =
     Array.iter add (Netgraph.successors g v);
     Array.iter add (Netgraph.predecessors g v);
     Hashtbl.remove tbl (Partition_state.label st v);
-    Hashtbl.fold (fun k () acc -> k :: acc) tbl []
+    List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) tbl [])
   in
   let passes = ref 0 and applied = ref 0 in
   let improved = ref true in

@@ -81,7 +81,7 @@ let affected_nets st v =
   let tbl = Hashtbl.create 8 in
   Array.iter (fun e -> Hashtbl.replace tbl e ()) (Netgraph.in_nets st.graph v);
   Array.iter (fun e -> Hashtbl.replace tbl e ()) (Netgraph.out_nets st.graph v);
-  Hashtbl.fold (fun e () acc -> e :: acc) tbl []
+  List.sort compare (Hashtbl.fold (fun e () acc -> e :: acc) tbl [])
 
 let move st v b =
   let a = st.label.(v) in
@@ -183,9 +183,14 @@ let to_assign c graph (p : Params.t) st =
         :: acc)
       members []
   in
+  (* iota descending, ties broken on member ids: the fold above visits
+     clusters in hash order, which must not decide partition indexes *)
   let partitions =
     List.sort
-      (fun x y -> compare y.Assign.input_count x.Assign.input_count)
+      (fun x y ->
+        match compare y.Assign.input_count x.Assign.input_count with
+        | 0 -> compare x.Assign.vertices y.Assign.vertices
+        | c -> c)
       partitions
   in
   let partition_of = Array.make n (-1) in

@@ -36,14 +36,20 @@ let parse_fanins lexer =
 let parse_string ?(title = "bench") ?file src =
   let lexer = Bench_lexer.of_string ?file src in
   let builder = Circuit.Builder.create title in
+  (* INPUT/OUTPUT are declarations only when a '(' follows; otherwise the
+     identifier is an ordinary signal legally named "input"/"OUTPUT" and
+     the line is a gate definition. *)
+  let declaration kw =
+    let u = String.uppercase_ascii kw in
+    (u = "INPUT" || u = "OUTPUT") && Bench_lexer.peek lexer = Bench_lexer.Lparen
+  in
   let rec stmt () =
     match Bench_lexer.next lexer with
     | Bench_lexer.Eof -> ()
-    | Bench_lexer.Ident kw when String.uppercase_ascii kw = "INPUT" ->
-      Circuit.Builder.add_input builder (parse_paren_name lexer);
-      stmt ()
-    | Bench_lexer.Ident kw when String.uppercase_ascii kw = "OUTPUT" ->
-      Circuit.Builder.add_output builder (parse_paren_name lexer);
+    | Bench_lexer.Ident kw when declaration kw ->
+      if String.uppercase_ascii kw = "INPUT" then
+        Circuit.Builder.add_input builder (parse_paren_name lexer)
+      else Circuit.Builder.add_output builder (parse_paren_name lexer);
       stmt ()
     | Bench_lexer.Ident lhs ->
       expect lexer Bench_lexer.Equal "'='";

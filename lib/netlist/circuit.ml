@@ -177,6 +177,24 @@ let area c =
 
 let levels c = compute_levels c.nodes
 
+let equal a b =
+  let fanin_names c (nd : node) =
+    Array.map (fun f -> c.nodes.(f).name) nd.fanins
+  in
+  let io_names c ids = Array.map (fun id -> c.nodes.(id).name) ids in
+  Array.length a.nodes = Array.length b.nodes
+  && io_names a a.inputs = io_names b b.inputs
+  && io_names a a.outputs = io_names b b.outputs
+  &&
+  let by_name = Hashtbl.create (2 * Array.length b.nodes) in
+  Array.iter (fun nd -> Hashtbl.replace by_name nd.name nd) b.nodes;
+  Array.for_all
+    (fun nd ->
+      match Hashtbl.find_opt by_name nd.name with
+      | None -> false
+      | Some nd' -> nd.kind = nd'.kind && fanin_names a nd = fanin_names b nd')
+    a.nodes
+
 let pp ppf c =
   Format.fprintf ppf "@[<v>circuit %S: %d nodes (%d PI, %d DFF, %d PO)"
     c.title (size c)

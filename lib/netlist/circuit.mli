@@ -70,6 +70,12 @@ val area : t -> float
 (** Estimated area of the circuit in the paper's units (Table 9, last
     column): sum of {!Gate.area} over all nodes. *)
 
+val equal : t -> t -> bool
+(** Structural equality up to node renumbering: the same signal names
+    with the same kinds and positional fan-in names, and identical PI/PO
+    declaration order. Titles are ignored (parsing a written netlist
+    yields the file's title, not the original's). *)
+
 val levels : t -> int array
 (** Combinational depth of every node: PIs and DFF outputs are level 0;
     a gate's level is 1 + max over fanins. DFF data inputs do not

@@ -74,7 +74,9 @@ let partitioned ?title c ~cluster_of ~cut_net_drivers =
       let cur = try Hashtbl.find clusters k with Not_found -> [] in
       Hashtbl.replace clusters k (nd :: cur))
     c.Circuit.nodes;
-  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) clusters [] in
+  let keys =
+    List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) clusters [])
+  in
   List.iter
     (fun k ->
       Printf.bprintf buf

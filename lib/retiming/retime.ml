@@ -139,6 +139,17 @@ let apply g rho =
   let n = Rgraph.n_vertices work in
   let rem = Array.copy rho in
   let progress = ref true in
+  (* A backward move justifies a register value with ONE preimage; with
+     reconvergent fanout, justifications arriving over different paths
+     may contradict each other (the meet of the popped values is empty).
+     Degrading only the meet point to X is unsound: the conflicting
+     claims have already committed concrete preimage bits elsewhere, and
+     those commitments describe a pre-history that does not exist — the
+     emitted machine then concretely diverges from the original in its
+     first cycles. Any conflict therefore taints the whole constructive
+     pass and we fall back to X initial values (scan-supplied), which is
+     always safe. *)
+  let tainted = ref false in
   let remaining () = Array.exists (fun r -> r <> 0) rem in
   while remaining () && !progress do
     progress := false;
@@ -188,12 +199,20 @@ let apply g rho =
                   | Some a -> Logic3.meet a v)
                 (Some Logic3.X) popped
             in
-            let value = match value with Some v -> v | None -> Logic3.X in
+            let value =
+              match value with
+              | Some v -> v
+              | None ->
+                tainted := true;
+                Logic3.X
+            in
             let arity = Array.length work.Rgraph.in_edges.(v) in
             let pre =
               match Logic3.preimage kind arity value with
               | Some ins -> ins
-              | None -> Array.make arity Logic3.X
+              | None ->
+                tainted := true;
+                Array.make arity Logic3.X
             in
             Array.iteri
               (fun pin ei -> push_head work.Rgraph.edges.(ei) pre.(pin))
@@ -204,9 +223,9 @@ let apply g rho =
         end
     done
   done;
-  if remaining () then begin
-    (* Constructive ordering failed (possible when moves interleave
-       through zero-weight regions); fall back to the weight formula.
+  if remaining () || !tainted then begin
+    (* Constructive ordering failed or a justification conflict was
+       detected; fall back to the weight formula.
        Every edge incident to a lagged vertex has its register contents
        time-shifted — even at unchanged weight — so only edges between
        two lag-0 vertices keep their initial values; the rest become X

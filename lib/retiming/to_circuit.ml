@@ -104,9 +104,16 @@ let circuit_of ?(title = "retimed") (g : Rgraph.t) =
       in
       Circuit.Builder.add_gate b ~name ~kind ~fanins
   done;
-  (* register chains *)
-  Hashtbl.iter
-    (fun tail lst ->
+  (* register chains, in canonical (tail vertex, chain id) order: hash
+     iteration order must not leak into the emitted netlist, or two
+     identical compiles stop being byte-identical *)
+  let tails =
+    List.sort
+      (fun (a, _) (b, _) -> compare a b)
+      (Hashtbl.fold (fun tail lst acc -> (tail, lst) :: acc) chains_of_tail [])
+  in
+  List.iter
+    (fun (tail, lst) ->
       let driver = Rgraph.vertex_name g tail in
       List.iter
         (fun chain ->
@@ -118,8 +125,8 @@ let circuit_of ?(title = "retimed") (g : Rgraph.t) =
                 ~fanins:[ fanin ];
               register_inits := (name, v) :: !register_inits)
             chain.values)
-        !lst)
-    chains_of_tail;
+        (List.sort (fun c1 c2 -> compare c1.id c2.id) !lst))
+    tails;
   (* primary outputs: the host's in-edges *)
   Array.iter
     (fun ei -> Circuit.Builder.add_output b (pin_signal ei))

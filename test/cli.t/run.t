@@ -59,6 +59,40 @@ Test-hardware insertion and the retimed netlist both emit valid .bench:
   initial states: 3 registers, 0 unknown (scan-initialised)
   wrote retimed.bench
 
+Differential checking: the retimed and testable netlists are equivalent
+to their source, on the embedded s27 and on a generated benchmark:
+
+  $ $MERCED check s27 --lk 3
+  round-trip  ok: writer -> parser is the identity
+  retimed     ok: equivalent over 8 sequences x 24 cycles (latency 0; 3 cuts left to mux cells)
+  testable    ok: normal mode bit-identical over 1984 random streams
+  check passed
+
+  $ $MERCED check s510.bench --lk 6
+  round-trip  ok: writer -> parser is the identity
+  retimed     ok: equivalent over 8 sequences x 24 cycles (latency 0; 100 cuts left to mux cells)
+  testable    ok: normal mode bit-identical over 1984 random streams
+  check passed
+
+A pinned-seed fuzz run of the whole flow is clean:
+
+  $ $MERCED fuzz --seed 7 --count 5
+  fuzz: 5 cases
+    entered the flow: 5
+    cleanly rejected: 0
+    flows fully clean: 5
+    oracle violations: 0
+
+Compilation is deterministic: retiming twice gives byte-identical
+netlists, and the partition report is independent of the worker count:
+
+  $ $MERCED retime s27 --lk 3 -o retimed2.bench > /dev/null
+  $ cmp retimed.bench retimed2.bench && echo identical
+  identical
+  $ $MERCED selftest s27 --lk 4 --jobs 4 > jobs4.out
+  $ cmp serial.out jobs4.out && echo identical
+  identical
+
 Unknown circuits fail cleanly:
 
   $ $MERCED stats nosuch 2>&1 | head -1 | cut -c1-30

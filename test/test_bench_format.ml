@@ -68,6 +68,20 @@ let test_parse_syntax_error_position () =
        (* the error mentions the file *)
        String.length msg >= 7 && String.sub msg 0 7 = "t.bench")
 
+let test_parse_keyword_named_signals () =
+  (* INPUT / OUTPUT are declarations only when followed by '(' — a signal
+     literally named "input" or "output" is an ordinary identifier *)
+  let c =
+    Parser.parse_string
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ninput = AND(a, b)\noutput = NOT(input)\ny = OR(input, output)"
+  in
+  Alcotest.(check int) "nodes" 5 (Circuit.size c);
+  let nd = Circuit.node c (Circuit.find c "input") in
+  Alcotest.(check bool) "input is a gate" true (nd.Circuit.kind = Gate.And);
+  (* and keyword-prefixed names never were declarations *)
+  let c2 = Parser.parse_string "INPUT(a)\nOUTPUT(y)\nINPUT1 = NOT(a)\ny = NOT(INPUT1)" in
+  Alcotest.(check int) "prefixed" 3 (Circuit.size c2)
+
 let test_parse_missing_paren () =
   Alcotest.(check bool) "missing paren" true
     (try
@@ -128,6 +142,8 @@ let suite =
     Alcotest.test_case "whitespace-insensitive" `Quick test_parse_whitespace_insensitive;
     Alcotest.test_case "unknown gate rejected" `Quick test_parse_unknown_gate;
     Alcotest.test_case "error carries position" `Quick test_parse_syntax_error_position;
+    Alcotest.test_case "keyword-named signals parse as gates" `Quick
+      test_parse_keyword_named_signals;
     Alcotest.test_case "missing paren rejected" `Quick test_parse_missing_paren;
     Alcotest.test_case "s27 roundtrip" `Quick test_roundtrip_s27;
     Alcotest.test_case "file io" `Quick test_file_io;

@@ -1,0 +1,152 @@
+(* The check subsystem: differential sequential equivalence, the typed
+   error layer, and the pipeline fuzzer run at a pinned seed. *)
+
+module Circuit = Ppet_netlist.Circuit
+module Parser = Ppet_netlist.Bench_parser
+module Writer = Ppet_netlist.Bench_writer
+module Generator = Ppet_netlist.Generator
+module S27 = Ppet_netlist.S27
+module Logic3 = Ppet_retiming.Logic3
+module To_circuit = Ppet_retiming.To_circuit
+module Params = Ppet_core.Params
+module Merced = Ppet_core.Merced
+module Error = Ppet_check.Error
+module Seq_check = Ppet_check.Seq_check
+module Fuzz = Ppet_check.Fuzz
+
+let test_self_equivalent () =
+  let c = S27.circuit () in
+  match Seq_check.check c c with
+  | Seq_check.Equivalent { latency; _ } ->
+    Alcotest.(check int) "latency" 0 latency
+  | Seq_check.Inequivalent d ->
+    Alcotest.failf "s27 diverged from itself: %a" Seq_check.pp_divergence d
+
+let test_planted_divergence () =
+  let left = Parser.parse_string "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)" in
+  let right = Parser.parse_string "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = OR(a, b)" in
+  match Seq_check.check left right with
+  | Seq_check.Equivalent _ -> Alcotest.fail "AND vs OR reported equivalent"
+  | Seq_check.Inequivalent d ->
+    Alcotest.(check string) "output" "y" d.Seq_check.output;
+    (* the counterexample must replay: same stimulus, same divergence *)
+    (match
+       Seq_check.replay ~latency:d.Seq_check.latency left right
+         d.Seq_check.stimulus
+     with
+     | None -> Alcotest.fail "recorded stimulus does not replay"
+     | Some d' ->
+       Alcotest.(check string) "replayed output" d.Seq_check.output
+         d'.Seq_check.output;
+       Alcotest.(check int) "replayed cycle" d.Seq_check.cycle
+         d'.Seq_check.cycle)
+
+let test_latency_alignment () =
+  (* right is left with one pipeline register on the output path; with an
+     X initial value the checker must find the 1-cycle alignment *)
+  let left = Parser.parse_string "INPUT(a)\nOUTPUT(y)\ny = NOT(a)" in
+  let right = Parser.parse_string "INPUT(a)\nOUTPUT(y)\nn = NOT(a)\ny = DFF(n)" in
+  match Seq_check.check ~init_right:(fun _ -> Logic3.X) left right with
+  | Seq_check.Equivalent { latency; _ } ->
+    Alcotest.(check int) "latency" 1 latency
+  | Seq_check.Inequivalent d ->
+    Alcotest.failf "pipelined copy diverged: %a" Seq_check.pp_divergence d
+
+let test_retimed_s27_equivalent () =
+  let c = S27.circuit () in
+  let r = Merced.run ~params:(Params.with_lk 3) c in
+  match Merced.retimed_netlist r with
+  | None -> Alcotest.fail "s27 retiming infeasible"
+  | Some (emitted, _) -> (
+    match
+      Seq_check.check c emitted.To_circuit.circuit
+        ~init_right:(To_circuit.init_fn emitted)
+    with
+    | Seq_check.Equivalent _ -> ()
+    | Seq_check.Inequivalent d ->
+      Alcotest.failf "retimed s27 diverges: %a" Seq_check.pp_divergence d)
+
+let test_error_wrap_positions () =
+  (match Error.wrap Error.Parse (fun () -> raise (Circuit.Error "t.bench:3: boom")) with
+   | Result.Error e ->
+     Alcotest.(check (option string)) "position" (Some "t.bench:3") e.Error.position;
+     Alcotest.(check string) "message" "boom" e.Error.message;
+     Alcotest.(check string) "rendered" "parse: t.bench:3: boom" (Error.to_string e)
+   | Ok _ -> Alcotest.fail "expected a diagnostic");
+  (match Error.wrap Error.Retime (fun () -> invalid_arg "bad rho") with
+   | Result.Error e ->
+     Alcotest.(check (option string)) "no position" None e.Error.position;
+     Alcotest.(check string) "stage" "retime" (Error.stage_name e.Error.stage)
+   | Ok _ -> Alcotest.fail "expected a diagnostic");
+  (* positionless Circuit.Error text survives unsplit *)
+  (match Error.wrap Error.Parse (fun () -> raise (Circuit.Error "plain message")) with
+   | Result.Error e ->
+     Alcotest.(check (option string)) "unsplit" None e.Error.position;
+     Alcotest.(check string) "kept" "plain message" e.Error.message
+   | Ok _ -> Alcotest.fail "expected a diagnostic");
+  Alcotest.(check int) "ok passes through" 7
+    (match Error.wrap Error.Check (fun () -> 7) with
+     | Ok v -> v
+     | Result.Error _ -> -1)
+
+let test_fuzz_pinned_seed () =
+  let r = Fuzz.run ~seed:0xF522L ~count:40 () in
+  Alcotest.(check int) "cases" 40 r.Fuzz.cases;
+  Alcotest.(check int) "violations" 0 (List.length r.Fuzz.violations);
+  Alcotest.(check bool) "some circuits entered" true (r.Fuzz.entered >= 20);
+  Alcotest.(check bool) "some flows completed" true (r.Fuzz.completed > 0);
+  Alcotest.(check int) "entered + rejected covers the mutants" r.Fuzz.cases
+    (r.Fuzz.entered + r.Fuzz.rejected)
+
+let test_fuzz_deterministic () =
+  let a = Fuzz.run ~seed:99L ~count:20 () in
+  let b = Fuzz.run ~seed:99L ~count:20 () in
+  Alcotest.(check bool) "identical reports" true (a = b)
+
+(* the stronger round-trip property the fuzzer also enforces per case:
+   writer -> parser is the identity up to node renumbering *)
+let prop_roundtrip_identity =
+  QCheck.Test.make ~name:"write/parse identity (Circuit.equal)" ~count:60
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let c =
+        Generator.small_random ~seed:(Int64.of_int (seed + 11)) ~n_pi:5
+          ~n_dff:4 ~n_gates:30
+      in
+      Circuit.equal c (Parser.parse_string (Writer.to_string c)))
+
+(* compiling the same circuit twice yields byte-identical artefacts:
+   the flow has no leftover hash-order dependence *)
+let prop_byte_stable =
+  QCheck.Test.make ~name:"retimed netlist emission is byte-stable" ~count:15
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let c =
+        Generator.small_random ~seed:(Int64.of_int (seed + 29)) ~n_pi:4
+          ~n_dff:4 ~n_gates:25
+      in
+      let emit () =
+        let r = Merced.run ~params:(Params.with_lk 5) c in
+        match Merced.retimed_netlist r with
+        | None -> "infeasible"
+        | Some (emitted, dropped) ->
+          Printf.sprintf "%d\n%s" dropped
+            (Writer.to_string emitted.To_circuit.circuit)
+      in
+      String.equal (emit ()) (emit ()))
+
+let suite =
+  [
+    Alcotest.test_case "s27 equivalent to itself" `Quick test_self_equivalent;
+    Alcotest.test_case "planted divergence found and replayed" `Quick
+      test_planted_divergence;
+    Alcotest.test_case "latency alignment" `Quick test_latency_alignment;
+    Alcotest.test_case "retimed s27 equivalent" `Quick test_retimed_s27_equivalent;
+    Alcotest.test_case "typed errors carry positions" `Quick
+      test_error_wrap_positions;
+    Alcotest.test_case "fuzz at pinned seed is clean" `Slow test_fuzz_pinned_seed;
+    Alcotest.test_case "fuzz reports are deterministic" `Quick
+      test_fuzz_deterministic;
+    QCheck_alcotest.to_alcotest prop_roundtrip_identity;
+    QCheck_alcotest.to_alcotest prop_byte_stable;
+  ]
