@@ -1,6 +1,10 @@
 (* Merced — the BIST compiler of the paper (Table 2), as a command-line
    tool. Subcommands: stats, partition, generate, selftest, insert,
-   retime, dot, sweep, check, fuzz. *)
+   retime, dot, sweep, check, fuzz, lint.
+
+   Exit-code contract (every subcommand): 0 = success with no findings,
+   1 = the tool worked and found something (lint diagnostics, check
+   failures, fuzz violations), 2 = usage error or internal failure. *)
 
 module Circuit = Ppet_netlist.Circuit
 module Stats = Ppet_netlist.Stats
@@ -19,6 +23,9 @@ module Pipeline = Ppet_bist.Pipeline
 module Check_error = Ppet_check.Error
 module Seq_check = Ppet_check.Seq_check
 module Fuzz = Ppet_check.Fuzz
+module Lint_engine = Ppet_lint.Engine
+module Lint_registry = Ppet_lint.Registry
+module Diag = Ppet_lint.Diag
 
 open Cmdliner
 
@@ -84,19 +91,27 @@ let write_circuit path c =
 let params_of lk beta seed =
   { Params.default with Params.l_k = lk; beta; seed = Int64.of_int seed }
 
+(* documented once, attached to every subcommand *)
+let exits =
+  [ Cmd.Exit.info 0 ~doc:"on success, with nothing found.";
+    Cmd.Exit.info 1
+      ~doc:"on findings: lint diagnostics, check failures, fuzz violations.";
+    Cmd.Exit.info 2 ~doc:"on usage errors and internal failures." ]
+
 (* run a subcommand body returning its exit status; library failures
-   (typed or stringly) become an error line and status 1 *)
+   (typed or stringly) become an error line and status 2 — they mean
+   the tool could not do its job, not that it found something *)
 let wrap_status f =
   try f () with
   | Check_error.Error e ->
     Printf.eprintf "error: %s\n" (Check_error.to_string e);
-    1
+    2
   | Circuit.Error msg ->
     Printf.eprintf "error: %s\n" msg;
-    1
+    2
   | Invalid_argument msg ->
     Printf.eprintf "error: %s\n" msg;
-    1
+    2
 
 let wrap f =
   wrap_status (fun () ->
@@ -116,7 +131,7 @@ let stats_run spec =
 
 let stats_cmd =
   let doc = "Print Table 9-style structural statistics of a circuit." in
-  Cmd.v (Cmd.info "stats" ~doc) Term.(const stats_run $ circuit_arg)
+  Cmd.v (Cmd.info "stats" ~doc ~exits) Term.(const stats_run $ circuit_arg)
 
 (* ------------------------------------------------------------------ *)
 (* partition                                                           *)
@@ -178,7 +193,7 @@ let partition_cmd =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"List every partition.")
   in
   Cmd.v
-    (Cmd.info "partition" ~doc)
+    (Cmd.info "partition" ~doc ~exits)
     Term.(const partition_run $ circuit_arg $ lk_arg $ beta_arg $ seed_arg
           $ lock_arg $ csv $ verbose)
 
@@ -211,7 +226,7 @@ let generate_cmd =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
            ~doc:"Write to a file instead of standard output.")
   in
-  Cmd.v (Cmd.info "generate" ~doc)
+  Cmd.v (Cmd.info "generate" ~doc ~exits)
     Term.(const generate_run $ bench_name $ output $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -252,7 +267,7 @@ let selftest_cmd =
     Arg.(value & opt int 14 & info [ "max-width" ] ~docv:"W"
            ~doc:"Skip exhaustive simulation of segments wider than this.")
   in
-  Cmd.v (Cmd.info "selftest" ~doc)
+  Cmd.v (Cmd.info "selftest" ~doc ~exits)
     Term.(const selftest_run $ circuit_arg $ lk_arg $ beta_arg $ seed_arg
           $ max_width $ jobs_arg)
 
@@ -290,7 +305,7 @@ let insert_cmd =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
            ~doc:"Write the testable netlist in .bench format.")
   in
-  Cmd.v (Cmd.info "insert" ~doc)
+  Cmd.v (Cmd.info "insert" ~doc ~exits)
     Term.(const insert_run $ circuit_arg $ lk_arg $ beta_arg $ seed_arg $ output)
 
 (* ------------------------------------------------------------------ *)
@@ -336,7 +351,7 @@ let retime_cmd =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
            ~doc:"Write the retimed netlist in .bench format.")
   in
-  Cmd.v (Cmd.info "retime" ~doc)
+  Cmd.v (Cmd.info "retime" ~doc ~exits)
     Term.(const retime_run $ circuit_arg $ lk_arg $ beta_arg $ seed_arg $ output)
 
 (* ------------------------------------------------------------------ *)
@@ -377,7 +392,7 @@ let dot_cmd =
     Arg.(value & flag & info [ "p"; "partitioned" ]
            ~doc:"Run Merced first and draw the partitions and cut nets.")
   in
-  Cmd.v (Cmd.info "dot" ~doc)
+  Cmd.v (Cmd.info "dot" ~doc ~exits)
     Term.(const dot_run $ circuit_arg $ lk_arg $ beta_arg $ seed_arg $ output $ partitioned)
 
 (* ------------------------------------------------------------------ *)
@@ -406,7 +421,7 @@ let sweep_cmd =
     Arg.(value & opt (list int) [ 8; 12; 16; 24 ] & info [ "lks" ] ~docv:"LKS"
            ~doc:"Comma-separated l_k values.")
   in
-  Cmd.v (Cmd.info "sweep" ~doc)
+  Cmd.v (Cmd.info "sweep" ~doc ~exits)
     Term.(const sweep_run $ circuit_arg $ lks $ beta_arg $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -493,7 +508,7 @@ let check_cmd =
     Arg.(value & opt int 24 & info [ "cycles" ] ~docv:"C"
            ~doc:"Cycles per input sequence.")
   in
-  Cmd.v (Cmd.info "check" ~doc)
+  Cmd.v (Cmd.info "check" ~doc ~exits)
     Term.(const check_run $ circuit_arg $ lk_arg $ beta_arg $ seed_arg
           $ sequences $ cycles)
 
@@ -517,15 +532,138 @@ let fuzz_cmd =
     Arg.(value & opt int 50 & info [ "count"; "n" ] ~docv:"K"
            ~doc:"Number of fuzz cases.")
   in
-  Cmd.v (Cmd.info "fuzz" ~doc) Term.(const fuzz_run $ seed_arg $ count)
+  Cmd.v (Cmd.info "fuzz" ~doc ~exits) Term.(const fuzz_run $ seed_arg $ count)
+
+(* ------------------------------------------------------------------ *)
+(* lint                                                                *)
+
+(* .bench text goes through the tolerant front-end so a broken file is
+   findings (exit 1), not a crash; everything else (s27, benchmark
+   names, .v files) is loaded strictly and linted in memory *)
+let lint_one ?pool ~rules ~params spec =
+  if
+    spec <> "s27"
+    && Sys.file_exists spec
+    && not (Filename.check_suffix spec ".v")
+  then
+    let src = In_channel.with_open_text spec In_channel.input_all in
+    Lint_engine.run_text ?pool ~rules ~params
+      ~title:Filename.(remove_extension (basename spec))
+      ~file:spec src
+  else Lint_engine.run_circuit ?pool ~rules ~params (load_circuit spec)
+
+let lint_list_rules () =
+  List.iter
+    (fun (r : Lint_registry.rule) ->
+      Printf.printf "%-18s %-10s %-7s %s\n" r.Lint_registry.id
+        (Lint_registry.family_name r.Lint_registry.family)
+        (Diag.severity_name r.Lint_registry.severity)
+        r.Lint_registry.doc)
+    Lint_registry.all
+
+let lint_run spec registry rules list_rules json verbose lk beta seed jobs =
+  wrap_status (fun () ->
+      if list_rules then begin
+        lint_list_rules ();
+        0
+      end
+      else begin
+        let rules =
+          match rules with [] -> Lint_registry.ids | sel -> sel
+        in
+        (match Lint_registry.validate_selection rules with
+         | Ok () -> ()
+         | Error msg -> raise (Circuit.Error msg));
+        let params = params_of lk beta seed in
+        let reports =
+          with_jobs jobs (fun pool ->
+              match (registry, spec) with
+              | Some set, None ->
+                let names =
+                  match set with
+                  | `Small -> Benchmarks.small
+                  | `All -> Benchmarks.names
+                in
+                Lint_engine.run_registry ?pool ~rules ~params names
+              | None, Some spec -> [ lint_one ?pool ~rules ~params spec ]
+              | Some _, Some _ ->
+                raise
+                  (Circuit.Error "give either a CIRCUIT or --registry, not both")
+              | None, None ->
+                raise
+                  (Circuit.Error
+                     "nothing to lint: give a CIRCUIT or --registry"))
+        in
+        (if json then
+           match reports with
+           | [ r ] -> print_endline (Lint_engine.to_json r)
+           | rs ->
+             print_endline
+               ("[" ^ String.concat "," (List.map Lint_engine.to_json rs) ^ "]")
+         else
+           List.iter
+             (fun r -> List.iter print_endline (Lint_engine.to_human ~verbose r))
+             reports);
+        if List.exists (fun r -> Lint_engine.findings r > 0) reports then 1
+        else 0
+      end)
+
+let lint_cmd =
+  let doc =
+    "Statically analyse a netlist (structural rules) and its compiled \
+     PPET output (DFT rules, including an independent retiming-legality \
+     certificate check). Diagnostics are deterministically ordered; \
+     exit 0 = clean, 1 = findings, 2 = usage or internal error."
+  in
+  let circuit =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"CIRCUIT"
+           ~doc:"Circuit to lint: a .bench or .v file path, \"s27\", or an \
+                 ISCAS89 benchmark name. Omit when using $(b,--registry).")
+  in
+  let registry =
+    Arg.(value
+         & opt (some (enum [ ("small", `Small); ("all", `All) ])) None
+         & info [ "registry" ] ~docv:"SET"
+             ~doc:"Lint a whole benchmark set instead of one circuit: \
+                   $(b,small) (the sub-3000-area circuits) or $(b,all) \
+                   (all seventeen; minutes of CPU).")
+  in
+  let rules =
+    Arg.(value & opt (list string) [] & info [ "rules" ] ~docv:"IDS"
+           ~doc:"Comma-separated rule ids to evaluate (default: all; see \
+                 $(b,--list-rules)).")
+  in
+  let list_rules =
+    Arg.(value & flag & info [ "list-rules" ]
+           ~doc:"Print the rule registry (id, family, severity, doc) and \
+                 exit.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit the report as JSON (an array in registry mode).")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ]
+           ~doc:"Also print info-severity diagnostics (advisory; never \
+                 findings).")
+  in
+  Cmd.v (Cmd.info "lint" ~doc ~exits)
+    Term.(const lint_run $ circuit $ registry $ rules $ list_rules $ json
+          $ verbose $ lk_arg $ beta_arg $ seed_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 
 let main_cmd =
   let doc = "Merced: area-efficient pipelined pseudo-exhaustive testing with retiming" in
-  let info = Cmd.info "merced" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "merced" ~version:"1.0.0" ~doc ~exits in
   Cmd.group info
     [ stats_cmd; partition_cmd; generate_cmd; selftest_cmd; insert_cmd;
-      retime_cmd; dot_cmd; sweep_cmd; check_cmd; fuzz_cmd ]
+      retime_cmd; dot_cmd; sweep_cmd; check_cmd; fuzz_cmd; lint_cmd ]
 
-let () = exit (Cmd.eval' main_cmd)
+let () =
+  let code = Cmd.eval' main_cmd in
+  (* Cmdliner's own parse/internal errors (124/125) map onto the
+     documented usage/internal code *)
+  exit
+    (if code = Cmd.Exit.cli_error || code = Cmd.Exit.internal_error then 2
+     else code)

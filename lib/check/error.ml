@@ -1,6 +1,6 @@
 module Circuit = Ppet_netlist.Circuit
 
-type stage = Parse | Partition | Retime | Synthesis | Session | Check
+type stage = Parse | Partition | Retime | Synthesis | Session | Check | Lint
 
 type t = {
   stage : stage;
@@ -17,6 +17,7 @@ let stage_name = function
   | Synthesis -> "synthesis"
   | Session -> "session"
   | Check -> "check"
+  | Lint -> "lint"
 
 let to_string e =
   match e.position with

@@ -17,6 +17,7 @@ type stage =
   | Synthesis   (** A_CELL / CBIT / scan-chain insertion *)
   | Session     (** whole-chip self-test simulation *)
   | Check       (** equivalence checking itself *)
+  | Lint        (** static analysis of an accepted or emitted netlist *)
 
 type t = {
   stage : stage;

@@ -10,6 +10,8 @@ module Testable = Ppet_core.Testable
 module Session = Ppet_core.Session
 module Equivalence = Ppet_core.Equivalence
 module To_circuit = Ppet_retiming.To_circuit
+module Lint_engine = Ppet_lint.Engine
+module Diag = Ppet_lint.Diag
 
 type kind = Generated | Mutated
 
@@ -198,8 +200,23 @@ let run ?(seed = 0xF522L) ?(count = 50) () =
         report stage ("exception escaped: " ^ Printexc.to_string ex);
         None
     in
+    (* the fifth oracle: a circuit the flow accepted or emitted must be
+       free of error-severity structural lint (mutants legitimately keep
+       dead logic — infos — when an OUTPUT line was dropped) *)
+    let lint_oracle what c =
+      match attempt Error.Lint (fun () -> Lint_engine.structural_circuit c) with
+      | None -> ()
+      | Some diags ->
+        List.iter
+          (fun (d : Diag.t) ->
+            if d.Diag.severity = Diag.Error then
+              report Error.Lint
+                (Printf.sprintf "%s fails lint: %s" what (Diag.to_human d)))
+          diags
+    in
     let flow c =
       incr entered;
+      lint_oracle "accepted circuit" c;
       (* writer -> parser round trip must be the identity *)
       (match
          attempt Error.Parse (fun () ->
@@ -237,6 +254,7 @@ let run ?(seed = 0xF522L) ?(count = 50) () =
            if t.Testable.added_area < -1e-9 then
              report Error.Synthesis
                (Printf.sprintf "negative added area %.3f" t.Testable.added_area);
+           lint_oracle "testable netlist" t.Testable.circuit;
            (match
               attempt Error.Check (fun () ->
                   Equivalence.check_bool ~cycles:12 c t.Testable.circuit

@@ -85,6 +85,13 @@ let run ?(params = Params.default) ?locked circuit =
 
 let partition_iotas r = partition_iotas_of r.assignment
 
+type certificate = {
+  cert_graph : Rgraph.t;
+  cert_rho : int array;
+  cert_required : int list;
+  cert_dropped : int;
+}
+
 (* Solve for a legal retiming placing a register on every comb-driven cut
    net, iteratively dropping the requirements of over-constrained loops
    (those cut nets get multiplexed cells instead). Returns the graph, the
@@ -138,19 +145,31 @@ let solve_requirements r =
       end
   in
   let rho = attempt () in
-  (rg, rho, !dropped)
+  let required =
+    List.sort compare (Hashtbl.fold (fun v _ acc -> v :: acc) required [])
+  in
+  (rg, rho, required, !dropped)
 
-let retiming_feasibility r =
-  let _, _, dropped = solve_requirements r in
-  if dropped = 0 then `Feasible else `Needs_mux dropped
-
-let retimed_netlist r =
-  let rg, rho, dropped = solve_requirements r in
+let retiming_certificate r =
+  let rg, rho, required, dropped = solve_requirements r in
   match rho with
   | None -> None
-  | Some rho ->
-    let rg' = Retime.apply rg rho in
-    Some (To_circuit.circuit_of ~title:(r.circuit.Circuit.title ^ "-retimed") rg', dropped)
+  | Some cert_rho ->
+    Some { cert_graph = rg; cert_rho; cert_required = required;
+           cert_dropped = dropped }
+
+let retiming_feasibility r =
+  let _, _, _, dropped = solve_requirements r in
+  if dropped = 0 then `Feasible else `Needs_mux dropped
+
+let apply_certificate r cert =
+  let rg' = Retime.apply cert.cert_graph cert.cert_rho in
+  To_circuit.circuit_of ~title:(r.circuit.Circuit.title ^ "-retimed") rg'
+
+let retimed_netlist r =
+  match retiming_certificate r with
+  | None -> None
+  | Some cert -> Some (apply_certificate r cert, cert.cert_dropped)
 
 let segments r =
   List.filter_map

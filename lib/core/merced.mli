@@ -38,6 +38,32 @@ val retiming_feasibility : result -> [ `Feasible | `Needs_mux of int ]
     cut net, [`Needs_mux n] when n cut nets sit on over-constrained
     loops (they get multiplexed cells instead, Fig. 3c). *)
 
+type certificate = {
+  cert_graph : Ppet_retiming.Rgraph.t;
+      (** collapsed graph of the source circuit, Eq. 1's [w] *)
+  cert_rho : int array;  (** lag per vertex; PIs and host pinned at 0 *)
+  cert_required : int list;
+      (** vertex ids whose out-edges kept the [>= 1]-register
+          requirement (comb-driven cut-net drivers minus the dropped
+          ones), ascending *)
+  cert_dropped : int;    (** requirements dropped on over-constrained loops *)
+}
+(** Everything an independent checker needs to re-verify a retiming
+    without re-running the solver: re-derive Eq. 1's weights from
+    [cert_graph] and [cert_rho], check Eq. 3 non-negativity, the pinned
+    lags, and that every retained requirement got its register
+    ({!Ppet_lint}'s [retiming-legality] rule does exactly that). *)
+
+val retiming_certificate : result -> certificate option
+(** The witness behind {!retimed_netlist}: [None] only when even the
+    unconstrained identity retiming fails (never on a valid circuit). *)
+
+val apply_certificate :
+  result -> certificate -> Ppet_retiming.To_circuit.emitted
+(** Realise a certificate into the retimed netlist (the second half of
+    {!retimed_netlist}, split out so a caller holding the certificate
+    does not pay for a second solve). *)
+
 val segments : result -> Ppet_netlist.Segment.t list
 (** The combinational CUT of each partition (member gates only;
     flip-flops and PIs move to the boundary), ready for

@@ -1,0 +1,52 @@
+(** DFT / PPET rule family: checks over compiled Merced output.
+
+    Every rule re-derives its facts from the netlists and the graph —
+    none trusts the compiler's own book-keeping, which is exactly what
+    makes them worth running: a diagnostic here means the compiler (or a
+    hand-edited testable design) broke a paper invariant.
+
+    [retiming_legality] is the certificate checker: it re-verifies the
+    Leiserson–Saxe conditions (Eq. 1 weight arithmetic, Eq. 2 cycle
+    register counts, Eq. 3 non-negativity, pinned lags) and the
+    requirement accounting with its own arithmetic, then re-collapses the
+    emitted retimed netlist and compares every pin's register count
+    against the certificate's prediction. {!Ppet_core.Merced.solve}'s
+    Bellman–Ford is never consulted. *)
+
+val input_bound : Ppet_core.Merced.result -> Diag.t list
+(** Recompute every partition's iota with
+    {!Ppet_core.Cluster.input_count_of}; flag book-keeping mismatches and
+    [iota > l_k] on partitions not marked oversize or locked. *)
+
+val cell_placement :
+  Ppet_core.Merced.result -> Ppet_core.Testable.t -> Diag.t list
+(** Cells and cut nets must be in bijection; each cell's driver and
+    converted flag must match the graph; the four control inputs must
+    exist as primary inputs of the testable netlist. *)
+
+val scan_chain :
+  Ppet_core.Merced.result -> Ppet_core.Testable.t -> Diag.t list
+(** Static connectivity: walking the cells in scan order, every cell
+    register's load cone (combinational backward closure of its D input)
+    must contain the previous chain register — [SCAN_IN] for the first. *)
+
+val cbit_width :
+  Ppet_core.Merced.result -> Ppet_core.Testable.t -> Diag.t list
+(** Per CBIT: width equals its cell count, bit indexes are a permutation
+    of [0..width-1], the feedback polynomial is primitive of degree
+    [min width 32], and the width respects the cluster bound. *)
+
+val area_accounting :
+  Ppet_core.Merced.result -> Ppet_core.Testable.t -> Diag.t list
+(** Re-run {!Ppet_core.Area_accounting.compute} and compare every field;
+    re-measure the testable netlist's added area from the two circuits. *)
+
+val scc_budget : Ppet_core.Merced.result -> Diag.t list
+(** Eq. 6: for every loop, the cut count chi must not exceed
+    [beta * f]. *)
+
+val retiming_legality :
+  Ppet_core.Merced.result -> Ppet_core.Merced.certificate option ->
+  Diag.t list
+(** The certificate checker described above. [None] (no certificate) is
+    itself a diagnostic: every valid circuit has one. *)

@@ -1,0 +1,110 @@
+type severity = Error | Warning | Info
+
+type t = {
+  rule : string;
+  severity : severity;
+  locus : string option;
+  position : string option;
+  message : string;
+  hint : string option;
+}
+
+let make ~rule ~severity ?locus ?position ?hint message =
+  { rule; severity; locus; position; message; hint }
+
+let makef ~rule ~severity ?locus ?position ?hint fmt =
+  Printf.ksprintf (fun message -> make ~rule ~severity ?locus ?position ?hint message) fmt
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let compare_opt a b =
+  match (a, b) with
+  | None, None -> 0
+  | None, Some _ -> -1
+  | Some _, None -> 1
+  | Some x, Some y -> String.compare x y
+
+let compare a b =
+  let c = Stdlib.compare (severity_rank a.severity) (severity_rank b.severity) in
+  if c <> 0 then c
+  else
+    let c = String.compare a.rule b.rule in
+    if c <> 0 then c
+    else
+      let c = compare_opt a.locus b.locus in
+      if c <> 0 then c
+      else
+        let c = compare_opt a.position b.position in
+        if c <> 0 then c else String.compare a.message b.message
+
+let sort ds = List.sort_uniq compare ds
+
+let counts ds =
+  List.fold_left
+    (fun (e, w, i) d ->
+      match d.severity with
+      | Error -> (e + 1, w, i)
+      | Warning -> (e, w + 1, i)
+      | Info -> (e, w, i + 1))
+    (0, 0, 0) ds
+
+let is_finding d = match d.severity with Error | Warning -> true | Info -> false
+
+let to_human d =
+  let b = Buffer.create 96 in
+  (match d.position with
+   | Some p ->
+     Buffer.add_string b p;
+     Buffer.add_string b ": "
+   | None -> ());
+  Buffer.add_string b (severity_name d.severity);
+  Buffer.add_char b '[';
+  Buffer.add_string b d.rule;
+  Buffer.add_char b ']';
+  (match d.locus with
+   | Some l ->
+     Buffer.add_char b ' ';
+     Buffer.add_string b l;
+   | None -> ());
+  Buffer.add_string b ": ";
+  Buffer.add_string b d.message;
+  (match d.hint with
+   | Some h ->
+     Buffer.add_string b " (hint: ";
+     Buffer.add_string b h;
+     Buffer.add_char b ')'
+   | None -> ());
+  Buffer.contents b
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_str s = "\"" ^ json_escape s ^ "\""
+
+let json_opt = function None -> "null" | Some s -> json_str s
+
+let to_json d =
+  Printf.sprintf
+    "{\"rule\":%s,\"severity\":%s,\"locus\":%s,\"position\":%s,\"message\":%s,\"hint\":%s}"
+    (json_str d.rule)
+    (json_str (severity_name d.severity))
+    (json_opt d.locus) (json_opt d.position) (json_str d.message)
+    (json_opt d.hint)

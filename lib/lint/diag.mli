@@ -1,0 +1,55 @@
+(** Typed lint diagnostics.
+
+    A diagnostic carries the rule that produced it, a severity, an
+    optional locus (the signal, net or partition it is about), an
+    optional source position (["file:line"], known only for findings on
+    parsed text), the human message and an optional fix hint.
+
+    Output order is total and deterministic: errors before warnings
+    before infos, then by rule id, locus, position and message — so two
+    lint runs over the same input are byte-identical regardless of rule
+    evaluation order or worker count. *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  rule : string;             (** rule id from {!Registry} *)
+  severity : severity;
+  locus : string option;     (** signal / net / partition locus *)
+  position : string option;  (** ["file:line"] when parsed from text *)
+  message : string;
+  hint : string option;      (** how to fix, when the rule knows *)
+}
+
+val make :
+  rule:string -> severity:severity -> ?locus:string -> ?position:string ->
+  ?hint:string -> string -> t
+
+val makef :
+  rule:string -> severity:severity -> ?locus:string -> ?position:string ->
+  ?hint:string -> ('a, unit, string, t) format4 -> 'a
+
+val severity_name : severity -> string
+(** ["error"], ["warning"], ["info"]. *)
+
+val compare : t -> t -> int
+(** The deterministic output order described above. *)
+
+val sort : t list -> t list
+
+val counts : t list -> int * int * int
+(** [(errors, warnings, infos)]. *)
+
+val is_finding : t -> bool
+(** Errors and warnings are findings (they gate the exit status); infos
+    are advisory and do not. *)
+
+val to_human : t -> string
+(** One line: ["position: severity[rule] locus: message (hint: ...)"],
+    with the absent parts omitted. *)
+
+val json_escape : string -> string
+(** JSON string-literal body for [s] (no surrounding quotes). *)
+
+val to_json : t -> string
+(** One JSON object; absent locus/position/hint serialise as [null]. *)

@@ -1,0 +1,180 @@
+module Circuit = Ppet_netlist.Circuit
+module Bench_parser = Ppet_netlist.Bench_parser
+module Benchmarks = Ppet_netlist.Benchmarks
+module Domain_pool = Ppet_parallel.Domain_pool
+module Merced = Ppet_core.Merced
+module Testable = Ppet_core.Testable
+module Params = Ppet_core.Params
+
+type report = {
+  title : string;
+  selection : string list;
+  compiled : bool;
+  diags : Diag.t list;
+}
+
+let findings rep =
+  let e, w, _ = Diag.counts rep.diags in
+  e + w
+
+let normalize_selection rules =
+  List.filter (fun (r : Registry.rule) -> List.mem r.Registry.id rules)
+    Registry.all
+  |> List.map (fun r -> r.Registry.id)
+
+let dft_selected selection =
+  List.exists
+    (fun (r : Registry.rule) ->
+      r.Registry.family = Registry.Dft && List.mem r.Registry.id selection)
+    Registry.all
+
+(* Evaluate independent thunk groups, sharded over the pool's workers;
+   results concatenate in group order (and are sorted later anyway). *)
+let eval_groups ?pool groups =
+  let arr = Array.of_list groups in
+  let n = Array.length arr in
+  let out = Array.make n [] in
+  (match pool with
+   | Some p when Domain_pool.jobs p > 1 && n > 1 ->
+     let jobs = Domain_pool.jobs p in
+     Domain_pool.run p (fun w ->
+         let lo, hi = Domain_pool.chunk ~jobs ~n w in
+         for i = lo to hi - 1 do
+           out.(i) <- arr.(i) ()
+         done)
+   | _ -> Array.iteri (fun i g -> out.(i) <- g ()) arr);
+  List.concat (Array.to_list out)
+
+let in_selection selection (d : Diag.t) = List.mem d.Diag.rule selection
+
+let relabel_testable (d : Diag.t) =
+  let locus =
+    match d.Diag.locus with
+    | Some l -> "testable:" ^ l
+    | None -> "testable"
+  in
+  { d with Diag.locus = Some locus }
+
+(* The DFT family as parallel groups over one compile. The certificate
+   solve lives inside its own group: it is the expensive part. *)
+let dft_groups ~selection ~params c =
+  let r = Merced.run ~params c in
+  let t = Testable.insert r in
+  let need id = List.mem id selection in
+  let basics () =
+    (if need "input-bound" then Dft_rules.input_bound r else [])
+    @ (if need "scc-budget" then Dft_rules.scc_budget r else [])
+  in
+  let on_testable () =
+    (if need "cell-placement" then Dft_rules.cell_placement r t else [])
+    @ (if need "scan-chain" then Dft_rules.scan_chain r t else [])
+    @ (if need "cbit-width" then Dft_rules.cbit_width r t else [])
+    @ if need "area-accounting" then Dft_rules.area_accounting r t else []
+  in
+  let certificate () =
+    if need "retiming-legality" then
+      Dft_rules.retiming_legality r (Merced.retiming_certificate r)
+    else []
+  in
+  let testable_structural () =
+    List.map relabel_testable (Struct_rules.run (Raw.of_circuit t.Testable.circuit))
+    |> List.filter (in_selection selection)
+  in
+  [ basics; on_testable; certificate; testable_structural ]
+
+(* [structural] are the source diagnostics already computed (and already
+   selection-filtered); [c] is the validated circuit when one exists. *)
+let finish ?pool ~selection ~params ~title ~structural c =
+  let has_error =
+    List.exists (fun (d : Diag.t) -> d.Diag.severity = Diag.Error) structural
+  in
+  let compiled = (not has_error) && c <> None && dft_selected selection in
+  let dft =
+    match c with
+    | Some c when compiled -> eval_groups ?pool (dft_groups ~selection ~params c)
+    | _ -> []
+  in
+  { title; selection; compiled; diags = Diag.sort (structural @ dft) }
+
+let run_circuit ?pool ?(rules = Registry.ids) ?(params = Params.default) c =
+  let selection = normalize_selection rules in
+  let structural =
+    List.filter (in_selection selection) (Struct_rules.run (Raw.of_circuit c))
+  in
+  finish ?pool ~selection ~params ~title:c.Circuit.title ~structural (Some c)
+
+let run_text ?pool ?(rules = Registry.ids) ?(params = Params.default)
+    ?(title = "bench") ?(file = "<string>") src =
+  let selection = normalize_selection rules in
+  let raw = Raw.parse ~title ~file src in
+  let structural = Struct_rules.run raw in
+  let has_error =
+    List.exists (fun (d : Diag.t) -> d.Diag.severity = Diag.Error) structural
+  in
+  (* Safety net: the strict parser must accept whatever lints clean. *)
+  let c, extra =
+    if has_error then (None, [])
+    else
+      match Bench_parser.parse_string ~title ~file src with
+      | c -> (Some c, [])
+      | exception Circuit.Error msg ->
+        ( None,
+          [ Diag.makef ~rule:"syntax" ~severity:Diag.Error
+              ~hint:"the tolerant and strict front-ends disagree"
+              "text lints clean but the strict parser rejects it: %s" msg ] )
+  in
+  let structural =
+    List.filter (in_selection selection) (structural @ extra)
+  in
+  finish ?pool ~selection ~params ~title ~structural c
+
+let run_registry ?pool ?(rules = Registry.ids) ?(params = Params.default)
+    names =
+  (* generation is cached behind a plain Hashtbl: do it on one domain *)
+  let circuits = Array.of_list (List.map Benchmarks.circuit names) in
+  let n = Array.length circuits in
+  let out = Array.make n None in
+  (match pool with
+   | Some p when Domain_pool.jobs p > 1 && n > 1 ->
+     let jobs = Domain_pool.jobs p in
+     Domain_pool.run p (fun w ->
+         let lo, hi = Domain_pool.chunk ~jobs ~n w in
+         for i = lo to hi - 1 do
+           out.(i) <- Some (run_circuit ~rules ~params circuits.(i))
+         done)
+   | _ ->
+     Array.iteri
+       (fun i c -> out.(i) <- Some (run_circuit ?pool ~rules ~params c))
+       circuits);
+  List.filter_map Fun.id (Array.to_list out)
+
+let structural_circuit c = Diag.sort (Struct_rules.run (Raw.of_circuit c))
+
+let to_human ?(verbose = false) rep =
+  let shown = List.filter (fun d -> verbose || Diag.is_finding d) rep.diags in
+  let e, w, i = Diag.counts rep.diags in
+  let verdict =
+    if e + w = 0 then "clean"
+    else Printf.sprintf "%d finding%s" (e + w) (if e + w = 1 then "" else "s")
+  in
+  let trailer =
+    Printf.sprintf
+      "lint %s: %s (%d rules, compile %s; %d errors, %d warnings, %d infos)"
+      rep.title verdict
+      (List.length rep.selection)
+      (if rep.compiled then "ok" else "skipped")
+      e w i
+  in
+  List.map Diag.to_human shown @ [ trailer ]
+
+let to_json rep =
+  let e, w, i = Diag.counts rep.diags in
+  Printf.sprintf
+    "{\"circuit\":\"%s\",\"compiled\":%b,\"rules\":[%s],\"diagnostics\":[%s],\
+     \"summary\":{\"errors\":%d,\"warnings\":%d,\"infos\":%d,\"findings\":%d}}"
+    (Diag.json_escape rep.title)
+    rep.compiled
+    (String.concat ","
+       (List.map (fun id -> "\"" ^ Diag.json_escape id ^ "\"") rep.selection))
+    (String.concat "," (List.map Diag.to_json rep.diags))
+    e w i (e + w)

@@ -1,0 +1,71 @@
+(** The lint engine: evaluate {!Registry} rules over a netlist and (when
+    the DFT family is selected) over its compiled Merced output.
+
+    Structural rules run on the tolerant {!Raw} view, so a broken .bench
+    file yields diagnostics instead of an exception. The DFT family
+    compiles the circuit ({!Ppet_core.Merced.run},
+    {!Ppet_core.Testable.insert}) and checks the output; it is skipped —
+    [compiled = false] in the report — when the input has structural
+    errors or when no DFT rule is selected. The testable netlist is also
+    re-checked structurally, its loci prefixed with ["testable:"].
+
+    Rule groups evaluate in parallel on a {!Ppet_parallel.Domain_pool}
+    when one is supplied; {!run_registry} additionally parallelises
+    across benchmarks. Diagnostics are {!Diag.sort}ed, so output is
+    byte-identical for any worker count. *)
+
+type report = {
+  title : string;            (** circuit title *)
+  selection : string list;   (** rule ids evaluated, registry order *)
+  compiled : bool;           (** whether the DFT stage ran *)
+  diags : Diag.t list;       (** sorted *)
+}
+
+val findings : report -> int
+(** Errors + warnings — the count that gates the exit status. *)
+
+val run_circuit :
+  ?pool:Ppet_parallel.Domain_pool.t ->
+  ?rules:string list ->
+  ?params:Ppet_core.Params.t ->
+  Ppet_netlist.Circuit.t ->
+  report
+(** Lint a validated in-memory circuit. [rules] defaults to the whole
+    registry; unknown ids are ignored (the CLI validates them first). *)
+
+val run_text :
+  ?pool:Ppet_parallel.Domain_pool.t ->
+  ?rules:string list ->
+  ?params:Ppet_core.Params.t ->
+  ?title:string ->
+  ?file:string ->
+  string ->
+  report
+(** Lint .bench text. Never raises on malformed input: syntax trouble
+    becomes diagnostics. As a safety net, text the tolerant front-end
+    accepts cleanly is re-parsed with the strict {!Bench_parser}; a
+    strict rejection of lint-clean text is itself reported (it would
+    mean the two front-ends disagree). *)
+
+val run_registry :
+  ?pool:Ppet_parallel.Domain_pool.t ->
+  ?rules:string list ->
+  ?params:Ppet_core.Params.t ->
+  string list ->
+  report list
+(** Lint the named {!Ppet_netlist.Benchmarks} circuits, in parallel
+    across benchmarks, reports in input order. Circuits are generated
+    serially up front (the benchmark cache is not thread-safe). *)
+
+val structural_circuit : Ppet_netlist.Circuit.t -> Diag.t list
+(** Just the structural family on an in-memory circuit, serial and
+    cheap — the {!Ppet_check.Fuzz} oracle entry point. Sorted. *)
+
+val to_human : ?verbose:bool -> report -> string list
+(** Diagnostic lines (infos only with [verbose]) followed by a one-line
+    summary trailer. *)
+
+val to_json : report -> string
+(** One JSON object:
+    [{"circuit":...,"compiled":...,"rules":[...],
+      "diagnostics":[...],"summary":{...}}]. *)

@@ -1,0 +1,163 @@
+module Bench_lexer = Ppet_netlist.Bench_lexer
+module Circuit = Ppet_netlist.Circuit
+module Gate = Ppet_netlist.Gate
+
+type stmt =
+  | Input of { name : string; pos : string option }
+  | Output of { name : string; pos : string option }
+  | Gate of {
+      name : string;
+      kind : Gate.kind option;
+      kind_name : string;
+      fanins : string list;
+      pos : string option;
+    }
+
+type t = {
+  title : string;
+  stmts : stmt list;
+  syntax : Diag.t list;
+}
+
+let stmt_name = function
+  | Input { name; _ } | Output { name; _ } | Gate { name; _ } -> name
+
+let stmt_pos = function
+  | Input { pos; _ } | Output { pos; _ } | Gate { pos; _ } -> pos
+
+(* Mirrors Bench_lexer's identifier character class (kept in sync with
+   the lexer's documentation). *)
+let is_ident_char c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> true
+  | '_' | '.' | '[' | ']' | '/' | '$' | '-' -> true
+  | _ -> false
+
+let max_syntax = 20
+
+exception Recover of string
+
+let parse ?(title = "bench") ?(file = "<string>") src =
+  let syntax = ref [] and n_syntax = ref 0 in
+  let add_syntax ?pos message =
+    incr n_syntax;
+    if !n_syntax <= max_syntax then
+      syntax :=
+        Diag.make ~rule:"syntax" ~severity:Diag.Error ?position:pos message
+        :: !syntax
+  in
+  (* Pass 1: blank out illegal characters (comment-aware) so lexing can
+     always continue; each one is a diagnostic. *)
+  let buf = Bytes.of_string src in
+  let line = ref 1 and in_comment = ref false in
+  for i = 0 to Bytes.length buf - 1 do
+    let c = Bytes.get buf i in
+    if c = '\n' then begin
+      incr line;
+      in_comment := false
+    end
+    else if !in_comment then ()
+    else if c = '#' then in_comment := true
+    else
+      match c with
+      | ' ' | '\t' | '\r' | '(' | ')' | ',' | '=' -> ()
+      | c when is_ident_char c -> ()
+      | c ->
+        add_syntax
+          ~pos:(Printf.sprintf "%s:%d" file !line)
+          (Printf.sprintf "illegal character %C" c);
+        Bytes.set buf i ' '
+  done;
+  (* Pass 2: statement-level recursive descent with recovery. *)
+  let lexer = Bench_lexer.of_string ~file (Bytes.to_string buf) in
+  let pos () = Some (Bench_lexer.position lexer) in
+  let expect tok what =
+    if Bench_lexer.next lexer <> tok then raise (Recover ("expected " ^ what))
+  in
+  let ident what =
+    match Bench_lexer.next lexer with
+    | Bench_lexer.Ident s -> s
+    | _ -> raise (Recover ("expected " ^ what))
+  in
+  let parse_paren_name () =
+    expect Bench_lexer.Lparen "'('";
+    let name = ident "a signal name" in
+    expect Bench_lexer.Rparen "')'";
+    name
+  in
+  let parse_fanins () =
+    expect Bench_lexer.Lparen "'('";
+    let rec more acc =
+      match Bench_lexer.next lexer with
+      | Bench_lexer.Comma -> more (ident "a signal name" :: acc)
+      | Bench_lexer.Rparen -> List.rev acc
+      | _ -> raise (Recover "expected ',' or ')' in fan-in list")
+    in
+    more [ ident "a signal name" ]
+  in
+  let rec resync () =
+    match Bench_lexer.peek lexer with
+    | Bench_lexer.Eof | Bench_lexer.Ident _ -> ()
+    | _ ->
+      ignore (Bench_lexer.next lexer);
+      resync ()
+  in
+  let stmts = ref [] in
+  let rec loop () =
+    match Bench_lexer.peek lexer with
+    | Bench_lexer.Eof -> ()
+    | _ ->
+      let p = pos () in
+      (try
+         match Bench_lexer.next lexer with
+         | Bench_lexer.Ident kw
+           when (let u = String.uppercase_ascii kw in
+                 (u = "INPUT" || u = "OUTPUT")
+                 && Bench_lexer.peek lexer = Bench_lexer.Lparen) ->
+           let name = parse_paren_name () in
+           if String.uppercase_ascii kw = "INPUT" then
+             stmts := Input { name; pos = p } :: !stmts
+           else stmts := Output { name; pos = p } :: !stmts
+         | Bench_lexer.Ident lhs ->
+           expect Bench_lexer.Equal "'='";
+           let kind_name = ident "a gate type" in
+           let fanins = parse_fanins () in
+           stmts :=
+             Gate { name = lhs; kind = Gate.of_name kind_name; kind_name;
+                    fanins; pos = p }
+             :: !stmts
+         | _ -> raise (Recover "expected a statement")
+       with Recover msg ->
+         add_syntax ?pos:p msg;
+         resync ());
+      loop ()
+  in
+  loop ();
+  if !n_syntax > max_syntax then
+    syntax :=
+      Diag.makef ~rule:"syntax" ~severity:Diag.Error
+        "%d further syntax errors suppressed" (!n_syntax - max_syntax)
+      :: !syntax;
+  { title; stmts = List.rev !stmts; syntax = List.rev !syntax }
+
+let of_circuit (c : Circuit.t) =
+  let name_of id = (Circuit.node c id).Circuit.name in
+  let stmts =
+    Array.fold_left
+      (fun acc (nd : Circuit.node) ->
+        match nd.Circuit.kind with
+        | Gate.Input -> Input { name = nd.Circuit.name; pos = None } :: acc
+        | kind ->
+          Gate
+            { name = nd.Circuit.name; kind = Some kind; kind_name = Gate.name kind;
+              fanins = List.map name_of (Array.to_list nd.Circuit.fanins);
+              pos = None }
+          :: acc)
+      [] c.Circuit.nodes
+  in
+  let stmts =
+    Array.fold_left
+      (fun acc po -> Output { name = name_of po; pos = None } :: acc)
+      stmts c.Circuit.outputs
+  in
+  { title = c.Circuit.title; stmts = List.rev stmts; syntax = [] }

@@ -1,0 +1,41 @@
+(** Tolerant [.bench] front-end for the linter.
+
+    {!Ppet_netlist.Bench_parser} stops at the first problem because its
+    job is to refuse malformed netlists; a linter wants the opposite: read
+    as much as possible and report {e every} violation with its position.
+    This module lexes the same grammar but recovers at statement
+    granularity, records illegal characters and syntax slips as
+    diagnostics, and keeps statements the strict parser would reject
+    (unknown gate kinds, duplicate definitions, dangling references) so
+    the structural rules can see them.
+
+    Valid in-memory circuits (generator output, compiled netlists) enter
+    the same representation through {!of_circuit}, so one rule
+    implementation serves both paths. *)
+
+type stmt =
+  | Input of { name : string; pos : string option }
+  | Output of { name : string; pos : string option }
+  | Gate of {
+      name : string;
+      kind : Ppet_netlist.Gate.kind option;  (** [None]: unknown spelling *)
+      kind_name : string;                    (** as written *)
+      fanins : string list;
+      pos : string option;
+    }
+
+type t = {
+  title : string;
+  stmts : stmt list;             (** source order *)
+  syntax : Diag.t list;          (** lexical / syntactic diagnostics *)
+}
+
+val parse : ?title:string -> ?file:string -> string -> t
+(** Never raises: every problem becomes a [syntax] diagnostic (rule
+    ["syntax"], capped to keep cascades readable). *)
+
+val of_circuit : Ppet_netlist.Circuit.t -> t
+(** Lossless view of a validated circuit; positions are absent. *)
+
+val stmt_name : stmt -> string
+val stmt_pos : stmt -> string option

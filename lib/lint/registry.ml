@@ -1,0 +1,70 @@
+type family = Structural | Dft
+
+type rule = {
+  id : string;
+  family : family;
+  severity : Diag.severity;
+  doc : string;
+}
+
+let s id severity doc = { id; family = Structural; severity; doc }
+let d id severity doc = { id; family = Dft; severity; doc }
+
+let all =
+  [
+    s "syntax" Diag.Error
+      "illegal characters and malformed statements in .bench text";
+    s "multiple-drivers" Diag.Error
+      "a signal defined more than once (two drivers short the net)";
+    s "undriven-net" Diag.Error
+      "a referenced signal that no INPUT or gate ever defines";
+    s "unknown-gate" Diag.Error "a gate kind outside the ISCAS89 vocabulary";
+    s "bad-arity" Diag.Error
+      "a gate with a fan-in count its kind does not allow";
+    s "comb-cycle" Diag.Error
+      "a combinational cycle (no flip-flop breaks the loop)";
+    s "no-state" Diag.Error
+      "an empty netlist, or one with neither primary inputs nor flip-flops";
+    s "duplicate-output" Diag.Warning
+      "the same signal declared OUTPUT more than once";
+    s "dead-logic" Diag.Info
+      "logic with no path to any primary output (dangling or dead cone)";
+    s "unread-input" Diag.Info "a primary input no gate reads";
+    d "input-bound" Diag.Error
+      "a partition whose recomputed input count iota exceeds l_k (or \
+       disagrees with the compiler's book-keeping)";
+    d "cell-placement" Diag.Error
+      "A_CELL / cut-net mismatch: a cell on a non-cut net or a cut net \
+       without its cell";
+    d "scan-chain" Diag.Error
+      "a scan-chain break: a cell register not fed by its predecessor \
+       (or SCAN_IN) in the testable netlist";
+    d "cbit-width" Diag.Error
+      "a CBIT whose width or feedback polynomial disagrees with its cell \
+       group and the primitive-polynomial table";
+    d "area-accounting" Diag.Error
+      "the Table 12 breakdown or the testable design's added area does \
+       not re-derive from the netlist";
+    d "scc-budget" Diag.Error
+      "an SCC whose cut count chi violates the Eq. 6 budget beta * f, or \
+       mispriced mux excess";
+    d "retiming-legality" Diag.Error
+      "the retiming certificate fails Eqs. 1-3 (legality, pinned lags, \
+       emitted-netlist agreement) re-derived without the solver";
+  ]
+
+let find id = List.find_opt (fun r -> r.id = id) all
+
+let ids = List.map (fun r -> r.id) all
+
+let family_name = function Structural -> "structural" | Dft -> "dft"
+
+let validate_selection sel =
+  let unknown = List.filter (fun id -> find id = None) sel in
+  match unknown with
+  | [] -> Ok ()
+  | _ ->
+    Error
+      (Printf.sprintf "unknown lint rule%s %s (try --list-rules)"
+         (if List.length unknown > 1 then "s" else "")
+         (String.concat ", " (List.map (Printf.sprintf "%S") unknown)))

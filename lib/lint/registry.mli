@@ -1,0 +1,32 @@
+(** The lint rule registry.
+
+    Every rule has a stable id (the [--rules] vocabulary and the [rule]
+    field of every diagnostic), the family that decides which inputs it
+    runs on, its severity, and one-line documentation. The registry is
+    the single source of truth: the engine evaluates exactly the listed
+    rules, the CLI prints them with [--list-rules], and the test suite
+    keeps one violation fixture per id. *)
+
+type family =
+  | Structural  (** any netlist, parsed text or in-memory circuit *)
+  | Dft         (** compiled output: partitioning + testable design *)
+
+type rule = {
+  id : string;
+  family : family;
+  severity : Diag.severity;   (** severity its diagnostics carry *)
+  doc : string;
+}
+
+val all : rule list
+(** In fixed registry order (structural first, then DFT). *)
+
+val find : string -> rule option
+
+val ids : string list
+
+val family_name : family -> string
+(** ["structural"] or ["dft"]. *)
+
+val validate_selection : string list -> (unit, string) result
+(** Check every id exists; the error names the unknown ids. *)

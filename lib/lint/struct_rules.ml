@@ -1,0 +1,234 @@
+module Gate = Ppet_netlist.Gate
+module Netgraph = Ppet_digraph.Netgraph
+module Tarjan = Ppet_digraph.Tarjan
+
+let err ~rule = Diag.makef ~rule ~severity:Diag.Error
+let warn ~rule = Diag.makef ~rule ~severity:Diag.Warning
+let info ~rule = Diag.makef ~rule ~severity:Diag.Info
+
+(* Definitions in source order: (name, stmt). Outputs are references, not
+   definitions. *)
+let definitions raw =
+  List.filter
+    (fun s -> match s with Raw.Output _ -> false | _ -> true)
+    raw.Raw.stmts
+
+let resolution_rules raw =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  (* multiple-drivers: every definition after the first *)
+  let defined = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      let name = Raw.stmt_name s in
+      if Hashtbl.mem defined name then
+        add
+          (err ~rule:"multiple-drivers" ~locus:name ?position:(Raw.stmt_pos s)
+             ~hint:"rename one of the definitions"
+             "signal is defined more than once")
+      else Hashtbl.add defined name ())
+    (definitions raw);
+  (* undriven-net: references that never resolve, one diagnostic per name *)
+  let reported = Hashtbl.create 16 in
+  let reference ~context pos name =
+    if (not (Hashtbl.mem defined name)) && not (Hashtbl.mem reported name)
+    then begin
+      Hashtbl.add reported name ();
+      add
+        (err ~rule:"undriven-net" ~locus:name ?position:pos
+           ~hint:"define the signal with INPUT(...) or a gate"
+           "%s references an undefined signal" context)
+    end
+  in
+  List.iter
+    (fun s ->
+      match s with
+      | Raw.Input _ -> ()
+      | Raw.Output { name; pos } -> reference ~context:"OUTPUT" pos name
+      | Raw.Gate { name; fanins; pos; _ } ->
+        List.iter
+          (fun f -> reference ~context:(Printf.sprintf "gate %S" name) pos f)
+          fanins)
+    raw.Raw.stmts;
+  (* unknown-gate / bad-arity *)
+  List.iter
+    (fun s ->
+      match s with
+      | Raw.Input _ | Raw.Output _ -> ()
+      | Raw.Gate { name; kind; kind_name; fanins; pos } -> (
+        match kind with
+        | None ->
+          add
+            (err ~rule:"unknown-gate" ~locus:name ?position:pos
+               ~hint:"use AND, NAND, OR, NOR, XOR, XNOR, NOT, BUF or DFF"
+               "unknown gate type %S" kind_name)
+        | Some k ->
+          if not (Gate.arity_ok k (List.length fanins)) then
+            add
+              (err ~rule:"bad-arity" ~locus:name ?position:pos
+                 ~hint:
+                   (if k = Gate.Dff || k = Gate.Buff || k = Gate.Not then
+                      "this kind takes exactly one input"
+                    else "multi-input kinds take two or more inputs")
+                 "%s cannot take %d input%s" (Gate.name k)
+                 (List.length fanins)
+                 (if List.length fanins = 1 then "" else "s"))))
+    raw.Raw.stmts;
+  (* no-state *)
+  (match raw.Raw.stmts with
+   | [] -> add (err ~rule:"no-state" "empty netlist")
+   | _ ->
+     let has_pi =
+       List.exists (fun s -> match s with Raw.Input _ -> true | _ -> false)
+         raw.Raw.stmts
+     and has_dff =
+       List.exists
+         (fun s ->
+           match s with
+           | Raw.Gate { kind = Some Gate.Dff; _ } -> true
+           | _ -> false)
+         raw.Raw.stmts
+     in
+     if (not has_pi) && not has_dff then
+       add
+         (err ~rule:"no-state"
+            ~hint:"a circuit needs at least one INPUT or DFF"
+            "netlist has neither primary inputs nor flip-flops"));
+  (* duplicate-output *)
+  let outs = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      match s with
+      | Raw.Output { name; pos } ->
+        if Hashtbl.mem outs name then
+          add
+            (warn ~rule:"duplicate-output" ~locus:name ?position:pos
+               ~hint:"drop the repeated declaration"
+               "signal is declared OUTPUT more than once")
+        else Hashtbl.add outs name ()
+      | _ -> ())
+    raw.Raw.stmts;
+  List.rev !diags
+
+(* Graph rules: run only on a resolvable netlist (see .mli). *)
+let graph_rules raw =
+  let defs = Array.of_list (definitions raw) in
+  let n = Array.length defs in
+  if n = 0 then []
+  else begin
+    let index = Hashtbl.create (2 * n) in
+    Array.iteri (fun i s -> Hashtbl.replace index (Raw.stmt_name s) i) defs;
+    let resolve name = Hashtbl.find index name in
+    let diags = ref [] in
+    let add d = diags := d :: !diags in
+    (* comb-cycle: SCCs of the combinational dependency graph *)
+    let g = Netgraph.create n in
+    Array.iteri
+      (fun i s ->
+        match s with
+        | Raw.Gate { kind = Some k; fanins; _ } when k <> Gate.Dff ->
+          List.iter
+            (fun f -> ignore (Netgraph.add_net g ~src:(resolve f) ~sinks:[ i ]))
+            fanins
+        | _ -> ())
+      defs;
+    let scc = Tarjan.run g in
+    List.iter
+      (fun c ->
+        let members =
+          List.sort String.compare
+            (List.map
+               (fun v -> Raw.stmt_name defs.(v))
+               (Array.to_list scc.Tarjan.members.(c)))
+        in
+        let shown =
+          match members with
+          | a :: b :: c :: d :: _ :: _ -> [ a; b; c; d; "..." ]
+          | l -> l
+        in
+        add
+          (err ~rule:"comb-cycle"
+             ~locus:(List.hd members)
+             ?position:(Raw.stmt_pos defs.(scc.Tarjan.members.(c).(0)))
+             ~hint:"break the loop with a DFF"
+             "combinational cycle through %d signal%s: %s" (List.length members)
+             (if List.length members = 1 then "" else "s")
+             (String.concat ", " shown)))
+      (Tarjan.nontrivial scc g);
+    (* readers / observability *)
+    let readers = Array.make n 0 in
+    let fanin_ids = Array.make n [] in
+    Array.iteri
+      (fun i s ->
+        match s with
+        | Raw.Gate { fanins; _ } ->
+          let ids = List.map resolve fanins in
+          fanin_ids.(i) <- ids;
+          List.iter (fun d -> readers.(d) <- readers.(d) + 1) ids
+        | _ -> ())
+      defs;
+    let is_po = Array.make n false in
+    List.iter
+      (fun s ->
+        match s with
+        | Raw.Output { name; _ } -> is_po.(resolve name) <- true
+        | _ -> ())
+      raw.Raw.stmts;
+    (* backward reachability from the primary outputs (through DFFs) *)
+    let reachable = Array.make n false in
+    let rec visit i =
+      if not reachable.(i) then begin
+        reachable.(i) <- true;
+        List.iter visit fanin_ids.(i)
+      end
+    in
+    Array.iteri (fun i po -> if po then visit i) is_po;
+    let unreached_interior = ref [] in
+    Array.iteri
+      (fun i s ->
+        if not reachable.(i) then
+          let name = Raw.stmt_name s in
+          match s with
+          | Raw.Input _ ->
+            if readers.(i) = 0 then
+              add
+                (info ~rule:"unread-input" ~locus:name
+                   ?position:(Raw.stmt_pos s)
+                   ~hint:"remove the input or wire it up"
+                   "primary input is never read")
+            else unreached_interior := name :: !unreached_interior
+          | Raw.Gate _ ->
+            if readers.(i) = 0 then
+              add
+                (info ~rule:"dead-logic" ~locus:name
+                   ?position:(Raw.stmt_pos s)
+                   ~hint:"remove the gate or observe it with OUTPUT(...)"
+                   "gate drives nothing and is not a primary output")
+            else unreached_interior := name :: !unreached_interior
+          | Raw.Output _ -> ())
+      defs;
+    (match List.rev !unreached_interior with
+     | [] -> ()
+     | names ->
+       let shown =
+         match names with
+         | a :: b :: c :: d :: _ :: _ -> [ a; b; c; d; "..." ]
+         | l -> l
+       in
+       add
+         (info ~rule:"dead-logic"
+            ~hint:"the cone feeds neither a primary output nor live logic"
+            "%d further signal%s only dead logic: %s" (List.length names)
+            (if List.length names = 1 then " feeds" else "s feed")
+            (String.concat ", " shown)));
+    List.rev !diags
+  end
+
+let run raw =
+  let resolution = resolution_rules raw in
+  let fatal =
+    raw.Raw.syntax <> []
+    || List.exists (fun (d : Diag.t) -> d.Diag.severity = Diag.Error) resolution
+  in
+  let graph = if fatal then [] else graph_rules raw in
+  raw.Raw.syntax @ resolution @ graph

@@ -1,0 +1,12 @@
+(** Structural rule family: netlist-shape checks over {!Raw.t}.
+
+    The resolution rules (syntax, multiple-drivers, undriven-net,
+    unknown-gate, bad-arity, no-state, duplicate-output) always run. The
+    graph rules (comb-cycle, dead-logic, unread-input) need a resolvable
+    netlist, so they run only when no resolution rule produced an error —
+    the same reason a type checker does not run flow analyses over
+    ill-formed terms. *)
+
+val run : Raw.t -> Diag.t list
+(** All structural diagnostics, unsorted and unfiltered (the engine
+    sorts and applies the rule selection). *)

@@ -93,10 +93,65 @@ netlists, and the partition report is independent of the worker count:
   $ cmp serial.out jobs4.out && echo identical
   identical
 
-Unknown circuits fail cleanly:
+Unknown circuits fail cleanly; usage and internal errors exit 2 (the
+documented contract: 0 = clean, 1 = findings, 2 = usage/internal error):
 
   $ $MERCED stats nosuch 2>&1 | head -1 | cut -c1-30
   error: "nosuch" is neither a f
   $ $MERCED stats nosuch; echo "exit $?"
   error: "nosuch" is neither a file, "s27", nor a known benchmark (s510, s420.1, s641, s713, s820, s832, s838.1, s1423, s5378, s9234.1, s9234, s13207.1, s13207, s15850.1, s35932, s38417, s38584.1)
+  exit 2
+  $ $MERCED lint --no-such-flag 2> /dev/null; echo "exit $?"
+  exit 2
+
+Lint: the full rule registry is clean on s27 and its compiled output,
+in the human and the JSON form:
+
+  $ $MERCED lint s27 --lk 3; echo "exit $?"
+  lint s27: clean (17 rules, compile ok; 0 errors, 0 warnings, 0 infos)
+  exit 0
+  $ $MERCED lint s27 --lk 3 --json
+  {"circuit":"s27","compiled":true,"rules":["syntax","multiple-drivers","undriven-net","unknown-gate","bad-arity","comb-cycle","no-state","duplicate-output","dead-logic","unread-input","input-bound","cell-placement","scan-chain","cbit-width","area-accounting","scc-budget","retiming-legality"],"diagnostics":[],"summary":{"errors":0,"warnings":0,"infos":0,"findings":0}}
+
+A broken netlist is diagnosed fully — the tolerant front-end recovers
+past every error instead of stopping at the first — with exit 1, and
+the diagnostic order is deterministic:
+
+  $ cat > broken.bench <<'EOF'
+  > INPUT(a)
+  > G2 = NAND(a, b)
+  > G2 = AND(a)
+  > OUTPUT(zz)
+  > G3 = FROB(a)
+  > @@
+  > EOF
+  $ $MERCED lint broken.bench; echo "exit $?"
+  broken.bench:3: error[bad-arity] G2: AND cannot take 1 input (hint: multi-input kinds take two or more inputs)
+  broken.bench:3: error[multiple-drivers] G2: signal is defined more than once (hint: rename one of the definitions)
+  broken.bench:6: error[syntax]: illegal character '@'
+  broken.bench:2: error[undriven-net] b: gate "G2" references an undefined signal (hint: define the signal with INPUT(...) or a gate)
+  broken.bench:4: error[undriven-net] zz: OUTPUT references an undefined signal (hint: define the signal with INPUT(...) or a gate)
+  broken.bench:5: error[unknown-gate] G3: unknown gate type "FROB" (hint: use AND, NAND, OR, NOR, XOR, XNOR, NOT, BUF or DFF)
+  lint broken: 6 findings (17 rules, compile skipped; 6 errors, 0 warnings, 0 infos)
   exit 1
+  $ $MERCED lint broken.bench > lint1.out 2>&1; $MERCED lint broken.bench > lint2.out 2>&1; cmp lint1.out lint2.out && echo identical
+  identical
+
+Rule selection narrows the run; unknown rule ids are usage errors:
+
+  $ $MERCED lint broken.bench --rules syntax,unknown-gate; echo "exit $?"
+  broken.bench:6: error[syntax]: illegal character '@'
+  broken.bench:5: error[unknown-gate] G3: unknown gate type "FROB" (hint: use AND, NAND, OR, NOR, XOR, XNOR, NOT, BUF or DFF)
+  lint broken: 2 findings (2 rules, compile skipped; 2 errors, 0 warnings, 0 infos)
+  exit 1
+  $ $MERCED lint broken.bench --rules nosuch; echo "exit $?"
+  error: unknown lint rule "nosuch" (try --list-rules)
+  exit 2
+
+The registry's rule table is printed on demand:
+
+  $ $MERCED lint --list-rules | wc -l
+  17
+  $ $MERCED lint --list-rules | head -2
+  syntax             structural error   illegal characters and malformed statements in .bench text
+  multiple-drivers   structural error   a signal defined more than once (two drivers short the net)
