@@ -33,6 +33,7 @@ module Report = Ppet_core.Report
 module Baseline_random = Ppet_core.Baseline_random
 module Baseline_annealing = Ppet_core.Baseline_annealing
 module Baseline_fm = Ppet_core.Baseline_fm
+module Bench_stat = Ppet_obs.Bench_stat
 
 let quick = Array.exists (fun a -> a = "--quick") Sys.argv
 
@@ -564,7 +565,6 @@ let bechamel_timings () =
 
 let bench_fault_engine () =
   section "Fault engine: seed serial vs cone-restricted vs parallel";
-  let open Bechamel in
   (* one large PPET-partition-profile CUT: the several hundred
      topologically earliest combinational gates of the s5378 stand-in *)
   let c = Benchmarks.circuit "s5378" in
@@ -588,67 +588,47 @@ let bench_fault_engine () =
     "segment: %d members, iota-signals %d; %d collapsed faults x %d patterns\n"
     (Array.length seg.Segment.members)
     n_in (List.length faults) n_patterns;
-  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 1.0) ~kde:None () in
-  let ols =
-    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  let med ~jobs entry_name f =
+    let s = Bench_stat.measure ~warmup:1 ~repeat:7 f in
+    {
+      Report.entry_name;
+      median_ns = s.Bench_stat.median_ns;
+      mad_ns = s.Bench_stat.mad_ns;
+      jobs;
+    }
   in
-  let instance = Toolkit.Instance.monotonic_clock in
-  let time_ns test =
-    let results = Benchmark.all cfg [ instance ] test in
-    let analysed = Analyze.all ols instance results in
-    let ns = ref nan in
-    Hashtbl.iter
-      (fun _ ols_result ->
-        match Analyze.OLS.estimates ols_result with
-        | Some [ v ] -> ns := v
-        | Some _ | None -> ())
-      analysed;
-    !ns
+  let seed =
+    med ~jobs:1 "fault_sim/seed_serial" (fun () ->
+        ignore (Fault_sim.segment_detects sim seg ~patterns faults))
   in
-  let seed_ns =
-    time_ns
-      (Test.make ~name:"fault-sim-seed-serial"
-         (Staged.stage (fun () ->
-              Fault_sim.segment_detects sim seg ~patterns faults)))
+  let cone =
+    med ~jobs:1 "fault_sim/cone" (fun () ->
+        ignore (Fault_engine.detects engine ~patterns faults))
   in
-  let cone_ns =
-    time_ns
-      (Test.make ~name:"fault-engine-jobs1"
-         (Staged.stage (fun () -> Fault_engine.detects engine ~patterns faults)))
-  in
-  let par_ns =
+  let par =
     Domain_pool.with_pool ~jobs:4 (fun pool ->
-        time_ns
-          (Test.make ~name:"fault-engine-jobs4"
-             (Staged.stage (fun () ->
-                  Fault_engine.detects ~pool engine ~patterns faults))))
+        med ~jobs:4 "fault_sim/cone" (fun () ->
+            ignore (Fault_engine.detects ~pool engine ~patterns faults)))
   in
-  let per_fp ns =
-    ns /. (float_of_int (List.length faults) *. float_of_int n_patterns)
+  let per_fp (e : Report.bench_entry) =
+    e.Report.median_ns
+    /. (float_of_int (List.length faults) *. float_of_int n_patterns)
   in
   Printf.printf "%-28s %16s %16s\n" "engine" "time per run" "ns/fault-pattern";
   List.iter
-    (fun (name, ns) ->
-      Printf.printf "%-28s %13.2f ms %16.3f\n" name (ns /. 1e6) (per_fp ns))
+    (fun (name, e) ->
+      Printf.printf "%-28s %13.2f ms %16.3f\n" name
+        (e.Report.median_ns /. 1e6) (per_fp e))
     [
-      ("seed serial loop", seed_ns);
-      ("cone-restricted, jobs 1", cone_ns);
-      ("parallel, jobs 4", par_ns);
+      ("seed serial loop", seed);
+      ("cone-restricted, jobs 1", cone);
+      ("parallel, jobs 4", par);
     ];
   Printf.printf "speedup vs seed: %.1fx (jobs 1), %.1fx (jobs 4)\n"
-    (seed_ns /. cone_ns) (seed_ns /. par_ns);
+    (seed.Report.median_ns /. cone.Report.median_ns)
+    (seed.Report.median_ns /. par.Report.median_ns);
   let json =
-    Report.bench_json ~name:"fault_sim"
-      ~metrics:
-        [
-          ("n_faults", float_of_int (List.length faults));
-          ("n_patterns", float_of_int n_patterns);
-          ("seed_serial_ns_per_fault_pattern", per_fp seed_ns);
-          ("cone_jobs1_ns_per_fault_pattern", per_fp cone_ns);
-          ("parallel_jobs4_ns_per_fault_pattern", per_fp par_ns);
-          ("speedup_cone_jobs1", seed_ns /. cone_ns);
-          ("speedup_jobs4", seed_ns /. par_ns);
-        ]
+    Report.bench_json ~name:"fault_sim" ~entries:[ seed; cone; par ]
   in
   let oc = open_out "BENCH_fault_sim.json" in
   output_string oc json;

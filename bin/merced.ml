@@ -1,6 +1,6 @@
 (* Merced — the BIST compiler of the paper (Table 2), as a command-line
    tool. Subcommands: stats, partition, generate, selftest, insert,
-   retime, dot, sweep, check, fuzz, lint.
+   retime, dot, sweep, check, fuzz, lint, bench.
 
    Exit-code contract (every subcommand): 0 = success with no findings,
    1 = the tool worked and found something (lint diagnostics, check
@@ -26,6 +26,9 @@ module Fuzz = Ppet_check.Fuzz
 module Lint_engine = Ppet_lint.Engine
 module Lint_registry = Ppet_lint.Registry
 module Diag = Ppet_lint.Diag
+module Obs = Ppet_obs.Obs
+module Obs_export = Ppet_obs.Export
+module Bench_runner = Ppet_core.Bench_runner
 
 open Cmdliner
 
@@ -91,6 +94,38 @@ let write_circuit path c =
 let params_of lk beta seed =
   { Params.default with Params.l_k = lk; beta; seed = Int64.of_int seed }
 
+let trace_arg =
+  let doc =
+    "Record a pipeline trace (spans, counters, per-worker utilisation) \
+     and write it to $(docv) on exit. A .json target gets Chrome \
+     trace_event format (open in chrome://tracing or Perfetto); any \
+     other extension gets the human-readable tree."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+(* Install a trace sink around the subcommand body when --trace asks for
+   one; the file is written even when the body raises, so failed runs
+   still leave their partial trace behind. *)
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+    let tr = Obs.create () in
+    Obs.install tr;
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.uninstall ();
+        let text =
+          if Filename.check_suffix path ".json" then Obs_export.to_chrome tr
+          else Obs_export.to_human tr
+        in
+        let oc = open_out path in
+        output_string oc text;
+        close_out oc;
+        Printf.eprintf "trace: wrote %s (%d events)\n" path
+          (List.length (Obs.events tr)))
+      f
+
 (* documented once, attached to every subcommand *)
 let exits =
   [ Cmd.Exit.info 0 ~doc:"on success, with nothing found.";
@@ -101,8 +136,8 @@ let exits =
 (* run a subcommand body returning its exit status; library failures
    (typed or stringly) become an error line and status 2 — they mean
    the tool could not do its job, not that it found something *)
-let wrap_status f =
-  try f () with
+let wrap_status ?trace f =
+  try with_trace trace f with
   | Check_error.Error e ->
     Printf.eprintf "error: %s\n" (Check_error.to_string e);
     2
@@ -113,16 +148,16 @@ let wrap_status f =
     Printf.eprintf "error: %s\n" msg;
     2
 
-let wrap f =
-  wrap_status (fun () ->
+let wrap ?trace f =
+  wrap_status ?trace (fun () ->
       f ();
       0)
 
 (* ------------------------------------------------------------------ *)
 (* stats                                                               *)
 
-let stats_run spec =
-  wrap (fun () ->
+let stats_run spec trace =
+  wrap ?trace (fun () ->
       let c = load_circuit spec in
       let s = Stats.of_circuit c in
       print_endline Stats.header;
@@ -131,7 +166,8 @@ let stats_run spec =
 
 let stats_cmd =
   let doc = "Print Table 9-style structural statistics of a circuit." in
-  Cmd.v (Cmd.info "stats" ~doc ~exits) Term.(const stats_run $ circuit_arg)
+  Cmd.v (Cmd.info "stats" ~doc ~exits)
+    Term.(const stats_run $ circuit_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* partition                                                           *)
@@ -150,8 +186,8 @@ let locked_fn c names =
       names;
     Some (Hashtbl.mem ids)
 
-let partition_run spec lk beta seed lock csv verbose =
-  wrap (fun () ->
+let partition_run spec lk beta seed lock csv verbose trace =
+  wrap ?trace (fun () ->
       let c = load_circuit spec in
       let r =
         Merced.run ~params:(params_of lk beta seed) ?locked:(locked_fn c lock) c
@@ -195,13 +231,13 @@ let partition_cmd =
   Cmd.v
     (Cmd.info "partition" ~doc ~exits)
     Term.(const partition_run $ circuit_arg $ lk_arg $ beta_arg $ seed_arg
-          $ lock_arg $ csv $ verbose)
+          $ lock_arg $ csv $ verbose $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* generate                                                            *)
 
-let generate_run name output seed =
-  wrap (fun () ->
+let generate_run name output seed trace =
+  wrap ?trace (fun () ->
       let e = Benchmarks.find name in
       let c =
         Ppet_netlist.Generator.generate ~seed:(Int64.of_int seed)
@@ -227,13 +263,13 @@ let generate_cmd =
            ~doc:"Write to a file instead of standard output.")
   in
   Cmd.v (Cmd.info "generate" ~doc ~exits)
-    Term.(const generate_run $ bench_name $ output $ seed_arg)
+    Term.(const generate_run $ bench_name $ output $ seed_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* selftest                                                            *)
 
-let selftest_run spec lk beta seed max_width jobs =
-  wrap (fun () ->
+let selftest_run spec lk beta seed max_width jobs trace =
+  wrap ?trace (fun () ->
       let c = load_circuit spec in
       let r = Merced.run ~params:(params_of lk beta seed) c in
       let sim = Simulator.create c in
@@ -269,13 +305,13 @@ let selftest_cmd =
   in
   Cmd.v (Cmd.info "selftest" ~doc ~exits)
     Term.(const selftest_run $ circuit_arg $ lk_arg $ beta_arg $ seed_arg
-          $ max_width $ jobs_arg)
+          $ max_width $ jobs_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* insert                                                              *)
 
-let insert_run spec lk beta seed output =
-  wrap (fun () ->
+let insert_run spec lk beta seed output trace =
+  wrap ?trace (fun () ->
       let c = load_circuit spec in
       let r = Merced.run ~params:(params_of lk beta seed) c in
       let t = Ppet_core.Testable.insert r in
@@ -306,13 +342,14 @@ let insert_cmd =
            ~doc:"Write the testable netlist in .bench format.")
   in
   Cmd.v (Cmd.info "insert" ~doc ~exits)
-    Term.(const insert_run $ circuit_arg $ lk_arg $ beta_arg $ seed_arg $ output)
+    Term.(const insert_run $ circuit_arg $ lk_arg $ beta_arg $ seed_arg
+          $ output $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* retime                                                              *)
 
-let retime_run spec lk beta seed output =
-  wrap (fun () ->
+let retime_run spec lk beta seed output trace =
+  wrap ?trace (fun () ->
       let c = load_circuit spec in
       let r = Merced.run ~params:(params_of lk beta seed) c in
       match Merced.retimed_netlist r with
@@ -352,13 +389,14 @@ let retime_cmd =
            ~doc:"Write the retimed netlist in .bench format.")
   in
   Cmd.v (Cmd.info "retime" ~doc ~exits)
-    Term.(const retime_run $ circuit_arg $ lk_arg $ beta_arg $ seed_arg $ output)
+    Term.(const retime_run $ circuit_arg $ lk_arg $ beta_arg $ seed_arg
+          $ output $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* dot                                                                 *)
 
-let dot_run spec lk beta seed output partitioned =
-  wrap (fun () ->
+let dot_run spec lk beta seed output partitioned trace =
+  wrap ?trace (fun () ->
       let c = load_circuit spec in
       let text =
         if partitioned then begin
@@ -393,13 +431,14 @@ let dot_cmd =
            ~doc:"Run Merced first and draw the partitions and cut nets.")
   in
   Cmd.v (Cmd.info "dot" ~doc ~exits)
-    Term.(const dot_run $ circuit_arg $ lk_arg $ beta_arg $ seed_arg $ output $ partitioned)
+    Term.(const dot_run $ circuit_arg $ lk_arg $ beta_arg $ seed_arg $ output
+          $ partitioned $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sweep                                                               *)
 
-let sweep_run spec lks beta seed =
-  wrap (fun () ->
+let sweep_run spec lks beta seed trace =
+  wrap ?trace (fun () ->
       let c = load_circuit spec in
       Printf.printf "%-4s %9s %12s %9s %9s %12s %14s\n" "lk" "nets-cut"
         "cuts-on-SCC" "w/R(%)" "w/o(%)" "sigma(DFF)" "test-cycles";
@@ -422,13 +461,13 @@ let sweep_cmd =
            ~doc:"Comma-separated l_k values.")
   in
   Cmd.v (Cmd.info "sweep" ~doc ~exits)
-    Term.(const sweep_run $ circuit_arg $ lks $ beta_arg $ seed_arg)
+    Term.(const sweep_run $ circuit_arg $ lks $ beta_arg $ seed_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* check                                                               *)
 
-let check_run spec lk beta seed sequences cycles =
-  wrap_status (fun () ->
+let check_run spec lk beta seed sequences cycles trace =
+  wrap_status ?trace (fun () ->
       let c = load_circuit spec in
       let failures = ref 0 in
       let pass what = Printf.printf "%-11s ok: %s\n" what in
@@ -510,13 +549,13 @@ let check_cmd =
   in
   Cmd.v (Cmd.info "check" ~doc ~exits)
     Term.(const check_run $ circuit_arg $ lk_arg $ beta_arg $ seed_arg
-          $ sequences $ cycles)
+          $ sequences $ cycles $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* fuzz                                                                *)
 
-let fuzz_run seed count =
-  wrap_status (fun () ->
+let fuzz_run seed count trace =
+  wrap_status ?trace (fun () ->
       let r = Fuzz.run ~seed:(Int64.of_int seed) ~count () in
       Format.printf "%a@." Fuzz.pp_report r;
       if r.Fuzz.violations = [] then 0 else 1)
@@ -532,7 +571,8 @@ let fuzz_cmd =
     Arg.(value & opt int 50 & info [ "count"; "n" ] ~docv:"K"
            ~doc:"Number of fuzz cases.")
   in
-  Cmd.v (Cmd.info "fuzz" ~doc ~exits) Term.(const fuzz_run $ seed_arg $ count)
+  Cmd.v (Cmd.info "fuzz" ~doc ~exits)
+    Term.(const fuzz_run $ seed_arg $ count $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* lint                                                                *)
@@ -561,8 +601,8 @@ let lint_list_rules () =
         r.Lint_registry.doc)
     Lint_registry.all
 
-let lint_run spec registry rules list_rules json verbose lk beta seed jobs =
-  wrap_status (fun () ->
+let lint_run spec registry rules list_rules json verbose lk beta seed jobs trace =
+  wrap_status ?trace (fun () ->
       if list_rules then begin
         lint_list_rules ();
         0
@@ -649,7 +689,82 @@ let lint_cmd =
   in
   Cmd.v (Cmd.info "lint" ~doc ~exits)
     Term.(const lint_run $ circuit $ registry $ rules $ list_rules $ json
-          $ verbose $ lk_arg $ beta_arg $ seed_arg $ jobs_arg)
+          $ verbose $ lk_arg $ beta_arg $ seed_arg $ jobs_arg $ trace_arg)
+
+(* ------------------------------------------------------------------ *)
+(* bench                                                               *)
+
+let bench_run benchmarks repeat jobs out dry_run trace =
+  wrap_status ?trace (fun () ->
+      List.iter
+        (fun name ->
+          if name <> "s27" && not (List.mem name Benchmarks.names) then
+            raise
+              (Circuit.Error
+                 (Printf.sprintf
+                    "--benchmarks: %S is neither \"s27\" nor a known \
+                     benchmark (%s)"
+                    name
+                    (String.concat ", " Benchmarks.names))))
+        benchmarks;
+      if repeat < 1 then raise (Circuit.Error "--repeat must be >= 1");
+      if jobs < 1 then raise (Circuit.Error "--jobs must be >= 1");
+      let plan = { Bench_runner.benchmarks; repeat; jobs } in
+      if dry_run then begin
+        List.iter
+          (fun (e : Report.bench_entry) ->
+            Printf.printf "%s jobs=%d\n" e.Report.entry_name e.Report.jobs)
+          (Bench_runner.entry_names plan);
+        0
+      end
+      else begin
+        let progress name = Printf.eprintf "bench: %s\n%!" name in
+        let entries = Bench_runner.run ~progress plan in
+        let json = Report.bench_json ~name:"pipeline" ~entries in
+        let oc = open_out out in
+        output_string oc json;
+        close_out oc;
+        Printf.printf "wrote %s (%d entries)\n" out (List.length entries);
+        0
+      end)
+
+let bench_cmd =
+  let doc =
+    "Time every pipeline phase (generate, flow, cluster, assign, retime, \
+     fault simulation at 1 and --jobs workers) on a benchmark sweep and \
+     write the median/MAD regression baseline as BENCH JSON."
+  in
+  let benchmarks =
+    Arg.(value
+         & opt (list string) Bench_runner.default_plan.Bench_runner.benchmarks
+         & info [ "benchmarks" ] ~docv:"NAMES"
+             ~doc:"Comma-separated circuits to sweep: \"s27\" or registry \
+                   benchmark names.")
+  in
+  let repeat =
+    Arg.(value & opt int Bench_runner.default_plan.Bench_runner.repeat
+         & info [ "repeat" ] ~docv:"N"
+             ~doc:"Timed samples per phase (median and MAD are over these).")
+  in
+  let jobs =
+    Arg.(value & opt int Bench_runner.default_plan.Bench_runner.jobs
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Worker count of the parallel fault-simulation entry.")
+  in
+  let out =
+    Arg.(value & opt string "BENCH_pipeline.json"
+         & info [ "o"; "out" ] ~docv:"FILE"
+             ~doc:"Where to write the JSON baseline.")
+  in
+  let dry_run =
+    Arg.(value & flag
+         & info [ "dry-run" ]
+             ~doc:"List the entries that would be measured and exit \
+                   without timing anything.")
+  in
+  Cmd.v (Cmd.info "bench" ~doc ~exits)
+    Term.(const bench_run $ benchmarks $ repeat $ jobs $ out $ dry_run
+          $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -658,7 +773,8 @@ let main_cmd =
   let info = Cmd.info "merced" ~version:"1.0.0" ~doc ~exits in
   Cmd.group info
     [ stats_cmd; partition_cmd; generate_cmd; selftest_cmd; insert_cmd;
-      retime_cmd; dot_cmd; sweep_cmd; check_cmd; fuzz_cmd; lint_cmd ]
+      retime_cmd; dot_cmd; sweep_cmd; check_cmd; fuzz_cmd; lint_cmd;
+      bench_cmd ]
 
 let () =
   let code = Cmd.eval' main_cmd in

@@ -2,6 +2,7 @@ module Circuit = Ppet_netlist.Circuit
 module Gate = Ppet_netlist.Gate
 module Segment = Ppet_netlist.Segment
 module Domain_pool = Ppet_parallel.Domain_pool
+module Obs = Ppet_obs.Obs
 
 let word_mask = max_int
 
@@ -221,7 +222,7 @@ let sim_fault t s (f : Fault.t) =
 
 (* ------------------------------------------------------------------ *)
 
-let detects ?pool t ~patterns faults =
+let detects_impl ?pool t ~patterns faults =
   let width = Array.length t.inputs in
   List.iter
     (fun batch ->
@@ -262,6 +263,18 @@ let detects ?pool t ~patterns faults =
            let lo, hi = Domain_pool.chunk ~jobs ~n:nf w in
            worker lo hi));
   List.mapi (fun i f -> (f, verdict.(i))) faults
+
+(* The enabled check sits here, at the call boundary: the per-fault and
+   per-pattern loops above carry no instrumentation at all, and the
+   disabled path allocates no closure. *)
+let detects ?pool t ~patterns faults =
+  if not (Obs.enabled ()) then detects_impl ?pool t ~patterns faults
+  else
+    Obs.span "fault_engine.detects" (fun () ->
+        Obs.add Obs.Metric.Faults_simulated (List.length faults);
+        Obs.add Obs.Metric.Fault_patterns
+          (Gate.bits_per_word * List.length patterns);
+        detects_impl ?pool t ~patterns faults)
 
 let segment_detects ?pool sim seg ~patterns faults =
   detects ?pool (create sim seg) ~patterns faults

@@ -60,6 +60,7 @@ let remove_at st g sb beta ~distance vertices boundary =
 
 let make_group ?(locked = fun _ -> false) c g sb (flow : Flow.result)
     (p : Params.t) =
+  Ppet_obs.Obs.span "cluster.make_group" @@ fun () ->
   let n = Netgraph.n_nodes g in
   let m = Netgraph.n_nets g in
   let removed = Array.make m false in
@@ -136,6 +137,7 @@ let make_group ?(locked = fun _ -> false) c g sb (flow : Flow.result)
   List.iteri
     (fun i cl -> Array.iter (fun v -> cluster_of.(v) <- i) cl.vertices)
     clusters;
+  Ppet_obs.Obs.add Ppet_obs.Obs.Metric.Clusters_formed (List.length clusters);
   {
     clusters;
     cluster_of;

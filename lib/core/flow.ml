@@ -1,6 +1,7 @@
 module Netgraph = Ppet_digraph.Netgraph
 module Dijkstra = Ppet_digraph.Dijkstra
 module Prng = Ppet_digraph.Prng
+module Obs = Ppet_obs.Obs
 
 type result = {
   distance : float array;
@@ -13,6 +14,7 @@ let saturate g (p : Params.t) rng =
   (match Params.validate p with
    | Ok () -> ()
    | Error msg -> invalid_arg ("Flow.saturate: " ^ msg));
+  Obs.span "flow.saturate" @@ fun () ->
   let n = Netgraph.n_nodes g in
   let m = Netgraph.n_nets g in
   let distance = Array.make m 1.0 in
@@ -35,10 +37,12 @@ let saturate g (p : Params.t) rng =
       n_pending := !k
     in
     let ws = Dijkstra.workspace g in
+    let tree_nets = ref 0 in
     while !n_pending > 0 && !iterations < p.Params.max_iterations do
       let src = pending.(Prng.int rng !n_pending) in
       visits.(src) <- visits.(src) + 1;
       let tree = Dijkstra.run_into ws g ~dist:(fun e -> distance.(e)) ~src in
+      tree_nets := !tree_nets + Array.length tree.Dijkstra.tree_nets;
       Array.iter
         (fun e ->
           flow.(e) <- flow.(e) +. p.Params.delta;
@@ -50,8 +54,10 @@ let saturate g (p : Params.t) rng =
         tree.Dijkstra.tree_nets;
       incr iterations;
       compact ()
-    done
+    done;
+    Obs.add Obs.Metric.Flow_tree_nets !tree_nets
   end;
+  Obs.add Obs.Metric.Flow_iterations !iterations;
   { distance; flow; visits; iterations = !iterations }
 
 let boundaries r =

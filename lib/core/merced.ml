@@ -8,6 +8,7 @@ module Scc_budget = Ppet_retiming.Scc_budget
 module Rgraph = Ppet_retiming.Rgraph
 module Retime = Ppet_retiming.Retime
 module To_circuit = Ppet_retiming.To_circuit
+module Obs = Ppet_obs.Obs
 
 type result = {
   circuit : Circuit.t;
@@ -36,14 +37,15 @@ let run ?(params = Params.default) ?locked circuit =
   (match Params.validate params with
    | Ok () -> ()
    | Error msg -> invalid_arg ("Merced.run: " ^ msg));
+  Obs.span "merced.run" @@ fun () ->
   let t0 = Sys.time () in
   (* STEP 1: graph representation *)
-  let graph = To_graph.partition_view circuit in
+  let graph = Obs.span "merced.to_graph" (fun () -> To_graph.partition_view circuit) in
   Log.debug (fun m ->
       m "STEP 1 %s: %d vertices, %d nets" circuit.Circuit.title
         (Netgraph.n_nodes graph) (Netgraph.n_nets graph));
   (* STEP 2: strongly connected components *)
-  let budget = Scc_budget.create circuit graph in
+  let budget = Obs.span "merced.scc_budget" (fun () -> Scc_budget.create circuit graph) in
   Log.debug (fun m ->
       m "STEP 2: %d components, %d flip-flops on loops"
         (Scc_budget.n_components budget)
@@ -56,7 +58,12 @@ let run ?(params = Params.default) ?locked circuit =
   let clustering = Cluster.make_group ?locked circuit graph budget flow params in
   Log.debug (fun m ->
       m "STEP 3b: %d clusters" (List.length clustering.Cluster.clusters));
-  let assignment = Assign.run circuit graph clustering params rng in
+  let assignment =
+    Obs.span "merced.assign" (fun () ->
+        Assign.run circuit graph clustering params rng)
+  in
+  Obs.add Obs.Metric.Partitions_formed
+    (List.length assignment.Assign.partitions);
   Log.debug (fun m ->
       m "STEP 3c: %d partitions, %d cut nets"
         (List.length assignment.Assign.partitions)
@@ -64,11 +71,14 @@ let run ?(params = Params.default) ?locked circuit =
   (* STEP 4: report *)
   let iotas = partition_iotas_of assignment in
   let breakdown =
-    Area_accounting.compute circuit budget
-      ~cut_nets:assignment.Assign.cut_nets ~partition_iotas:iotas
+    Obs.span "merced.area" (fun () ->
+        Area_accounting.compute circuit budget
+          ~cut_nets:assignment.Assign.cut_nets ~partition_iotas:iotas)
   in
   let sigma_dff = Cost.sigma (List.map (fun i -> min i 32) iotas) in
   let testing_time = Cost.testing_time_cycles (List.map (fun i -> min i 32) iotas) in
+  Obs.gauge "merced.cuts_total" (float_of_int breakdown.Area_accounting.cuts_total);
+  Obs.gauge "merced.sigma_dff" sigma_dff;
   {
     circuit;
     params;
@@ -97,6 +107,7 @@ type certificate = {
    (those cut nets get multiplexed cells instead). Returns the graph, the
    labels, and the number of dropped requirements. *)
 let solve_requirements r =
+  Obs.span "merced.retime_requirements" @@ fun () ->
   let rg = Rgraph.of_circuit r.circuit in
   let vertex_by_name = Hashtbl.create (Rgraph.n_vertices rg) in
   for v = 0 to Rgraph.n_vertices rg - 1 do
@@ -148,6 +159,8 @@ let solve_requirements r =
   let required =
     List.sort compare (Hashtbl.fold (fun v _ acc -> v :: acc) required [])
   in
+  Obs.add Obs.Metric.Retime_required_kept (List.length required);
+  Obs.add Obs.Metric.Retime_required_dropped !dropped;
   (rg, rho, required, !dropped)
 
 let retiming_certificate r =
@@ -163,6 +176,7 @@ let retiming_feasibility r =
   if dropped = 0 then `Feasible else `Needs_mux dropped
 
 let apply_certificate r cert =
+  Obs.span "merced.retime_emit" @@ fun () ->
   let rg' = Retime.apply cert.cert_graph cert.cert_rho in
   To_circuit.circuit_of ~title:(r.circuit.Circuit.title ^ "-retimed") rg'
 

@@ -61,16 +61,28 @@ let csv_header =
    partitions,area_circuit,area_cbit_retimed,area_cbit_plain,ratio_with,\
    ratio_without,sigma_dff,testing_time,cpu_seconds"
 
-(* Machine-readable perf baselines (BENCH_*.json artefacts): a flat
-   JSON object of float metrics, stable enough to diff across PRs. *)
-let bench_json ~name ~metrics =
-  let buf = Buffer.create 256 in
-  Printf.bprintf buf "{\n  \"name\": \"%s\"" (String.escaped name);
-  List.iter
-    (fun (key, v) ->
-      Printf.bprintf buf ",\n  \"%s\": %.6g" (String.escaped key) v)
-    metrics;
-  Buffer.add_string buf "\n}\n";
+(* Machine-readable perf baselines (BENCH_*.json artefacts). Every bench
+   group — the fault-sim shootout and the pipeline sweep alike — goes
+   through this one emitter so the artefacts stay schema-identical and
+   diffable across PRs. *)
+type bench_entry = {
+  entry_name : string;
+  median_ns : float;
+  mad_ns : float;
+  jobs : int;
+}
+
+let bench_json ~name ~entries =
+  let buf = Buffer.create 512 in
+  Printf.bprintf buf "{\n  \"name\": \"%s\",\n  \"entries\": [" (String.escaped name);
+  List.iteri
+    (fun i e ->
+      Printf.bprintf buf "%s\n    { \"name\": \"%s\", \"median_ns\": %.6g, \
+                          \"mad_ns\": %.6g, \"jobs\": %d }"
+        (if i = 0 then "" else ",")
+        (String.escaped e.entry_name) e.median_ns e.mad_ns e.jobs)
+    entries;
+  Buffer.add_string buf "\n  ]\n}\n";
   Buffer.contents buf
 
 let csv_row r =

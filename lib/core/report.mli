@@ -21,8 +21,17 @@ val csv_header : string
 val csv_row : Merced.result -> string
 (** Machine-readable full record, one line. *)
 
-val bench_json : name:string -> metrics:(string * float) list -> string
-(** Flat JSON object ["name" + float metrics] — the format of the
-    BENCH_*.json perf baselines the bench harness emits (e.g. the fault
-    engine's ns/fault-pattern and speedup-vs-seed numbers), so future
-    changes can diff against a recorded baseline. *)
+type bench_entry = {
+  entry_name : string;  (** e.g. ["s27/flow"] or ["fault_sim/cone"] *)
+  median_ns : float;    (** median wall-clock per run *)
+  mad_ns : float;       (** median absolute deviation of the samples *)
+  jobs : int;           (** worker count the entry was measured at *)
+}
+(** One measured row of a BENCH_*.json artefact. *)
+
+val bench_json : name:string -> entries:bench_entry list -> string
+(** The BENCH_*.json perf-baseline format:
+    [{"name":..., "entries":[{"name","median_ns","mad_ns","jobs"},...]}].
+    Every bench group (fault-sim shootout, [merced bench] pipeline sweep)
+    emits through this helper so artefacts stay schema-identical and
+    future changes can diff against a recorded baseline. *)

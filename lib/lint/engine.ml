@@ -5,6 +5,7 @@ module Domain_pool = Ppet_parallel.Domain_pool
 module Merced = Ppet_core.Merced
 module Testable = Ppet_core.Testable
 module Params = Ppet_core.Params
+module Obs = Ppet_obs.Obs
 
 type report = {
   title : string;
@@ -94,9 +95,13 @@ let finish ?pool ~selection ~params ~title ~structural c =
     | Some c when compiled -> eval_groups ?pool (dft_groups ~selection ~params c)
     | _ -> []
   in
-  { title; selection; compiled; diags = Diag.sort (structural @ dft) }
+  let rep = { title; selection; compiled; diags = Diag.sort (structural @ dft) } in
+  Obs.add Obs.Metric.Lint_rules_fired (List.length selection);
+  Obs.add Obs.Metric.Lint_findings (findings rep);
+  rep
 
 let run_circuit ?pool ?(rules = Registry.ids) ?(params = Params.default) c =
+  Obs.span "lint.run_circuit" @@ fun () ->
   let selection = normalize_selection rules in
   let structural =
     List.filter (in_selection selection) (Struct_rules.run (Raw.of_circuit c))
@@ -105,6 +110,7 @@ let run_circuit ?pool ?(rules = Registry.ids) ?(params = Params.default) c =
 
 let run_text ?pool ?(rules = Registry.ids) ?(params = Params.default)
     ?(title = "bench") ?(file = "<string>") src =
+  Obs.span "lint.run_text" @@ fun () ->
   let selection = normalize_selection rules in
   let raw = Raw.parse ~title ~file src in
   let structural = Struct_rules.run raw in

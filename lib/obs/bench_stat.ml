@@ -1,0 +1,29 @@
+type summary = { median_ns : float; mad_ns : float; samples : int }
+
+let sorted_copy a =
+  let b = Array.copy a in
+  Array.sort compare b;
+  b
+
+let median a =
+  if Array.length a = 0 then invalid_arg "Bench_stat.median: empty";
+  let s = sorted_copy a in
+  let n = Array.length s in
+  if n mod 2 = 1 then s.(n / 2) else (s.((n / 2) - 1) +. s.(n / 2)) /. 2.0
+
+let mad a =
+  let m = median a in
+  median (Array.map (fun x -> Float.abs (x -. m)) a)
+
+let measure ?(warmup = 1) ?(repeat = 5) f =
+  if repeat < 1 then invalid_arg "Bench_stat.measure: repeat must be >= 1";
+  for _ = 1 to warmup do
+    f ()
+  done;
+  let samples =
+    Array.init repeat (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        f ();
+        (Unix.gettimeofday () -. t0) *. 1e9)
+  in
+  { median_ns = median samples; mad_ns = mad samples; samples = repeat }

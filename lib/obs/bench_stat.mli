@@ -1,0 +1,19 @@
+(** Robust summary statistics for benchmark runs.
+
+    Medians with median-absolute-deviation spread — the numbers every
+    BENCH_*.json entry carries — measured by repeated wall-clock runs.
+    Robust statistics beat means here: a single GC pause or scheduler
+    hiccup shifts a mean but not a median. *)
+
+type summary = { median_ns : float; mad_ns : float; samples : int }
+
+val median : float array -> float
+(** Median (average of the two middle elements for even sizes). Raises
+    [Invalid_argument] on the empty array. *)
+
+val mad : float array -> float
+(** Median absolute deviation around the median. *)
+
+val measure : ?warmup:int -> ?repeat:int -> (unit -> unit) -> summary
+(** Run [f] [warmup] times (default 1) untimed, then [repeat] times
+    (default 5) timed, and summarise nanoseconds per run. *)

@@ -1,0 +1,301 @@
+(* Pure renderers over Obs.events: same events, same bytes. *)
+
+type node = {
+  name : string;
+  t0 : int64;
+  mutable t1 : int64;
+  w0 : float;
+  mutable w1 : float;
+  mutable children : node list; (* reversed while building *)
+  mutable closed : bool;
+}
+
+let ts_of = function
+  | Obs.Begin b -> b.ts
+  | Obs.End e -> e.ts
+  | Obs.Count c -> c.ts
+  | Obs.Gauge g -> g.ts
+
+let tid_of = function
+  | Obs.Begin b -> b.tid
+  | Obs.End e -> e.tid
+  | Obs.Count c -> c.tid
+  | Obs.Gauge g -> g.tid
+
+(* [~normalise]: the i-th event happens at i microseconds with no
+   allocation, making every derived figure deterministic *)
+let normalised events =
+  List.mapi
+    (fun i ev ->
+      let ts = Int64.of_int (i * 1000) in
+      match ev with
+      | Obs.Begin b -> Obs.Begin { b with ts; minor_words = 0.0 }
+      | Obs.End e -> Obs.End { e with ts; minor_words = 0.0 }
+      | Obs.Count c -> Obs.Count { c with ts }
+      | Obs.Gauge g -> Obs.Gauge { g with ts })
+    events
+
+(* rebase so the first event sits at t = 0 *)
+let rebased events =
+  match events with
+  | [] -> []
+  | first :: _ ->
+    let t0 = ts_of first in
+    List.map
+      (fun ev ->
+        let ts = Int64.sub (ts_of ev) t0 in
+        match ev with
+        | Obs.Begin b -> Obs.Begin { b with ts }
+        | Obs.End e -> Obs.End { e with ts }
+        | Obs.Count c -> Obs.Count { c with ts }
+        | Obs.Gauge g -> Obs.Gauge { g with ts })
+      events
+
+let prepared ~normalise t =
+  let evs = Obs.events t in
+  if normalise then normalised evs else rebased evs
+
+(* span forest per tid, preserving per-tid event order; an unmatched
+   Begin stays marked open and ends at the last timestamp seen *)
+let forests events =
+  let stacks : (int, node list ref) Hashtbl.t = Hashtbl.create 4 in
+  let roots : (int, node list ref) Hashtbl.t = Hashtbl.create 4 in
+  let tids = ref [] in
+  let slot tbl tid =
+    match Hashtbl.find_opt tbl tid with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      Hashtbl.replace tbl tid r;
+      r
+  in
+  let last_ts = ref 0L in
+  List.iter
+    (fun ev ->
+      last_ts := ts_of ev;
+      let tid = tid_of ev in
+      if not (List.mem tid !tids) then tids := tid :: !tids;
+      match ev with
+      | Obs.Begin b ->
+        let n =
+          {
+            name = b.name;
+            t0 = b.ts;
+            t1 = b.ts;
+            w0 = b.minor_words;
+            w1 = b.minor_words;
+            children = [];
+            closed = false;
+          }
+        in
+        let st = slot stacks tid in
+        (match !st with
+         | parent :: _ -> parent.children <- n :: parent.children
+         | [] -> (slot roots tid) := n :: !(slot roots tid));
+        st := n :: !st
+      | Obs.End e -> (
+        let st = slot stacks tid in
+        match !st with
+        | n :: rest ->
+          n.t1 <- e.ts;
+          n.w1 <- e.minor_words;
+          n.closed <- true;
+          st := rest
+        | [] -> () (* stray End: drop *))
+      | Obs.Count _ | Obs.Gauge _ -> ())
+    events;
+  (* close anything left open at the last timestamp *)
+  Hashtbl.iter
+    (fun _ st -> List.iter (fun n -> n.t1 <- !last_ts) !st)
+    stacks;
+  let order_children n =
+    let rec fix n =
+      n.children <- List.rev n.children;
+      List.iter fix n.children
+    in
+    fix n
+  in
+  List.rev !tids
+  |> List.filter_map (fun tid ->
+         match Hashtbl.find_opt roots tid with
+         | None -> None
+         | Some r ->
+           let rs = List.rev !r in
+           List.iter order_children rs;
+           Some (tid, rs))
+
+let pp_duration_ns ns =
+  let ns = Int64.to_float ns in
+  if ns >= 1e9 then Printf.sprintf "%.2fs" (ns /. 1e9)
+  else if ns >= 1e6 then Printf.sprintf "%.2fms" (ns /. 1e6)
+  else if ns >= 1e3 then Printf.sprintf "%.2fus" (ns /. 1e3)
+  else Printf.sprintf "%.0fns" ns
+
+let pp_words w =
+  if w >= 1e6 then Printf.sprintf "+%.1fMw" (w /. 1e6)
+  else if w >= 1e3 then Printf.sprintf "+%.1fkw" (w /. 1e3)
+  else Printf.sprintf "+%.0fw" w
+
+let counts_by_metric events =
+  List.filter_map
+    (fun m ->
+      let total =
+        List.fold_left
+          (fun acc ev ->
+            match ev with
+            | Obs.Count c when c.metric = m -> acc + c.value
+            | _ -> acc)
+          0 events
+      in
+      if total = 0 then None else Some (m, total))
+    Obs.Metric.all
+
+let gauges_in_order events =
+  List.filter_map
+    (function Obs.Gauge g -> Some (g.name, g.value) | _ -> None)
+    events
+
+let worker_busy events =
+  let tbl = Hashtbl.create 4 in
+  let order = ref [] in
+  List.iter
+    (function
+      | Obs.Count { metric = Obs.Metric.Pool_busy_ns; tid; value; _ } ->
+        (match Hashtbl.find_opt tbl tid with
+         | Some (busy, tasks) -> Hashtbl.replace tbl tid (busy + value, tasks + 1)
+         | None ->
+           order := tid :: !order;
+           Hashtbl.replace tbl tid (value, 1))
+      | _ -> ())
+    events;
+  List.sort compare (List.rev !order)
+  |> List.map (fun tid -> (tid, Hashtbl.find tbl tid))
+
+let to_human ?(normalise = false) t =
+  let events = prepared ~normalise t in
+  let buf = Buffer.create 1024 in
+  let n_spans =
+    List.length (List.filter (function Obs.Begin _ -> true | _ -> false) events)
+  in
+  let forests = forests events in
+  Printf.bprintf buf "trace: %d events, %d spans, %d workers\n"
+    (List.length events) n_spans
+    (max 1 (List.length forests));
+  List.iter
+    (fun (tid, roots) ->
+      Printf.bprintf buf "spans (worker %d):\n" tid;
+      let rec render depth n =
+        Printf.bprintf buf "%s%-*s %10s %10s%s\n"
+          (String.make (2 + (2 * depth)) ' ')
+          (max 1 (40 - (2 * depth)))
+          n.name
+          (pp_duration_ns (Int64.sub n.t1 n.t0))
+          (pp_words (n.w1 -. n.w0))
+          (if n.closed then "" else "  (open)");
+        List.iter (render (depth + 1)) n.children
+      in
+      List.iter (render 0) roots)
+    forests;
+  (match counts_by_metric events with
+   | [] -> ()
+   | counts ->
+     Buffer.add_string buf "counters:\n";
+     List.iter
+       (fun (m, v) ->
+         Printf.bprintf buf "  %-40s %12d\n" (Obs.Metric.name m) v)
+       counts);
+  (match gauges_in_order events with
+   | [] -> ()
+   | gs ->
+     Buffer.add_string buf "gauges:\n";
+     List.iter
+       (fun (name, v) -> Printf.bprintf buf "  %-40s %12g\n" name v)
+       gs);
+  (match worker_busy events with
+   | [] -> ()
+   | ws ->
+     Buffer.add_string buf "workers:\n";
+     List.iter
+       (fun (tid, (busy, tasks)) ->
+         Printf.bprintf buf "  worker %d: busy %s over %d task%s\n" tid
+           (pp_duration_ns (Int64.of_int busy))
+           tasks
+           (if tasks = 1 then "" else "s"))
+       ws);
+  Buffer.contents buf
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let pp_ts_us ns = Printf.sprintf "%.3f" (Int64.to_float ns /. 1e3)
+
+let to_chrome ?(normalise = false) t =
+  let events = prepared ~normalise t in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[\n";
+  (* per-tid name stacks so "E" events carry their span's name *)
+  let stacks : (int, string list ref) Hashtbl.t = Hashtbl.create 4 in
+  let stack tid =
+    match Hashtbl.find_opt stacks tid with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      Hashtbl.replace stacks tid r;
+      r
+  in
+  let first = ref true in
+  let emit line =
+    if !first then first := false else Buffer.add_string buf ",\n";
+    Buffer.add_string buf line
+  in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Obs.Begin b ->
+        let st = stack b.tid in
+        st := b.name :: !st;
+        emit
+          (Printf.sprintf
+             "{\"name\":\"%s\",\"ph\":\"B\",\"pid\":0,\"tid\":%d,\"ts\":%s}"
+             (json_escape b.name) b.tid (pp_ts_us b.ts))
+      | Obs.End e ->
+        let st = stack e.tid in
+        let name =
+          match !st with
+          | n :: rest ->
+            st := rest;
+            n
+          | [] -> "?"
+        in
+        emit
+          (Printf.sprintf
+             "{\"name\":\"%s\",\"ph\":\"E\",\"pid\":0,\"tid\":%d,\"ts\":%s}"
+             (json_escape name) e.tid (pp_ts_us e.ts))
+      | Obs.Count c ->
+        emit
+          (Printf.sprintf
+             "{\"name\":\"%s\",\"ph\":\"C\",\"pid\":0,\"tid\":%d,\"ts\":%s,\
+              \"args\":{\"value\":%d}}"
+             (json_escape (Obs.Metric.name c.metric))
+             c.tid (pp_ts_us c.ts) c.value)
+      | Obs.Gauge g ->
+        emit
+          (Printf.sprintf
+             "{\"name\":\"%s\",\"ph\":\"C\",\"pid\":0,\"tid\":%d,\"ts\":%s,\
+              \"args\":{\"value\":%g}}"
+             (json_escape g.name) g.tid (pp_ts_us g.ts)
+             g.value))
+    events;
+  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents buf

@@ -1,0 +1,18 @@
+(** Renderers for {!Obs} traces.
+
+    Both exporters are pure functions of the recorded event stream:
+    identical events give byte-identical output. Events keep recording
+    order (per-worker streams are ordered; cross-worker interleaving is
+    whatever the run produced). With [~normalise:true] timestamps become
+    the event's sequence index (microseconds) and allocation figures
+    zero, so golden tests and documentation diffs are deterministic. *)
+
+val to_human : ?normalise:bool -> Obs.t -> string
+(** Indented span tree per worker (duration and minor-heap allocation
+    delta per span), then counters, gauges and per-worker pool
+    utilisation. *)
+
+val to_chrome : ?normalise:bool -> Obs.t -> string
+(** Chrome [trace_event] JSON (load via [chrome://tracing] or Perfetto):
+    spans as ["B"]/["E"] pairs, counters and gauges as ["C"] events, one
+    event per line, [tid] = worker id. *)

@@ -1,0 +1,118 @@
+module Metric = struct
+  type t =
+    | Flow_iterations
+    | Flow_tree_nets
+    | Bf_relaxations
+    | Retime_required_kept
+    | Retime_required_dropped
+    | Clusters_formed
+    | Partitions_formed
+    | Faults_simulated
+    | Fault_patterns
+    | Lint_rules_fired
+    | Lint_findings
+    | Pool_dispatches
+    | Pool_busy_ns
+
+  let name = function
+    | Flow_iterations -> "flow.iterations"
+    | Flow_tree_nets -> "flow.tree_nets"
+    | Bf_relaxations -> "retime.bf_relaxations"
+    | Retime_required_kept -> "retime.required_kept"
+    | Retime_required_dropped -> "retime.required_dropped"
+    | Clusters_formed -> "cluster.clusters"
+    | Partitions_formed -> "assign.partitions"
+    | Faults_simulated -> "fault.faults"
+    | Fault_patterns -> "fault.patterns"
+    | Lint_rules_fired -> "lint.rules_fired"
+    | Lint_findings -> "lint.findings"
+    | Pool_dispatches -> "pool.dispatches"
+    | Pool_busy_ns -> "pool.busy_ns"
+
+  let all =
+    [
+      Flow_iterations; Flow_tree_nets; Bf_relaxations; Retime_required_kept;
+      Retime_required_dropped; Clusters_formed; Partitions_formed;
+      Faults_simulated; Fault_patterns; Lint_rules_fired; Lint_findings;
+      Pool_dispatches; Pool_busy_ns;
+    ]
+end
+
+type event =
+  | Begin of { name : string; tid : int; ts : int64; minor_words : float }
+  | End of { tid : int; ts : int64; minor_words : float }
+  | Count of { metric : Metric.t; tid : int; ts : int64; value : int }
+  | Gauge of { name : string; tid : int; ts : int64; value : float }
+
+type t = {
+  mutex : Mutex.t;
+  mutable events : event list; (* newest first *)
+  clock : unit -> int64;
+}
+
+let wall_clock_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+
+let create ?(clock = wall_clock_ns) () =
+  { mutex = Mutex.create (); events = []; clock }
+
+(* The one process-wide sink. An [Atomic.t] keeps the disabled check a
+   single plain load from every domain. *)
+let sink : t option Atomic.t = Atomic.make None
+
+let install t = Atomic.set sink (Some t)
+let current () = Atomic.get sink
+let uninstall () = Atomic.set sink None
+let enabled () = Atomic.get sink <> None
+
+let with_installed t f =
+  install t;
+  Fun.protect ~finally:uninstall f
+
+let events t = Mutex.protect t.mutex (fun () -> List.rev t.events)
+let now t = t.clock ()
+
+let record t ev =
+  Mutex.lock t.mutex;
+  t.events <- ev :: t.events;
+  Mutex.unlock t.mutex
+
+(* worker attribution: Domain_pool publishes the worker index it gave
+   this domain, so events land on the right track even though domains
+   are recycled across dispatches *)
+let worker_key = Domain.DLS.new_key (fun () -> 0)
+let worker () = Domain.DLS.get worker_key
+
+let with_worker w f =
+  let prev = Domain.DLS.get worker_key in
+  Domain.DLS.set worker_key w;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set worker_key prev) f
+
+let span name f =
+  match Atomic.get sink with
+  | None -> f ()
+  | Some t ->
+    let tid = worker () in
+    record t
+      (Begin { name; tid; ts = t.clock (); minor_words = Gc.minor_words () });
+    let finish () =
+      record t (End { tid; ts = t.clock (); minor_words = Gc.minor_words () })
+    in
+    (match f () with
+     | v ->
+       finish ();
+       v
+     | exception e ->
+       finish ();
+       raise e)
+
+let add metric value =
+  match Atomic.get sink with
+  | None -> ()
+  | Some t ->
+    record t (Count { metric; tid = worker (); ts = t.clock (); value })
+
+let gauge name value =
+  match Atomic.get sink with
+  | None -> ()
+  | Some t ->
+    record t (Gauge { name; tid = worker (); ts = t.clock (); value })

@@ -12,6 +12,7 @@ let pinned g v =
    queue-based Bellman-Ford (SPFA). A vertex relaxed >= n times lies on a
    negative cycle; we walk predecessor links to extract it. *)
 let solve g ~require =
+  Ppet_obs.Obs.span "retime.solve" @@ fun () ->
   let n = Rgraph.n_vertices g in
   (* constraint arcs: (from, to, length) meaning rho(to) <= rho(from) + len *)
   let arcs = ref [] in
@@ -42,6 +43,7 @@ let solve g ~require =
     Queue.add v queue
   done;
   let neg_vertex = ref (-1) in
+  let relaxations = ref 0 in
   (try
      while not (Queue.is_empty queue) do
        let u = Queue.pop queue in
@@ -49,6 +51,7 @@ let solve g ~require =
        List.iter
          (fun (v, l) ->
            if dist.(u) + l < dist.(v) then begin
+             incr relaxations;
              dist.(v) <- dist.(u) + l;
              pred.(v) <- u;
              relax_count.(v) <- relax_count.(v) + 1;
@@ -64,6 +67,7 @@ let solve g ~require =
          out.(u)
      done
    with Exit -> ());
+  Ppet_obs.Obs.add Ppet_obs.Obs.Metric.Bf_relaxations !relaxations;
   if !neg_vertex >= 0 then begin
     (* step back n times to be sure we are on the cycle, then collect it *)
     let v = ref !neg_vertex in
@@ -135,6 +139,7 @@ let push_head (e : Rgraph.edge) v =
 
 let apply g rho =
   if not (is_legal g rho) then invalid_arg "Retime.apply: illegal retiming";
+  Ppet_obs.Obs.span "retime.apply" @@ fun () ->
   let work = Rgraph.copy g in
   let n = Rgraph.n_vertices work in
   let rem = Array.copy rho in

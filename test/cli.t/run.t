@@ -155,3 +155,63 @@ The registry's rule table is printed on demand:
   $ $MERCED lint --list-rules | head -2
   syntax             structural error   illegal characters and malformed statements in .bench text
   multiple-drivers   structural error   a signal defined more than once (two drivers short the net)
+
+Tracing: --trace on any subcommand records the pipeline spans. A
+non-.json target gets the human tree; the span names are deterministic
+even though the timings are not:
+
+  $ $MERCED partition s27 --lk 3 --trace t.txt > /dev/null 2> trace.err
+  $ grep -c "trace: wrote t.txt" trace.err
+  1
+  $ sed -n '/^spans/,/^counters:/p' t.txt | sed '1d;$d' | awk '{print $1}'
+  merced.run
+  merced.to_graph
+  merced.scc_budget
+  flow.saturate
+  cluster.make_group
+  merced.assign
+  merced.area
+  merced.retime_requirements
+  retime.solve
+  retime.solve
+
+A .json target gets Chrome trace_event format with balanced B/E pairs:
+
+  $ $MERCED lint s27 --lk 3 --trace t.json > /dev/null 2> /dev/null
+  $ head -1 t.json
+  {"traceEvents":[
+  $ tail -1 t.json
+  ],"displayTimeUnit":"ms"}
+  $ test $(grep -c '"ph":"B"' t.json) = $(grep -c '"ph":"E"' t.json) && echo balanced
+  balanced
+  $ grep -c '"name":"lint.run_circuit"' t.json
+  2
+
+The exit contract survives tracing: findings still exit 1, usage errors
+still exit 2, and the trace file is written even when the run fails:
+
+  $ $MERCED lint broken.bench --trace lt.txt > /dev/null 2> /dev/null; echo "exit $?"
+  exit 1
+  $ $MERCED stats nosuch --trace oops.txt 2> /dev/null; echo "exit $?"
+  exit 2
+  $ test -f oops.txt && echo present
+  present
+
+The bench regression runner: --dry-run lists the sweep without timing
+anything, and bad arguments are usage errors:
+
+  $ $MERCED bench --benchmarks s27 --dry-run; echo "exit $?"
+  s27/generate jobs=1
+  s27/flow jobs=1
+  s27/cluster jobs=1
+  s27/assign jobs=1
+  s27/retime jobs=1
+  s27/fault_sim jobs=1
+  s27/fault_sim jobs=2
+  exit 0
+  $ $MERCED bench --benchmarks s27 --jobs 4 --dry-run | tail -1
+  s27/fault_sim jobs=4
+  $ $MERCED bench --benchmarks nosuch --dry-run 2> /dev/null; echo "exit $?"
+  exit 2
+  $ $MERCED bench --benchmarks s27 --repeat 0 2> /dev/null; echo "exit $?"
+  exit 2
