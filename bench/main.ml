@@ -595,6 +595,7 @@ let bench_fault_engine () =
       median_ns = s.Bench_stat.median_ns;
       mad_ns = s.Bench_stat.mad_ns;
       jobs;
+      circuit_stats = None;
     }
   in
   let seed =

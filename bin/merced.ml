@@ -91,8 +91,21 @@ let write_circuit path c =
   if Filename.check_suffix path ".v" then Ppet_netlist.Verilog.to_file path c
   else Bench_writer.to_file path c
 
-let params_of lk beta seed =
-  { Params.default with Params.l_k = lk; beta; seed = Int64.of_int seed }
+let substrate_arg =
+  let doc =
+    "Graph substrate driving the pipeline: $(b,csr) (flat int-array \
+     adjacency, the default) or $(b,hashed) (the original per-vertex \
+     structures, kept as a debugging cross-check). Both produce \
+     identical partitions and identical feasible retimings; they may \
+     report different over-constrained cycles on infeasible systems."
+  in
+  Arg.(value
+       & opt (enum [ ("hashed", Params.Hashed); ("csr", Params.Csr) ]) Params.Csr
+       & info [ "substrate" ] ~docv:"KIND" ~doc)
+
+let params_of ?(substrate = Params.Csr) lk beta seed =
+  { Params.default with
+    Params.l_k = lk; beta; seed = Int64.of_int seed; substrate }
 
 let trace_arg =
   let doc =
@@ -186,11 +199,13 @@ let locked_fn c names =
       names;
     Some (Hashtbl.mem ids)
 
-let partition_run spec lk beta seed lock csv verbose trace =
+let partition_run spec lk beta seed substrate lock csv verbose trace =
   wrap ?trace (fun () ->
       let c = load_circuit spec in
       let r =
-        Merced.run ~params:(params_of lk beta seed) ?locked:(locked_fn c lock) c
+        Merced.run
+          ~params:(params_of ~substrate lk beta seed)
+          ?locked:(locked_fn c lock) c
       in
       if csv then begin
         print_endline Report.csv_header;
@@ -231,7 +246,7 @@ let partition_cmd =
   Cmd.v
     (Cmd.info "partition" ~doc ~exits)
     Term.(const partition_run $ circuit_arg $ lk_arg $ beta_arg $ seed_arg
-          $ lock_arg $ csv $ verbose $ trace_arg)
+          $ substrate_arg $ lock_arg $ csv $ verbose $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* generate                                                            *)
@@ -268,10 +283,10 @@ let generate_cmd =
 (* ------------------------------------------------------------------ *)
 (* selftest                                                            *)
 
-let selftest_run spec lk beta seed max_width jobs trace =
+let selftest_run spec lk beta seed substrate max_width jobs trace =
   wrap ?trace (fun () ->
       let c = load_circuit spec in
-      let r = Merced.run ~params:(params_of lk beta seed) c in
+      let r = Merced.run ~params:(params_of ~substrate lk beta seed) c in
       let sim = Simulator.create c in
       let segments = Merced.segments r in
       Printf.printf "circuit %s: %d segments\n" c.Circuit.title
@@ -305,15 +320,15 @@ let selftest_cmd =
   in
   Cmd.v (Cmd.info "selftest" ~doc ~exits)
     Term.(const selftest_run $ circuit_arg $ lk_arg $ beta_arg $ seed_arg
-          $ max_width $ jobs_arg $ trace_arg)
+          $ substrate_arg $ max_width $ jobs_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* insert                                                              *)
 
-let insert_run spec lk beta seed output trace =
+let insert_run spec lk beta seed substrate output trace =
   wrap ?trace (fun () ->
       let c = load_circuit spec in
-      let r = Merced.run ~params:(params_of lk beta seed) c in
+      let r = Merced.run ~params:(params_of ~substrate lk beta seed) c in
       let t = Ppet_core.Testable.insert r in
       Printf.printf
         "inserted %d test cells in %d CBITs (+%.0f area units, %.1f/cell)\n"
@@ -343,15 +358,15 @@ let insert_cmd =
   in
   Cmd.v (Cmd.info "insert" ~doc ~exits)
     Term.(const insert_run $ circuit_arg $ lk_arg $ beta_arg $ seed_arg
-          $ output $ trace_arg)
+          $ substrate_arg $ output $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* retime                                                              *)
 
-let retime_run spec lk beta seed output trace =
+let retime_run spec lk beta seed substrate output trace =
   wrap ?trace (fun () ->
       let c = load_circuit spec in
-      let r = Merced.run ~params:(params_of lk beta seed) c in
+      let r = Merced.run ~params:(params_of ~substrate lk beta seed) c in
       match Merced.retimed_netlist r with
       | None -> prerr_endline "error: no legal retiming found"
       | Some (emitted, dropped) ->
@@ -390,17 +405,17 @@ let retime_cmd =
   in
   Cmd.v (Cmd.info "retime" ~doc ~exits)
     Term.(const retime_run $ circuit_arg $ lk_arg $ beta_arg $ seed_arg
-          $ output $ trace_arg)
+          $ substrate_arg $ output $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* dot                                                                 *)
 
-let dot_run spec lk beta seed output partitioned trace =
+let dot_run spec lk beta seed substrate output partitioned trace =
   wrap ?trace (fun () ->
       let c = load_circuit spec in
       let text =
         if partitioned then begin
-          let r = Merced.run ~params:(params_of lk beta seed) c in
+          let r = Merced.run ~params:(params_of ~substrate lk beta seed) c in
           let drivers =
             List.map
               (fun e -> Ppet_digraph.Netgraph.net_src r.Merced.graph e)
@@ -431,20 +446,20 @@ let dot_cmd =
            ~doc:"Run Merced first and draw the partitions and cut nets.")
   in
   Cmd.v (Cmd.info "dot" ~doc ~exits)
-    Term.(const dot_run $ circuit_arg $ lk_arg $ beta_arg $ seed_arg $ output
-          $ partitioned $ trace_arg)
+    Term.(const dot_run $ circuit_arg $ lk_arg $ beta_arg $ seed_arg
+          $ substrate_arg $ output $ partitioned $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sweep                                                               *)
 
-let sweep_run spec lks beta seed trace =
+let sweep_run spec lks beta seed substrate trace =
   wrap ?trace (fun () ->
       let c = load_circuit spec in
       Printf.printf "%-4s %9s %12s %9s %9s %12s %14s\n" "lk" "nets-cut"
         "cuts-on-SCC" "w/R(%)" "w/o(%)" "sigma(DFF)" "test-cycles";
       List.iter
         (fun lk ->
-          let r = Merced.run ~params:(params_of lk beta seed) c in
+          let r = Merced.run ~params:(params_of ~substrate lk beta seed) c in
           let b = r.Merced.breakdown in
           Printf.printf "%-4d %9d %12d %9.1f %9.1f %12.1f %14.3g\n" lk
             b.Ppet_core.Area_accounting.cuts_total
@@ -461,12 +476,13 @@ let sweep_cmd =
            ~doc:"Comma-separated l_k values.")
   in
   Cmd.v (Cmd.info "sweep" ~doc ~exits)
-    Term.(const sweep_run $ circuit_arg $ lks $ beta_arg $ seed_arg $ trace_arg)
+    Term.(const sweep_run $ circuit_arg $ lks $ beta_arg $ seed_arg
+          $ substrate_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* check                                                               *)
 
-let check_run spec lk beta seed sequences cycles trace =
+let check_run spec lk beta seed substrate sequences cycles trace =
   wrap_status ?trace (fun () ->
       let c = load_circuit spec in
       let failures = ref 0 in
@@ -482,7 +498,7 @@ let check_run spec lk beta seed sequences cycles trace =
            pass "round-trip" "writer -> parser is the identity"
          else fail "round-trip" "re-parsed netlist differs structurally"
        | exception Circuit.Error msg -> fail "round-trip" msg);
-      let r = Merced.run ~params:(params_of lk beta seed) c in
+      let r = Merced.run ~params:(params_of ~substrate lk beta seed) c in
       (* 2. retimed netlist vs the original, 3-valued *)
       (match Merced.retimed_netlist r with
        | None -> Printf.printf "%-11s skipped: no legal retiming\n" "retimed"
@@ -549,7 +565,7 @@ let check_cmd =
   in
   Cmd.v (Cmd.info "check" ~doc ~exits)
     Term.(const check_run $ circuit_arg $ lk_arg $ beta_arg $ seed_arg
-          $ sequences $ cycles $ trace_arg)
+          $ substrate_arg $ sequences $ cycles $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* fuzz                                                                *)
@@ -601,7 +617,8 @@ let lint_list_rules () =
         r.Lint_registry.doc)
     Lint_registry.all
 
-let lint_run spec registry rules list_rules json verbose lk beta seed jobs trace =
+let lint_run spec registry rules list_rules json verbose lk beta seed substrate
+    jobs trace =
   wrap_status ?trace (fun () ->
       if list_rules then begin
         lint_list_rules ();
@@ -614,7 +631,7 @@ let lint_run spec registry rules list_rules json verbose lk beta seed jobs trace
         (match Lint_registry.validate_selection rules with
          | Ok () -> ()
          | Error msg -> raise (Circuit.Error msg));
-        let params = params_of lk beta seed in
+        let params = params_of ~substrate lk beta seed in
         let reports =
           with_jobs jobs (fun pool ->
               match (registry, spec) with
@@ -689,26 +706,96 @@ let lint_cmd =
   in
   Cmd.v (Cmd.info "lint" ~doc ~exits)
     Term.(const lint_run $ circuit $ registry $ rules $ list_rules $ json
-          $ verbose $ lk_arg $ beta_arg $ seed_arg $ jobs_arg $ trace_arg)
+          $ verbose $ lk_arg $ beta_arg $ seed_arg $ substrate_arg $ jobs_arg
+          $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* bench                                                               *)
 
-let bench_run benchmarks repeat jobs out dry_run trace =
+(* The regression guard of --against: every fresh retime median must stay
+   within [factor] of the committed baseline's median for the same entry
+   (name and job count). Fresh entries without a baseline row pass;
+   mismatched circuit stats fail, because medians of different workloads
+   are not comparable. *)
+let bench_guard ~factor ~baseline entries =
+  let key (e : Report.bench_entry) = (e.Report.entry_name, e.Report.jobs) in
+  let base = List.map (fun e -> (key e, e)) baseline in
+  let failures = ref 0 in
+  List.iter
+    (fun (e : Report.bench_entry) ->
+      if Filename.check_suffix e.Report.entry_name "/retime" then
+        match List.assoc_opt (key e) base with
+        | None ->
+          Printf.printf "guard: %-24s no baseline entry, skipped\n"
+            e.Report.entry_name
+        | Some b ->
+          let stats_ok =
+            match (e.Report.circuit_stats, b.Report.circuit_stats) with
+            | Some a, Some b -> a = b
+            | _, None -> true (* pre-stats baseline: compare on faith *)
+            | None, Some _ -> false
+          in
+          if not stats_ok then begin
+            incr failures;
+            Printf.printf
+              "guard: %-24s FAILED: circuit shape differs from baseline\n"
+              e.Report.entry_name
+          end
+          else begin
+            let ratio =
+              if b.Report.median_ns > 0. then
+                e.Report.median_ns /. b.Report.median_ns
+              else 1.0
+            in
+            if ratio > factor then begin
+              incr failures;
+              Printf.printf
+                "guard: %-24s FAILED: %.3gms vs baseline %.3gms (%.2fx > \
+                 %.2fx)\n"
+                e.Report.entry_name
+                (e.Report.median_ns /. 1e6)
+                (b.Report.median_ns /. 1e6)
+                ratio factor
+            end
+            else
+              Printf.printf "guard: %-24s ok (%.2fx of baseline)\n"
+                e.Report.entry_name ratio
+          end)
+    entries;
+  !failures
+
+let bench_run benchmarks repeat jobs out against dry_run trace =
   wrap_status ?trace (fun () ->
       List.iter
         (fun name ->
-          if name <> "s27" && not (List.mem name Benchmarks.names) then
+          if
+            name <> "s27"
+            && (not (List.mem name Benchmarks.names))
+            && not (List.mem name Benchmarks.synthetic_names)
+          then
             raise
               (Circuit.Error
                  (Printf.sprintf
-                    "--benchmarks: %S is neither \"s27\" nor a known \
-                     benchmark (%s)"
+                    "--benchmarks: %S is neither \"s27\", a known benchmark \
+                     (%s), nor a synthetic profile (%s)"
                     name
-                    (String.concat ", " Benchmarks.names))))
+                    (String.concat ", " Benchmarks.names)
+                    (String.concat ", " Benchmarks.synthetic_names))))
         benchmarks;
       if repeat < 1 then raise (Circuit.Error "--repeat must be >= 1");
       if jobs < 1 then raise (Circuit.Error "--jobs must be >= 1");
+      let baseline =
+        match against with
+        | None -> None
+        | Some path ->
+          if not (Sys.file_exists path) then
+            raise
+              (Circuit.Error
+                 (Printf.sprintf "--against: no such baseline file %S" path));
+          Some
+            (Report.bench_entries_of_json
+               (In_channel.with_open_text path In_channel.input_all))
+      in
       let plan = { Bench_runner.benchmarks; repeat; jobs } in
       if dry_run then begin
         List.iter
@@ -725,7 +812,10 @@ let bench_run benchmarks repeat jobs out dry_run trace =
         output_string oc json;
         close_out oc;
         Printf.printf "wrote %s (%d entries)\n" out (List.length entries);
-        0
+        match baseline with
+        | None -> 0
+        | Some baseline ->
+          if bench_guard ~factor:2.0 ~baseline entries > 0 then 1 else 0
       end)
 
 let bench_cmd =
@@ -738,8 +828,9 @@ let bench_cmd =
     Arg.(value
          & opt (list string) Bench_runner.default_plan.Bench_runner.benchmarks
          & info [ "benchmarks" ] ~docv:"NAMES"
-             ~doc:"Comma-separated circuits to sweep: \"s27\" or registry \
-                   benchmark names.")
+             ~doc:"Comma-separated circuits to sweep: \"s27\", registry \
+                   benchmark names, or the synthetic scale profiles \
+                   (synth10k, synth100k, synth1m).")
   in
   let repeat =
     Arg.(value & opt int Bench_runner.default_plan.Bench_runner.repeat
@@ -756,6 +847,14 @@ let bench_cmd =
          & info [ "o"; "out" ] ~docv:"FILE"
              ~doc:"Where to write the JSON baseline.")
   in
+  let against =
+    Arg.(value & opt (some string) None
+         & info [ "against" ] ~docv:"FILE"
+             ~doc:"Compare the fresh retime medians against this committed \
+                   BENCH baseline and exit 1 when any regresses by more \
+                   than 2x (entries are matched by name and job count; a \
+                   circuit-shape mismatch also fails).")
+  in
   let dry_run =
     Arg.(value & flag
          & info [ "dry-run" ]
@@ -763,8 +862,8 @@ let bench_cmd =
                    without timing anything.")
   in
   Cmd.v (Cmd.info "bench" ~doc ~exits)
-    Term.(const bench_run $ benchmarks $ repeat $ jobs $ out $ dry_run
-          $ trace_arg)
+    Term.(const bench_run $ benchmarks $ repeat $ jobs $ out $ against
+          $ dry_run $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 

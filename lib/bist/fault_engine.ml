@@ -222,6 +222,14 @@ let sim_fault t s (f : Fault.t) =
 
 (* ------------------------------------------------------------------ *)
 
+(* Below this many member gates a pooled dispatch is slower than the
+   serial loop: each worker allocates circuit-sized scratch and pays the
+   fork/join barrier, while the simulation itself finishes in
+   microseconds. Measured on the generated benchmarks (see
+   EXPERIMENTS.md, "fault-engine cutover"); results are bit-identical
+   either way, only the wall clock changes. *)
+let sequential_cutover = 128
+
 let detects_impl ?pool t ~patterns faults =
   let width = Array.length t.inputs in
   List.iter
@@ -257,7 +265,8 @@ let detects_impl ?pool t ~patterns faults =
    | None -> worker 0 nf
    | Some p ->
      let jobs = Domain_pool.jobs p in
-     if jobs = 1 then worker 0 nf
+     if jobs = 1 || Array.length t.seg_order < sequential_cutover then
+       worker 0 nf
      else
        Domain_pool.run p (fun w ->
            let lo, hi = Domain_pool.chunk ~jobs ~n:nf w in

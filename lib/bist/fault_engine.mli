@@ -33,6 +33,14 @@ val create : Simulator.t -> Ppet_netlist.Segment.t -> t
 (** Precompute the per-segment indices. Raises [Invalid_argument] if a
     member is a flip-flop (same contract as {!Fault_sim.segment_detects}). *)
 
+val sequential_cutover : int
+(** Segments with fewer member gates than this run serially even when a
+    pool is supplied: the pooled dispatch (circuit-sized scratch per
+    worker plus the fork/join barrier) costs more than the whole
+    simulation at that size. Measured on the generated benchmarks — see
+    EXPERIMENTS.md, "fault-engine cutover". Results are identical either
+    way. *)
+
 val detects :
   ?pool:Ppet_parallel.Domain_pool.t ->
   t ->

@@ -23,6 +23,7 @@ type t = {
 }
 
 val run :
+  ?csr:Ppet_digraph.Csr.t ->
   Ppet_netlist.Circuit.t ->
   Ppet_digraph.Netgraph.t ->
   Cluster.t ->
@@ -32,4 +33,12 @@ val run :
 (** When more than [max_merge_candidates] clusters remain, each greedy
     step scores a deterministic random sample of that size (plus the
     smallest clusters, which are the likeliest mergees) instead of the
-    whole list — the quality/speed knob documented in Params. *)
+    whole list — the quality/speed knob documented in Params.
+
+    [csr] (a snapshot of [g]) switches the pass onto the flat substrate:
+    owner-array membership, stamped entering-net scoring, no hashing.
+    Below the candidate cap the result is identical to the hashed path;
+    above it the two paths draw the random sample differently (the flat
+    one with a partial Fisher-Yates costing only the draws it keeps) and
+    may pick different merges. Raises [Invalid_argument] on a size
+    mismatch between [csr] and [g]. *)

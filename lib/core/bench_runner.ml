@@ -55,14 +55,27 @@ let phase_list plan name ~has_comb =
     @ [ (name ^ "/fault_sim", 1) ]
     @ (if plan.jobs > 1 then [ (name ^ "/fault_sim", plan.jobs) ] else [])
 
+(* Structural identity of the measured circuit, stamped on every entry:
+   a baseline only means something against the same workload, so the
+   regression guard can refuse to compare medians across generator or
+   profile changes. *)
+let stats_of c g =
+  {
+    Report.gates = Array.length (Circuit.combinational c);
+    dffs = Array.length (Circuit.dffs c);
+    edges = Ppet_digraph.Netgraph.n_nets g;
+  }
+
 let entry_names plan =
   List.concat_map
     (fun name ->
       let c = circuit_of name in
       let has_comb = Array.length (Circuit.combinational c) > 0 in
+      let stats = stats_of c (To_graph.partition_view c) in
       List.map
         (fun (entry_name, jobs) ->
-          { Report.entry_name; median_ns = 0.; mad_ns = 0.; jobs })
+          { Report.entry_name; median_ns = 0.; mad_ns = 0.; jobs;
+            circuit_stats = Some stats })
         (phase_list plan name ~has_comb))
     plan.benchmarks
 
@@ -72,6 +85,9 @@ let run ?(progress = fun _ -> ()) plan =
   let params = Params.default in
   List.concat_map
     (fun name ->
+      let c = circuit_of name in
+      let g = To_graph.partition_view c in
+      let stats = stats_of c g in
       let measure ~jobs phase f =
         let entry_name = name ^ "/" ^ phase in
         progress entry_name;
@@ -81,9 +97,9 @@ let run ?(progress = fun _ -> ()) plan =
           median_ns = s.Bench_stat.median_ns;
           mad_ns = s.Bench_stat.mad_ns;
           jobs;
+          circuit_stats = Some stats;
         }
       in
-      let c = circuit_of name in
       let generate =
         if name = "s27" then
           measure ~jobs:1 "generate" (fun () ->
@@ -94,21 +110,27 @@ let run ?(progress = fun _ -> ()) plan =
               ignore (Generator.generate profile))
         end
       in
-      let g = To_graph.partition_view c in
       let sb = Scc_budget.create c g in
+      (* measure the stages on the substrate the params select, exactly
+         as Merced.run would drive them *)
+      let csr =
+        match params.Params.substrate with
+        | Params.Hashed -> None
+        | Params.Csr -> Some (Ppet_digraph.Csr.of_netgraph g)
+      in
       let flow_entry =
         measure ~jobs:1 "flow" (fun () ->
-            ignore (Flow.saturate g params (Prng.create 1L)))
+            ignore (Flow.saturate ?csr g params (Prng.create 1L)))
       in
-      let flow = Flow.saturate g params (Prng.create 1L) in
+      let flow = Flow.saturate ?csr g params (Prng.create 1L) in
       let cluster_entry =
         measure ~jobs:1 "cluster" (fun () ->
-            ignore (Cluster.make_group c g sb flow params))
+            ignore (Cluster.make_group ?csr c g sb flow params))
       in
-      let clustering = Cluster.make_group c g sb flow params in
+      let clustering = Cluster.make_group ?csr c g sb flow params in
       let assign_entry =
         measure ~jobs:1 "assign" (fun () ->
-            ignore (Assign.run c g clustering params (Prng.create 1L)))
+            ignore (Assign.run ?csr c g clustering params (Prng.create 1L)))
       in
       let r = Merced.run ~params c in
       let retime_entry =

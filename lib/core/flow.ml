@@ -10,7 +10,7 @@ type result = {
   iterations : int;
 }
 
-let saturate g (p : Params.t) rng =
+let saturate ?csr g (p : Params.t) rng =
   (match Params.validate p with
    | Ok () -> ()
    | Error msg -> invalid_arg ("Flow.saturate: " ^ msg));
@@ -36,7 +36,23 @@ let saturate g (p : Params.t) rng =
       done;
       n_pending := !k
     in
-    let ws = Dijkstra.workspace g in
+    let ws = Dijkstra.workspace ?csr g in
+    let bump_visits =
+      match csr with
+      | None ->
+        fun e ->
+          Array.iter
+            (fun v -> visits.(v) <- visits.(v) + 1)
+            (Netgraph.net_sinks g e)
+      | Some c ->
+        let sink_off = c.Ppet_digraph.Csr.sink_off
+        and sink = c.Ppet_digraph.Csr.sink in
+        fun e ->
+          for j = sink_off.(e) to sink_off.(e + 1) - 1 do
+            let v = sink.(j) in
+            visits.(v) <- visits.(v) + 1
+          done
+    in
     let tree_nets = ref 0 in
     while !n_pending > 0 && !iterations < p.Params.max_iterations do
       let src = pending.(Prng.int rng !n_pending) in
@@ -48,9 +64,7 @@ let saturate g (p : Params.t) rng =
           flow.(e) <- flow.(e) +. p.Params.delta;
           distance.(e) <-
             exp (p.Params.alpha *. flow.(e) /. p.Params.capacity);
-          Array.iter
-            (fun v -> visits.(v) <- visits.(v) + 1)
-            (Netgraph.net_sinks g e))
+          bump_visits e)
         tree.Dijkstra.tree_nets;
       incr iterations;
       compact ()

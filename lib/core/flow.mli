@@ -23,9 +23,12 @@ type result = {
 }
 
 val saturate :
+  ?csr:Ppet_digraph.Csr.t ->
   Ppet_digraph.Netgraph.t -> Params.t -> Ppet_digraph.Prng.t -> result
 (** Runs until every vertex reaches [min_visit] visits or
-    [max_iterations] trees have been injected. *)
+    [max_iterations] trees have been injected. [csr] (a snapshot of the
+    same graph) routes the Dijkstra runs and visit updates over the flat
+    rows; the injected trees and resulting distances are identical. *)
 
 val boundaries : result -> float list
 (** Distinct distance values, descending — the stack D of Table 4. *)

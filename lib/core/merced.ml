@@ -1,4 +1,5 @@
 module Netgraph = Ppet_digraph.Netgraph
+module Csr = Ppet_digraph.Csr
 module Prng = Ppet_digraph.Prng
 module Circuit = Ppet_netlist.Circuit
 module Gate = Ppet_netlist.Gate
@@ -44,6 +45,15 @@ let run ?(params = Params.default) ?locked circuit =
   Log.debug (fun m ->
       m "STEP 1 %s: %d vertices, %d nets" circuit.Circuit.title
         (Netgraph.n_nodes graph) (Netgraph.n_nets graph));
+  (* Flat snapshot of the frozen graph: the saturation, clustering and
+     assignment stages all relax over its rows when the substrate is
+     Csr; under Hashed they fall back to the Netgraph queries. *)
+  let csr =
+    match params.Params.substrate with
+    | Params.Hashed -> None
+    | Params.Csr ->
+      Some (Obs.span "merced.csr" (fun () -> Csr.of_netgraph graph))
+  in
   (* STEP 2: strongly connected components *)
   let budget = Obs.span "merced.scc_budget" (fun () -> Scc_budget.create circuit graph) in
   Log.debug (fun m ->
@@ -52,15 +62,17 @@ let run ?(params = Params.default) ?locked circuit =
         (Scc_budget.dffs_on_scc budget));
   (* STEP 3: Assign_CBIT over the saturated network *)
   let rng = Prng.create params.Params.seed in
-  let flow = Flow.saturate graph params rng in
+  let flow = Flow.saturate ?csr graph params rng in
   Log.debug (fun m ->
       m "STEP 3a: %d shortest-path trees injected" flow.Flow.iterations);
-  let clustering = Cluster.make_group ?locked circuit graph budget flow params in
+  let clustering =
+    Cluster.make_group ?locked ?csr circuit graph budget flow params
+  in
   Log.debug (fun m ->
       m "STEP 3b: %d clusters" (List.length clustering.Cluster.clusters));
   let assignment =
     Obs.span "merced.assign" (fun () ->
-        Assign.run circuit graph clustering params rng)
+        Assign.run ?csr circuit graph clustering params rng)
   in
   Obs.add Obs.Metric.Partitions_formed
     (List.length assignment.Assign.partitions);
@@ -114,8 +126,10 @@ let solve_requirements r =
     Hashtbl.replace vertex_by_name (Rgraph.vertex_name rg v) v
   done;
   (* cut nets whose driver is a combinational gate want >= 1 register on
-     every collapsed edge leaving that driver *)
-  let required = Hashtbl.create 64 in
+     every collapsed edge leaving that driver; a plain bool array per
+     vertex, because [require] runs once per constraint arc per solve
+     attempt and the drop loop solves hundreds of times at 100k cells *)
+  let required = Array.make (Rgraph.n_vertices rg) false in
   List.iter
     (fun e ->
       let driver = Netgraph.net_src r.graph e in
@@ -125,39 +139,81 @@ let solve_requirements r =
       | Gate.Buff | Gate.Not | Gate.And | Gate.Nand | Gate.Or | Gate.Nor
       | Gate.Xor | Gate.Xnor ->
         (match Hashtbl.find_opt vertex_by_name nd.Circuit.name with
-         | Some v -> Hashtbl.replace required v true
+         | Some v -> required.(v) <- true
          | None -> ()))
     r.assignment.Assign.cut_nets;
   let require e =
-    let edge = rg.Rgraph.edges.(e) in
-    if Hashtbl.mem required edge.Rgraph.tail then 1 else 0
+    if required.(rg.Rgraph.edges.(e).Rgraph.tail) then 1 else 0
+  in
+  (* One flat solver reused across the whole drop loop when on the CSR
+     substrate: the constraint arcs and scratch are built once, each
+     attempt only refreshes the arc lengths. The substrates agree on
+     feasibility and on every feasible rho (the canonical cold
+     fixpoint); on infeasible attempts they may report different — and
+     differently many — over-constrained cycles, because the flat solver
+     detects them early and returns every cycle of its predecessor
+     forest at once, so the two drop sequences can retire different
+     requirement sets. Both are sound: each reported cycle is a genuine
+     negative cycle of the system it was found in, and the equivalence
+     oracles (merced check, the fuzzer, the lint certificate) hold for
+     either. *)
+  let solve =
+    match r.params.Params.substrate with
+    | Params.Hashed ->
+      fun () ->
+        (match Retime.solve rg ~require with
+         | Retime.Feasible rho -> Ok rho
+         | Retime.Infeasible cycle -> Error [ cycle ])
+    | Params.Csr ->
+      let solver = Retime.Solver.create rg in
+      (* Each aborted attempt resumes from its own label state (warm),
+         so a round costs only the relaxations past the previous abort
+         instead of a full cold solve. Warm fixpoints are feasible but
+         not canonical, so once a warm attempt converges we re-solve
+         cold for the rho the hashed substrate would also produce. *)
+      let warm = ref None in
+      fun () ->
+        (match Retime.Solver.run_cycles solver ?warm:!warm ~require with
+         | Error cycles ->
+           warm := Some (Retime.Solver.potentials solver);
+           Error cycles
+         | Ok rho ->
+           (match !warm with
+            | None -> Ok rho
+            | Some _ ->
+              warm := None;
+              Retime.Solver.run_cycles solver ~require))
   in
   let dropped = ref 0 in
   let rec attempt () =
-    match Retime.solve rg ~require with
-    | Retime.Feasible rho -> Some rho
-    | Retime.Infeasible cycle ->
+    match solve () with
+    | Ok rho -> Some rho
+    | Error cycles ->
       let progressed = ref false in
       List.iter
-        (fun v ->
-          if Hashtbl.mem required v then begin
-            Hashtbl.remove required v;
-            incr dropped;
-            progressed := true
-          end)
-        cycle;
+        (List.iter (fun v ->
+             if required.(v) then begin
+               required.(v) <- false;
+               incr dropped;
+               progressed := true
+             end))
+        cycles;
       if !progressed then attempt ()
       else begin
-        (* the cycle carries no requirement we can drop; give up on all *)
-        Hashtbl.reset required;
-        match Retime.solve rg ~require with
-        | Retime.Feasible rho -> Some rho
-        | Retime.Infeasible _ -> None
+        (* no cycle carries a requirement we can drop; give up on all *)
+        Array.fill required 0 (Array.length required) false;
+        match solve () with
+        | Ok rho -> Some rho
+        | Error _ -> None
       end
   in
   let rho = attempt () in
   let required =
-    List.sort compare (Hashtbl.fold (fun v _ acc -> v :: acc) required [])
+    let acc = ref [] in
+    for v = Array.length required - 1 downto 0 do
+      if required.(v) then acc := v :: !acc
+    done;
+    !acc
   in
   Obs.add Obs.Metric.Retime_required_kept (List.length required);
   Obs.add Obs.Metric.Retime_required_dropped !dropped;

@@ -1,3 +1,7 @@
+type substrate = Hashed | Csr
+
+let substrate_name = function Hashed -> "hashed" | Csr -> "csr"
+
 type t = {
   capacity : float;
   min_visit : int;
@@ -8,6 +12,7 @@ type t = {
   seed : int64;
   max_iterations : int;
   max_merge_candidates : int;
+  substrate : substrate;
 }
 
 let default =
@@ -21,6 +26,7 @@ let default =
     seed = 0x4DACL;
     max_iterations = 20_000;
     max_merge_candidates = 1_500;
+    substrate = Csr;
   }
 
 let with_lk l_k = { default with l_k }

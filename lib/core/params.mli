@@ -5,6 +5,16 @@
     unrestricted), and input constraints [l_k] of 16 (Table 10) or 24
     (Table 11). *)
 
+type substrate =
+  | Hashed  (** the original hashtable/array-of-arrays graph paths *)
+  | Csr     (** flat int-indexed CSR adjacency with reused workspaces *)
+(** Graph-core selection. Both substrates compute identical results (the
+    CSR paths replicate the hashed iteration orders exactly); [Hashed]
+    remains available as a differential-debugging reference while the
+    fuzzer soaks the flat paths. *)
+
+val substrate_name : substrate -> string
+
 type t = {
   capacity : float;       (** b — net capacity in Saturate_Network *)
   min_visit : int;        (** sampling adequacy threshold *)
@@ -16,6 +26,7 @@ type t = {
   max_iterations : int;   (** safety bound on flow-injection rounds *)
   max_merge_candidates : int;
       (** Assign_CBIT candidate scan cap per step (quality/speed knob) *)
+  substrate : substrate;  (** graph-core implementation (default [Csr]) *)
 }
 
 val default : t

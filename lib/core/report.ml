@@ -65,11 +65,18 @@ let csv_header =
    group — the fault-sim shootout and the pipeline sweep alike — goes
    through this one emitter so the artefacts stay schema-identical and
    diffable across PRs. *)
+type bench_circuit = {
+  gates : int;
+  dffs : int;
+  edges : int;
+}
+
 type bench_entry = {
   entry_name : string;
   median_ns : float;
   mad_ns : float;
   jobs : int;
+  circuit_stats : bench_circuit option;
 }
 
 let bench_json ~name ~entries =
@@ -78,12 +85,85 @@ let bench_json ~name ~entries =
   List.iteri
     (fun i e ->
       Printf.bprintf buf "%s\n    { \"name\": \"%s\", \"median_ns\": %.6g, \
-                          \"mad_ns\": %.6g, \"jobs\": %d }"
+                          \"mad_ns\": %.6g, \"jobs\": %d"
         (if i = 0 then "" else ",")
-        (String.escaped e.entry_name) e.median_ns e.mad_ns e.jobs)
+        (String.escaped e.entry_name) e.median_ns e.mad_ns e.jobs;
+      (match e.circuit_stats with
+       | None -> ()
+       | Some c ->
+         Printf.bprintf buf ", \"gates\": %d, \"dffs\": %d, \"edges\": %d"
+           c.gates c.dffs c.edges);
+      Buffer.add_string buf " }")
     entries;
   Buffer.add_string buf "\n  ]\n}\n";
   Buffer.contents buf
+
+(* Minimal reader of the emitter above — one entry object per line, keys
+   in a fixed order — NOT a general JSON parser. It only has to read
+   artefacts this very module wrote, so a line-oriented scan is enough
+   and keeps the regression guard dependency-free. *)
+let bench_entries_of_json text =
+  let field_after line key =
+    let klen = String.length key in
+    let rec find i =
+      if i + klen > String.length line then None
+      else if String.sub line i klen = key then Some (i + klen)
+      else find (i + 1)
+    in
+    find 0
+  in
+  let until_delim line start =
+    let stop = ref start in
+    let n = String.length line in
+    while
+      !stop < n
+      && (match line.[!stop] with ',' | ' ' | '}' | '"' -> false | _ -> true)
+    do
+      incr stop
+    done;
+    String.sub line start (!stop - start)
+  in
+  let entries = ref [] in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         match
+           ( field_after line "\"name\": \"",
+             field_after line "\"median_ns\": ",
+             field_after line "\"mad_ns\": ",
+             field_after line "\"jobs\": " )
+         with
+         | Some n0, Some m0, Some a0, Some j0 ->
+           let name =
+             match String.index_from_opt line n0 '"' with
+             | Some n1 -> String.sub line n0 (n1 - n0)
+             | None -> until_delim line n0
+           in
+           let stats =
+             match
+               ( field_after line "\"gates\": ",
+                 field_after line "\"dffs\": ",
+                 field_after line "\"edges\": " )
+             with
+             | Some g0, Some d0, Some e0 ->
+               Some
+                 {
+                   gates = int_of_string (until_delim line g0);
+                   dffs = int_of_string (until_delim line d0);
+                   edges = int_of_string (until_delim line e0);
+                 }
+             | _ -> None
+           in
+           entries :=
+             {
+               entry_name = name;
+               median_ns = float_of_string (until_delim line m0);
+               mad_ns = float_of_string (until_delim line a0);
+               jobs = int_of_string (until_delim line j0);
+               circuit_stats = stats;
+             }
+             :: !entries
+         | _ -> ());
+  List.rev !entries
 
 let csv_row r =
   let b = r.Merced.breakdown in

@@ -21,17 +21,35 @@ val csv_header : string
 val csv_row : Merced.result -> string
 (** Machine-readable full record, one line. *)
 
+type bench_circuit = {
+  gates : int;  (** combinational cells of the measured circuit *)
+  dffs : int;   (** flip-flops *)
+  edges : int;  (** nets of the partition-view graph *)
+}
+(** Structural identity of a benchmark's workload, recorded so a
+    baseline can be rejected when the generated circuit changed shape. *)
+
 type bench_entry = {
   entry_name : string;  (** e.g. ["s27/flow"] or ["fault_sim/cone"] *)
   median_ns : float;    (** median wall-clock per run *)
   mad_ns : float;       (** median absolute deviation of the samples *)
   jobs : int;           (** worker count the entry was measured at *)
+  circuit_stats : bench_circuit option;
+      (** present on pipeline-sweep entries; [None] keeps the emitted
+          JSON byte-identical to the pre-stats schema *)
 }
 (** One measured row of a BENCH_*.json artefact. *)
 
 val bench_json : name:string -> entries:bench_entry list -> string
 (** The BENCH_*.json perf-baseline format:
-    [{"name":..., "entries":[{"name","median_ns","mad_ns","jobs"},...]}].
-    Every bench group (fault-sim shootout, [merced bench] pipeline sweep)
-    emits through this helper so artefacts stay schema-identical and
-    future changes can diff against a recorded baseline. *)
+    [{"name":..., "entries":[{"name","median_ns","mad_ns","jobs"},...]}]
+    with optional ["gates"/"dffs"/"edges"] keys per entry when
+    [circuit_stats] is set. Every bench group (fault-sim shootout,
+    [merced bench] pipeline sweep) emits through this helper so
+    artefacts stay schema-identical and future changes can diff against
+    a recorded baseline. *)
+
+val bench_entries_of_json : string -> bench_entry list
+(** Read back entries from text {!bench_json} wrote — a line-oriented
+    scan of this module's own output, not a general JSON parser. Lines
+    that do not carry all four mandatory keys are skipped. *)

@@ -20,6 +20,15 @@ val restrict : Netgraph.t -> vertices:int array -> keep:(int -> bool) -> int arr
     induced by [vertices], connecting only through kept nets both of whose
     touched endpoints lie inside [vertices]. *)
 
+val restrict_csr :
+  Csr.t -> Csr.workspace -> vertices:int array -> keep:(int -> bool) ->
+  int array array
+(** {!restrict} over a flat snapshot, touching only the piece's own
+    out-nets — O(piece + its pins) instead of O(all nets) per call.
+    Pieces come out in the same order (ids by smallest member) with the
+    same vertex order as {!restrict}. The workspace must belong to
+    [csr]. *)
+
 val cut_nets : Netgraph.t -> int array -> int list
 (** [cut_nets g cluster_of] lists nets whose source and some sink lie in
     different clusters of the given vertex labelling. *)

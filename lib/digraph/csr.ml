@@ -1,0 +1,151 @@
+type t = {
+  n : int;
+  m : int;
+  net_src : int array;
+  sink_off : int array;
+  sink : int array;
+  out_off : int array;
+  out_net : int array;
+  in_off : int array;
+  in_net : int array;
+  succ_off : int array;
+  succ : int array;
+  pred_off : int array;
+  pred : int array;
+}
+
+let int_cmp (a : int) (b : int) = compare a b
+
+(* Flatten rows given by [row v] (borrowed arrays, not copied). *)
+let flatten n row =
+  let off = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    off.(v + 1) <- off.(v) + Array.length (row v)
+  done;
+  let data = Array.make off.(n) 0 in
+  for v = 0 to n - 1 do
+    Array.blit (row v) 0 data off.(v) (Array.length (row v))
+  done;
+  (off, data)
+
+(* Sorted-distinct CSR rows: for each vertex, [fill v tmp] writes its
+   candidate targets into [tmp] and returns how many; the row becomes
+   the sorted deduplicated candidates — the exact contract of
+   [Netgraph.successors]/[predecessors], built once instead of per
+   query. *)
+let sorted_distinct n ~max_row ~fill =
+  let tmp = Array.make (max max_row 1) 0 in
+  let off = Array.make (n + 1) 0 in
+  let cap = ref 16 in
+  let data = ref (Array.make !cap 0) in
+  let len = ref 0 in
+  let push x =
+    if !len >= !cap then begin
+      let bigger = Array.make (2 * !cap) 0 in
+      Array.blit !data 0 bigger 0 !len;
+      data := bigger;
+      cap := 2 * !cap
+    end;
+    !data.(!len) <- x;
+    incr len
+  in
+  for v = 0 to n - 1 do
+    let k = fill v tmp in
+    if k > 0 then begin
+      let row = Array.sub tmp 0 k in
+      Array.sort int_cmp row;
+      push row.(0);
+      for i = 1 to k - 1 do
+        if row.(i) <> row.(i - 1) then push row.(i)
+      done
+    end;
+    off.(v + 1) <- !len
+  done;
+  (off, Array.sub !data 0 !len)
+
+let of_netgraph g =
+  Netgraph.freeze g;
+  let n = Netgraph.n_nodes g in
+  let m = Netgraph.n_nets g in
+  let net_src = Array.init m (Netgraph.net_src g) in
+  let sink_off, sink = flatten m (Netgraph.net_sinks g) in
+  let out_off, out_net = flatten n (Netgraph.out_nets g) in
+  let in_off, in_net = flatten n (Netgraph.in_nets g) in
+  let max_out_pins = ref 0 in
+  for v = 0 to n - 1 do
+    let pins = ref 0 in
+    Array.iter
+      (fun e -> pins := !pins + (sink_off.(e + 1) - sink_off.(e)))
+      (Netgraph.out_nets g v);
+    if !pins > !max_out_pins then max_out_pins := !pins
+  done;
+  let succ_off, succ =
+    sorted_distinct n ~max_row:!max_out_pins ~fill:(fun v tmp ->
+        let k = ref 0 in
+        for i = out_off.(v) to out_off.(v + 1) - 1 do
+          let e = out_net.(i) in
+          for j = sink_off.(e) to sink_off.(e + 1) - 1 do
+            tmp.(!k) <- sink.(j);
+            incr k
+          done
+        done;
+        !k)
+  in
+  let max_in = ref 0 in
+  for v = 0 to n - 1 do
+    let d = in_off.(v + 1) - in_off.(v) in
+    if d > !max_in then max_in := d
+  done;
+  let pred_off, pred =
+    sorted_distinct n ~max_row:!max_in ~fill:(fun v tmp ->
+        let k = ref 0 in
+        for i = in_off.(v) to in_off.(v + 1) - 1 do
+          tmp.(!k) <- net_src.(in_net.(i));
+          incr k
+        done;
+        !k)
+  in
+  {
+    n;
+    m;
+    net_src;
+    sink_off;
+    sink;
+    out_off;
+    out_net;
+    in_off;
+    in_net;
+    succ_off;
+    succ;
+    pred_off;
+    pred;
+  }
+
+let n_nodes t = t.n
+
+let n_nets t = t.m
+
+let out_degree t v = t.out_off.(v + 1) - t.out_off.(v)
+
+let in_degree t v = t.in_off.(v + 1) - t.in_off.(v)
+
+type workspace = {
+  vmark : int array;
+  vaux : int array;
+  nmark : int array;
+  queue : int array;
+  mutable stamp : int;
+}
+
+let workspace t =
+  {
+    vmark = Array.make (max t.n 1) 0;
+    vaux = Array.make (max t.n 1) 0;
+    nmark = Array.make (max t.m 1) 0;
+    queue = Array.make (max t.n 1) 0;
+    stamp = 0;
+  }
+
+let fresh_stamp ws =
+  ws.stamp <- ws.stamp + 1;
+  ws.stamp

@@ -1,0 +1,74 @@
+(** Flat int-indexed CSR (compressed sparse row) view of a {!Netgraph}.
+
+    The hashed/array-of-arrays representation of {!Netgraph} is right for
+    incremental construction, but its per-query allocation (successor
+    dedup, per-net sink arrays behind two indirections) dominates the
+    inner loops of the pipeline stages at scale. A [Csr.t] is a frozen,
+    fully flat snapshot: every adjacency relation is one offset array
+    plus one data array, so degree lookup is O(1), iteration touches
+    contiguous memory, and no query allocates.
+
+    All slice arrays follow the same convention: the elements of row [i]
+    are [data.(off.(i)) .. data.(off.(i+1) - 1)].
+
+    Row orders are chosen to match the corresponding {!Netgraph} query
+    exactly, so a stage ported onto the CSR view visits vertices and
+    nets in the same order as the hashed path and produces identical
+    output:
+    - [out_net] rows mirror [Netgraph.out_nets] (ascending net id);
+    - [in_net] rows mirror [Netgraph.in_nets] (distinct, ascending);
+    - [sink] rows mirror [Netgraph.net_sinks] (raw pin order, duplicate
+      pins preserved);
+    - [succ]/[pred] rows mirror [Netgraph.successors]/[predecessors]
+      (distinct, sorted ascending). *)
+
+type t = {
+  n : int;                (** vertex count *)
+  m : int;                (** net count *)
+  net_src : int array;    (** net id -> source vertex *)
+  sink_off : int array;   (** length m+1 *)
+  sink : int array;       (** net id -> sink pins (duplicates preserved) *)
+  out_off : int array;    (** length n+1 *)
+  out_net : int array;    (** vertex -> outgoing net ids *)
+  in_off : int array;     (** length n+1 *)
+  in_net : int array;     (** vertex -> incoming net ids, distinct *)
+  succ_off : int array;   (** length n+1 *)
+  succ : int array;       (** vertex -> distinct successors, ascending *)
+  pred_off : int array;   (** length n+1 *)
+  pred : int array;       (** vertex -> distinct predecessors, ascending *)
+}
+
+val of_netgraph : Netgraph.t -> t
+(** Snapshot the graph (freezes it first). Later [add_net] calls on the
+    source graph are not reflected; take a new snapshot. *)
+
+val n_nodes : t -> int
+val n_nets : t -> int
+
+val out_degree : t -> int -> int
+(** Number of outgoing nets of a vertex. *)
+
+val in_degree : t -> int -> int
+(** Number of distinct incoming nets of a vertex. *)
+
+(** {2 Scratch workspace}
+
+    One workspace per solver/stage, reused across calls on the same
+    graph — the allocation-free pool discipline of the fault engine
+    applied to graph traversals. Marks are {e stamps}: a cell is set iff
+    it equals the current [stamp] value, so clearing between uses is
+    O(1) (bump the stamp) instead of O(n). *)
+
+type workspace = {
+  vmark : int array;     (** per-vertex stamp cells, length n *)
+  vaux : int array;      (** per-vertex payload, valid where marked *)
+  nmark : int array;     (** per-net stamp cells, length m *)
+  queue : int array;     (** vertex ring/stack buffer, length n *)
+  mutable stamp : int;   (** current generation *)
+}
+
+val workspace : t -> workspace
+(** A fresh workspace sized for this graph. *)
+
+val fresh_stamp : workspace -> int
+(** Bump and return the generation; all mark cells become unset. *)

@@ -16,11 +16,19 @@ type workspace = {
   ws_net_seen : int array;  (* stamp per net, for tree-net dedup *)
   ws_net_buf : int array;
   mutable ws_stamp : int;
+  ws_csr : Csr.t option;
+      (* flat adjacency snapshot; when present, [run_into] relaxes over
+         its rows (same order as the Netgraph queries, no per-vertex
+         array fetches) *)
 }
 
-let workspace g =
+let workspace ?csr g =
   let n = Netgraph.n_nodes g in
   let m = Netgraph.n_nets g in
+  (match csr with
+   | Some c when Csr.n_nodes c <> n || Csr.n_nets c <> m ->
+     invalid_arg "Dijkstra.workspace: csr does not match graph"
+   | Some _ | None -> ());
   {
     ws_dist = Array.make (max n 1) infinity;
     ws_via = Array.make (max n 1) (-1);
@@ -29,6 +37,7 @@ let workspace g =
     ws_net_seen = Array.make (max m 1) 0;
     ws_net_buf = Array.make (max m 1) 0;
     ws_stamp = 0;
+    ws_csr = csr;
   }
 
 let run_into ws g ~dist ~src =
@@ -47,26 +56,60 @@ let run_into ws g ~dist ~src =
   Heap.clear heap;
   d.(src) <- 0.0;
   Heap.insert heap src 0.0;
-  while not (Heap.is_empty heap) do
-    let v, dv = Heap.pop_min heap in
-    if not settled.(v) then begin
-      settled.(v) <- true;
-      let relax e =
-        let w = dist e in
-        if w < 0.0 then invalid_arg "Dijkstra.run: negative net distance";
-        let cand = dv +. w in
-        Array.iter
-          (fun u ->
-            if (not settled.(u)) && cand < d.(u) then begin
-              d.(u) <- cand;
-              via.(u) <- e;
-              Heap.insert_or_decrease heap u cand
-            end)
-          (Netgraph.net_sinks g e)
-      in
-      Array.iter relax (Netgraph.out_nets g v)
-    end
-  done;
+  (match ws.ws_csr with
+   | None ->
+     while not (Heap.is_empty heap) do
+       let v, dv = Heap.pop_min heap in
+       if not settled.(v) then begin
+         settled.(v) <- true;
+         let relax e =
+           let w = dist e in
+           if w < 0.0 then invalid_arg "Dijkstra.run: negative net distance";
+           let cand = dv +. w in
+           Array.iter
+             (fun u ->
+               if (not settled.(u)) && cand < d.(u) then begin
+                 d.(u) <- cand;
+                 via.(u) <- e;
+                 Heap.insert_or_decrease heap u cand
+               end)
+             (Netgraph.net_sinks g e)
+         in
+         Array.iter relax (Netgraph.out_nets g v)
+       end
+     done
+   | Some csr ->
+     (* same relaxation sequence over the flat rows (CSR rows mirror the
+        Netgraph query orders); indices are in range by construction *)
+     let out_off = csr.Csr.out_off and out_net = csr.Csr.out_net in
+     let sink_off = csr.Csr.sink_off and sink = csr.Csr.sink in
+     while not (Heap.is_empty heap) do
+       (* the popped priority is d.(v) whenever the pop settles, so the
+          tuple-free pop loses nothing *)
+       let v = Heap.pop_min_key heap in
+       if not (Array.unsafe_get settled v) then begin
+         Array.unsafe_set settled v true;
+         let dv = Array.unsafe_get d v in
+         for i = Array.unsafe_get out_off v
+             to Array.unsafe_get out_off (v + 1) - 1 do
+           let e = Array.unsafe_get out_net i in
+           let w = dist e in
+           if w < 0.0 then invalid_arg "Dijkstra.run: negative net distance";
+           let cand = dv +. w in
+           for j = Array.unsafe_get sink_off e
+               to Array.unsafe_get sink_off (e + 1) - 1 do
+             let u = Array.unsafe_get sink j in
+             if (not (Array.unsafe_get settled u))
+                && cand < Array.unsafe_get d u
+             then begin
+               Array.unsafe_set d u cand;
+               Array.unsafe_set via u e;
+               Heap.insert_or_decrease heap u cand
+             end
+           done
+         done
+       end
+     done);
   ws.ws_stamp <- ws.ws_stamp + 1;
   let stamp = ws.ws_stamp in
   let k = ref 0 in

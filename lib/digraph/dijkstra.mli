@@ -21,8 +21,12 @@ type workspace
     runs on one graph — the saturation loop's per-call allocations
     removed. *)
 
-val workspace : Netgraph.t -> workspace
-(** A workspace sized for [g]'s current node and net counts. *)
+val workspace : ?csr:Csr.t -> Netgraph.t -> workspace
+(** A workspace sized for [g]'s current node and net counts. Passing
+    [csr] (a {!Csr.of_netgraph} snapshot of the same graph) makes
+    {!run_into} relax over the flat rows instead of the Netgraph
+    queries — the identical relaxation sequence, minus the per-vertex
+    array fetches. Raises [Invalid_argument] on a size mismatch. *)
 
 val run_into : workspace -> Netgraph.t -> dist:(int -> float) -> src:int -> tree
 (** Exactly {!run}, but computing into the workspace: the returned

@@ -20,34 +20,53 @@ let size h = h.len
 
 let mem h k = k >= 0 && k < Array.length h.pos && h.pos.(k) >= 0
 
-let swap h i j =
-  let ki = h.keys.(i) and kj = h.keys.(j) in
-  h.keys.(i) <- kj;
-  h.keys.(j) <- ki;
-  let pi = h.prios.(i) in
-  h.prios.(i) <- h.prios.(j);
-  h.prios.(j) <- pi;
-  h.pos.(kj) <- i;
-  h.pos.(ki) <- j
-
-let rec sift_up h i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if h.prios.(parent) > h.prios.(i) then begin
-      swap h parent i;
-      sift_up h parent
+(* Hole-style sifting: carry the displaced entry in registers and write
+   it once at its final slot, instead of a three-array swap per level.
+   The comparison sequence — and therefore the resulting layout, and
+   therefore tie-breaking everywhere downstream — is identical to the
+   textbook swap formulation. *)
+let sift_up h i =
+  let k = h.keys.(i) and p = h.prios.(i) in
+  let i = ref i in
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if h.prios.(parent) > p then begin
+      h.keys.(!i) <- h.keys.(parent);
+      h.prios.(!i) <- h.prios.(parent);
+      h.pos.(h.keys.(!i)) <- !i;
+      i := parent
     end
-  end
+    else continue := false
+  done;
+  h.keys.(!i) <- k;
+  h.prios.(!i) <- p;
+  h.pos.(k) <- !i
 
-let rec sift_down h i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < h.len && h.prios.(l) < h.prios.(!smallest) then smallest := l;
-  if r < h.len && h.prios.(r) < h.prios.(!smallest) then smallest := r;
-  if !smallest <> i then begin
-    swap h i !smallest;
-    sift_down h !smallest
-  end
+let sift_down h i =
+  let k = h.keys.(i) and p = h.prios.(i) in
+  let i = ref i in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    let sp = ref p in
+    if l < h.len && h.prios.(l) < !sp then begin
+      smallest := l;
+      sp := h.prios.(l)
+    end;
+    if r < h.len && h.prios.(r) < !sp then smallest := r;
+    if !smallest <> !i then begin
+      h.keys.(!i) <- h.keys.(!smallest);
+      h.prios.(!i) <- h.prios.(!smallest);
+      h.pos.(h.keys.(!i)) <- !i;
+      i := !smallest
+    end
+    else continue := false
+  done;
+  h.keys.(!i) <- k;
+  h.prios.(!i) <- p;
+  h.pos.(k) <- !i
 
 let insert h k p =
   if k < 0 || k >= Array.length h.pos then invalid_arg "Heap.insert: key out of range";
@@ -72,9 +91,9 @@ let insert_or_decrease h k p =
   end
   else insert h k p
 
-let pop_min h =
+let pop_min_key h =
   if h.len = 0 then invalid_arg "Heap.pop_min: empty heap";
-  let k = h.keys.(0) and p = h.prios.(0) in
+  let k = h.keys.(0) in
   h.len <- h.len - 1;
   if h.len > 0 then begin
     let last = h.len in
@@ -84,6 +103,12 @@ let pop_min h =
     sift_down h 0
   end;
   h.pos.(k) <- -1;
+  k
+
+let pop_min h =
+  if h.len = 0 then invalid_arg "Heap.pop_min: empty heap";
+  let p = h.prios.(0) in
+  let k = pop_min_key h in
   (k, p)
 
 let clear h =

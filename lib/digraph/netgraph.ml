@@ -68,13 +68,17 @@ let dedup_sorted a =
 let freeze g =
   if not g.frozen then begin
     let out_cnt = Array.make g.n 0 and in_cnt = Array.make g.n 0 in
+    (* per-net sink dedup via stamps: a vertex is already counted for net
+       [e] iff its cell holds the pass marker ([e] in the counting pass,
+       [e + n_nets] in the filling pass — the second range cannot collide
+       with leftovers of the first) *)
+    let seen = Array.make (max g.n 1) (-1) in
     for e = 0 to g.n_nets - 1 do
       out_cnt.(g.srcs.(e)) <- out_cnt.(g.srcs.(e)) + 1;
-      let seen = Hashtbl.create 4 in
       Array.iter
         (fun v ->
-          if not (Hashtbl.mem seen v) then begin
-            Hashtbl.add seen v ();
+          if seen.(v) <> e then begin
+            seen.(v) <- e;
             in_cnt.(v) <- in_cnt.(v) + 1
           end)
         g.sinks.(e)
@@ -86,11 +90,11 @@ let freeze g =
       let s = g.srcs.(e) in
       out_idx.(s).(out_fill.(s)) <- e;
       out_fill.(s) <- out_fill.(s) + 1;
-      let seen = Hashtbl.create 4 in
+      let marker = e + g.n_nets in
       Array.iter
         (fun v ->
-          if not (Hashtbl.mem seen v) then begin
-            Hashtbl.add seen v ();
+          if seen.(v) <> marker then begin
+            seen.(v) <- marker;
             in_idx.(v).(in_fill.(v)) <- e;
             in_fill.(v) <- in_fill.(v) + 1
           end)

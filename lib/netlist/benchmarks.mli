@@ -17,10 +17,20 @@ type entry = {
 val all : entry list
 (** All seventeen, in Table 9 order (small to large). *)
 
+val synthetic : entry list
+(** Scale-stress profiles beyond the paper's tables ([synth10k],
+    [synth100k], [synth1m], named by rough cell count). Not part of
+    {!all}/{!names}: they exist to exercise the flat graph core, not to
+    reproduce a published row. *)
+
+val synthetic_names : string list
+
 val find : string -> entry
-(** Lookup by circuit name, e.g. ["s5378"]. Raises [Not_found]. *)
+(** Lookup by circuit name, e.g. ["s5378"] or ["synth100k"]; searches
+    {!all} then {!synthetic}. Raises [Not_found]. *)
 
 val names : string list
+(** The paper benchmarks only (no [synth*] entries). *)
 
 val circuit : ?seed:int64 -> string -> Circuit.t
 (** Generate the synthetic stand-in for the named benchmark. Results are

@@ -90,6 +90,327 @@ let solve g ~require =
     Feasible (Array.map (fun d -> d - shift) dist)
   end
 
+(* ------------------------------------------------------------------ *)
+(* Flat incremental solver.
+
+   [solve] above rebuilds the constraint graph as linked tuple lists and
+   a boxed queue on every call; the requirement-drop loop of the
+   pipeline re-solves the same graph dozens of times, so that
+   representation dominates the retime stage. [Solver.create] builds
+   the constraint arcs once as int CSR arrays; [Solver.run] reuses them
+   and preallocated dist/pred/queue scratch across every re-solve.
+
+   Equivalence contract: a cold [Solver.run] relaxes from the all-zero
+   start exactly like [solve] — same initial queue (every vertex,
+   ascending), same FIFO discipline, same per-vertex arc order (the
+   vertex's incident edges in ascending edge index, then the pinned-tie
+   arcs). On feasible systems the fixpoint is the shortest-path
+   distances from the implicit super-source, which no relaxation order
+   can change, so both entry points return the identical rho. On
+   infeasible systems both report a genuine over-constrained cycle, but
+   not necessarily the same one: the flat solver detects negative
+   cycles early (pred-forest sweep below) where [solve] burns
+   Theta(n * m) reaching its relax-count cutoff. *)
+
+module Solver = struct
+  type t = {
+    g : Rgraph.t;
+    n : int;
+    first_pinned : int;
+    arc_off : int array;   (* n+1: constraint arcs grouped by source *)
+    arc_to : int array;
+    arc_edge : int array;  (* rgraph edge behind the arc, -1 = pinned tie *)
+    arc_len : int array;   (* weight - require, refreshed per run *)
+    dist : int array;
+    pred : int array;
+    relax_count : int array;
+    in_queue : bool array;
+    queue : int array;     (* ring buffer, capacity n+1 *)
+    color : int array;     (* scratch for the pred-forest cycle sweep *)
+  }
+
+  let create g =
+    let n = Rgraph.n_vertices g in
+    let n_edges = Array.length g.Rgraph.edges in
+    let first_pinned = ref (-1) in
+    let n_pinned = ref 0 in
+    for v = 0 to n - 1 do
+      if pinned g v then begin
+        if !first_pinned < 0 then first_pinned := v;
+        incr n_pinned
+      end
+    done;
+    let pinned_arcs = if !n_pinned >= 2 then 2 * (!n_pinned - 1) else 0 in
+    let n_arcs = n_edges + pinned_arcs in
+    let cnt = Array.make n 0 in
+    Array.iter
+      (fun (e : Rgraph.edge) -> cnt.(e.Rgraph.head) <- cnt.(e.Rgraph.head) + 1)
+      g.Rgraph.edges;
+    if !n_pinned >= 2 then begin
+      cnt.(!first_pinned) <- cnt.(!first_pinned) + (!n_pinned - 1);
+      for v = 0 to n - 1 do
+        if pinned g v && v <> !first_pinned then cnt.(v) <- cnt.(v) + 1
+      done
+    end;
+    let arc_off = Array.make (n + 1) 0 in
+    for v = 0 to n - 1 do
+      arc_off.(v + 1) <- arc_off.(v) + cnt.(v)
+    done;
+    let arc_to = Array.make (max n_arcs 1) 0 in
+    let arc_edge = Array.make (max n_arcs 1) (-1) in
+    let fill = Array.make n 0 in
+    let put u target edge =
+      let i = arc_off.(u) + fill.(u) in
+      arc_to.(i) <- target;
+      arc_edge.(i) <- edge;
+      fill.(u) <- fill.(u) + 1
+    in
+    (* edge arcs first (ascending edge index per source) ... *)
+    Array.iteri
+      (fun i (e : Rgraph.edge) -> put e.Rgraph.head e.Rgraph.tail i)
+      g.Rgraph.edges;
+    (* ... then the pinned ties, ascending *)
+    if !n_pinned >= 2 then
+      for v = 0 to n - 1 do
+        if pinned g v && v <> !first_pinned then begin
+          put !first_pinned v (-1);
+          put v !first_pinned (-1)
+        end
+      done;
+    {
+      g;
+      n;
+      first_pinned = !first_pinned;
+      arc_off;
+      arc_to;
+      arc_edge;
+      arc_len = Array.make (max n_arcs 1) 0;
+      dist = Array.make (max n 1) 0;
+      pred = Array.make (max n 1) (-1);
+      relax_count = Array.make (max n 1) 0;
+      in_queue = Array.make (max n 1) false;
+      queue = Array.make (n + 1) 0;
+      color = Array.make (max n 1) 0;
+    }
+
+  let refresh_lengths s ~require =
+    let n_arcs = s.arc_off.(s.n) in
+    for i = 0 to n_arcs - 1 do
+      let e = s.arc_edge.(i) in
+      if e < 0 then s.arc_len.(i) <- 0
+      else begin
+        let r = require e in
+        if r < 0 then invalid_arg "Retime.solve: negative requirement";
+        s.arc_len.(i) <- s.g.Rgraph.edges.(e).Rgraph.weight - r
+      end
+    done
+
+  (* collect the cycle through [w], which must lie on a pred cycle *)
+  let collect_cycle s w =
+    let cycle = ref [] in
+    let cur = ref w in
+    let continue = ref true in
+    while !continue do
+      cycle := !cur :: !cycle;
+      cur := s.pred.(!cur);
+      if !cur = w then continue := false
+    done;
+    !cycle
+
+  let extract_cycle s neg_vertex =
+    let v = ref neg_vertex in
+    for _ = 1 to s.n do
+      v := s.pred.(!v)
+    done;
+    collect_cycle s !v
+
+  (* Early negative-cycle detection: every predecessor assignment was a
+     strict improvement, so summing [dist] drops around any cycle of the
+     pred forest shows its total length is negative — a cycle in the
+     pred graph IS a negative constraint cycle. Sweeping the forest costs
+     O(n) (each vertex colored once), so running it every ~n relaxations
+     detects infeasibility after O(n + m) work where the bare
+     [relax_count > n] cutoff needs O(n * m). Vertices are scanned in
+     ascending order, keeping the reported cycle deterministic. *)
+  let pred_cycle s =
+    let color = s.color and pred = s.pred in
+    let n = s.n in
+    Array.fill color 0 n 0;
+    let found = ref (-1) in
+    let v0 = ref 0 in
+    while !found < 0 && !v0 < n do
+      if color.(!v0) = 0 then begin
+        (* walk the pred chain: 1 = on this path, 2 = exhausted *)
+        let u = ref !v0 in
+        while !u >= 0 && color.(!u) = 0 do
+          color.(!u) <- 1;
+          u := pred.(!u)
+        done;
+        if !u >= 0 && color.(!u) = 1 then found := !u
+        else begin
+          let w = ref !v0 in
+          while !w >= 0 && color.(!w) = 1 do
+            color.(!w) <- 2;
+            w := pred.(!w)
+          done
+        end
+      end;
+      incr v0
+    done;
+    !found
+
+  (* Every cycle of the pred forest, not just the first: cycles are
+     vertex-disjoint (each vertex has one pred), and by the argument
+     above each is a genuine negative constraint cycle, so a caller
+     dropping one requirement per cycle can retire them all from a
+     single aborted run instead of paying a full re-solve per cycle. *)
+  let pred_cycles_all s =
+    let color = s.color and pred = s.pred in
+    let n = s.n in
+    Array.fill color 0 n 0;
+    let cycles = ref [] in
+    for v0 = 0 to n - 1 do
+      if color.(v0) = 0 then begin
+        let u = ref v0 in
+        while !u >= 0 && color.(!u) = 0 do
+          color.(!u) <- 1;
+          u := pred.(!u)
+        done;
+        if !u >= 0 && color.(!u) = 1 then
+          cycles := collect_cycle s !u :: !cycles;
+        let w = ref v0 in
+        while !w >= 0 && color.(!w) = 1 do
+          color.(!w) <- 2;
+          w := pred.(!w)
+        done
+      end
+    done;
+    List.rev !cycles
+
+  type raw =
+    | Rfeasible of int array
+    | Rsweep of int      (* vertex on a pred cycle, found by the sweep *)
+    | Rcutoff of int     (* vertex whose relax count crossed n *)
+
+  let run_raw ?warm s ~require =
+    Ppet_obs.Obs.span "retime.solve" @@ fun () ->
+    let n = s.n in
+    refresh_lengths s ~require;
+    let dist = s.dist and pred = s.pred in
+    let relax_count = s.relax_count and in_queue = s.in_queue in
+    let queue = s.queue in
+    let arc_off = s.arc_off and arc_to = s.arc_to and arc_len = s.arc_len in
+    let qcap = n + 1 in
+    let qhead = ref 0 and qtail = ref 0 in
+    Array.fill pred 0 n (-1);
+    Array.fill relax_count 0 n 0;
+    (match warm with
+     | None ->
+       (* cold: the all-zero potential, every vertex queued — the exact
+          start state of the list-based solver *)
+       Array.fill dist 0 n 0;
+       Array.fill in_queue 0 n true;
+       for v = 0 to n - 1 do
+         queue.(v) <- v
+       done;
+       qtail := n
+     | Some potential ->
+       (* warm: start from any potential — a previously feasible one or
+          the label state of an aborted run — and queue only the sources
+          of violated constraints. Sound (any relaxation fixpoint
+          satisfies every constraint; the pred forest is rebuilt from
+          scratch, so a predecessor cycle still certifies an
+          over-constrained loop of the current system) but NOT
+          canonical: a warm feasible answer is whatever fixpoint the
+          start point leads to, so only cold runs are used where
+          cross-substrate identity of the result matters. *)
+       if Array.length potential <> n then
+         invalid_arg "Retime.Solver.run: warm potential of wrong length";
+       Array.blit potential 0 dist 0 n;
+       Array.fill in_queue 0 n false;
+       for u = 0 to n - 1 do
+         if not in_queue.(u) then begin
+           let lo = s.arc_off.(u) and hi = s.arc_off.(u + 1) in
+           let i = ref lo in
+           while !i < hi && not in_queue.(u) do
+             if dist.(u) + s.arc_len.(!i) < dist.(s.arc_to.(!i)) then begin
+               in_queue.(u) <- true;
+               queue.(!qtail) <- u;
+               qtail := (!qtail + 1) mod qcap
+             end;
+             incr i
+           done
+         end
+       done);
+    let neg_vertex = ref (-1) in
+    let cycle_vertex = ref (-1) in
+    let relaxations = ref 0 in
+    let next_sweep = ref n in
+    (* indices below stay in range by construction ([arc_to] targets and
+       queue entries are vertices < n, arc indices < arc_off.(n)), so the
+       hot loop reads unchecked; the queue holds each vertex at most once
+       (the [in_queue] guard), so head only meets tail when empty *)
+    (try
+       while !qhead <> !qtail do
+         if !relaxations >= !next_sweep then begin
+           next_sweep := !relaxations + n;
+           let w = pred_cycle s in
+           if w >= 0 then begin
+             cycle_vertex := w;
+             raise Exit
+           end
+         end;
+         let u = Array.unsafe_get queue !qhead in
+         let h = !qhead + 1 in
+         qhead := if h = qcap then 0 else h;
+         Array.unsafe_set in_queue u false;
+         let du = Array.unsafe_get dist u in
+         let hi = Array.unsafe_get arc_off (u + 1) in
+         for i = Array.unsafe_get arc_off u to hi - 1 do
+           let v = Array.unsafe_get arc_to i in
+           let cand = du + Array.unsafe_get arc_len i in
+           if cand < Array.unsafe_get dist v then begin
+             incr relaxations;
+             Array.unsafe_set dist v cand;
+             Array.unsafe_set pred v u;
+             let rc = Array.unsafe_get relax_count v + 1 in
+             Array.unsafe_set relax_count v rc;
+             if rc > n then begin
+               neg_vertex := v;
+               raise Exit
+             end;
+             if not (Array.unsafe_get in_queue v) then begin
+               Array.unsafe_set in_queue v true;
+               Array.unsafe_set queue !qtail v;
+               let t = !qtail + 1 in
+               qtail := if t = qcap then 0 else t
+             end
+           end
+         done
+       done
+     with Exit -> ());
+    Ppet_obs.Obs.add Ppet_obs.Obs.Metric.Bf_relaxations !relaxations;
+    if !cycle_vertex >= 0 then Rsweep !cycle_vertex
+    else if !neg_vertex >= 0 then Rcutoff !neg_vertex
+    else begin
+      let shift = if s.first_pinned >= 0 then dist.(s.first_pinned) else 0 in
+      Rfeasible (Array.init n (fun v -> dist.(v) - shift))
+    end
+
+  let run ?warm s ~require =
+    match run_raw ?warm s ~require with
+    | Rfeasible rho -> Feasible rho
+    | Rsweep w -> Infeasible (collect_cycle s w)
+    | Rcutoff v -> Infeasible (extract_cycle s v)
+
+  let run_cycles ?warm s ~require =
+    match run_raw ?warm s ~require with
+    | Rfeasible rho -> Ok rho
+    | Rsweep _ | Rcutoff _ -> Error (pred_cycles_all s)
+
+  let potentials s = Array.sub s.dist 0 s.n
+end
+
 let retimed_weight g rho e =
   let edge = g.Rgraph.edges.(e) in
   edge.Rgraph.weight + rho.(edge.Rgraph.head) - rho.(edge.Rgraph.tail)

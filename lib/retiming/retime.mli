@@ -24,6 +24,56 @@ val solve : Rgraph.t -> require:(int -> int) -> outcome
     registers wanted on edge [e] after retiming. Use [require = fun _ -> 0]
     to merely re-check legality of the identity. *)
 
+(** Flat-array solver over the same constraint system, for re-solve
+    loops. [create] builds the constraint arcs once as int CSR arrays;
+    each [run] reuses them plus preallocated scratch, so only the arc
+    lengths ([weight - require]) are recomputed per call.
+
+    Agreement with {!solve}: feasibility always coincides, and on
+    feasible systems a cold [run] returns the identical rho (both
+    compute the canonical shortest-path fixpoint of the all-zero
+    start). On infeasible systems both report a true over-constrained
+    cycle, but possibly different ones: [run] finds negative cycles in
+    O(n + m) by sweeping the predecessor forest (any cycle there is a
+    negative cycle) where {!solve} needs Theta(n * m) to trip its
+    relax-count cutoff — the difference that lets the requirement-drop
+    loop scale to 100k-cell circuits. *)
+module Solver : sig
+  type t
+
+  val create : Rgraph.t -> t
+
+  val run : ?warm:int array -> t -> require:(int -> int) -> outcome
+  (** [run t ~require] solves cold, exactly like {!solve}.
+
+      [run ~warm:rho t ~require] starts from a previous potential and
+      enqueues only the sources of constraints it violates; if [rho] is
+      feasible for the current requirements this verifies it with zero
+      relaxations and returns it unchanged. Warm outcomes are sound
+      (every returned potential satisfies all constraints; infeasibility
+      still yields an over-constrained cycle) but not canonical — they
+      depend on the starting point — so warm starts serve verification
+      and oracle duty, never the result-defining solves. *)
+
+  val run_cycles :
+    ?warm:int array -> t -> require:(int -> int) ->
+    (int array, int list list) result
+  (** Like {!run}, but an infeasible system reports {e every} cycle of
+      the predecessor forest at the abort point. The cycles are
+      vertex-disjoint and each is a genuine negative constraint cycle,
+      so a requirement-drop loop can retire all of them from one aborted
+      solve instead of re-solving once per cycle. The list is non-empty
+      and deterministic. *)
+
+  val potentials : t -> int array
+  (** Snapshot of the label state left by the last run — the feasible
+      potential after a converged run, or the partial labels of an
+      aborted one. Feeding it back as [~warm] resumes the relaxation on
+      updated requirements, which is how the requirement-drop loop
+      avoids one full cold solve per round (the result-defining final
+      solve still runs cold). *)
+end
+
 val retimed_weight : Rgraph.t -> int array -> int -> int
 (** [retimed_weight g rho e] is Eq. 1 for edge [e]. *)
 

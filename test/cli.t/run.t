@@ -166,12 +166,14 @@ even though the timings are not:
   $ sed -n '/^spans/,/^counters:/p' t.txt | sed '1d;$d' | awk '{print $1}'
   merced.run
   merced.to_graph
+  merced.csr
   merced.scc_budget
   flow.saturate
   cluster.make_group
   merced.assign
   merced.area
   merced.retime_requirements
+  retime.solve
   retime.solve
   retime.solve
 
@@ -214,4 +216,28 @@ anything, and bad arguments are usage errors:
   $ $MERCED bench --benchmarks nosuch --dry-run 2> /dev/null; echo "exit $?"
   exit 2
   $ $MERCED bench --benchmarks s27 --repeat 0 2> /dev/null; echo "exit $?"
+  exit 2
+
+Synthetic profiles are accepted by name; misspelling one is a usage
+error like any other unknown benchmark:
+
+  $ $MERCED bench --benchmarks synth10k --dry-run | head -2
+  synth10k/generate jobs=1
+  synth10k/flow jobs=1
+  $ $MERCED bench --benchmarks synthnosuch --dry-run 2> /dev/null; echo "exit $?"
+  exit 2
+
+The graph substrate is selectable for debugging; both substrates
+produce the same partitions and the same feasible retiming, and an
+unknown substrate is a usage error:
+
+  $ $MERCED partition s27 --lk 3 --substrate hashed | grep -v "CPU:" > hashed.out
+  $ $MERCED partition s27 --lk 3 --substrate csr | grep -v "CPU:" > csr.out
+  $ cmp hashed.out csr.out && echo identical
+  identical
+  $ $MERCED retime s27 --lk 3 --substrate hashed -o rt-hashed.bench > /dev/null
+  $ $MERCED retime s27 --lk 3 --substrate csr -o rt-csr.bench > /dev/null
+  $ cmp rt-hashed.bench rt-csr.bench && echo identical
+  identical
+  $ $MERCED partition s27 --substrate nosuch 2> /dev/null; echo "exit $?"
   exit 2

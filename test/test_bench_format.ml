@@ -132,6 +132,69 @@ let prop_roundtrip =
       && Circuit.area c = Circuit.area c2
       && Array.length c.Circuit.outputs = Array.length c2.Circuit.outputs)
 
+(* ------------------------------------------------------------------ *)
+(* BENCH_*.json perf-baseline schema (Report.bench_json) — goldens for
+   both shapes: the bare pre-stats schema (circuit_stats = None must
+   stay byte-identical, old baselines keep diffing cleanly) and the
+   pipeline-sweep schema with per-entry circuit stats. *)
+
+module Report = Ppet_core.Report
+
+let bare_entries =
+  [
+    { Report.entry_name = "a/flow"; median_ns = 1.5; mad_ns = 0.5; jobs = 1;
+      circuit_stats = None };
+    { Report.entry_name = "a/fault_sim"; median_ns = 2.0; mad_ns = 0.0;
+      jobs = 4; circuit_stats = None };
+  ]
+
+let stats_entries =
+  let stats = Some { Report.gates = 120; dffs = 17; edges = 256 } in
+  [
+    { Report.entry_name = "s27/flow"; median_ns = 1.5; mad_ns = 0.5; jobs = 1;
+      circuit_stats = stats };
+    { Report.entry_name = "s27/retime"; median_ns = 250.0; mad_ns = 10.0;
+      jobs = 1; circuit_stats = stats };
+  ]
+
+let test_bench_json_schema () =
+  let json = Report.bench_json ~name:"pipeline" ~entries:bare_entries in
+  Alcotest.(check string) "bare schema is stable"
+    "{\n  \"name\": \"pipeline\",\n  \"entries\": [\n    { \"name\": \
+     \"a/flow\", \"median_ns\": 1.5, \"mad_ns\": 0.5, \"jobs\": 1 },\n    \
+     { \"name\": \"a/fault_sim\", \"median_ns\": 2, \"mad_ns\": 0, \"jobs\": \
+     4 }\n  ]\n}\n"
+    json
+
+let test_bench_json_schema_stats () =
+  let json = Report.bench_json ~name:"pipeline" ~entries:stats_entries in
+  Alcotest.(check string) "stats schema is stable"
+    "{\n  \"name\": \"pipeline\",\n  \"entries\": [\n    { \"name\": \
+     \"s27/flow\", \"median_ns\": 1.5, \"mad_ns\": 0.5, \"jobs\": 1, \
+     \"gates\": 120, \"dffs\": 17, \"edges\": 256 },\n    { \"name\": \
+     \"s27/retime\", \"median_ns\": 250, \"mad_ns\": 10, \"jobs\": 1, \
+     \"gates\": 120, \"dffs\": 17, \"edges\": 256 }\n  ]\n}\n"
+    json
+
+let test_bench_json_read_back () =
+  List.iter
+    (fun entries ->
+      let json = Report.bench_json ~name:"pipeline" ~entries in
+      let back = Report.bench_entries_of_json json in
+      Alcotest.(check int) "entry count" (List.length entries)
+        (List.length back);
+      List.iter2
+        (fun (a : Report.bench_entry) (b : Report.bench_entry) ->
+          Alcotest.(check string) "name" a.Report.entry_name b.Report.entry_name;
+          Alcotest.(check (float 1e-9)) "median" a.Report.median_ns
+            b.Report.median_ns;
+          Alcotest.(check (float 1e-9)) "mad" a.Report.mad_ns b.Report.mad_ns;
+          Alcotest.(check int) "jobs" a.Report.jobs b.Report.jobs;
+          Alcotest.(check bool) "stats" true
+            (a.Report.circuit_stats = b.Report.circuit_stats))
+        entries back)
+    [ bare_entries; stats_entries ]
+
 let suite =
   [
     Alcotest.test_case "lexer tokens" `Quick test_lexer_tokens;
@@ -147,5 +210,10 @@ let suite =
     Alcotest.test_case "missing paren rejected" `Quick test_parse_missing_paren;
     Alcotest.test_case "s27 roundtrip" `Quick test_roundtrip_s27;
     Alcotest.test_case "file io" `Quick test_file_io;
+    Alcotest.test_case "BENCH json bare schema" `Quick test_bench_json_schema;
+    Alcotest.test_case "BENCH json stats schema" `Quick
+      test_bench_json_schema_stats;
+    Alcotest.test_case "BENCH json read-back" `Quick
+      test_bench_json_read_back;
     QCheck_alcotest.to_alcotest prop_roundtrip;
   ]

@@ -154,23 +154,25 @@ let golden_chrome_s27 =
 {"name":"merced.run","ph":"B","pid":0,"tid":0,"ts":0.000},
 {"name":"merced.to_graph","ph":"B","pid":0,"tid":0,"ts":1.000},
 {"name":"merced.to_graph","ph":"E","pid":0,"tid":0,"ts":2.000},
-{"name":"merced.scc_budget","ph":"B","pid":0,"tid":0,"ts":3.000},
-{"name":"merced.scc_budget","ph":"E","pid":0,"tid":0,"ts":4.000},
-{"name":"flow.saturate","ph":"B","pid":0,"tid":0,"ts":5.000},
-{"name":"flow.tree_nets","ph":"C","pid":0,"tid":0,"ts":6.000,"args":{"value":941}},
-{"name":"flow.iterations","ph":"C","pid":0,"tid":0,"ts":7.000,"args":{"value":121}},
-{"name":"flow.saturate","ph":"E","pid":0,"tid":0,"ts":8.000},
-{"name":"cluster.make_group","ph":"B","pid":0,"tid":0,"ts":9.000},
-{"name":"cluster.clusters","ph":"C","pid":0,"tid":0,"ts":10.000,"args":{"value":2}},
-{"name":"cluster.make_group","ph":"E","pid":0,"tid":0,"ts":11.000},
-{"name":"merced.assign","ph":"B","pid":0,"tid":0,"ts":12.000},
-{"name":"merced.assign","ph":"E","pid":0,"tid":0,"ts":13.000},
-{"name":"assign.partitions","ph":"C","pid":0,"tid":0,"ts":14.000,"args":{"value":1}},
-{"name":"merced.area","ph":"B","pid":0,"tid":0,"ts":15.000},
-{"name":"merced.area","ph":"E","pid":0,"tid":0,"ts":16.000},
-{"name":"merced.cuts_total","ph":"C","pid":0,"tid":0,"ts":17.000,"args":{"value":0}},
-{"name":"merced.sigma_dff","ph":"C","pid":0,"tid":0,"ts":18.000,"args":{"value":8.14}},
-{"name":"merced.run","ph":"E","pid":0,"tid":0,"ts":19.000}
+{"name":"merced.csr","ph":"B","pid":0,"tid":0,"ts":3.000},
+{"name":"merced.csr","ph":"E","pid":0,"tid":0,"ts":4.000},
+{"name":"merced.scc_budget","ph":"B","pid":0,"tid":0,"ts":5.000},
+{"name":"merced.scc_budget","ph":"E","pid":0,"tid":0,"ts":6.000},
+{"name":"flow.saturate","ph":"B","pid":0,"tid":0,"ts":7.000},
+{"name":"flow.tree_nets","ph":"C","pid":0,"tid":0,"ts":8.000,"args":{"value":941}},
+{"name":"flow.iterations","ph":"C","pid":0,"tid":0,"ts":9.000,"args":{"value":121}},
+{"name":"flow.saturate","ph":"E","pid":0,"tid":0,"ts":10.000},
+{"name":"cluster.make_group","ph":"B","pid":0,"tid":0,"ts":11.000},
+{"name":"cluster.clusters","ph":"C","pid":0,"tid":0,"ts":12.000,"args":{"value":2}},
+{"name":"cluster.make_group","ph":"E","pid":0,"tid":0,"ts":13.000},
+{"name":"merced.assign","ph":"B","pid":0,"tid":0,"ts":14.000},
+{"name":"merced.assign","ph":"E","pid":0,"tid":0,"ts":15.000},
+{"name":"assign.partitions","ph":"C","pid":0,"tid":0,"ts":16.000,"args":{"value":1}},
+{"name":"merced.area","ph":"B","pid":0,"tid":0,"ts":17.000},
+{"name":"merced.area","ph":"E","pid":0,"tid":0,"ts":18.000},
+{"name":"merced.cuts_total","ph":"C","pid":0,"tid":0,"ts":19.000,"args":{"value":0}},
+{"name":"merced.sigma_dff","ph":"C","pid":0,"tid":0,"ts":20.000,"args":{"value":8.14}},
+{"name":"merced.run","ph":"E","pid":0,"tid":0,"ts":21.000}
 ],"displayTimeUnit":"ms"}
 |}
 
@@ -202,20 +204,8 @@ let test_bench_stat () =
   Alcotest.(check int) "samples" 3 s.Bench_stat.samples;
   Alcotest.(check bool) "median non-negative" true (s.Bench_stat.median_ns >= 0.)
 
-let test_bench_json_schema () =
-  let entries =
-    [
-      { Report.entry_name = "a/flow"; median_ns = 1.5; mad_ns = 0.5; jobs = 1 };
-      { Report.entry_name = "a/fault_sim"; median_ns = 2.0; mad_ns = 0.0; jobs = 4 };
-    ]
-  in
-  let json = Report.bench_json ~name:"pipeline" ~entries in
-  Alcotest.(check string) "schema is stable"
-    "{\n  \"name\": \"pipeline\",\n  \"entries\": [\n    { \"name\": \
-     \"a/flow\", \"median_ns\": 1.5, \"mad_ns\": 0.5, \"jobs\": 1 },\n    \
-     { \"name\": \"a/fault_sim\", \"median_ns\": 2, \"mad_ns\": 0, \"jobs\": \
-     4 }\n  ]\n}\n"
-    json
+(* The BENCH json schema goldens live in test_bench_format.ml, next to
+   the netlist-format ones. *)
 
 (* ------------------------------------------------------------------ *)
 (* properties                                                          *)
@@ -292,7 +282,6 @@ let suite =
     Alcotest.test_case "golden chrome trace (s27)" `Quick test_golden_chrome;
     Alcotest.test_case "exporters are pure" `Quick test_exporters_are_pure;
     Alcotest.test_case "bench statistics" `Quick test_bench_stat;
-    Alcotest.test_case "bench json schema" `Quick test_bench_json_schema;
     QCheck_alcotest.to_alcotest prop_tracing_does_not_perturb;
     QCheck_alcotest.to_alcotest prop_span_trees_well_nested;
   ]
