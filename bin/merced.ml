@@ -1,6 +1,6 @@
 (* Merced — the BIST compiler of the paper (Table 2), as a command-line
    tool. Subcommands: stats, partition, generate, selftest, insert,
-   retime, dot, sweep, check, fuzz, lint, bench.
+   retime, dot, sweep, check, fuzz, lint, bench, serve, submit.
 
    Exit-code contract (every subcommand): 0 = success with no findings,
    1 = the tool worked and found something (lint diagnostics, check
@@ -11,15 +11,10 @@ module Stats = Ppet_netlist.Stats
 module Bench_parser = Ppet_netlist.Bench_parser
 module Bench_writer = Ppet_netlist.Bench_writer
 module Benchmarks = Ppet_netlist.Benchmarks
-module Segment = Ppet_netlist.Segment
-module S27 = Ppet_netlist.S27
 module Params = Ppet_core.Params
 module Merced = Ppet_core.Merced
 module Report = Ppet_core.Report
 module Assign = Ppet_core.Assign
-module Pet = Ppet_bist.Pet
-module Simulator = Ppet_bist.Simulator
-module Pipeline = Ppet_bist.Pipeline
 module Check_error = Ppet_check.Error
 module Seq_check = Ppet_check.Seq_check
 module Fuzz = Ppet_check.Fuzz
@@ -29,28 +24,17 @@ module Diag = Ppet_lint.Diag
 module Obs = Ppet_obs.Obs
 module Obs_export = Ppet_obs.Export
 module Bench_runner = Ppet_core.Bench_runner
+module Serve_ops = Ppet_serve.Ops
+module Sjson = Ppet_serve.Json
 
 open Cmdliner
 
 (* ------------------------------------------------------------------ *)
 (* shared argument parsing                                             *)
 
-let load_circuit spec =
-  if spec = "s27" then S27.circuit ()
-  else if Sys.file_exists spec then
-    if Filename.check_suffix spec ".v" then
-      Ppet_netlist.Verilog.parse_file spec
-    else Bench_parser.parse_file spec
-  else
-    match Benchmarks.find spec with
-    | exception Not_found ->
-      raise
-        (Circuit.Error
-           (Printf.sprintf
-              "%S is neither a file, \"s27\", nor a known benchmark (%s)"
-              spec
-              (String.concat ", " Benchmarks.names)))
-    | _ -> Benchmarks.circuit spec
+(* spec resolution lives in Ppet_serve.Ops so the daemon and the CLI
+   agree on it (and on the error text) by construction *)
+let load_circuit = Serve_ops.load_circuit
 
 let circuit_arg =
   let doc =
@@ -202,33 +186,18 @@ let locked_fn c names =
 let partition_run spec lk beta seed substrate lock csv verbose trace =
   wrap ?trace (fun () ->
       let c = load_circuit spec in
-      let r =
-        Merced.run
-          ~params:(params_of ~substrate lk beta seed)
-          ?locked:(locked_fn c lock) c
-      in
+      let params = params_of ~substrate lk beta seed in
       if csv then begin
+        let r = Merced.run ~params ?locked:(locked_fn c lock) c in
         print_endline Report.csv_header;
         print_endline (Report.csv_row r)
       end
-      else begin
-        print_endline (Report.summary r);
-        (match Merced.retiming_feasibility r with
-         | `Feasible ->
-           print_endline "  legal retiming covers every combinational cut net"
-         | `Needs_mux n ->
-           Printf.printf
-             "  legal retiming blocked on %d cut nets (multiplexed cells)\n" n);
-        if verbose then
-          List.iteri
-            (fun i (p : Assign.partition) ->
-              Printf.printf "  partition %d: %d vertices, iota = %d%s%s\n" i
-                (Array.length p.Assign.vertices)
-                p.Assign.input_count
-                (if p.Assign.oversize then " (oversize)" else "")
-                (if p.Assign.locked then " (locked)" else ""))
-            r.Merced.assignment.Assign.partitions
-      end)
+      else
+        (* the human rendering is shared with `merced serve`, so the
+           daemon's compile replies are byte-identical to this *)
+        print_string
+          (Serve_ops.compile ~verbose ?locked:(locked_fn c lock) ~params c)
+            .Serve_ops.output)
 
 let lock_arg =
   Arg.(value & opt (list string) [] & info [ "lock" ] ~docv:"SIGNALS"
@@ -286,28 +255,13 @@ let generate_cmd =
 let selftest_run spec lk beta seed substrate max_width jobs trace =
   wrap ?trace (fun () ->
       let c = load_circuit spec in
-      let r = Merced.run ~params:(params_of ~substrate lk beta seed) c in
-      let sim = Simulator.create c in
-      let segments = Merced.segments r in
-      Printf.printf "circuit %s: %d segments\n" c.Circuit.title
-        (List.length segments);
+      (* body shared with `merced serve` for byte-identical replies *)
       with_jobs jobs (fun pool ->
-          List.iteri
-            (fun i seg ->
-              let w = Segment.input_count seg in
-              if w > 0 && w <= max_width then begin
-                let rep = Pet.run ?pool sim seg in
-                Format.printf "  segment %d: %a@." i Pet.pp rep
-              end
-              else
-                Printf.printf
-                  "  segment %d: iota = %d, skipped (exhaustive bound %d)\n" i
-                  w max_width)
-            segments);
-      let phasing = Ppet_core.Phasing.compute r in
-      Format.printf "%a@." Ppet_core.Phasing.pp phasing;
-      let sched = Ppet_core.Phasing.schedule r in
-      Format.printf "%a@." Pipeline.pp sched)
+          print_string
+            (Serve_ops.selftest ?pool
+               ~params:(params_of ~substrate lk beta seed)
+               ~max_width c)
+              .Serve_ops.output))
 
 let selftest_cmd =
   let doc =
@@ -742,11 +696,17 @@ let bench_guard ~factor ~baseline entries =
               e.Report.entry_name
           end
           else begin
-            let ratio =
-              if b.Report.median_ns > 0. then
-                e.Report.median_ns /. b.Report.median_ns
-              else 1.0
-            in
+            (* a nonpositive baseline median can only come from a bogus
+               artefact (e.g. a --dry-run listing); the ratio would be
+               inf/nan and the gate meaningless — loading already
+               rejects it, this is the belt to that suspender *)
+            if b.Report.median_ns <= 0. then
+              raise
+                (Circuit.Error
+                   (Printf.sprintf
+                      "--against: baseline entry %S has median %g ns"
+                      b.Report.entry_name b.Report.median_ns));
+            let ratio = e.Report.median_ns /. b.Report.median_ns in
             if ratio > factor then begin
               incr failures;
               Printf.printf
@@ -792,9 +752,31 @@ let bench_run benchmarks repeat jobs out against dry_run trace =
             raise
               (Circuit.Error
                  (Printf.sprintf "--against: no such baseline file %S" path));
-          Some
-            (Report.bench_entries_of_json
-               (In_channel.with_open_text path In_channel.input_all))
+          let entries =
+            Report.bench_entries_of_json
+              (In_channel.with_open_text path In_channel.input_all)
+          in
+          if entries = [] then
+            raise
+              (Circuit.Error
+                 (Printf.sprintf "--against: %S holds no bench entries" path));
+          (* A median of zero means the baseline was never actually
+             timed (a --dry-run artefact, or a hand-edited file). The
+             2x gate would then compare against 0 — inf/nan ratios that
+             either always pass or crash — so refuse the whole file up
+             front with a usage error. *)
+          List.iter
+            (fun (e : Report.bench_entry) ->
+              if e.Report.median_ns <= 0. then
+                raise
+                  (Circuit.Error
+                     (Printf.sprintf
+                        "--against: baseline entry %S has median %g ns — \
+                         the file was never timed (a --dry-run artefact?); \
+                         re-record it with `merced bench`"
+                        e.Report.entry_name e.Report.median_ns)))
+            entries;
+          Some entries
       in
       let plan = { Bench_runner.benchmarks; repeat; jobs } in
       if dry_run then begin
@@ -866,6 +848,283 @@ let bench_cmd =
           $ dry_run $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+
+let socket_arg =
+  let doc = "Unix socket path the daemon listens on." in
+  Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let serve_run socket jobs queue_limit timeout_ms quiet trace =
+  wrap ?trace (fun () ->
+      Ppet_serve.Server.run
+        {
+          Ppet_serve.Server.socket_path = socket;
+          jobs;
+          queue_limit;
+          default_timeout_ms = timeout_ms;
+          quiet;
+        })
+
+let serve_cmd =
+  let doc =
+    "Run the merced compile daemon: accept compile/lint/selftest/bench \
+     jobs as newline-delimited JSON over a Unix socket, schedule them \
+     across a domain pool, stream per-stage progress, and answer repeat \
+     submissions from a content-addressed result cache. Runs until a \
+     shutdown request, then drains the queue and exits."
+  in
+  let jobs =
+    Arg.(value & opt int 2 & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Worker domains executing jobs concurrently (each job \
+                 itself runs serially, so results match the one-shot \
+                 CLI byte for byte).")
+  in
+  let queue_limit =
+    Arg.(value & opt int 64 & info [ "queue-limit" ] ~docv:"N"
+           ~doc:"Jobs admitted to the queue before submissions are \
+                 answered with a busy error (backpressure).")
+  in
+  let timeout_ms =
+    Arg.(value & opt (some int) None & info [ "timeout-ms" ] ~docv:"MS"
+           ~doc:"Default per-job queue-wait timeout for requests that \
+                 set none.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "q"; "quiet" ]
+           ~doc:"Suppress the lifecycle lines on standard error.")
+  in
+  Cmd.v (Cmd.info "serve" ~doc ~exits)
+    Term.(const serve_run $ socket_arg $ jobs $ queue_limit $ timeout_ms
+          $ quiet $ trace_arg)
+
+(* ------------------------------------------------------------------ *)
+(* submit                                                              *)
+
+(* A .bench file is shipped inline (the daemon may run in another
+   directory), with title/file attached so diagnostics and titles match
+   the one-shot CLI on the same path. Everything else — "s27", registry
+   names, .v paths — goes as a spec for the server to resolve. *)
+let source_fields circuit =
+  if
+    circuit <> "s27"
+    && Sys.file_exists circuit
+    && not (Filename.check_suffix circuit ".v")
+  then
+    [
+      ("bench", Sjson.Str (In_channel.with_open_text circuit In_channel.input_all));
+      ("title", Sjson.Str Filename.(remove_extension (basename circuit)));
+      ("file", Sjson.Str circuit);
+    ]
+  else [ ("circuit", Sjson.Str circuit) ]
+
+let submit_request ~op ~circuit ~suite ~stats ~shutdown ~lk ~beta ~seed
+    ~substrate ~verbose ~rules ~max_width ~benchmarks ~repeat ~ms ~timeout_ms
+    ~progress =
+  if stats then Sjson.Obj [ ("op", Sjson.Str "stats") ]
+  else if shutdown then Sjson.Obj [ ("op", Sjson.Str "shutdown") ]
+  else
+    let common =
+      [
+        ("lk", Sjson.Num (float_of_int lk));
+        ("beta", Sjson.Num (float_of_int beta));
+        ("seed", Sjson.Num (float_of_int seed));
+        ( "substrate",
+          Sjson.Str (Params.substrate_name substrate) );
+      ]
+      @ (match timeout_ms with
+         | Some t -> [ ("timeout_ms", Sjson.Num (float_of_int t)) ]
+         | None -> [])
+      @ if progress then [ ("progress", Sjson.Bool true) ] else []
+    in
+    match suite with
+    | Some path -> (
+      let text = In_channel.with_open_text path In_channel.input_all in
+      match Sjson.of_string text with
+      | Ok (Sjson.List jobs) ->
+        Sjson.Obj [ ("op", Sjson.Str "suite"); ("jobs", Sjson.List jobs) ]
+      | Ok _ ->
+        raise
+          (Circuit.Error
+             (Printf.sprintf
+                "--suite: %S must hold a JSON list of job objects" path))
+      | Error msg ->
+        raise (Circuit.Error (Printf.sprintf "--suite: %s: %s" path msg)))
+    | None ->
+      let need_circuit () =
+        match circuit with
+        | Some c -> source_fields c
+        | None ->
+          raise
+            (Circuit.Error
+               "submit: give a CIRCUIT (or --stats, --shutdown, --suite)")
+      in
+      let op_fields =
+        match op with
+        | `Compile ->
+          (("op", Sjson.Str "compile") :: need_circuit ())
+          @ if verbose then [ ("verbose", Sjson.Bool true) ] else []
+        | `Lint ->
+          (("op", Sjson.Str "lint") :: need_circuit ())
+          @ (match rules with
+             | [] -> []
+             | r -> [ ("rules", Sjson.List (List.map (fun s -> Sjson.Str s) r)) ])
+          @ if verbose then [ ("verbose", Sjson.Bool true) ] else []
+        | `Selftest ->
+          (("op", Sjson.Str "selftest") :: need_circuit ())
+          @ [ ("max_width", Sjson.Num (float_of_int max_width)) ]
+        | `Bench ->
+          [
+            ("op", Sjson.Str "bench");
+            ( "benchmarks",
+              Sjson.List (List.map (fun s -> Sjson.Str s) benchmarks) );
+            ("repeat", Sjson.Num (float_of_int repeat));
+          ]
+        | `Sleep ->
+          [ ("op", Sjson.Str "sleep"); ("ms", Sjson.Num (float_of_int ms)) ]
+      in
+      Sjson.Obj (op_fields @ common)
+
+let submit_run socket op circuit suite stats shutdown lk beta seed substrate
+    verbose rules max_width benchmarks repeat ms timeout_ms progress meta
+    retry_for trace =
+  wrap_status ?trace (fun () ->
+      let req =
+        submit_request ~op ~circuit ~suite ~stats ~shutdown ~lk ~beta ~seed
+          ~substrate ~verbose ~rules ~max_width ~benchmarks ~repeat ~ms
+          ~timeout_ms ~progress
+      in
+      let on_progress ~stage phase =
+        Printf.eprintf "progress: %s %s\n%!" stage
+          (match phase with `Begin -> "begin" | `End -> "end")
+      in
+      let reply =
+        Ppet_serve.Client.request ~retry_for
+          ?on_progress:(if progress then Some on_progress else None)
+          ~socket req
+      in
+      match reply with
+      | Error msg -> raise (Circuit.Error msg)
+      | Ok frame -> (
+        match Sjson.str_member "type" frame with
+        | Some "error" ->
+          let stage =
+            Option.value ~default:"session" (Sjson.str_member "stage" frame)
+          in
+          let message =
+            Option.value ~default:"unknown error"
+              (Sjson.str_member "message" frame)
+          in
+          Printf.eprintf "error: %s: %s\n" stage message;
+          2
+        | Some "result" -> (
+          match Sjson.str_member "op" frame with
+          | Some "shutdown" -> 0
+          | Some "stats" ->
+            print_endline (Sjson.to_string frame);
+            0
+          | Some "suite" ->
+            print_endline (Sjson.to_string frame);
+            let n key =
+              Option.value ~default:0 (Sjson.int_member key frame)
+            in
+            if n "errors" > 0 then 2 else if n "findings" > 0 then 1 else 0
+          | _ ->
+            print_string
+              (Option.value ~default:"" (Sjson.str_member "output" frame));
+            if meta then
+              Printf.eprintf "cached: %b\n"
+                (Option.value ~default:false
+                   (Sjson.bool_member "cached" frame));
+            Option.value ~default:2 (Sjson.int_member "exit_code" frame))
+        | _ -> raise (Circuit.Error "malformed reply: no \"type\" field")))
+
+let submit_cmd =
+  let doc =
+    "Submit a job to a running $(b,merced serve) daemon and print the \
+     result exactly as the one-shot subcommand would (same bytes, same \
+     exit code). Also speaks the control ops: --stats, --shutdown, and \
+     --suite batch manifests."
+  in
+  let op =
+    Arg.(value
+         & opt
+             (enum
+                [ ("compile", `Compile); ("lint", `Lint);
+                  ("selftest", `Selftest); ("bench", `Bench);
+                  ("sleep", `Sleep) ])
+             `Compile
+         & info [ "op" ] ~docv:"OP"
+             ~doc:"Job kind: $(b,compile) (= partition), $(b,lint), \
+                   $(b,selftest), $(b,bench), or $(b,sleep) (diagnostic).")
+  in
+  let circuit =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"CIRCUIT"
+           ~doc:"Circuit for compile/lint/selftest: a .bench or .v path, \
+                 \"s27\", or a benchmark name. .bench files are sent \
+                 inline, so the daemon needs no access to the file.")
+  in
+  let suite =
+    Arg.(value & opt (some string) None & info [ "suite" ] ~docv:"FILE"
+           ~doc:"Submit a whole manifest (a JSON list of job objects) as \
+                 one batch; prints the aggregated report.")
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Query daemon statistics.")
+  in
+  let shutdown =
+    Arg.(value & flag & info [ "shutdown" ]
+           ~doc:"Ask the daemon to drain its queue and exit.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ]
+           ~doc:"compile: list every partition; lint: include infos.")
+  in
+  let rules =
+    Arg.(value & opt (list string) [] & info [ "rules" ] ~docv:"IDS"
+           ~doc:"lint: comma-separated rule ids (default: all).")
+  in
+  let max_width =
+    Arg.(value & opt int 14 & info [ "max-width" ] ~docv:"W"
+           ~doc:"selftest: skip exhaustive simulation of wider segments.")
+  in
+  let benchmarks =
+    Arg.(value
+         & opt (list string) Bench_runner.default_plan.Bench_runner.benchmarks
+         & info [ "benchmarks" ] ~docv:"NAMES" ~doc:"bench: circuits to sweep.")
+  in
+  let repeat =
+    Arg.(value & opt int Bench_runner.default_plan.Bench_runner.repeat
+         & info [ "repeat" ] ~docv:"N" ~doc:"bench: timed samples per phase.")
+  in
+  let ms =
+    Arg.(value & opt int 100 & info [ "ms" ] ~docv:"MS"
+           ~doc:"sleep: how long the diagnostic job holds a worker.")
+  in
+  let timeout_ms =
+    Arg.(value & opt (some int) None & info [ "timeout-ms" ] ~docv:"MS"
+           ~doc:"Fail the job if it still waits in the daemon's queue \
+                 after this long.")
+  in
+  let progress =
+    Arg.(value & flag & info [ "progress" ]
+           ~doc:"Stream per-stage progress lines to standard error.")
+  in
+  let meta =
+    Arg.(value & flag & info [ "meta" ]
+           ~doc:"Also print reply metadata (cache hit?) to standard error.")
+  in
+  let retry_for =
+    Arg.(value & opt float 5.0 & info [ "retry-for" ] ~docv:"SECS"
+           ~doc:"Keep retrying the connection this long before giving up \
+                 (absorbs a daemon still starting).")
+  in
+  Cmd.v (Cmd.info "submit" ~doc ~exits)
+    Term.(const submit_run $ socket_arg $ op $ circuit $ suite $ stats
+          $ shutdown $ lk_arg $ beta_arg $ seed_arg $ substrate_arg $ verbose
+          $ rules $ max_width $ benchmarks $ repeat $ ms $ timeout_ms
+          $ progress $ meta $ retry_for $ trace_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let main_cmd =
   let doc = "Merced: area-efficient pipelined pseudo-exhaustive testing with retiming" in
@@ -873,7 +1132,7 @@ let main_cmd =
   Cmd.group info
     [ stats_cmd; partition_cmd; generate_cmd; selftest_cmd; insert_cmd;
       retime_cmd; dot_cmd; sweep_cmd; check_cmd; fuzz_cmd; lint_cmd;
-      bench_cmd ]
+      bench_cmd; serve_cmd; submit_cmd ]
 
 let () =
   let code = Cmd.eval' main_cmd in

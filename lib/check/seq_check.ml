@@ -135,6 +135,10 @@ let first_mismatch ~cycles ~latency runs =
 
 let check ?(sequences = 4) ?(cycles = 24) ?(seed = 0xC4ECL)
     ?(max_latency = 4) ?init_left ?init_right ?(force_right = []) left right =
+  if max_latency < 0 then
+    Error.raisef Error.Check "max_latency must be >= 0 (got %d)" max_latency;
+  if sequences < 0 then
+    Error.raisef Error.Check "sequences must be >= 0 (got %d)" sequences;
   if Array.length left.Circuit.outputs <> Array.length right.Circuit.outputs
   then
     Error.raisef Error.Check
@@ -169,22 +173,18 @@ let check ?(sequences = 4) ?(cycles = 24) ?(seed = 0xC4ECL)
   in
   let n_sequences = List.length stimuli in
   (* smallest offset under which every sequence agrees; on failure keep,
-     per offset, how deep the agreement ran and report the deepest *)
+     per offset, how deep the agreement ran and report the deepest.
+     Total by construction: each offset either answers Equivalent or
+     hands a concrete divergence to the next one, so the verdict at
+     [max_latency] always has a witness in hand. *)
   let rec align d best =
-    if d > max_latency then
-      match best with
-      | Some div -> Inequivalent div
-      | None -> assert false
-    else
-      match first_mismatch ~cycles ~latency:d runs with
-      | None -> Equivalent { sequences = n_sequences; cycles; latency = d }
-      | Some div ->
-        let best =
-          match best with
-          | Some b when b.cycle >= div.cycle -> Some b
-          | Some _ | None -> Some div
-        in
-        align (d + 1) best
+    match first_mismatch ~cycles ~latency:d runs with
+    | None -> Equivalent { sequences = n_sequences; cycles; latency = d }
+    | Some div ->
+      let best =
+        match best with Some b when b.cycle >= div.cycle -> b | _ -> div
+      in
+      if d >= max_latency then Inequivalent best else align (d + 1) (Some best)
   in
   align 0 None
 

@@ -41,6 +41,16 @@ let validate p =
   else if p.max_merge_candidates < 1 then Error "max_merge_candidates must be positive"
   else Ok ()
 
+(* Every field, in declaration order. Any knob that can change a compile
+   result must land here: the serve cache keys results on circuit
+   content + this string, so a missing field would alias distinct
+   compiles onto one cache entry. *)
+let fingerprint p =
+  Printf.sprintf
+    "b=%h;mv=%d;a=%h;d=%h;beta=%d;lk=%d;seed=%Ld;mi=%d;mmc=%d;sub=%s"
+    p.capacity p.min_visit p.alpha p.delta p.beta p.l_k p.seed
+    p.max_iterations p.max_merge_candidates (substrate_name p.substrate)
+
 let pp ppf p =
   Format.fprintf ppf
     "b=%.2f min_visit=%d alpha=%.2f delta=%.3f beta=%d l_k=%d seed=%Ld"

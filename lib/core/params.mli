@@ -37,4 +37,9 @@ val with_lk : int -> t
 
 val validate : t -> (unit, string) result
 
+val fingerprint : t -> string
+(** A stable, injective rendering of every field ([%h] for floats, so no
+    two distinct settings collide) — the params half of the serve
+    cache key. *)
+
 val pp : Format.formatter -> t -> unit

@@ -259,8 +259,10 @@ let to_chrome ?(normalise = false) t =
     if !first then first := false else Buffer.add_string buf ",\n";
     Buffer.add_string buf line
   in
+  let last_ts = ref 0L in
   List.iter
     (fun ev ->
+      last_ts := ts_of ev;
       match ev with
       | Obs.Begin b ->
         let st = stack b.tid in
@@ -297,5 +299,26 @@ let to_chrome ?(normalise = false) t =
              (json_escape g.name) g.tid (pp_ts_us g.ts)
              g.value))
     events;
+  (* Truncated-span flush: a trace exported mid-flight — a crashed or
+     killed run, or a live daemon snapshot — still has spans open. Close
+     them at the last timestamp seen so every "B" has its "E" and the
+     JSON loads in chrome://tracing instead of being rejected. *)
+  let open_tids =
+    Hashtbl.fold
+      (fun tid st acc -> if !st = [] then acc else (tid, st) :: acc)
+      stacks []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (tid, st) ->
+      List.iter
+        (fun name ->
+          emit
+            (Printf.sprintf
+               "{\"name\":\"%s\",\"ph\":\"E\",\"pid\":0,\"tid\":%d,\"ts\":%s}"
+               (json_escape name) tid (pp_ts_us !last_ts)))
+        !st;
+      st := [])
+    open_tids;
   Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n";
   Buffer.contents buf

@@ -15,4 +15,7 @@ val to_human : ?normalise:bool -> Obs.t -> string
 val to_chrome : ?normalise:bool -> Obs.t -> string
 (** Chrome [trace_event] JSON (load via [chrome://tracing] or Perfetto):
     spans as ["B"]/["E"] pairs, counters and gauges as ["C"] events, one
-    event per line, [tid] = worker id. *)
+    event per line, [tid] = worker id. Spans still open when the trace
+    is exported — a crashed or killed run, or a live snapshot of a
+    running job — are flushed with a synthetic ["E"] at the last
+    recorded timestamp, so the output is always balanced and loadable. *)

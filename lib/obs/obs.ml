@@ -59,14 +59,31 @@ let create ?(clock = wall_clock_ns) () =
    single plain load from every domain. *)
 let sink : t option Atomic.t = Atomic.make None
 
+(* A domain-local scope that overrides the global sink: the serve daemon
+   runs many jobs in one process and gives each in-flight job its own
+   trace on the worker domain executing it. Disabled-path cost grows
+   from one atomic load to a DLS read plus the atomic load — still no
+   closure, no allocation. *)
+let scoped : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
 let install t = Atomic.set sink (Some t)
-let current () = Atomic.get sink
+
+let current () =
+  match Domain.DLS.get scoped with
+  | Some _ as s -> s
+  | None -> Atomic.get sink
+
 let uninstall () = Atomic.set sink None
-let enabled () = Atomic.get sink <> None
+let enabled () = current () <> None
 
 let with_installed t f =
   install t;
   Fun.protect ~finally:uninstall f
+
+let with_scoped t f =
+  let prev = Domain.DLS.get scoped in
+  Domain.DLS.set scoped (Some t);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set scoped prev) f
 
 let events t = Mutex.protect t.mutex (fun () -> List.rev t.events)
 let now t = t.clock ()
@@ -88,7 +105,7 @@ let with_worker w f =
   Fun.protect ~finally:(fun () -> Domain.DLS.set worker_key prev) f
 
 let span name f =
-  match Atomic.get sink with
+  match current () with
   | None -> f ()
   | Some t ->
     let tid = worker () in
@@ -106,13 +123,13 @@ let span name f =
        raise e)
 
 let add metric value =
-  match Atomic.get sink with
+  match current () with
   | None -> ()
   | Some t ->
     record t (Count { metric; tid = worker (); ts = t.clock (); value })
 
 let gauge name value =
-  match Atomic.get sink with
+  match current () with
   | None -> ()
   | Some t ->
     record t (Gauge { name; tid = worker (); ts = t.clock (); value })

@@ -63,8 +63,17 @@ val enabled : unit -> bool
 val with_installed : t -> (unit -> 'a) -> 'a
 (** [install], run, [uninstall] (also on exceptions). *)
 
+val with_scoped : t -> (unit -> 'a) -> 'a
+(** [with_scoped t f] runs [f] with [t] as this domain's recording
+    sink, overriding (and afterwards restoring) whatever {!install} set
+    process-wide. The serve daemon uses this to give each in-flight job
+    its own trace even though many jobs share the process. The scope is
+    domain-local: work [f] dispatches onto other domains records to
+    those domains' own scopes (or the global sink). *)
+
 val current : unit -> t option
-(** The installed trace, if any — for callers that need its clock. *)
+(** The effective trace — this domain's scope if one is set, else the
+    installed one — for callers that need its clock. *)
 
 val events : t -> event list
 (** Events in recording order. *)

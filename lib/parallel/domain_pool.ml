@@ -18,6 +18,20 @@ let record_failure t e =
   if t.failure = None then t.failure <- Some e;
   Mutex.unlock t.mutex
 
+(* True while this domain (or systhread) is inside a pool task. [run]
+   consults it to detect reentrant dispatch: a nested [run] issued from
+   inside a task would clobber [task]/[remaining]/[generation] mid-flight
+   (and deadlock when issued from a worker of the same pool), so nested
+   calls degrade to a serial sweep on the caller instead. The flag is
+   process-wide across pools on purpose — blocking a worker of pool A on
+   a dispatch of pool B nests the same hazard. *)
+let in_task = Domain.DLS.new_key (fun () -> false)
+
+let entered_task f w =
+  let prev = Domain.DLS.get in_task in
+  Domain.DLS.set in_task true;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set in_task prev) (fun () -> f w)
+
 (* Each worker sleeps until the generation counter moves past the last
    task it ran, so a dispatch issued before the worker got back to the
    condition variable is still picked up. *)
@@ -31,7 +45,7 @@ let rec worker_loop t w seen =
     let gen = t.generation in
     let task = match t.task with Some f -> f | None -> assert false in
     Mutex.unlock t.mutex;
-    (try task w with e -> record_failure t e);
+    (try entered_task task w with e -> record_failure t e);
     Mutex.lock t.mutex;
     t.remaining <- t.remaining - 1;
     if t.remaining = 0 then Condition.broadcast t.work_done;
@@ -80,8 +94,31 @@ let instrumented f =
                 (Int64.to_int (Int64.sub (Obs.now tr) t0)))
             (fun () -> f w))
 
+let check_alive t =
+  Mutex.lock t.mutex;
+  let stopped = t.stop in
+  Mutex.unlock t.mutex;
+  if stopped then invalid_arg "Domain_pool.run: pool is shut down"
+
 let run t f =
-  if t.jobs = 1 then f 0
+  if Domain.DLS.get in_task then begin
+    (* Reentrant dispatch: the caller is already inside a pool task, so
+       the pool's dispatch state is in use (and, from a worker of this
+       very pool, waiting on it would deadlock). Run every chunk
+       serially right here — same results, no concurrency. *)
+    check_alive t;
+    let f = instrumented f in
+    let first = ref None in
+    for w = 0 to t.jobs - 1 do
+      try f w with e -> if !first = None then first := Some e
+    done;
+    match !first with Some e -> raise e | None -> ()
+  end
+  else if t.jobs = 1 then begin
+    check_alive t;
+    let f = instrumented f in
+    entered_task f 0
+  end
   else begin
     let f = instrumented f in
     Mutex.lock t.mutex;
@@ -95,7 +132,7 @@ let run t f =
     t.generation <- t.generation + 1;
     Condition.broadcast t.work_ready;
     Mutex.unlock t.mutex;
-    let own = try f 0; None with e -> Some e in
+    let own = try entered_task f 0; None with e -> Some e in
     Mutex.lock t.mutex;
     while t.remaining > 0 do
       Condition.wait t.work_done t.mutex

@@ -11,8 +11,11 @@
     A pool is cheap to keep alive — idle workers hold no locks and burn
     no CPU — so create one per session and reuse it across every
     dispatch; spawning a domain costs orders of magnitude more than a
-    dispatch. [run] is not reentrant: a task must not itself call [run]
-    on the same pool. *)
+    dispatch. A nested [run] issued from inside a task (on any pool) is
+    detected and degrades to a serial sweep on the calling worker: every
+    chunk still executes exactly once, with the same results, just
+    without extra concurrency — the pool's dispatch machinery is never
+    touched reentrantly. *)
 
 type t
 
@@ -26,7 +29,9 @@ val run : t -> (int -> unit) -> unit
 (** [run t f] executes [f w] for every worker index [w] in
     [0, jobs), concurrently, and returns when all are done. [f 0] runs
     on the calling domain. If any [f w] raises, one of the exceptions is
-    re-raised after every worker has finished its call. *)
+    re-raised after every worker has finished its call. Called from
+    inside a pool task, the dispatch runs serially on the caller (see
+    the module description). *)
 
 val chunk : jobs:int -> n:int -> int -> int * int
 (** [chunk ~jobs ~n w] is the half-open index range [(lo, hi)] of

@@ -1,0 +1,42 @@
+(* Content-addressed result store. The key digests what the job output
+   is a function of — operation, every compile parameter
+   (Params.fingerprint), the canonical circuit text, and the op-specific
+   knobs — so a circuit submitted by registry name and the same circuit
+   submitted as inline .bench text hit the same entry, while any knob
+   change misses. Timing jobs (bench) are never stored: their output is
+   not a function of their inputs. *)
+
+type entry = {
+  exit_code : int;
+  output : string;
+  stages : (string * int64) list;
+}
+
+type t = {
+  mutex : Mutex.t;
+  table : (string, entry) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () =
+  { mutex = Mutex.create (); table = Hashtbl.create 64; hits = 0; misses = 0 }
+
+let key ~op ~params_fp ~content ~extra =
+  (* \x00 can appear in none of the parts (op names, fingerprints and
+     .bench text are all printable), so the concatenation is injective *)
+  Digest.to_hex (Digest.string (String.concat "\x00" [ op; params_fp; content; extra ]))
+
+let find t k =
+  Mutex.protect t.mutex (fun () ->
+      match Hashtbl.find_opt t.table k with
+      | Some _ as hit ->
+        t.hits <- t.hits + 1;
+        hit
+      | None ->
+        t.misses <- t.misses + 1;
+        None)
+
+let store t k e = Mutex.protect t.mutex (fun () -> Hashtbl.replace t.table k e)
+
+let stats t = Mutex.protect t.mutex (fun () -> (t.hits, t.misses))

@@ -1,0 +1,27 @@
+(** Content-addressed store of finished job results.
+
+    Keys digest operation + {!Ppet_core.Params.fingerprint} + canonical
+    circuit text + op-specific knobs, so repeat submissions — by name or
+    as identical inline text — are answered without recompiling.
+    Thread-safe; lookups count hits and misses for the [stats] op. *)
+
+type entry = {
+  exit_code : int;
+  output : string;
+  stages : (string * int64) list;
+      (** the stage summary of the original run, replayed on hits *)
+}
+
+type t
+
+val create : unit -> t
+
+val key : op:string -> params_fp:string -> content:string -> extra:string -> string
+(** Injective over its parts (NUL-separated, then digested). *)
+
+val find : t -> string -> entry option
+(** Counts a hit or a miss. *)
+
+val store : t -> string -> entry -> unit
+val stats : t -> int * int
+(** [(hits, misses)] so far. *)

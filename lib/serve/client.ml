@@ -1,0 +1,67 @@
+module Circuit = Ppet_netlist.Circuit
+
+type connection = { fd : Unix.file_descr; ic : in_channel }
+
+(* The daemon binds its socket before it starts accepting, but a client
+   racing the daemon's startup (the smoke test does, deliberately) needs
+   a grace period; [retry_for] polls until the connect lands. *)
+let connect ?(retry_for = 0.) path =
+  let deadline = Unix.gettimeofday () +. retry_for in
+  let rec go () =
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> { fd; ic = Unix.in_channel_of_descr fd }
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      if Unix.gettimeofday () < deadline then begin
+        Thread.delay 0.02;
+        go ()
+      end
+      else
+        raise
+          (Circuit.Error
+             (Printf.sprintf "cannot connect to %S: %s" path
+                (Unix.error_message e)))
+  in
+  go ()
+
+let close conn = try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+let send conn json =
+  let line = Json.to_string json ^ "\n" in
+  let len = String.length line in
+  let rec go off =
+    if off < len then go (off + Unix.write_substring conn.fd line off (len - off))
+  in
+  go 0
+
+let read_frame conn =
+  match input_line conn.ic with
+  | line -> (
+    match Json.of_string line with
+    | Ok v -> Ok v
+    | Error msg -> Error ("malformed reply: " ^ msg))
+  | exception End_of_file -> Error "connection closed by server"
+
+let roundtrip ?(on_progress = fun ~stage:_ _ -> ()) conn request =
+  send conn request;
+  let rec loop () =
+    match read_frame conn with
+    | Error _ as e -> e
+    | Ok frame -> (
+      match Json.str_member "type" frame with
+      | Some "progress" ->
+        (match (Json.str_member "stage" frame, Json.str_member "phase" frame) with
+         | Some stage, Some "begin" -> on_progress ~stage `Begin
+         | Some stage, Some "end" -> on_progress ~stage `End
+         | _ -> ());
+        loop ()
+      | _ -> Ok frame)
+  in
+  loop ()
+
+let request ?retry_for ?on_progress ~socket req =
+  let conn = connect ?retry_for socket in
+  Fun.protect
+    ~finally:(fun () -> close conn)
+    (fun () -> roundtrip ?on_progress conn req)

@@ -1,0 +1,29 @@
+(** Client side of the serve protocol — what [merced submit] and the
+    tests speak. *)
+
+type connection
+
+val connect : ?retry_for:float -> string -> connection
+(** Connect to the daemon's socket, retrying for up to [retry_for]
+    seconds (default 0: one attempt) to absorb a daemon still starting
+    up. Raises {!Ppet_netlist.Circuit.Error} when the deadline passes. *)
+
+val close : connection -> unit
+
+val roundtrip :
+  ?on_progress:(stage:string -> [ `Begin | `End ] -> unit) ->
+  connection ->
+  Json.t ->
+  (Json.t, string) result
+(** Send one request and wait for its final [result]/[error] frame,
+    feeding any [progress] frames to the callback. [Error] means the
+    transport failed (server gone, unparseable frame) — protocol-level
+    failures arrive as [Ok] error frames. *)
+
+val request :
+  ?retry_for:float ->
+  ?on_progress:(stage:string -> [ `Begin | `End ] -> unit) ->
+  socket:string ->
+  Json.t ->
+  (Json.t, string) result
+(** [connect], one {!roundtrip}, [close]. *)

@@ -1,0 +1,323 @@
+(* A self-contained JSON codec for the serve wire protocol.
+
+   The repo deliberately carries no JSON dependency; the BENCH artefact
+   reader in {!Ppet_core.Report} gets away with a line-oriented scan
+   because it only reads files it wrote itself. The wire protocol has no
+   such luxury — requests arrive from arbitrary clients and carry
+   arbitrary .bench text inside string literals — so this is a real
+   (small) recursive-descent parser over the full JSON grammar. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(* ------------------------------------------------------------------ *)
+(* parsing                                                             *)
+
+type state = { src : string; mutable pos : int }
+
+let error st fmt =
+  Printf.ksprintf
+    (fun msg ->
+      raise (Parse_error (Printf.sprintf "offset %d: %s" st.pos msg)))
+    fmt
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let skip_ws st =
+  while
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance st;
+      true
+    | _ -> false
+  do
+    ()
+  done
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | Some c' -> error st "expected %C, found %C" c c'
+  | None -> error st "expected %C, found end of input" c
+
+let literal st word value =
+  let n = String.length word in
+  if
+    st.pos + n <= String.length st.src
+    && String.sub st.src st.pos n = word
+  then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else error st "unrecognised literal"
+
+(* UTF-8 encode one BMP code point (surrogate pairs are combined by the
+   caller); enough for any \uXXXX escape a client can send *)
+let utf8 buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+let hex4 st =
+  let v = ref 0 in
+  for _ = 1 to 4 do
+    (match peek st with
+     | Some c ->
+       let d =
+         match c with
+         | '0' .. '9' -> Char.code c - Char.code '0'
+         | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+         | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+         | _ -> error st "bad \\u escape digit %C" c
+       in
+       v := (!v * 16) + d
+     | None -> error st "truncated \\u escape");
+    advance st
+  done;
+  !v
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> error st "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' ->
+      advance st;
+      (match peek st with
+       | Some '"' -> Buffer.add_char buf '"'; advance st
+       | Some '\\' -> Buffer.add_char buf '\\'; advance st
+       | Some '/' -> Buffer.add_char buf '/'; advance st
+       | Some 'b' -> Buffer.add_char buf '\b'; advance st
+       | Some 'f' -> Buffer.add_char buf '\012'; advance st
+       | Some 'n' -> Buffer.add_char buf '\n'; advance st
+       | Some 'r' -> Buffer.add_char buf '\r'; advance st
+       | Some 't' -> Buffer.add_char buf '\t'; advance st
+       | Some 'u' ->
+         advance st;
+         let cp = hex4 st in
+         let cp =
+           (* high surrogate: consume the matching \uXXXX low half *)
+           if cp >= 0xD800 && cp <= 0xDBFF then begin
+             expect st '\\';
+             expect st 'u';
+             let lo = hex4 st in
+             if lo < 0xDC00 || lo > 0xDFFF then
+               error st "unpaired surrogate";
+             0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00)
+           end
+           else cp
+         in
+         utf8 buf cp
+       | Some c -> error st "bad escape \\%C" c
+       | None -> error st "truncated escape");
+      go ()
+    | Some c when Char.code c < 0x20 -> error st "raw control character in string"
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.pos in
+  let consume () = advance st in
+  (match peek st with Some '-' -> consume () | _ -> ());
+  let digits () =
+    let seen = ref false in
+    while
+      match peek st with
+      | Some '0' .. '9' ->
+        seen := true;
+        consume ();
+        true
+      | _ -> false
+    do
+      ()
+    done;
+    !seen
+  in
+  if not (digits ()) then error st "malformed number";
+  (match peek st with
+   | Some '.' ->
+     consume ();
+     if not (digits ()) then error st "malformed number fraction"
+   | _ -> ());
+  (match peek st with
+   | Some ('e' | 'E') ->
+     consume ();
+     (match peek st with Some ('+' | '-') -> consume () | _ -> ());
+     if not (digits ()) then error st "malformed number exponent"
+   | _ -> ());
+  Num (float_of_string (String.sub st.src start (st.pos - start)))
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> error st "empty input"
+  | Some '{' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some '}' then begin
+      advance st;
+      Obj []
+    end
+    else begin
+      let fields = ref [] in
+      let rec members () =
+        skip_ws st;
+        let key = parse_string st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st in
+        fields := (key, v) :: !fields;
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          advance st;
+          members ()
+        | Some '}' -> advance st
+        | _ -> error st "expected ',' or '}' in object"
+      in
+      members ();
+      Obj (List.rev !fields)
+    end
+  | Some '[' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some ']' then begin
+      advance st;
+      List []
+    end
+    else begin
+      let items = ref [] in
+      let rec elements () =
+        let v = parse_value st in
+        items := v :: !items;
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          advance st;
+          elements ()
+        | Some ']' -> advance st
+        | _ -> error st "expected ',' or ']' in array"
+      in
+      elements ();
+      List (List.rev !items)
+    end
+  | Some '"' -> Str (parse_string st)
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> error st "unexpected character %C" c
+
+let of_string s =
+  let st = { src = s; pos = 0 } in
+  match parse_value st with
+  | v ->
+    skip_ws st;
+    if st.pos <> String.length s then
+      Error (Printf.sprintf "offset %d: trailing garbage" st.pos)
+    else Ok v
+  | exception Parse_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* printing — single line, so a value is always one protocol frame     *)
+
+let escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let number_to_string f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let rec render buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num f -> Buffer.add_string buf (number_to_string f)
+  | Str s ->
+    Buffer.add_char buf '"';
+    escape buf s;
+    Buffer.add_char buf '"'
+  | List items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_char buf ',';
+        render buf v)
+      items;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_char buf '"';
+        escape buf k;
+        Buffer.add_string buf "\":";
+        render buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  render buf v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* accessors                                                           *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_int = function
+  | Num f when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let to_str = function Str s -> Some s | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None
+let to_list = function List l -> Some l | _ -> None
+
+let str_member key v = Option.bind (member key v) to_str
+let int_member key v = Option.bind (member key v) to_int
+let bool_member key v = Option.bind (member key v) to_bool
+let list_member key v = Option.bind (member key v) to_list

@@ -1,0 +1,38 @@
+(** JSON values for the serve wire protocol.
+
+    Minimal by design: the repo carries no JSON dependency, and the
+    protocol needs exactly a full-grammar parser (requests carry
+    arbitrary .bench text inside string literals) and a single-line
+    printer (one value = one newline-delimited protocol frame). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val of_string : string -> (t, string) result
+(** Parse one complete JSON value; trailing non-whitespace is an error.
+    Escapes (including [\uXXXX] with surrogate pairs) decode to UTF-8. *)
+
+val to_string : t -> string
+(** Render on a single line — newlines in strings are escaped, so the
+    result is always exactly one protocol frame. Integral floats print
+    without a decimal point; [of_string (to_string v)] = [Ok v] for any
+    [v] whose numbers are integral or round-trip through [%.17g]. *)
+
+(** Accessors return [None] on shape mismatch (wrong constructor or
+    missing field) — protocol handlers turn [None] into typed error
+    replies rather than exceptions. *)
+
+val member : string -> t -> t option
+val to_int : t -> int option
+val to_str : t -> string option
+val to_bool : t -> bool option
+val to_list : t -> t list option
+val str_member : string -> t -> string option
+val int_member : string -> t -> int option
+val bool_member : string -> t -> bool option
+val list_member : string -> t -> t list option

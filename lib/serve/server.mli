@@ -1,0 +1,37 @@
+(** The merced compile daemon: a Unix-socket server running
+    {!Protocol} jobs on a {!Ppet_parallel.Domain_pool}.
+
+    Architecture: one acceptor thread spawns a reader thread per
+    connection; requests are parsed there and pushed onto a bounded
+    queue; every pool worker (the calling domain included) drains the
+    queue until shutdown. Jobs execute serially inside — one job, one
+    worker — which is what makes their output byte-identical to the
+    one-shot CLI; throughput comes from running many jobs at once.
+
+    Degradation is explicit, never fatal: a full queue answers with a
+    [busy] error frame (backpressure, the client retries), a malformed
+    request with a [parse]-stage error, a failing job with the typed
+    stage of its {!Ppet_check.Error} — the daemon survives all of them.
+    [timeout_ms] bounds the time a job may wait in the queue; a job
+    already running is not preempted (the cooperative [sleep] op is the
+    exception, and the test hook for the timeout path).
+
+    Each job records into its own {!Ppet_obs.Obs} trace via
+    [with_scoped]; top-level spans become the reply's stage summary and,
+    when the request asked for progress, live begin/end frames.
+    Deterministic results (compile, lint, selftest) land in a
+    content-addressed {!Cache}; bench timings never do. *)
+
+type config = {
+  socket_path : string;
+  jobs : int;                      (** pool workers; >= 1 *)
+  queue_limit : int;               (** bound before [busy] replies; >= 1 *)
+  default_timeout_ms : int option; (** for requests without [timeout_ms] *)
+  quiet : bool;                    (** suppress stderr lifecycle lines *)
+}
+
+val run : config -> unit
+(** Serve until a [shutdown] request: claims the socket (reclaiming a
+    dead daemon's leftover file; refusing a live one with
+    {!Ppet_netlist.Circuit.Error}), processes jobs, then drains the
+    queue, joins the workers and removes the socket file. *)

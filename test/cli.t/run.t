@@ -199,6 +199,18 @@ still exit 2, and the trace file is written even when the run fails:
   $ test -f oops.txt && echo present
   present
 
+A .json trace written by a failing run is still parseable Chrome format
+with balanced B/E pairs (open spans are flushed with synthetic ends):
+
+  $ $MERCED stats nosuch --trace oops.json 2> /dev/null; echo "exit $?"
+  exit 2
+  $ head -1 oops.json
+  {"traceEvents":[
+  $ tail -1 oops.json
+  ],"displayTimeUnit":"ms"}
+  $ test $(grep -c '"ph":"B"' oops.json) = $(grep -c '"ph":"E"' oops.json) && echo balanced
+  balanced
+
 The bench regression runner: --dry-run lists the sweep without timing
 anything, and bad arguments are usage errors:
 
@@ -216,6 +228,26 @@ anything, and bad arguments are usage errors:
   $ $MERCED bench --benchmarks nosuch --dry-run 2> /dev/null; echo "exit $?"
   exit 2
   $ $MERCED bench --benchmarks s27 --repeat 0 2> /dev/null; echo "exit $?"
+  exit 2
+
+A baseline that was never timed (zero medians — e.g. a --dry-run
+artefact or a hand-edited file) is rejected up front as a usage error,
+instead of feeding the 2x gate inf/nan ratios that always pass:
+
+  $ cat > zero.json <<'EOF'
+  > {
+  >   "name": "pipeline",
+  >   "entries": [
+  >     { "name": "s27/retime", "median_ns": 0, "mad_ns": 0, "jobs": 1 }
+  >   ]
+  > }
+  > EOF
+  $ $MERCED bench --benchmarks s27 --repeat 1 --against zero.json 2>&1 | tail -1
+  error: --against: baseline entry "s27/retime" has median 0 ns — the file was never timed (a --dry-run artefact?); re-record it with `merced bench`
+  $ $MERCED bench --benchmarks s27 --repeat 1 --against zero.json 2> /dev/null; echo "exit $?"
+  exit 2
+  $ echo '{ "name": "pipeline", "entries": [] }' > empty.json
+  $ $MERCED bench --benchmarks s27 --repeat 1 --against empty.json 2> /dev/null; echo "exit $?"
   exit 2
 
 Synthetic profiles are accepted by name; misspelling one is a usage

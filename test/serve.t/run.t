@@ -1,0 +1,66 @@
+The merced compile daemon end to end: lifecycle, byte parity with the
+one-shot CLI, cache hits on resubmission, structured errors, and a
+clean shutdown.
+
+  $ MERCED=../../bin/merced.exe
+  $ SOCK=${TMPDIR:-/tmp}/merced-serve-cram-$$.sock
+  $ $MERCED serve --socket "$SOCK" -j 2 -q &
+
+A compile submitted to the daemon prints the one-shot partition bytes
+(CPU time elided, as it is measured) and the first answer is computed,
+not cached:
+
+  $ $MERCED submit s27 --lk 3 --socket "$SOCK" --retry-for 10 --meta 2>meta | grep -v "CPU:"
+  Merced result for s27 (l_k = 3)
+    flow: 121 shortest-path trees injected
+    clusters: 5 (boundaries used: 5)
+    partitions: 3 after 2 merges
+    cut nets: 3 (3 on SCCs; 2 retimable, 1 muxed)
+    CBIT area: 57 units w/ retiming vs 85 w/o (52.9% vs 62.6% of total)
+    sigma (Eq. 4): 24.42 DFF; testing time: 16 cycles
+    legal retiming blocked on 3 cut nets (multiplexed cells)
+  $ cat meta
+  cached: false
+
+Lint through the daemon matches the one-shot renderer byte for byte:
+
+  $ $MERCED submit s27 --op lint --lk 3 --socket "$SOCK"
+  lint s27: clean (17 rules, compile ok; 0 errors, 0 warnings, 0 infos)
+
+Resubmitting the same compile is answered from the cache — and a cached
+reply replays the original bytes exactly, CPU line included:
+
+  $ $MERCED submit s27 --lk 3 --socket "$SOCK" --meta 2>meta > second.out
+  $ cat meta
+  cached: true
+  $ $MERCED submit s27 --lk 3 --socket "$SOCK" | diff - second.out
+
+A poisoned job comes back as a typed parse-stage error with exit 2:
+
+  $ $MERCED submit no-such-circuit --socket "$SOCK" 2>&1 | grep -o 'error: parse: "no-such-circuit" is neither a file'
+  error: parse: "no-such-circuit" is neither a file
+
+The daemon survives it, and a suite manifest is answered as one
+aggregated report (two jobs already sit in the cache):
+
+  $ cat > suite.json <<'EOF'
+  > [{"op":"compile","circuit":"s27","lk":3},
+  >  {"op":"lint","circuit":"s27","lk":3},
+  >  {"op":"compile","circuit":"no-such-circuit"}]
+  > EOF
+  $ $MERCED submit --suite suite.json --socket "$SOCK" > suite.out
+  [2]
+  $ grep -o '"total":3,"ok":2,"errors":1,"findings":0,"cached":2' suite.out
+  "total":3,"ok":2,"errors":1,"findings":0,"cached":2
+
+Statistics account for every hit and miss above:
+
+  $ $MERCED submit --stats --socket "$SOCK" | grep -o '"cache_hits":4,"cache_misses":2'
+  "cache_hits":4,"cache_misses":2
+
+Shutdown drains and exits cleanly, removing the socket:
+
+  $ $MERCED submit --shutdown --socket "$SOCK"
+  $ wait
+  $ test ! -e "$SOCK" && echo gone
+  gone

@@ -1,0 +1,34 @@
+# Daemon smoke for the @serve-smoke alias: start merced serve, push a
+# compile+lint batch through merced submit, assert the resubmission is
+# answered from the cache with identical bytes, and shut down cleanly.
+set -eu
+
+merced=$1
+sock=${TMPDIR:-/tmp}/merced-serve-smoke-$$.sock
+
+"$merced" serve --socket "$sock" -j 2 -q &
+daemon=$!
+cleanup() { kill "$daemon" 2>/dev/null || true; rm -f "$sock"; }
+trap cleanup EXIT
+
+# compile through the daemon = the one-shot partition, byte for byte
+# (minus the measured CPU line)
+"$merced" submit s27 --lk 3 --socket "$sock" --retry-for 10 > daemon_compile.out
+"$merced" partition s27 --lk 3 > oneshot_compile.out
+diff <(grep -v "CPU:" oneshot_compile.out) <(grep -v "CPU:" daemon_compile.out)
+
+# same story for lint (clean on s27 at lk 3, so both exit 0)
+"$merced" submit s27 --op lint --lk 3 --socket "$sock" > daemon_lint.out
+"$merced" lint s27 --lk 3 > oneshot_lint.out
+diff oneshot_lint.out daemon_lint.out
+
+# the resubmission must be a cache hit replaying the exact bytes
+"$merced" submit s27 --lk 3 --socket "$sock" --meta > resubmit.out 2> resubmit.meta
+grep -q "cached: true" resubmit.meta
+diff daemon_compile.out resubmit.out
+
+# clean shutdown: daemon exits 0 and removes its socket
+"$merced" submit --shutdown --socket "$sock"
+wait "$daemon"
+test ! -e "$sock"
+trap - EXIT

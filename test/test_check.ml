@@ -89,6 +89,22 @@ let test_error_wrap_positions () =
      | Ok v -> v
      | Result.Error _ -> -1)
 
+(* regression: a negative max_latency used to escape as Assert_failure
+   (the align loop's impossible-case branch); it is an input shape the
+   caller can produce, so it must be a typed Check error instead *)
+let test_negative_max_latency_typed () =
+  let c = S27.circuit () in
+  (match Seq_check.check ~max_latency:(-1) c c with
+   | _ -> Alcotest.fail "negative max_latency was accepted"
+   | exception Error.Error e ->
+     Alcotest.(check string) "stage" "check" (Error.stage_name e.Error.stage)
+   | exception Assert_failure _ ->
+     Alcotest.fail "negative max_latency still hits assert false");
+  match Seq_check.check ~sequences:(-3) c c with
+  | _ -> Alcotest.fail "negative sequences was accepted"
+  | exception Error.Error e ->
+    Alcotest.(check string) "stage" "check" (Error.stage_name e.Error.stage)
+
 let test_fuzz_pinned_seed () =
   let r = Fuzz.run ~seed:0xF522L ~count:40 () in
   Alcotest.(check int) "cases" 40 r.Fuzz.cases;
@@ -142,6 +158,8 @@ let suite =
       test_planted_divergence;
     Alcotest.test_case "latency alignment" `Quick test_latency_alignment;
     Alcotest.test_case "retimed s27 equivalent" `Quick test_retimed_s27_equivalent;
+    Alcotest.test_case "negative max_latency is a typed error" `Quick
+      test_negative_max_latency_typed;
     Alcotest.test_case "typed errors carry positions" `Quick
       test_error_wrap_positions;
     Alcotest.test_case "fuzz at pinned seed is clean" `Slow test_fuzz_pinned_seed;

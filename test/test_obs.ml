@@ -181,6 +181,47 @@ let test_golden_chrome () =
   Alcotest.(check string) "chrome trace is byte-stable" golden_chrome_s27
     (Export.to_chrome ~normalise:true tr)
 
+(* Truncated-span flush: exporting while spans are still open — the
+   crash-path write of --trace, or a live snapshot of a running job —
+   must yield balanced, loadable Chrome JSON, with synthetic E events
+   closing innermost spans first. *)
+let count_sub sub s =
+  let m = String.length sub and n = String.length s in
+  let rec go i acc =
+    if i + m > n then acc
+    else go (i + 1) (if String.sub s i m = sub then acc + 1 else acc)
+  in
+  go 0 0
+
+let find_sub sub s =
+  let m = String.length sub and n = String.length s in
+  let rec go i = if i + m > n then -1 else if String.sub s i m = sub then i else go (i + 1) in
+  go 0
+
+let test_truncated_span_flush () =
+  let tr = Obs.create () in
+  let mid = ref "" in
+  Obs.with_installed tr (fun () ->
+      Obs.span "outer" (fun () ->
+          Obs.span "inner" (fun () ->
+              mid := Export.to_chrome ~normalise:true tr)));
+  Alcotest.(check int) "mid-flight export is balanced"
+    (count_sub "\"ph\":\"B\"" !mid)
+    (count_sub "\"ph\":\"E\"" !mid);
+  Alcotest.(check int) "both open spans flushed" 2
+    (count_sub "\"ph\":\"B\"" !mid);
+  (* the synthetic E's unwind the stack: inner closes before outer *)
+  let e_inner = find_sub "{\"name\":\"inner\",\"ph\":\"E\"" !mid in
+  let e_outer = find_sub "{\"name\":\"outer\",\"ph\":\"E\"" !mid in
+  Alcotest.(check bool) "inner E present" true (e_inner >= 0);
+  Alcotest.(check bool) "outer E present" true (e_outer >= 0);
+  Alcotest.(check bool) "well-nested flush order" true (e_inner < e_outer);
+  (* once the spans really close, the export carries no synthetic E *)
+  let final = Export.to_chrome ~normalise:true tr in
+  Alcotest.(check int) "final export balanced too"
+    (count_sub "\"ph\":\"B\"" final)
+    (count_sub "\"ph\":\"E\"" final)
+
 let test_exporters_are_pure () =
   let _, tr = record (fun () -> Merced.run (S27.circuit ())) in
   Alcotest.(check string) "chrome idempotent"
@@ -280,6 +321,8 @@ let suite =
       test_span_ends_on_exception;
     Alcotest.test_case "worker attribution" `Quick test_worker_attribution;
     Alcotest.test_case "golden chrome trace (s27)" `Quick test_golden_chrome;
+    Alcotest.test_case "truncated spans flush balanced" `Quick
+      test_truncated_span_flush;
     Alcotest.test_case "exporters are pure" `Quick test_exporters_are_pure;
     Alcotest.test_case "bench statistics" `Quick test_bench_stat;
     QCheck_alcotest.to_alcotest prop_tracing_does_not_perturb;

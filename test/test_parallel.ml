@@ -48,6 +48,71 @@ let test_shutdown_idempotent () =
 let test_with_pool_returns () =
   Alcotest.(check int) "value" 42 (Domain_pool.with_pool ~jobs:2 (fun _ -> 42))
 
+(* A nested run from inside a task must not corrupt pool state or
+   deadlock: it degrades to a serial sweep on the calling worker, every
+   chunk still runs exactly once, and the pool stays usable. *)
+let test_nested_run_serial () =
+  Domain_pool.with_pool ~jobs:3 (fun p ->
+      let outer = Array.make 3 0 and inner = Array.make 3 (-1) in
+      Domain_pool.run p (fun w ->
+          outer.(w) <- outer.(w) + 1;
+          if w = 1 then begin
+            let seen = Atomic.make 0 in
+            Domain_pool.run p (fun w' ->
+                (* serial on the caller: no concurrent interleaving *)
+                inner.(w') <- Atomic.fetch_and_add seen 1)
+          end);
+      Alcotest.(check (array int)) "outer ran once per worker" [| 1; 1; 1 |]
+        outer;
+      Alcotest.(check (array int)) "nested chunks ran in worker order"
+        [| 0; 1; 2 |] inner;
+      (* the pool is intact for the next ordinary dispatch *)
+      let total = Atomic.make 0 in
+      Domain_pool.run p (fun _ -> Atomic.incr total);
+      Alcotest.(check int) "pool alive after nested run" 3 (Atomic.get total))
+
+let test_nested_run_exception () =
+  Domain_pool.with_pool ~jobs:2 (fun p ->
+      Alcotest.check_raises "nested failure surfaces" (Failure "inner")
+        (fun () ->
+          Domain_pool.run p (fun w ->
+              if w = 0 then
+                Domain_pool.run p (fun w' ->
+                    if w' = 1 then failwith "inner"))))
+
+(* even across two distinct pools, a nested dispatch from inside a task
+   stays serial instead of blocking a worker on foreign pool state *)
+let test_nested_other_pool () =
+  Domain_pool.with_pool ~jobs:2 (fun a ->
+      Domain_pool.with_pool ~jobs:2 (fun b ->
+          let ran = Atomic.make 0 in
+          Domain_pool.run a (fun _ ->
+              Domain_pool.run b (fun _ -> Atomic.incr ran));
+          Alcotest.(check int) "all chunks of both dispatches ran" 4
+            (Atomic.get ran)))
+
+(* jobs = 1 must still account dispatches and busy time when a trace is
+   installed (the fast path used to skip [instrumented] entirely) *)
+let test_jobs1_instrumented () =
+  let module Obs = Ppet_obs.Obs in
+  let tr = Obs.create () in
+  Obs.with_installed tr (fun () ->
+      Domain_pool.with_pool ~jobs:1 (fun p ->
+          Domain_pool.run p (fun _ -> ());
+          Domain_pool.run p (fun _ -> ())));
+  let dispatches, busy_events =
+    List.fold_left
+      (fun (d, b) ev ->
+        match ev with
+        | Obs.Count { metric = Obs.Metric.Pool_dispatches; value; _ } ->
+          (d + value, b)
+        | Obs.Count { metric = Obs.Metric.Pool_busy_ns; _ } -> (d, b + 1)
+        | _ -> (d, b))
+      (0, 0) (Obs.events tr)
+  in
+  Alcotest.(check int) "dispatches counted at jobs=1" 2 dispatches;
+  Alcotest.(check int) "busy samples counted at jobs=1" 2 busy_events
+
 (* property: chunk is a balanced contiguous partition of [0, n) *)
 let prop_chunk_partition =
   QCheck.Test.make ~name:"chunk partitions [0,n) in order" ~count:500
@@ -79,5 +144,13 @@ let suite =
     Alcotest.test_case "shutdown is idempotent" `Quick test_shutdown_idempotent;
     Alcotest.test_case "with_pool returns the result" `Quick
       test_with_pool_returns;
+    Alcotest.test_case "nested run degrades to serial" `Quick
+      test_nested_run_serial;
+    Alcotest.test_case "nested run propagates exceptions" `Quick
+      test_nested_run_exception;
+    Alcotest.test_case "nested run across pools is serial" `Quick
+      test_nested_other_pool;
+    Alcotest.test_case "jobs=1 dispatches are instrumented" `Quick
+      test_jobs1_instrumented;
     QCheck_alcotest.to_alcotest prop_chunk_partition;
   ]
