@@ -30,12 +30,23 @@ let () =
       let n_batches = max 8 (min 256 ((1 lsl (min n_in 14)) / 62)) in
       let patterns = List.init n_batches (fun _ -> Array.init n_in (fun _ -> word ())) in
       let m f = (Bench_stat.measure ~warmup:2 ~repeat:9 f).Bench_stat.median_ns in
+      (* cutover 1: always dispatch to the pool when one is supplied —
+         this harness IS the measurement that knob is derived from *)
+      let policy pool =
+        Fault_engine.Batch.policy ~words:1 ?pool ~drop:Fault_engine.Batch.Keep
+          ~cutover:1 ()
+      in
       let serial =
-        m (fun () -> ignore (Fault_engine.detects engine ~patterns faults))
+        m (fun () ->
+            ignore (Fault_engine.Batch.run engine (policy None) ~patterns faults))
       in
       let pooled jobs =
         Domain_pool.with_pool ~jobs (fun pool ->
-            m (fun () -> ignore (Fault_engine.detects ~pool engine ~patterns faults)))
+            m (fun () ->
+                ignore
+                  (Fault_engine.Batch.run engine
+                     (policy (Some pool))
+                     ~patterns faults)))
       in
       let p2 = pooled 2 and p4 = pooled 4 in
       Printf.printf "%6d %6d %7d %12.1f %12.1f %12.1f %7.2f\n" k

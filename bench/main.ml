@@ -588,6 +588,17 @@ let bench_fault_engine () =
     "segment: %d members, iota-signals %d; %d collapsed faults x %d patterns\n"
     (Array.length seg.Segment.members)
     n_in (List.length faults) n_patterns;
+  (* the same circuit-shape stamp the pipeline sweep carries, so the
+     bench guard can match both artefacts on workload identity *)
+  let stats =
+    let g = To_graph.partition_view c in
+    Some
+      {
+        Report.gates = Array.length (Circuit.combinational c);
+        dffs = Array.length (Circuit.dffs c);
+        edges = Netgraph.n_nets g;
+      }
+  in
   let med ~jobs entry_name f =
     let s = Bench_stat.measure ~warmup:1 ~repeat:7 f in
     {
@@ -595,8 +606,12 @@ let bench_fault_engine () =
       median_ns = s.Bench_stat.median_ns;
       mad_ns = s.Bench_stat.mad_ns;
       jobs;
-      circuit_stats = None;
+      circuit_stats = stats;
     }
+  in
+  let policy ?pool ~words () =
+    (* dropping off: a fixed workload is what makes runs comparable *)
+    Fault_engine.Batch.policy ~words ?pool ~drop:Fault_engine.Batch.Keep ()
   in
   let seed =
     med ~jobs:1 "fault_sim/seed_serial" (fun () ->
@@ -604,12 +619,24 @@ let bench_fault_engine () =
   in
   let cone =
     med ~jobs:1 "fault_sim/cone" (fun () ->
-        ignore (Fault_engine.detects engine ~patterns faults))
+        ignore (Fault_engine.Batch.run engine (policy ~words:1 ()) ~patterns faults))
   in
-  let par =
+  let multi =
+    med ~jobs:1 "fault_sim/multiword" (fun () ->
+        ignore (Fault_engine.Batch.run engine (policy ~words:8 ()) ~patterns faults))
+  in
+  let par, par_multi =
     Domain_pool.with_pool ~jobs:4 (fun pool ->
-        med ~jobs:4 "fault_sim/cone" (fun () ->
-            ignore (Fault_engine.detects ~pool engine ~patterns faults)))
+        ( med ~jobs:4 "fault_sim/cone" (fun () ->
+              ignore
+                (Fault_engine.Batch.run engine
+                   (policy ~pool ~words:1 ())
+                   ~patterns faults)),
+          med ~jobs:4 "fault_sim/multiword" (fun () ->
+              ignore
+                (Fault_engine.Batch.run engine
+                   (policy ~pool ~words:8 ())
+                   ~patterns faults)) ))
   in
   let per_fp (e : Report.bench_entry) =
     e.Report.median_ns
@@ -623,13 +650,20 @@ let bench_fault_engine () =
     [
       ("seed serial loop", seed);
       ("cone-restricted, jobs 1", cone);
+      ("multi-word x8, jobs 1", multi);
       ("parallel, jobs 4", par);
+      ("multi-word x8, jobs 4", par_multi);
     ];
-  Printf.printf "speedup vs seed: %.1fx (jobs 1), %.1fx (jobs 4)\n"
+  Printf.printf
+    "speedup vs seed: %.1fx (jobs 1), %.1fx (jobs 4); multi-word vs \
+     single: %.1fx (jobs 1), %.1fx (jobs 4)\n"
     (seed.Report.median_ns /. cone.Report.median_ns)
-    (seed.Report.median_ns /. par.Report.median_ns);
+    (seed.Report.median_ns /. par.Report.median_ns)
+    (cone.Report.median_ns /. multi.Report.median_ns)
+    (par.Report.median_ns /. par_multi.Report.median_ns);
   let json =
-    Report.bench_json ~name:"fault_sim" ~entries:[ seed; cone; par ]
+    Report.bench_json ~name:"fault_sim"
+      ~entries:[ seed; cone; multi; par; par_multi ]
   in
   let oc = open_out "BENCH_fault_sim.json" in
   output_string oc json;

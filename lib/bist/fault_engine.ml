@@ -8,6 +8,23 @@ let word_mask = max_int
 
 let const_of stuck_at = if stuck_at then word_mask else 0
 
+(* Flat encoding of the combinational kinds for the multi-word kernel:
+   code = (family lsl 1) lor negated, with families 0 = wire
+   (BUFF/NOT), 1 = AND, 2 = OR, 3 = XOR. The inner loops dispatch on the
+   family once per gate and fold the negation in as a final pass, so
+   NAND/NOR/XNOR share their family's word loop. *)
+let code_of = function
+  | Gate.Buff -> 0
+  | Gate.Not -> 1
+  | Gate.And -> 2
+  | Gate.Nand -> 3
+  | Gate.Or -> 4
+  | Gate.Nor -> 5
+  | Gate.Xor -> 6
+  | Gate.Xnor -> 7
+  | Gate.Input | Gate.Dff ->
+    invalid_arg "Fault_engine: member gates must be combinational"
+
 type t = {
   c : Circuit.t;
   seg : Segment.t;
@@ -24,6 +41,16 @@ type t = {
          populated serially before each dispatch. *)
   cone_stamp : int array;    (* per position, for cone construction *)
   mutable cone_epoch : int;
+  (* --- flat view for the multi-word kernel: slot i < width is input
+     signal i, slot width + k is seg_order.(k) --- *)
+  width : int;
+  n_slots : int;
+  slot_of : int array;       (* node id -> slot, -1 *)
+  kind_code : int array;     (* per position *)
+  fanin_off : int array;     (* position -> offset into fanin_slot (CSR) *)
+  fanin_slot : int array;
+  obs_slot : bool array;     (* per slot *)
+  last_rd : int array;       (* per slot: max position reading it, -1 *)
 }
 
 let check_members c (seg : Segment.t) =
@@ -62,18 +89,60 @@ let create sim (seg : Segment.t) =
         (fun f -> if last_reader.(f) < k then last_reader.(f) <- k)
         fanins)
     seg_order;
+  let inputs = Segment.input_signals seg in
+  let width = Array.length inputs in
+  let n_pos = Array.length seg_order in
+  let n_slots = width + n_pos in
+  let slot_of = Array.make n (-1) in
+  Array.iteri (fun k id -> slot_of.(id) <- width + k) seg_order;
+  Array.iteri (fun i id -> slot_of.(id) <- i) inputs;
+  let kind_code =
+    Array.map (fun id -> code_of (Circuit.node c id).Circuit.kind) seg_order
+  in
+  let fanin_off = Array.make (n_pos + 1) 0 in
+  Array.iteri
+    (fun k id ->
+      fanin_off.(k + 1) <-
+        fanin_off.(k) + Array.length (Circuit.node c id).Circuit.fanins)
+    seg_order;
+  let fanin_slot = Array.make (max fanin_off.(n_pos) 1) 0 in
+  Array.iteri
+    (fun k id ->
+      let fanins = (Circuit.node c id).Circuit.fanins in
+      Array.iteri
+        (fun j f ->
+          (* every fan-in of a member is itself a member position or a
+             segment input signal, so it always has a slot *)
+          fanin_slot.(fanin_off.(k) + j) <- slot_of.(f))
+        fanins)
+    seg_order;
+  let obs_slot = Array.make (max n_slots 1) false in
+  Array.iter (fun id -> obs_slot.(slot_of.(id)) <- true) seg.Segment.observed;
+  let last_rd = Array.make (max n_slots 1) (-1) in
+  Array.iteri (fun i id -> last_rd.(i) <- last_reader.(id)) inputs;
+  Array.iteri
+    (fun k id -> last_rd.(width + k) <- last_reader.(id))
+    seg_order;
   {
     c;
     seg;
-    inputs = Segment.input_signals seg;
+    inputs;
     seg_order;
     pos_of;
     observed;
     last_reader;
     max_arity = !max_arity;
     cones = Hashtbl.create 64;
-    cone_stamp = Array.make (max (Array.length seg_order) 1) 0;
+    cone_stamp = Array.make (max n_pos 1) 0;
     cone_epoch = 0;
+    width;
+    n_slots;
+    slot_of;
+    kind_code;
+    fanin_off;
+    fanin_slot;
+    obs_slot;
+    last_rd;
   }
 
 (* Member positions reachable from signal [root] through member gates.
@@ -109,8 +178,57 @@ let root_of (f : Fault.t) =
   | Fault.Input_pin (gid, _) -> gid
 
 (* ------------------------------------------------------------------ *)
-(* per-worker scratch: allocated once per dispatch, reused across every
-   fault and batch                                                     *)
+(* pattern construction (shared by every campaign consumer)            *)
+
+(* Single pass over the vector list: open a fresh word batch every
+   [bits_per_word] vectors (the last one ragged), OR each vector's bits
+   into the open batch as it streams by. *)
+let pack_vectors ~width vectors =
+  let bpw = Gate.bits_per_word in
+  let rev_batches = ref [] in
+  let words = ref [||] in
+  let b = ref bpw in
+  List.iter
+    (fun vector ->
+      if !b = bpw then begin
+        words := Array.make width 0;
+        rev_batches := !words :: !rev_batches;
+        b := 0
+      end;
+      let w = !words in
+      for i = 0 to width - 1 do
+        if (vector lsr i) land 1 = 1 then w.(i) <- w.(i) lor (1 lsl !b)
+      done;
+      incr b)
+    vectors;
+  List.rev !rev_batches
+
+let exhaustive_patterns ~width =
+  if width < 0 || width > 24 then
+    invalid_arg "Fault_engine.exhaustive_patterns: width must be in 0..24";
+  let total = 1 lsl width in
+  pack_vectors ~width (List.init total (fun v -> v))
+
+let lfsr_patterns ~width ~count =
+  if width < 1 || width > 32 then
+    invalid_arg "Fault_engine.lfsr_patterns: width must be in 1..32";
+  let l = Lfsr.create ~width () in
+  let vectors =
+    0
+    :: List.filteri (fun i _ -> i < count - 1) (Lfsr.sequence l (max 0 (count - 1)))
+  in
+  pack_vectors ~width vectors
+
+let coverage results =
+  match results with
+  | [] -> 1.0
+  | _ ->
+    let det = List.length (List.filter snd results) in
+    float_of_int det /. float_of_int (List.length results)
+
+(* ------------------------------------------------------------------ *)
+(* single-word kernel: per-worker scratch allocated once per dispatch,
+   reused across every fault and batch                                 *)
 
 type scratch = {
   good : int array;          (* fault-free values of the current batch *)
@@ -118,6 +236,7 @@ type scratch = {
   stamp : int array;
   mutable epoch : int;
   ins : int array array;     (* arity -> reusable fan-in buffer *)
+  mutable evals : int;       (* gate-word evaluations performed *)
 }
 
 let make_scratch t =
@@ -128,6 +247,7 @@ let make_scratch t =
     stamp = Array.make (max n 1) 0;
     epoch = 0;
     ins = Array.init (t.max_arity + 1) (fun a -> Array.make (max a 1) 0);
+    evals = 0;
   }
 
 let eval_good t s batch =
@@ -143,7 +263,8 @@ let eval_good t s batch =
       buf.(j) <- s.good.(fanins.(j))
     done;
     s.good.(id) <- Gate.eval_word nd.Circuit.kind buf
-  done
+  done;
+  s.evals <- s.evals + Array.length order
 
 (* One fault against the batch currently in [s.good]. Returns whether
    some observed signal differs — exactly the seed criterion. *)
@@ -183,6 +304,7 @@ let sim_fault t s (f : Fault.t) =
         done;
         buf.(pin) <- const_of f.Fault.stuck_at;
         let v = Gate.eval_word nd.Circuit.kind buf in
+        s.evals <- s.evals + 1;
         if v = s.good.(gid) then false
         else begin
           mark gid v;
@@ -214,6 +336,7 @@ let sim_fault t s (f : Fault.t) =
       done;
       if !touched then begin
         let v = Gate.eval_word nd.Circuit.kind buf in
+        s.evals <- s.evals + 1;
         if v <> s.good.(id) then mark id v
       end
     done
@@ -221,69 +344,532 @@ let sim_fault t s (f : Fault.t) =
   !detected
 
 (* ------------------------------------------------------------------ *)
+(* multi-word kernel: W pattern words per gate visit over a flat
+   Bigarray value store (slot s occupies words [s*W .. s*W+W-1])       *)
 
-(* Below this many member gates a pooled dispatch is slower than the
-   serial loop: each worker allocates circuit-sized scratch and pays the
-   fork/join barrier, while the simulation itself finishes in
-   microseconds. Measured on the generated benchmarks (see
-   EXPERIMENTS.md, "fault-engine cutover"); results are bit-identical
-   either way, only the wall clock changes. *)
-let sequential_cutover = 128
+type words = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
 
-let detects_impl ?pool t ~patterns faults =
-  let width = Array.length t.inputs in
-  List.iter
-    (fun batch ->
-      if Array.length batch <> width then
-        invalid_arg "Fault_engine.detects: batch arity mismatch")
-    patterns;
-  let fs = Array.of_list faults in
-  let nf = Array.length fs in
-  (* populate the shared cone cache before going parallel *)
-  Array.iter (fun f -> ignore (cone t (root_of f))) fs;
-  let verdict = Array.make (max nf 1) false in
-  let worker lo hi =
-    if lo < hi then begin
-      let s = make_scratch t in
-      let undetected = ref (hi - lo) in
-      try
-        List.iter
-          (fun batch ->
-            if !undetected = 0 then raise Exit;
-            eval_good t s batch;
-            for i = lo to hi - 1 do
-              if (not verdict.(i)) && sim_fault t s fs.(i) then begin
-                verdict.(i) <- true;
-                decr undetected
-              end
-            done)
-          patterns
-      with Exit -> ()
+type mscratch = {
+  mgood : words;
+  mfaulty : words;
+  mstamp : int array;        (* per slot; valid where = mepoch *)
+  mutable mepoch : int;
+  mutable mevals : int;
+  (* per-fault detection state lives here rather than in per-visit refs
+     so the hot path allocates nothing *)
+  mutable mdetected : bool;
+  mutable mreach : int;
+}
+
+let make_mscratch t w =
+  let n = max 1 (t.n_slots * w) in
+  let mk () =
+    let a = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n in
+    Bigarray.Array1.fill a 0;
+    a
+  in
+  {
+    mgood = mk ();
+    mfaulty = mk ();
+    mstamp = Array.make (max 1 t.n_slots) 0;
+    mepoch = 0;
+    mevals = 0;
+    mdetected = false;
+    mreach = -1;
+  }
+
+(* The concrete type constraint matters: left polymorphic, the bigarray
+   primitive inside compiles to the generic C call (caml_ba_get_1) and
+   every word access in the kernel costs a ~50ns trip through the
+   runtime; monomorphic, it compiles to an inline load. *)
+let[@inline] bget (a : words) i = Bigarray.Array1.unsafe_get a i
+let[@inline] bset (a : words) i (v : int) = Bigarray.Array1.unsafe_set a i v
+
+(* Good simulation of one word group: batches [g0 .. g0+gn-1] of [pats],
+   gn <= w (the final group is ragged). *)
+let eval_good_multi t ms ~w ~gn ~pats ~g0 =
+  let mg = ms.mgood in
+  for i = 0 to t.width - 1 do
+    let base = i * w in
+    for j = 0 to gn - 1 do
+      bset mg (base + j) (Array.unsafe_get (Array.unsafe_get pats (g0 + j)) i)
+    done
+  done;
+  let n_pos = Array.length t.seg_order in
+  for p = 0 to n_pos - 1 do
+    let off = Array.unsafe_get t.fanin_off p in
+    let arity = Array.unsafe_get t.fanin_off (p + 1) - off in
+    let code = Array.unsafe_get t.kind_code p in
+    let d = (t.width + p) * w in
+    let s0 = Array.unsafe_get t.fanin_slot off * w in
+    (match code lsr 1 with
+     | 0 ->
+       for j = 0 to gn - 1 do
+         bset mg (d + j) (bget mg (s0 + j))
+       done
+     | fam ->
+       let s1 = Array.unsafe_get t.fanin_slot (off + 1) * w in
+       (match fam with
+        | 1 ->
+          for j = 0 to gn - 1 do
+            bset mg (d + j) (bget mg (s0 + j) land bget mg (s1 + j))
+          done
+        | 2 ->
+          for j = 0 to gn - 1 do
+            bset mg (d + j) (bget mg (s0 + j) lor bget mg (s1 + j))
+          done
+        | _ ->
+          for j = 0 to gn - 1 do
+            bset mg (d + j) (bget mg (s0 + j) lxor bget mg (s1 + j))
+          done);
+       for i = 2 to arity - 1 do
+         let si = Array.unsafe_get t.fanin_slot (off + i) * w in
+         match fam with
+         | 1 ->
+           for j = 0 to gn - 1 do
+             bset mg (d + j) (bget mg (d + j) land bget mg (si + j))
+           done
+         | 2 ->
+           for j = 0 to gn - 1 do
+             bset mg (d + j) (bget mg (d + j) lor bget mg (si + j))
+           done
+         | _ ->
+           for j = 0 to gn - 1 do
+             bset mg (d + j) (bget mg (d + j) lxor bget mg (si + j))
+           done
+       done);
+    if code land 1 = 1 then
+      for j = 0 to gn - 1 do
+        bset mg (d + j) (word_mask land lnot (bget mg (d + j)))
+      done
+  done;
+  ms.mevals <- ms.mevals + (n_pos * gn)
+
+(* Faulty evaluation of position [p] with each fan-in read from the
+   faulty plane when stamped this epoch, the good plane otherwise.
+   Negation is folded in branchlessly (lxor with an all-ones mask), and
+   the result is compared against the good plane as it is written, so
+   the caller never re-scans the destination. Returns 0 when no fan-in
+   was stamped (nothing written), 1 when written but equal to the good
+   plane in every word, 2 when some word differs. *)
+let eval_faulty_pos t ms ~w ~gn p =
+  let fanin_slot = t.fanin_slot and mstamp = ms.mstamp in
+  let off = Array.unsafe_get t.fanin_off p in
+  let arity = Array.unsafe_get t.fanin_off (p + 1) - off in
+  let ep = ms.mepoch in
+  let mg = ms.mgood and mf = ms.mfaulty in
+  let code = Array.unsafe_get t.kind_code p in
+  let d = (t.width + p) * w in
+  let fam = code lsr 1 in
+  let nmask = if code land 1 = 1 then word_mask else 0 in
+  let touched =
+    if fam = 0 then
+      Array.unsafe_get mstamp (Array.unsafe_get fanin_slot off) = ep
+    else if arity = 2 then
+      Array.unsafe_get mstamp (Array.unsafe_get fanin_slot off) = ep
+      || Array.unsafe_get mstamp (Array.unsafe_get fanin_slot (off + 1)) = ep
+    else begin
+      let tch = ref false in
+      for i = 0 to arity - 1 do
+        if Array.unsafe_get mstamp (Array.unsafe_get fanin_slot (off + i)) = ep
+        then tch := true
+      done;
+      !tch
     end
   in
-  (match pool with
-   | None -> worker 0 nf
-   | Some p ->
-     let jobs = Domain_pool.jobs p in
-     if jobs = 1 || Array.length t.seg_order < sequential_cutover then
-       worker 0 nf
-     else
-       Domain_pool.run p (fun w ->
-           let lo, hi = Domain_pool.chunk ~jobs ~n:nf w in
-           worker lo hi));
-  List.mapi (fun i f -> (f, verdict.(i))) faults
+  if not touched then 0
+  else begin
+    let diff = ref false in
+    (match fam with
+     | 0 ->
+       (* single fan-in, and touched means it is stamped *)
+       let s0 = Array.unsafe_get fanin_slot off * w in
+       for j = 0 to gn - 1 do
+         let r = bget mf (s0 + j) lxor nmask in
+         if r <> bget mg (d + j) then diff := true;
+         bset mf (d + j) r
+       done
+     | fam ->
+       if arity = 2 then begin
+         let f0 = Array.unsafe_get fanin_slot off
+         and f1 = Array.unsafe_get fanin_slot (off + 1) in
+         let src0 = if Array.unsafe_get mstamp f0 = ep then mf else mg in
+         let src1 = if Array.unsafe_get mstamp f1 = ep then mf else mg in
+         let s0 = f0 * w and s1 = f1 * w in
+         match fam with
+         | 1 ->
+           for j = 0 to gn - 1 do
+             let r = bget src0 (s0 + j) land bget src1 (s1 + j) lxor nmask in
+             if r <> bget mg (d + j) then diff := true;
+             bset mf (d + j) r
+           done
+         | 2 ->
+           for j = 0 to gn - 1 do
+             let r = bget src0 (s0 + j) lor bget src1 (s1 + j) lxor nmask in
+             if r <> bget mg (d + j) then diff := true;
+             bset mf (d + j) r
+           done
+         | _ ->
+           for j = 0 to gn - 1 do
+             let r = bget src0 (s0 + j) lxor bget src1 (s1 + j) lxor nmask in
+             if r <> bget mg (d + j) then diff := true;
+             bset mf (d + j) r
+           done
+       end
+       else if arity = 1 then begin
+         let f0 = Array.unsafe_get fanin_slot off in
+         let src0 = if Array.unsafe_get mstamp f0 = ep then mf else mg in
+         let s0 = f0 * w in
+         for j = 0 to gn - 1 do
+           let r = bget src0 (s0 + j) lxor nmask in
+           if r <> bget mg (d + j) then diff := true;
+           bset mf (d + j) r
+         done
+       end
+       else begin
+         let f0 = Array.unsafe_get fanin_slot off in
+         let src0 = if Array.unsafe_get mstamp f0 = ep then mf else mg in
+         let s0 = f0 * w in
+         for j = 0 to gn - 1 do
+           bset mf (d + j) (bget src0 (s0 + j))
+         done;
+         for i = 1 to arity - 2 do
+           let fi = Array.unsafe_get fanin_slot (off + i) in
+           let srci = if Array.unsafe_get mstamp fi = ep then mf else mg in
+           let si = fi * w in
+           match fam with
+           | 1 ->
+             for j = 0 to gn - 1 do
+               bset mf (d + j) (bget mf (d + j) land bget srci (si + j))
+             done
+           | 2 ->
+             for j = 0 to gn - 1 do
+               bset mf (d + j) (bget mf (d + j) lor bget srci (si + j))
+             done
+           | _ ->
+             for j = 0 to gn - 1 do
+               bset mf (d + j) (bget mf (d + j) lxor bget srci (si + j))
+             done
+         done;
+         (* the last fan-in is folded together with the negation and
+            the good-plane compare in one final pass *)
+         let fl = Array.unsafe_get fanin_slot (off + arity - 1) in
+         let srcl = if Array.unsafe_get mstamp fl = ep then mf else mg in
+         let sl = fl * w in
+         match fam with
+         | 1 ->
+           for j = 0 to gn - 1 do
+             let r = bget mf (d + j) land bget srcl (sl + j) lxor nmask in
+             if r <> bget mg (d + j) then diff := true;
+             bset mf (d + j) r
+           done
+         | 2 ->
+           for j = 0 to gn - 1 do
+             let r = bget mf (d + j) lor bget srcl (sl + j) lxor nmask in
+             if r <> bget mg (d + j) then diff := true;
+             bset mf (d + j) r
+           done
+         | _ ->
+           for j = 0 to gn - 1 do
+             let r = bget mf (d + j) lxor bget srcl (sl + j) lxor nmask in
+             if r <> bget mg (d + j) then diff := true;
+             bset mf (d + j) r
+           done
+       end);
+    if !diff then 2 else 1
+  end
 
-(* The enabled check sits here, at the call boundary: the per-fault and
-   per-pattern loops above carry no instrumentation at all, and the
-   disabled path allocates no closure. *)
-let detects ?pool t ~patterns faults =
-  if not (Obs.enabled ()) then detects_impl ?pool t ~patterns faults
-  else
-    Obs.span "fault_engine.detects" (fun () ->
-        Obs.add Obs.Metric.Faults_simulated (List.length faults);
-        Obs.add Obs.Metric.Fault_patterns
-          (Gate.bits_per_word * List.length patterns);
-        detects_impl ?pool t ~patterns faults)
+(* Position [p] evaluated with fan-in [pin] forced to the constant [v]
+   and every other fan-in good — the multi-word injection for pin
+   faults. At injection time no slot is stamped yet. Returns whether
+   any written word differs from the good plane (fused into the final
+   negation pass, like [eval_faulty_pos]). *)
+let inject_pin t ms ~w ~gn p ~pin ~v =
+  let fanin_slot = t.fanin_slot in
+  let off = Array.unsafe_get t.fanin_off p in
+  let arity = Array.unsafe_get t.fanin_off (p + 1) - off in
+  let mg = ms.mgood and mf = ms.mfaulty in
+  let code = Array.unsafe_get t.kind_code p in
+  let d = (t.width + p) * w in
+  let fam = code lsr 1 in
+  let nmask = if code land 1 = 1 then word_mask else 0 in
+  (if fam = 0 then
+     for j = 0 to gn - 1 do
+       bset mf (d + j) v
+     done
+   else begin
+     (if pin = 0 then
+        for j = 0 to gn - 1 do
+          bset mf (d + j) v
+        done
+      else begin
+        let s0 = Array.unsafe_get fanin_slot off * w in
+        for j = 0 to gn - 1 do
+          bset mf (d + j) (bget mg (s0 + j))
+        done
+      end);
+     for i = 1 to arity - 1 do
+       if i = pin then (
+         match fam with
+         | 1 ->
+           for j = 0 to gn - 1 do
+             bset mf (d + j) (bget mf (d + j) land v)
+           done
+         | 2 ->
+           for j = 0 to gn - 1 do
+             bset mf (d + j) (bget mf (d + j) lor v)
+           done
+         | _ ->
+           for j = 0 to gn - 1 do
+             bset mf (d + j) (bget mf (d + j) lxor v)
+           done)
+       else begin
+         let si = Array.unsafe_get fanin_slot (off + i) * w in
+         match fam with
+         | 1 ->
+           for j = 0 to gn - 1 do
+             bset mf (d + j) (bget mf (d + j) land bget mg (si + j))
+           done
+         | 2 ->
+           for j = 0 to gn - 1 do
+             bset mf (d + j) (bget mf (d + j) lor bget mg (si + j))
+           done
+         | _ ->
+           for j = 0 to gn - 1 do
+             bset mf (d + j) (bget mf (d + j) lxor bget mg (si + j))
+           done
+       end
+     done
+   end);
+  let diff = ref false in
+  for j = 0 to gn - 1 do
+    let r = bget mf (d + j) lxor nmask in
+    if r <> bget mg (d + j) then diff := true;
+    bset mf (d + j) r
+  done;
+  !diff
 
-let segment_detects ?pool sim seg ~patterns faults =
-  detects ?pool (create sim seg) ~patterns faults
+(* One fault against the word group currently in [ms.mgood]. Per-word
+   semantics match [sim_fault] exactly: a quiet word of a marked slot
+   carries its good value, so it neither detects nor propagates.
+   [fcone] is the fault's member cone, precomputed once per dispatch so
+   the inner loop never touches the cone cache. *)
+let[@inline] mark t ms slot =
+  ms.mstamp.(slot) <- ms.mepoch;
+  if t.obs_slot.(slot) then ms.mdetected <- true
+  else if t.last_rd.(slot) > ms.mreach then ms.mreach <- t.last_rd.(slot)
+
+let sim_fault_multi t ms ~w ~gn ~fcone (f : Fault.t) =
+  ms.mepoch <- ms.mepoch + 1;
+  ms.mdetected <- false;
+  ms.mreach <- -1;
+  let mg = ms.mgood and mf = ms.mfaulty in
+  let live =
+    match f.Fault.site with
+    | Fault.Output id ->
+      let slot = t.slot_of.(id) in
+      (* a site no member reads and no member drives cannot matter *)
+      if slot < 0 then false
+      else begin
+        let v = const_of f.Fault.stuck_at in
+        let base = slot * w in
+        (* write and compare in one pass: the stuck constant differs
+           from the good plane iff some good word is not already v *)
+        let d = ref false in
+        for j = 0 to gn - 1 do
+          if bget mg (base + j) <> v then d := true;
+          bset mf (base + j) v
+        done;
+        if !d then begin
+          mark t ms slot;
+          true
+        end
+        else false
+      end
+    | Fault.Input_pin (gid, pin) ->
+      let p = t.pos_of.(gid) in
+      if p < 0 then false
+      else begin
+        let diff = inject_pin t ms ~w ~gn p ~pin ~v:(const_of f.Fault.stuck_at) in
+        ms.mevals <- ms.mevals + gn;
+        if diff then begin
+          mark t ms (t.width + p);
+          true
+        end
+        else false
+      end
+  in
+  if live && not ms.mdetected then begin
+    let len = Array.length fcone in
+    let i = ref 0 in
+    while
+      (not ms.mdetected) && !i < len && Array.unsafe_get fcone !i <= ms.mreach
+    do
+      let p = Array.unsafe_get fcone !i in
+      incr i;
+      match eval_faulty_pos t ms ~w ~gn p with
+      | 0 -> ()
+      | r ->
+        ms.mevals <- ms.mevals + gn;
+        if r = 2 then mark t ms (t.width + p)
+    done
+  end;
+  ms.mdetected
+
+(* ------------------------------------------------------------------ *)
+(* the batch interface                                                 *)
+
+module Batch = struct
+  type drop = Keep | Drop
+
+  type policy = {
+    words : int;
+    pool : Domain_pool.t option;
+    drop : drop;
+    cutover : int;
+  }
+
+  (* keep the cutover default in sync with Params.default.fault_cutover
+     (ppet_core sits above this library, so the constant cannot be
+     shared textually) *)
+  let policy ?(words = 8) ?pool ?(drop = Drop) ?(cutover = 128) () =
+    { words; pool; drop; cutover }
+
+  type outcome = {
+    results : (Fault.t * bool) list;
+    n_faults : int;
+    n_detected : int;
+    coverage : float;
+    batches : int;
+    word_evals : int;
+  }
+
+  (* shared parallel dispatch: contiguous index-ordered fault chunks,
+     serial below the cutover (per-worker scratch plus the fork/join
+     barrier cost more than microsecond segments) *)
+  let dispatch pol t nf worker =
+    match pol.pool with
+    | Some p
+      when Domain_pool.jobs p > 1 && Array.length t.seg_order >= pol.cutover
+      ->
+      let jobs = Domain_pool.jobs p in
+      Domain_pool.run p (fun wid ->
+          let lo, hi = Domain_pool.chunk ~jobs ~n:nf wid in
+          worker wid lo hi)
+    | _ -> worker 0 0 nf
+
+  let run_single pol t patterns fs verdict evals =
+    let worker wid lo hi =
+      if lo < hi then begin
+        let s = make_scratch t in
+        let undetected = ref (hi - lo) in
+        (try
+           List.iter
+             (fun batch ->
+               if pol.drop = Drop && !undetected = 0 then raise Exit;
+               eval_good t s batch;
+               for i = lo to hi - 1 do
+                 match pol.drop with
+                 | Drop ->
+                   if (not verdict.(i)) && sim_fault t s fs.(i) then begin
+                     verdict.(i) <- true;
+                     decr undetected
+                   end
+                 | Keep ->
+                   if sim_fault t s fs.(i) then verdict.(i) <- true
+               done)
+             patterns
+         with Exit -> ());
+        evals.(wid) <- evals.(wid) + s.evals
+      end
+    in
+    dispatch pol t (Array.length fs) worker
+
+  let run_multi pol t pats fs verdict evals =
+    let w = pol.words in
+    let nb = Array.length pats in
+    (* cones resolved once, outside the group x fault loops (the cache
+       is already populated, so this is pure array plumbing) *)
+    let fcones = Array.map (fun f -> cone t (root_of f)) fs in
+    let worker wid lo hi =
+      if lo < hi then begin
+        let ms = make_mscratch t w in
+        (* worker-local survivor list, compacted between word groups
+           under Drop so late patterns only simulate live faults *)
+        let active = Array.init (hi - lo) (fun i -> lo + i) in
+        let nact = ref (hi - lo) in
+        let g0 = ref 0 in
+        while !g0 < nb && !nact > 0 do
+          let gn = min w (nb - !g0) in
+          eval_good_multi t ms ~w ~gn ~pats ~g0:!g0;
+          let keep = ref 0 in
+          for i = 0 to !nact - 1 do
+            let fi = active.(i) in
+            if sim_fault_multi t ms ~w ~gn ~fcone:fcones.(fi) fs.(fi) then
+              verdict.(fi) <- true;
+            if pol.drop = Keep || not verdict.(fi) then begin
+              active.(!keep) <- fi;
+              incr keep
+            end
+          done;
+          nact := !keep;
+          g0 := !g0 + w
+        done;
+        evals.(wid) <- evals.(wid) + ms.mevals
+      end
+    in
+    dispatch pol t (Array.length fs) worker
+
+  let run_impl t pol ~patterns faults =
+    if pol.words < 1 then
+      invalid_arg "Fault_engine.Batch.run: words must be >= 1";
+    if pol.cutover < 1 then
+      invalid_arg "Fault_engine.Batch.run: cutover must be >= 1";
+    List.iter
+      (fun batch ->
+        if Array.length batch <> t.width then
+          invalid_arg "Fault_engine.Batch.run: batch arity mismatch")
+      patterns;
+    let fs = Array.of_list faults in
+    let nf = Array.length fs in
+    (* populate the shared cone cache before going parallel *)
+    Array.iter (fun f -> ignore (cone t (root_of f))) fs;
+    let verdict = Array.make (max nf 1) false in
+    let jobs =
+      match pol.pool with Some p -> Domain_pool.jobs p | None -> 1
+    in
+    let evals = Array.make (max jobs 1) 0 in
+    if pol.words = 1 then run_single pol t patterns fs verdict evals
+    else run_multi pol t (Array.of_list patterns) fs verdict evals;
+    let n_detected = ref 0 in
+    for i = 0 to nf - 1 do
+      if verdict.(i) then incr n_detected
+    done;
+    {
+      results = List.mapi (fun i f -> (f, verdict.(i))) faults;
+      n_faults = nf;
+      n_detected = !n_detected;
+      coverage =
+        (if nf = 0 then 1.0
+         else float_of_int !n_detected /. float_of_int nf);
+      batches = List.length patterns;
+      word_evals = Array.fold_left ( + ) 0 evals;
+    }
+
+  (* The enabled check sits here, at the call boundary: the per-fault
+     and per-word loops above carry no instrumentation at all, and the
+     disabled path allocates no closure. *)
+  let run t pol ~patterns faults =
+    if not (Obs.enabled ()) then run_impl t pol ~patterns faults
+    else
+      Obs.span "fault_engine.batch" (fun () ->
+          Obs.add Obs.Metric.Faults_simulated (List.length faults);
+          Obs.add Obs.Metric.Fault_patterns
+            (Gate.bits_per_word * List.length patterns);
+          let o = run_impl t pol ~patterns faults in
+          Obs.add Obs.Metric.Fault_word_evals o.word_evals;
+          o)
+
+  let run_segment pol sim seg ~patterns faults =
+    run (create sim seg) pol ~patterns faults
+end

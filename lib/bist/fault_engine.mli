@@ -1,9 +1,13 @@
 (** High-throughput pseudo-exhaustive fault simulation.
 
-    Semantically identical to {!Fault_sim.segment_detects} — bit for bit,
-    at any job count — but engineered for the scale the evaluation runs
-    at (every partition of an s38584-class circuit, all [2^iota]
-    patterns, every collapsed fault):
+    The one fault-simulation entry point of the repo: every consumer
+    (Pet, the selftest/campaign ops, the bench harnesses) drives faults
+    through {!Batch.run}. The seed re-simulation loop survives only as
+    the qcheck differential oracle in {!Fault_sim}.
+
+    Engineered for the scale the evaluation runs at (every partition of
+    an s38584-class circuit, all [2^iota] patterns, every collapsed
+    fault):
 
     - {b cone restriction}: for each fault site the transitive fanout
       restricted to segment members is precomputed once (and shared by
@@ -15,50 +19,126 @@
       differs (detected) or no changed signal has a remaining reader
       (the fault effect converged back to the good machine — undetected
       for this batch);
+    - {b word batching}: with [policy.words = W > 1] the engine runs a
+      flat Bigarray kernel that evaluates W pattern words per gate
+      visit, amortising the per-gate dispatch (kind decode, fan-in
+      gathering, cone bookkeeping) that dominates the single-word loop;
+    - {b fault dropping}: under {!Batch.Drop} a fault detected by one
+      word group is retired immediately, so late patterns only simulate
+      the surviving (hard or redundant) faults;
     - {b allocation-free steady state}: each worker owns one scratch set
-      (good values, epoch-stamped faulty values, per-arity fan-in
-      buffers) reused across every fault and pattern batch;
+      (good values, epoch-stamped faulty values, fan-in buffers) reused
+      across every fault and pattern batch;
     - {b deterministic parallelism}: the fault list is sharded into
       contiguous, index-ordered chunks across the domains of a
       {!Ppet_parallel.Domain_pool.t}; each fault's verdict depends only
       on the fault and the patterns, so the merged result is the same
-      list the serial path produces. *)
+      list the serial path produces — at any word width, job count, or
+      dropping policy. *)
 
 type t
 (** A fault-simulation engine prepared for one (simulator, segment)
     pair: member topological order, observability and last-reader
-    indices, and the fault-cone cache. *)
+    indices, the fault-cone cache, and the flat slot/CSR-fan-in view the
+    multi-word kernel runs on. *)
 
 val create : Simulator.t -> Ppet_netlist.Segment.t -> t
 (** Precompute the per-segment indices. Raises [Invalid_argument] if a
     member is a flip-flop (same contract as {!Fault_sim.segment_detects}). *)
 
-val sequential_cutover : int
-(** Segments with fewer member gates than this run serially even when a
-    pool is supplied: the pooled dispatch (circuit-sized scratch per
-    worker plus the fork/join barrier) costs more than the whole
-    simulation at that size. Measured on the generated benchmarks — see
-    EXPERIMENTS.md, "fault-engine cutover". Results are identical either
-    way. *)
+(** {2 Pattern construction}
 
-val detects :
-  ?pool:Ppet_parallel.Domain_pool.t ->
-  t ->
-  patterns:int array list ->
-  Fault.t list ->
-  (Fault.t * bool) list
-(** Like {!Fault_sim.segment_detects} on the engine's segment: each
-    batch assigns one word per segment input signal (order of
-    [Segment.input_signals]). Without [?pool] (or with a 1-job pool) the
-    engine runs serially on the calling domain. Results are bit-identical
-    to the serial seed loop in every configuration. *)
+    Helpers shared by every campaign consumer (formerly in
+    [Fault_sim]). *)
 
-val segment_detects :
-  ?pool:Ppet_parallel.Domain_pool.t ->
-  Simulator.t ->
-  Ppet_netlist.Segment.t ->
-  patterns:int array list ->
-  Fault.t list ->
-  (Fault.t * bool) list
-(** One-shot convenience: [create] + [detects]. Prefer building the
-    engine once when simulating the same segment repeatedly. *)
+val pack_vectors : width:int -> int list -> int array list
+(** Pack bit vectors (input i = bit i of each vector) into word batches
+    of [Gate.bits_per_word] vectors each, the final batch ragged. One
+    pass over the list; the packing {!exhaustive_patterns} and
+    {!lfsr_patterns} are built from. *)
+
+val exhaustive_patterns : width:int -> int array list
+(** All [2^width] input vectors, packed into word batches: batch j gives,
+    for input bit i, the word whose bit b is the value of input i in
+    vector [j * bits_per_word + b]. Width must be at most 24. *)
+
+val lfsr_patterns : width:int -> count:int -> int array list
+(** The first [count] patterns of the standard CBIT LFSR of that width
+    (plus the all-zero vector first, which the autonomous LFSR cannot
+    produce), packed like {!exhaustive_patterns}. *)
+
+val coverage : (Fault.t * bool) list -> float
+(** Detected fraction, in [0, 1]; 1.0 for an empty list. *)
+
+(** {2 The batch interface} *)
+
+module Batch : sig
+  type drop =
+    | Keep  (** simulate every fault against every word group — the
+                reference semantics, and the right mode for fixed-work
+                throughput probes *)
+    | Drop  (** retire a fault as soon as one word group detects it, so
+                later patterns only simulate survivors. Verdicts are
+                identical to [Keep]; only the work (and wall clock)
+                differs. *)
+
+  type policy = {
+    words : int;
+        (** pattern words evaluated per gate visit. [1] selects the
+            scalar int-array kernel; [>= 2] the flat Bigarray multi-word
+            kernel. *)
+    pool : Ppet_parallel.Domain_pool.t option;
+        (** fault-partition parallelism; [None] (or a 1-job pool) runs
+            on the calling domain *)
+    drop : drop;
+    cutover : int;
+        (** segments with fewer member gates than this run serially even
+            when a pool is supplied: the pooled dispatch (per-worker
+            scratch plus the fork/join barrier) costs more than the
+            whole simulation at that size. The CLI threads
+            [Params.fault_cutover] (default 128, the measured knee — see
+            EXPERIMENTS.md, "fault-engine cutover") through here. *)
+  }
+
+  val policy :
+    ?words:int ->
+    ?pool:Ppet_parallel.Domain_pool.t ->
+    ?drop:drop ->
+    ?cutover:int ->
+    unit ->
+    policy
+  (** Defaults: [words = 8], no pool, [Drop], [cutover = 128] (keep in
+      sync with [Params.default.fault_cutover]). *)
+
+  type outcome = {
+    results : (Fault.t * bool) list;
+        (** every fault with its verdict, input order *)
+    n_faults : int;
+    n_detected : int;
+    coverage : float;  (** detected fraction; 1.0 when no faults *)
+    batches : int;     (** pattern word batches offered *)
+    word_evals : int;
+        (** gate-word evaluations actually performed (good re-simulation
+            plus event-driven faulty evaluations, summed over workers) —
+            the work the dropping policy and word width save is visible
+            here *)
+  }
+
+  val run : t -> policy -> patterns:int array list -> Fault.t list -> outcome
+  (** Simulate the faults against the batches (each batch assigns one
+      word per segment input signal, order of [Segment.input_signals]).
+      Verdicts are bit-identical across every policy: word width, job
+      count, and dropping only change the wall clock. Raises
+      [Invalid_argument] on a batch arity mismatch or a non-positive
+      [words]/[cutover]. *)
+
+  val run_segment :
+    policy ->
+    Simulator.t ->
+    Ppet_netlist.Segment.t ->
+    patterns:int array list ->
+    Fault.t list ->
+    outcome
+  (** One-shot convenience: {!create} + {!run}. Prefer building the
+      engine once when simulating the same segment repeatedly. *)
+end

@@ -2,11 +2,6 @@ module Circuit = Ppet_netlist.Circuit
 module Gate = Ppet_netlist.Gate
 module Segment = Ppet_netlist.Segment
 
-type observation = {
-  good : int array;
-  faulty : int array;
-}
-
 let word_mask = max_int
 
 let const_of stuck_at = if stuck_at then word_mask else 0
@@ -89,46 +84,3 @@ let segment_detects sim (seg : Segment.t) ~patterns faults =
         faults)
     patterns;
   List.map (fun f -> (f, Hashtbl.find detected f)) faults
-
-(* Single pass over the vector list: open a fresh word batch every
-   [bits_per_word] vectors (the last one ragged), OR each vector's bits
-   into the open batch as it streams by. *)
-let pack_vectors ~width vectors =
-  let bpw = Gate.bits_per_word in
-  let rev_batches = ref [] in
-  let words = ref [||] in
-  let b = ref bpw in
-  List.iter
-    (fun vector ->
-      if !b = bpw then begin
-        words := Array.make width 0;
-        rev_batches := !words :: !rev_batches;
-        b := 0
-      end;
-      let w = !words in
-      for i = 0 to width - 1 do
-        if (vector lsr i) land 1 = 1 then w.(i) <- w.(i) lor (1 lsl !b)
-      done;
-      incr b)
-    vectors;
-  List.rev !rev_batches
-
-let exhaustive_patterns ~width =
-  if width < 0 || width > 24 then
-    invalid_arg "Fault_sim.exhaustive_patterns: width must be in 0..24";
-  let total = 1 lsl width in
-  pack_vectors ~width (List.init total (fun v -> v))
-
-let lfsr_patterns ~width ~count =
-  if width < 1 || width > 32 then
-    invalid_arg "Fault_sim.lfsr_patterns: width must be in 1..32";
-  let l = Lfsr.create ~width () in
-  let vectors = 0 :: List.filteri (fun i _ -> i < count - 1) (Lfsr.sequence l (max 0 (count - 1))) in
-  pack_vectors ~width vectors
-
-let coverage results =
-  match results with
-  | [] -> 1.0
-  | _ ->
-    let det = List.length (List.filter snd results) in
-    float_of_int det /. float_of_int (List.length results)

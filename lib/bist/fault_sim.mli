@@ -1,15 +1,12 @@
-(** Serial fault simulation over word-parallel patterns.
+(** The seed fault simulator — kept only as the differential oracle.
 
-    For each fault the faulty machine is re-simulated against the good
-    one; a fault is detected by a pattern batch when any observed signal
-    differs in any bit position. Pattern batches pack
-    [Gate.bits_per_word] vectors per word, so a segment with k inputs is
-    exhausted in [ceil(2^k / 62)] batches. *)
-
-type observation = {
-  good : int array;    (** observed words, fault-free *)
-  faulty : int array;  (** observed words under the fault *)
-}
+    For each fault the whole segment is re-simulated against the good
+    machine, one word batch at a time; a fault is detected when any
+    observed signal differs in any bit position. Quadratic and slow by
+    design: the qcheck differential properties check the production
+    {!Fault_engine.Batch} kernels (single-word, multi-word, dropped or
+    not, at any job count) bit-for-bit against this loop. Production
+    code must go through {!Fault_engine.Batch.run}. *)
 
 val segment_detects :
   Simulator.t ->
@@ -22,22 +19,3 @@ val segment_detects :
     (order of [Segment.input_signals]). Observation points are the
     segment's [observed] nodes. Returns each fault with its detection
     verdict over all batches. *)
-
-val pack_vectors : width:int -> int list -> int array list
-(** Pack bit vectors (input i = bit i of each vector) into word batches
-    of [Gate.bits_per_word] vectors each, the final batch ragged. One
-    pass over the list; the packing {!exhaustive_patterns} and
-    {!lfsr_patterns} are built from. *)
-
-val exhaustive_patterns : width:int -> int array list
-(** All [2^width] input vectors, packed into word batches: batch j gives,
-    for input bit i, the word whose bit b is the value of input i in
-    vector [j * bits_per_word + b]. Width must be at most 24. *)
-
-val lfsr_patterns : width:int -> count:int -> int array list
-(** The first [count] patterns of the standard CBIT LFSR of that width
-    (plus the all-zero vector first, which the autonomous LFSR cannot
-    produce), packed like {!exhaustive_patterns}. *)
-
-val coverage : (Fault.t * bool) list -> float
-(** Detected fraction, in [0, 1]; 1.0 for an empty list. *)

@@ -37,26 +37,34 @@ let fault_list ?(collapse = true) sim seg =
   let faults = Fault.of_segment c seg in
   if collapse then Fault.collapse c faults else faults
 
-let run ?collapse ?pool sim seg =
+let default_policy () = Fault_engine.Batch.policy ()
+
+let run ?collapse ?policy sim seg =
+  let policy =
+    match policy with Some p -> p | None -> default_policy ()
+  in
   let width = Segment.input_count seg in
   if width > 20 then
     invalid_arg
       "Pet.run: segment has more than 20 inputs; partition it first (that \
        is what PPET is for)";
   let faults = fault_list ?collapse sim seg in
-  let patterns = Fault_sim.exhaustive_patterns ~width in
-  let results = Fault_engine.segment_detects ?pool sim seg ~patterns faults in
-  summarise ~width ~patterns_applied:(1 lsl width) results
+  let patterns = Fault_engine.exhaustive_patterns ~width in
+  let o = Fault_engine.Batch.run_segment policy sim seg ~patterns faults in
+  summarise ~width ~patterns_applied:(1 lsl width) o.Fault_engine.Batch.results
 
-let run_with_lfsr ?(extra_cycles = 0) ?pool sim seg =
+let run_with_lfsr ?(extra_cycles = 0) ?policy sim seg =
+  let policy =
+    match policy with Some p -> p | None -> default_policy ()
+  in
   let width = Segment.input_count seg in
   if width > 20 then invalid_arg "Pet.run_with_lfsr: more than 20 inputs";
   if width < 1 then invalid_arg "Pet.run_with_lfsr: segment has no inputs";
   let faults = fault_list sim seg in
   let count = (1 lsl width) + extra_cycles in
-  let patterns = Fault_sim.lfsr_patterns ~width ~count in
-  let results = Fault_engine.segment_detects ?pool sim seg ~patterns faults in
-  summarise ~width ~patterns_applied:count results
+  let patterns = Fault_engine.lfsr_patterns ~width ~count in
+  let o = Fault_engine.Batch.run_segment policy sim seg ~patterns faults in
+  summarise ~width ~patterns_applied:count o.Fault_engine.Batch.results
 
 let pp ppf r =
   Format.fprintf ppf

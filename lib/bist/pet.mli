@@ -19,7 +19,7 @@ type report = {
 
 val run :
   ?collapse:bool ->
-  ?pool:Ppet_parallel.Domain_pool.t ->
+  ?policy:Fault_engine.Batch.policy ->
   Simulator.t ->
   Ppet_netlist.Segment.t ->
   report
@@ -29,15 +29,15 @@ val run :
     run itself: a fault no exhaustive pattern distinguishes at the
     segment boundary is untestable in that segment.
 
-    Fault simulation runs on the cone-restricted {!Fault_engine};
-    [?pool] shards the fault list across its domains. Results are
-    bit-identical at any job count (and to the seed serial loop in
-    {!Fault_sim.segment_detects}), so the default serial run and a
-    parallel run print the same report. *)
+    Fault simulation runs through {!Fault_engine.Batch.run} under
+    [?policy] (default {!Fault_engine.Batch.policy}[ ()]: 8-word
+    batches, fault dropping, no pool). Reports are bit-identical under
+    every policy — word width, job count and dropping only change the
+    wall clock. *)
 
 val run_with_lfsr :
   ?extra_cycles:int ->
-  ?pool:Ppet_parallel.Domain_pool.t ->
+  ?policy:Fault_engine.Batch.policy ->
   Simulator.t ->
   Ppet_netlist.Segment.t ->
   report

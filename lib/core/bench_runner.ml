@@ -144,9 +144,15 @@ let run ?(progress = fun _ -> ()) plan =
       match fault_workload c sim with
       | None -> serial
       | Some (engine, patterns, faults) ->
+        (* words = 1 keeps this entry comparable with pre-batch-engine
+           baselines: same per-fault-pattern work, same kernel shape *)
+        let policy pool =
+          Fault_engine.Batch.policy ~words:1 ?pool ~drop:Fault_engine.Batch.Keep
+            ~cutover:params.Params.fault_cutover ()
+        in
         let fs1 =
           measure ~jobs:1 "fault_sim" (fun () ->
-              ignore (Fault_engine.detects engine ~patterns faults))
+              ignore (Fault_engine.Batch.run engine (policy None) ~patterns faults))
         in
         let fsn =
           if plan.jobs <= 1 then []
@@ -154,7 +160,9 @@ let run ?(progress = fun _ -> ()) plan =
             Domain_pool.with_pool ~jobs:plan.jobs (fun pool ->
                 [
                   measure ~jobs:plan.jobs "fault_sim" (fun () ->
-                      ignore (Fault_engine.detects ~pool engine ~patterns faults));
+                      ignore
+                        (Fault_engine.Batch.run engine (policy (Some pool))
+                           ~patterns faults));
                 ])
         in
         serial @ (fs1 :: fsn))

@@ -13,6 +13,7 @@ type t = {
   max_iterations : int;
   max_merge_candidates : int;
   substrate : substrate;
+  fault_cutover : int;
 }
 
 let default =
@@ -27,6 +28,7 @@ let default =
     max_iterations = 20_000;
     max_merge_candidates = 1_500;
     substrate = Csr;
+    fault_cutover = 128;
   }
 
 let with_lk l_k = { default with l_k }
@@ -39,6 +41,7 @@ let validate p =
   else if p.l_k < 2 || p.l_k > 32 then Error "l_k must be in 2..32"
   else if p.max_iterations < 1 then Error "max_iterations must be positive"
   else if p.max_merge_candidates < 1 then Error "max_merge_candidates must be positive"
+  else if p.fault_cutover < 1 then Error "fault_cutover must be at least 1"
   else Ok ()
 
 (* Every field, in declaration order. Any knob that can change a compile
@@ -47,9 +50,10 @@ let validate p =
    compiles onto one cache entry. *)
 let fingerprint p =
   Printf.sprintf
-    "b=%h;mv=%d;a=%h;d=%h;beta=%d;lk=%d;seed=%Ld;mi=%d;mmc=%d;sub=%s"
+    "b=%h;mv=%d;a=%h;d=%h;beta=%d;lk=%d;seed=%Ld;mi=%d;mmc=%d;sub=%s;fc=%d"
     p.capacity p.min_visit p.alpha p.delta p.beta p.l_k p.seed
     p.max_iterations p.max_merge_candidates (substrate_name p.substrate)
+    p.fault_cutover
 
 let pp ppf p =
   Format.fprintf ppf

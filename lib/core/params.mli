@@ -27,6 +27,12 @@ type t = {
   max_merge_candidates : int;
       (** Assign_CBIT candidate scan cap per step (quality/speed knob) *)
   substrate : substrate;  (** graph-core implementation (default [Csr]) *)
+  fault_cutover : int;
+      (** fault-simulation segments with fewer member gates than this
+          run serially even when a pool is supplied (default 128, the
+          measured knee — see EXPERIMENTS.md "fault-engine cutover").
+          Threaded into [Fault_engine.Batch.policy.cutover]; results are
+          identical at any value, only the wall clock moves. *)
 }
 
 val default : t

@@ -9,6 +9,8 @@ module Metric = struct
     | Partitions_formed
     | Faults_simulated
     | Fault_patterns
+    | Fault_word_evals
+    | Campaign_circuits
     | Lint_rules_fired
     | Lint_findings
     | Pool_dispatches
@@ -24,6 +26,8 @@ module Metric = struct
     | Partitions_formed -> "assign.partitions"
     | Faults_simulated -> "fault.faults"
     | Fault_patterns -> "fault.patterns"
+    | Fault_word_evals -> "fault.word_evals"
+    | Campaign_circuits -> "campaign.circuits"
     | Lint_rules_fired -> "lint.rules_fired"
     | Lint_findings -> "lint.findings"
     | Pool_dispatches -> "pool.dispatches"
@@ -33,7 +37,8 @@ module Metric = struct
     [
       Flow_iterations; Flow_tree_nets; Bf_relaxations; Retime_required_kept;
       Retime_required_dropped; Clusters_formed; Partitions_formed;
-      Faults_simulated; Fault_patterns; Lint_rules_fired; Lint_findings;
+      Faults_simulated; Fault_patterns; Fault_word_evals; Campaign_circuits;
+      Lint_rules_fired; Lint_findings;
       Pool_dispatches; Pool_busy_ns;
     ]
 end

@@ -22,8 +22,10 @@ module Metric : sig
     | Retime_required_dropped(** requirements dropped on over-constrained loops *)
     | Clusters_formed        (** clusters out of [Cluster.make_group] *)
     | Partitions_formed      (** partitions out of [Assign.run] *)
-    | Faults_simulated       (** faults fed to [Fault_engine.detects] *)
-    | Fault_patterns         (** test patterns (words x batches) per detects call *)
+    | Faults_simulated       (** faults fed to [Fault_engine.Batch.run] *)
+    | Fault_patterns         (** test patterns (words x batches) per batch run *)
+    | Fault_word_evals       (** gate-word evaluations a batch run performed *)
+    | Campaign_circuits      (** circuits completed by a campaign run *)
     | Lint_rules_fired       (** lint rules evaluated *)
     | Lint_findings          (** error+warning diagnostics produced *)
     | Pool_dispatches        (** [Domain_pool.run] dispatches *)

@@ -313,11 +313,13 @@ let to_int = function
   | Num f when Float.is_integer f -> Some (int_of_float f)
   | _ -> None
 
+let to_num = function Num f -> Some f | _ -> None
 let to_str = function Str s -> Some s | _ -> None
 let to_bool = function Bool b -> Some b | _ -> None
 let to_list = function List l -> Some l | _ -> None
 
 let str_member key v = Option.bind (member key v) to_str
 let int_member key v = Option.bind (member key v) to_int
+let num_member key v = Option.bind (member key v) to_num
 let bool_member key v = Option.bind (member key v) to_bool
 let list_member key v = Option.bind (member key v) to_list

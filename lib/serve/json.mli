@@ -29,10 +29,12 @@ val to_string : t -> string
 
 val member : string -> t -> t option
 val to_int : t -> int option
+val to_num : t -> float option
 val to_str : t -> string option
 val to_bool : t -> bool option
 val to_list : t -> t list option
 val str_member : string -> t -> string option
 val int_member : string -> t -> int option
+val num_member : string -> t -> float option
 val bool_member : string -> t -> bool option
 val list_member : string -> t -> t list option

@@ -6,6 +6,9 @@ module Segment = Ppet_netlist.Segment
 module S27 = Ppet_netlist.S27
 module Merced = Ppet_core.Merced
 module Report = Ppet_core.Report
+module Params = Ppet_core.Params
+module Campaign = Ppet_core.Campaign
+module Fault_engine = Ppet_bist.Fault_engine
 module Assign = Ppet_core.Assign
 module Phasing = Ppet_core.Phasing
 module Bench_runner = Ppet_core.Bench_runner
@@ -82,6 +85,11 @@ let selftest ?pool ~params ~max_width c =
   let r = Merced.run ~params c in
   let sim = Simulator.create c in
   let segments = Merced.segments r in
+  (* the batch policy the CLI and daemon share: the params cutover knob
+     decides when a segment is worth fanning out over the pool *)
+  let policy =
+    Fault_engine.Batch.policy ?pool ~cutover:params.Params.fault_cutover ()
+  in
   let buf = Buffer.create 512 in
   Printf.bprintf buf "circuit %s: %d segments\n" c.Circuit.title
     (List.length segments);
@@ -89,7 +97,7 @@ let selftest ?pool ~params ~max_width c =
     (fun i seg ->
       let w = Segment.input_count seg in
       if w > 0 && w <= max_width then begin
-        let rep = Pet.run ?pool sim seg in
+        let rep = Pet.run ~policy sim seg in
         Buffer.add_string buf (Format.asprintf "  segment %d: %a@." i Pet.pp rep)
       end
       else
@@ -154,3 +162,22 @@ let bench ~benchmarks ~repeat =
         Bench_runner.run { Bench_runner.benchmarks; repeat; jobs = 1 })
   in
   { exit_code = 0; output = Report.bench_json ~name:"pipeline" ~entries }
+
+(* ------------------------------------------------------------------ *)
+(* campaign                                                            *)
+
+let campaign ?pool (plan : Campaign.plan) =
+  let report = Campaign.run ?pool plan in
+  let failures = Campaign.below_min plan report in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Campaign.human report);
+  List.iter
+    (fun (cr : Campaign.circuit_report) ->
+      Printf.bprintf buf
+        "coverage gate: %s at %.2f%% is below the %.2f%% minimum\n"
+        cr.Campaign.circuit
+        (100.0 *. cr.Campaign.coverage)
+        (100.0 *. plan.Campaign.min_coverage))
+    failures;
+  ( { exit_code = (if failures = [] then 0 else 1); output = Buffer.contents buf },
+    report )

@@ -77,3 +77,13 @@ val bench : benchmarks:string list -> repeat:int -> outcome
 (** Time the pipeline sweep serially (jobs = 1) and return the BENCH
     JSON document. Never cached by the daemon — timings are not a
     function of the inputs. *)
+
+val campaign :
+  ?pool:Ppet_parallel.Domain_pool.t ->
+  Ppet_core.Campaign.plan ->
+  outcome * Ppet_core.Campaign.report
+(** Run a whole-chip self-test campaign. The outcome output is
+    {!Ppet_core.Campaign.human} (plus one line per circuit missing the
+    coverage gate; exit 1 when any does); the report is handed back so
+    the CLI can also write BENCH_campaign.json. The human bytes are
+    timing-free, so the daemon may cache them. *)

@@ -1,5 +1,6 @@
 module Params = Ppet_core.Params
 module Bench_runner = Ppet_core.Bench_runner
+module Campaign = Ppet_core.Campaign
 
 (* ------------------------------------------------------------------ *)
 (* requests                                                            *)
@@ -13,6 +14,13 @@ type job =
   | Lint of { source : source; rules : string list; verbose : bool }
   | Selftest of { source : source; max_width : int }
   | Bench of { benchmarks : string list; repeat : int }
+  | Campaign of {
+      profiles : string list;
+      words : int;
+      drop : bool;
+      max_width : int;
+      min_coverage : float;
+    }
   | Sleep of { ms : int }
 
 type job_request = {
@@ -35,6 +43,7 @@ let op_name = function
   | Lint _ -> "lint"
   | Selftest _ -> "selftest"
   | Bench _ -> "bench"
+  | Campaign _ -> "campaign"
   | Sleep _ -> "sleep"
 
 let ( let* ) = Result.bind
@@ -56,7 +65,11 @@ let params_of_json j =
     | Some other ->
       Error (Printf.sprintf "substrate must be \"csr\" or \"hashed\", not %S" other)
   in
-  let p = { d with Params.l_k = lk; beta; seed; substrate } in
+  let fault_cutover =
+    Option.value ~default:d.Params.fault_cutover
+      (Json.int_member "fault_cutover" j)
+  in
+  let p = { d with Params.l_k = lk; beta; seed; substrate; fault_cutover } in
   match Params.validate p with Ok () -> Ok p | Error msg -> Error msg
 
 let source_of_json j =
@@ -116,6 +129,28 @@ let job_of_json op j =
       Option.value ~default:d.Bench_runner.repeat (Json.int_member "repeat" j)
     in
     Ok (Bench { benchmarks; repeat })
+  | "campaign" ->
+    let d = Campaign.default_plan in
+    let* profiles = string_list_member "profiles" j in
+    let profiles = Option.value ~default:d.Campaign.profiles profiles in
+    let words = Option.value ~default:d.Campaign.words (Json.int_member "words" j) in
+    let drop = Option.value ~default:d.Campaign.drop (Json.bool_member "drop" j) in
+    let max_width =
+      Option.value ~default:d.Campaign.max_width (Json.int_member "max_width" j)
+    in
+    let* min_coverage =
+      match Json.member "min_coverage" j with
+      | None -> Ok d.Campaign.min_coverage
+      | Some v -> (
+        match Json.to_num v with
+        | Some f when f >= 0.0 && f <= 1.0 -> Ok f
+        | _ -> Error "\"min_coverage\" must be a number in 0..1")
+    in
+    if profiles = [] then Error "campaign needs a non-empty \"profiles\" list"
+    else if words < 1 then Error "\"words\" must be >= 1"
+    else if max_width < 0 || max_width > 20 then
+      Error "\"max_width\" must be in 0..20"
+    else Ok (Campaign { profiles; words; drop; max_width; min_coverage })
   | "sleep" -> (
     match Json.int_member "ms" j with
     | Some ms when ms >= 0 -> Ok (Sleep { ms })
@@ -136,7 +171,7 @@ let job_request_of_json op j =
   in
   Ok { job; params; timeout_ms; progress = flag "progress" j }
 
-let job_ops = [ "compile"; "lint"; "selftest"; "bench"; "sleep" ]
+let job_ops = [ "compile"; "lint"; "selftest"; "bench"; "campaign"; "sleep" ]
 
 let request_of_json j =
   let id = Json.str_member "id" j in

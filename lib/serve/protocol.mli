@@ -10,17 +10,20 @@
     Request ops and their fields (defaults in parentheses): [compile]
     with [verbose] (false); [lint] with [rules] (all) and [verbose];
     [selftest] with [max_width] (14); [bench] with [benchmarks] and
-    [repeat]; [sleep] with [ms] — a diagnostic job that holds a worker,
-    streams a "sleep" stage and honours [timeout_ms]; [suite] with
-    [jobs], a list of job objects answered by one aggregated reply;
-    [stats]; [shutdown].
+    [repeat]; [campaign] with [profiles] (all seventeen), [words] (8),
+    [drop] (true), [max_width] (14) and [min_coverage] (0 — the probe is
+    a CLI-side measurement and has no wire form); [sleep] with [ms] — a
+    diagnostic job that holds a worker, streams a "sleep" stage and
+    honours [timeout_ms]; [suite] with [jobs], a list of job objects
+    answered by one aggregated reply; [stats]; [shutdown].
 
     A circuit is either [circuit] (a spec the server resolves: "s27", a
     benchmark name, a server-side path) or [bench] (inline .bench text,
     with optional [title] and [file] for diagnostics parity). Params
-    fields [lk], [beta], [seed], [substrate] default to the CLI
-    defaults. [timeout_ms] bounds the queue wait (running jobs are not
-    preempted; only the cooperative [sleep] op aborts mid-flight). *)
+    fields [lk], [beta], [seed], [substrate], [fault_cutover] default to
+    the CLI defaults. [timeout_ms] bounds the queue wait (running jobs
+    are not preempted; only the cooperative [sleep] op aborts
+    mid-flight). *)
 
 type source =
   | Spec of string
@@ -31,6 +34,13 @@ type job =
   | Lint of { source : source; rules : string list; verbose : bool }
   | Selftest of { source : source; max_width : int }
   | Bench of { benchmarks : string list; repeat : int }
+  | Campaign of {
+      profiles : string list;
+      words : int;
+      drop : bool;
+      max_width : int;
+      min_coverage : float;
+    }
   | Sleep of { ms : int }
 
 type job_request = {

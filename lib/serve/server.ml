@@ -336,6 +336,28 @@ let execute t ?emit ~deadline (jreq : Protocol.job_request) =
            Ops.lint ?rules:rules_opt ~verbose ~params c))
   | Protocol.Bench { benchmarks; repeat } ->
     run_cached t ?emit (fun () -> Ops.bench ~benchmarks ~repeat)
+  | Protocol.Campaign { profiles; words; drop; max_width; min_coverage } ->
+    let plan =
+      {
+        Ppet_core.Campaign.default_plan with
+        Ppet_core.Campaign.profiles;
+        params;
+        words;
+        drop;
+        max_width;
+        min_coverage;
+      }
+    in
+    (* cacheable: the human rendering carries no timings, so the same
+       profiles + knobs + params always produce the same bytes *)
+    let key =
+      Cache.key ~op:"campaign" ~params_fp
+        ~content:(String.concat "," profiles)
+        ~extra:
+          (Printf.sprintf "words=%d;drop=%b;mw=%d;mc=%h" words drop max_width
+             min_coverage)
+    in
+    run_cached t ?emit ~key (fun () -> fst (Ops.campaign plan))
 
 (* every failure mode of a job becomes a structured error reply; the
    daemon itself never dies on a poisoned job *)

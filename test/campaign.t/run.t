@@ -1,0 +1,53 @@
+The campaign runner end to end: the 0/1/2 exit contract and the
+deterministic human report.
+
+  $ MERCED=../../bin/merced.exe
+
+A clean campaign over three small profiles exits 0 and writes the JSON
+artefact:
+
+  $ $MERCED campaign --profiles s27,s510,s420.1 -o report.json
+  campaign: 3 circuits, words 8, drop on, max width 14
+  circuit       gates  dffs  segs  tested   faults  detected  coverage   aliasing  test-cycles
+  s27              10     3     1       1       34        34   100.00%   7.81e-03           24
+  s510            211     6     9       1       26        26   100.00%   3.91e-03       393488
+  s420.1          218    16     4       1       38        25    65.79%   9.77e-04       262260
+  total: 85/98 faults detected (coverage 86.73%), 3 segments tested, 11 skipped
+  wrote report.json (3 circuits)
+  $ head -5 report.json
+  {
+    "name": "campaign",
+    "words": 8,
+    "drop": true,
+    "max_width": 14,
+
+The report is identical at any job count, word width, and dropping
+policy (only wall clocks move, and the human table carries none):
+
+  $ $MERCED campaign --profiles s27,s510,s420.1 --no-out > serial.out
+  $ $MERCED campaign --profiles s27,s510,s420.1 --no-out --jobs 3 > parallel.out
+  $ cmp serial.out parallel.out
+  $ $MERCED campaign --profiles s27,s510,s420.1 --no-out --words 1 --no-drop > scalar.out
+  $ tail -n +2 serial.out > serial.body; tail -n +2 scalar.out > scalar.body
+  $ cmp serial.body scalar.body
+
+A circuit below --min-coverage fails the campaign with exit 1 (s420.1's
+tested segment holds undetectable faults):
+
+  $ $MERCED campaign --profiles s420.1 --min-coverage 0.99 --no-out
+  campaign: 1 circuits, words 8, drop on, max width 14
+  circuit       gates  dffs  segs  tested   faults  detected  coverage   aliasing  test-cycles
+  s420.1          218    16     4       1       38        25    65.79%   9.77e-04       262260
+  total: 25/38 faults detected (coverage 65.79%), 1 segments tested, 3 skipped
+  coverage gate: s420.1 at 65.79% is below the 99.00% minimum
+  [1]
+
+Unknown profiles and bad knobs are usage errors, exit 2:
+
+  $ $MERCED campaign --profiles nope --no-out 2>&1 | head -1 | cut -c1-30
+  error: "nope" is neither "s27"
+  $ $MERCED campaign --profiles nope --no-out 2>/dev/null
+  [2]
+  $ $MERCED campaign --profiles s27 --words 0 --no-out
+  error: Campaign.run: words must be >= 1
+  [2]

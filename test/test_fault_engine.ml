@@ -1,5 +1,6 @@
-(* The cone-restricted engine must be bit-identical to the seed serial
-   loop in Fault_sim — on any circuit, any pattern set, any job count. *)
+(* The batch engine must be bit-identical to the seed serial loop in
+   Fault_sim — on any circuit, any pattern set, at every word width,
+   job count, and dropping policy. *)
 
 module Circuit = Ppet_netlist.Circuit
 module Segment = Ppet_netlist.Segment
@@ -7,6 +8,7 @@ module Generator = Ppet_netlist.Generator
 module Fault = Ppet_bist.Fault
 module Fault_sim = Ppet_bist.Fault_sim
 module Fault_engine = Ppet_bist.Fault_engine
+module Batch = Ppet_bist.Fault_engine.Batch
 module Simulator = Ppet_bist.Simulator
 module Domain_pool = Ppet_parallel.Domain_pool
 module Prng = Ppet_digraph.Prng
@@ -33,20 +35,53 @@ let random_case seed =
   in
   (c, seg, faults, patterns)
 
-let prop_engine_matches_seed =
-  QCheck.Test.make ~name:"engine = seed serial at jobs 1/2/4" ~count:40
+(* the full policy matrix against the seed oracle: words 1/4/8, jobs
+   1/2/4, dropping on and off — all must agree verdict for verdict *)
+let prop_batch_matches_seed =
+  QCheck.Test.make ~name:"Batch.run = seed at words 1/4/8 x jobs 1/2/4 x drop"
+    ~count:25
     QCheck.(int_bound 1_000_000)
     (fun seed ->
       let c, seg, faults, patterns = random_case seed in
       let sim = Simulator.create c in
       let expected = Fault_sim.segment_detects sim seg ~patterns faults in
-      let serial = Fault_engine.segment_detects sim seg ~patterns faults in
-      let par jobs =
-        Domain_pool.with_pool ~jobs (fun pool ->
-            Fault_engine.segment_detects ~pool sim seg ~patterns faults)
+      let engine = Fault_engine.create sim seg in
+      let check pool =
+        List.for_all
+          (fun words ->
+            List.for_all
+              (fun drop ->
+                let policy =
+                  Batch.policy ~words ?pool ~drop ~cutover:1 ()
+                in
+                let o = Batch.run engine policy ~patterns faults in
+                o.Batch.results = expected
+                && o.Batch.n_faults = List.length faults
+                && o.Batch.n_detected
+                   = List.length (List.filter snd expected)
+                && o.Batch.batches = List.length patterns)
+              [ Batch.Keep; Batch.Drop ])
+          [ 1; 4; 8 ]
       in
-      serial = expected && par 1 = expected && par 2 = expected
-      && par 4 = expected)
+      check None
+      && List.for_all
+           (fun jobs -> Domain_pool.with_pool ~jobs (fun p -> check (Some p)))
+           [ 2; 4 ])
+
+(* dropping can only remove work, never change verdicts *)
+let prop_drop_saves_work =
+  QCheck.Test.make ~name:"Drop does at most Keep's word evals" ~count:40
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let c, seg, faults, patterns = random_case seed in
+      let sim = Simulator.create c in
+      let engine = Fault_engine.create sim seg in
+      let run drop =
+        Batch.run engine (Batch.policy ~words:4 ~drop ()) ~patterns faults
+      in
+      let keep = run Batch.Keep and drop = run Batch.Drop in
+      keep.Batch.results = drop.Batch.results
+      && drop.Batch.word_evals <= keep.Batch.word_evals)
 
 (* a fault whose fanout cone reaches no observed signal: undetected,
    not a crash (the event-driven walk just runs dry) *)
@@ -68,22 +103,39 @@ let test_cone_misses_observed () =
       { Fault.site = Fault.Input_pin (d, 0); stuck_at = true };
     ]
   in
-  let patterns = Fault_sim.exhaustive_patterns ~width:2 in
-  let r = Fault_engine.segment_detects sim seg ~patterns faults in
+  let patterns = Fault_engine.exhaustive_patterns ~width:2 in
   List.iter
-    (fun (_, det) -> Alcotest.(check bool) "unobservable" false det)
-    r;
-  Alcotest.(check bool) "matches seed" true
-    (r = Fault_sim.segment_detects sim seg ~patterns faults)
+    (fun words ->
+      let o =
+        Batch.run_segment (Batch.policy ~words ()) sim seg ~patterns faults
+      in
+      List.iter
+        (fun (_, det) -> Alcotest.(check bool) "unobservable" false det)
+        o.Batch.results;
+      Alcotest.(check bool) "matches seed" true
+        (o.Batch.results = Fault_sim.segment_detects sim seg ~patterns faults))
+    [ 1; 8 ]
 
 let test_full_coverage_and_gate () =
   let c = Parser.parse_string "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n" in
   let sim = Simulator.create c in
   let seg = Segment.of_members c (Circuit.combinational c) in
   let faults = Fault.of_segment c seg in
-  let patterns = Fault_sim.exhaustive_patterns ~width:2 in
-  let r = Fault_engine.segment_detects sim seg ~patterns faults in
-  Alcotest.(check bool) "all detected" true (List.for_all snd r)
+  let patterns = Fault_engine.exhaustive_patterns ~width:2 in
+  let o = Batch.run_segment (Batch.policy ()) sim seg ~patterns faults in
+  Alcotest.(check bool) "all detected" true (List.for_all snd o.Batch.results);
+  Alcotest.(check (float 1e-9)) "coverage 1" 1.0 o.Batch.coverage
+
+let test_no_patterns_all_undetected () =
+  let c = Parser.parse_string "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n" in
+  let sim = Simulator.create c in
+  let seg = Segment.of_members c (Circuit.combinational c) in
+  let faults = Fault.of_segment c seg in
+  let o = Batch.run_segment (Batch.policy ()) sim seg ~patterns:[] faults in
+  Alcotest.(check bool) "none detected" true
+    (List.for_all (fun (_, d) -> not d) o.Batch.results);
+  Alcotest.(check int) "no batches" 0 o.Batch.batches;
+  Alcotest.(check int) "no work" 0 o.Batch.word_evals
 
 let test_dff_member_rejected () =
   let c = Parser.parse_string "INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n" in
@@ -100,9 +152,24 @@ let test_batch_arity_guard () =
   let sim = Simulator.create c in
   let seg = Segment.of_members c (Circuit.combinational c) in
   Alcotest.check_raises "arity"
-    (Invalid_argument "Fault_engine.detects: batch arity mismatch")
+    (Invalid_argument "Fault_engine.Batch.run: batch arity mismatch")
     (fun () ->
-      ignore (Fault_engine.segment_detects sim seg ~patterns:[ [| 1 |] ] []))
+      ignore
+        (Batch.run_segment (Batch.policy ()) sim seg ~patterns:[ [| 1 |] ] []))
+
+let test_bad_policy_rejected () =
+  let c = Parser.parse_string "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n" in
+  let sim = Simulator.create c in
+  let seg = Segment.of_members c (Circuit.combinational c) in
+  let run policy =
+    ignore (Batch.run_segment policy sim seg ~patterns:[] [])
+  in
+  Alcotest.check_raises "words"
+    (Invalid_argument "Fault_engine.Batch.run: words must be >= 1")
+    (fun () -> run { (Batch.policy ()) with Batch.words = 0 });
+  Alcotest.check_raises "cutover"
+    (Invalid_argument "Fault_engine.Batch.run: cutover must be >= 1")
+    (fun () -> run { (Batch.policy ()) with Batch.cutover = 0 })
 
 (* --- pack_vectors: the single-pass chunker vs the old take-based one *)
 
@@ -140,12 +207,12 @@ let prop_pack_vectors =
       pair (int_range 1 24)
         (list_of_size Gen.(0 -- 200) (int_bound ((1 lsl 24) - 1))))
     (fun (width, vectors) ->
-      Fault_sim.pack_vectors ~width vectors = old_pack ~width vectors)
+      Fault_engine.pack_vectors ~width vectors = old_pack ~width vectors)
 
 let test_pack_ragged_final_chunk () =
   (* 63 vectors on width 3: one full 62-bit batch plus a 1-bit tail *)
   let vectors = List.init 63 (fun i -> i land 7) in
-  match Fault_sim.pack_vectors ~width:3 vectors with
+  match Fault_engine.pack_vectors ~width:3 vectors with
   | [ full; tail ] ->
     Alcotest.(check int) "full batch wide" 3 (Array.length full);
     (* tail holds only vector 62 = 6 = 0b110 in bit 0 of each word *)
@@ -154,13 +221,17 @@ let test_pack_ragged_final_chunk () =
 
 let suite =
   [
-    QCheck_alcotest.to_alcotest prop_engine_matches_seed;
+    QCheck_alcotest.to_alcotest prop_batch_matches_seed;
+    QCheck_alcotest.to_alcotest prop_drop_saves_work;
     Alcotest.test_case "cone missing observed = undetected" `Quick
       test_cone_misses_observed;
     Alcotest.test_case "AND gate full coverage" `Quick
       test_full_coverage_and_gate;
+    Alcotest.test_case "no patterns = no detections" `Quick
+      test_no_patterns_all_undetected;
     Alcotest.test_case "DFF member rejected" `Quick test_dff_member_rejected;
     Alcotest.test_case "batch arity guard" `Quick test_batch_arity_guard;
+    Alcotest.test_case "bad policy rejected" `Quick test_bad_policy_rejected;
     QCheck_alcotest.to_alcotest prop_pack_vectors;
     Alcotest.test_case "pack_vectors ragged final chunk" `Quick
       test_pack_ragged_final_chunk;

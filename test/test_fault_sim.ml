@@ -1,8 +1,14 @@
+(* Fault_sim is the seed oracle: the transparent re-simulation loop the
+   batch engine is differentially tested against. Pattern construction
+   and coverage live in Fault_engine now; these tests pin the oracle's
+   own semantics (and the helpers) on hand-sized circuits. *)
+
 module Circuit = Ppet_netlist.Circuit
 module Gate = Ppet_netlist.Gate
 module Segment = Ppet_netlist.Segment
 module Fault = Ppet_bist.Fault
 module Fault_sim = Ppet_bist.Fault_sim
+module Fault_engine = Ppet_bist.Fault_engine
 module Simulator = Ppet_bist.Simulator
 module Parser = Ppet_netlist.Bench_parser
 
@@ -13,7 +19,7 @@ let seg_of c names =
   Segment.of_members c (Array.of_list (List.map (Circuit.find c) names))
 
 let test_exhaustive_patterns_shape () =
-  let batches = Fault_sim.exhaustive_patterns ~width:3 in
+  let batches = Fault_engine.exhaustive_patterns ~width:3 in
   (* 8 vectors fit in one 62-bit batch *)
   Alcotest.(check int) "one batch" 1 (List.length batches);
   (match batches with
@@ -26,7 +32,7 @@ let test_exhaustive_patterns_shape () =
    | _ -> Alcotest.fail "expected one batch")
 
 let test_exhaustive_patterns_multibatch () =
-  let batches = Fault_sim.exhaustive_patterns ~width:8 in
+  let batches = Fault_engine.exhaustive_patterns ~width:8 in
   (* 256 vectors over 62-bit words -> ceil(256/62) = 5 batches *)
   Alcotest.(check int) "batches" 5 (List.length batches)
 
@@ -35,9 +41,10 @@ let test_and_gate_full_coverage () =
   let sim = Simulator.create c in
   let seg = seg_of c [ "y" ] in
   let faults = Fault.of_segment c seg in
-  let patterns = Fault_sim.exhaustive_patterns ~width:2 in
+  let patterns = Fault_engine.exhaustive_patterns ~width:2 in
   let results = Fault_sim.segment_detects sim seg ~patterns faults in
-  Alcotest.(check (float 1e-9)) "all detected" 1.0 (Fault_sim.coverage results)
+  Alcotest.(check (float 1e-9)) "all detected" 1.0
+    (Fault_engine.coverage results)
 
 let test_single_pattern_partial () =
   let c = and_circuit () in
@@ -58,7 +65,7 @@ let test_redundant_fault_undetected () =
   let seg = seg_of c [ "n"; "y" ] in
   let y = Circuit.find c "y" in
   let fault = { Fault.site = Fault.Output y; stuck_at = true } in
-  let patterns = Fault_sim.exhaustive_patterns ~width:1 in
+  let patterns = Fault_engine.exhaustive_patterns ~width:1 in
   let results = Fault_sim.segment_detects sim seg ~patterns [ fault ] in
   Alcotest.(check bool) "redundant undetected" false (List.assoc fault results)
 
@@ -70,7 +77,7 @@ let test_pin_fault_vs_output_fault () =
   let y = Circuit.find c "y" in
   let pin = { Fault.site = Fault.Input_pin (y, 0); stuck_at = true } in
   let out = { Fault.site = Fault.Output (Circuit.find c "a"); stuck_at = true } in
-  let patterns = Fault_sim.exhaustive_patterns ~width:2 in
+  let patterns = Fault_engine.exhaustive_patterns ~width:2 in
   let r = Fault_sim.segment_detects sim seg ~patterns [ pin; out ] in
   Alcotest.(check bool) "equivalent" true (List.assoc pin r = List.assoc out r)
 
@@ -91,12 +98,13 @@ let test_lfsr_patterns_cover () =
   let sim = Simulator.create c in
   let seg = seg_of c [ "y" ] in
   let faults = Fault.of_segment c seg in
-  let patterns = Fault_sim.lfsr_patterns ~width:2 ~count:4 in
+  let patterns = Fault_engine.lfsr_patterns ~width:2 ~count:4 in
   let results = Fault_sim.segment_detects sim seg ~patterns faults in
-  Alcotest.(check (float 1e-9)) "full coverage" 1.0 (Fault_sim.coverage results)
+  Alcotest.(check (float 1e-9)) "full coverage" 1.0
+    (Fault_engine.coverage results)
 
 let test_coverage_empty () =
-  Alcotest.(check (float 1e-9)) "empty = 1.0" 1.0 (Fault_sim.coverage [])
+  Alcotest.(check (float 1e-9)) "empty = 1.0" 1.0 (Fault_engine.coverage [])
 
 let test_batch_arity_guard () =
   let c = and_circuit () in
