@@ -292,6 +292,36 @@ let selftest_cmd =
           $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
+(* analyze                                                             *)
+
+let analyze_run spec lk beta seed substrate json jobs trace =
+  wrap ?trace (fun () ->
+      let c = load_circuit spec in
+      (* body shared with `merced serve` for byte-identical replies *)
+      with_jobs jobs (fun pool ->
+          print_string
+            (Serve_ops.analyze ?pool
+               ~params:(params_of ~substrate lk beta seed)
+               ~json c)
+              .Serve_ops.output))
+
+let analyze_cmd =
+  let doc =
+    "Run the static dataflow analyses over a circuit: ternary \
+     constant propagation, X-initializability, SCOAP testability, and \
+     the per-segment untestable-fault classification the campaign \
+     pruner uses. Deterministic output, no simulation."
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit the statistics as JSON instead of the human \
+                 summary.")
+  in
+  Cmd.v (Cmd.info "analyze" ~doc ~exits)
+    Term.(const analyze_run $ circuit_arg $ lk_arg $ beta_arg $ seed_arg
+          $ substrate_arg $ json $ jobs_arg $ trace_arg)
+
+(* ------------------------------------------------------------------ *)
 (* insert                                                              *)
 
 let insert_run spec lk beta seed substrate output trace =
@@ -685,12 +715,15 @@ let lint_cmd =
    stay within its factor of the committed baseline's median for the
    same entry (name and job count). Retime medians are milliseconds and
    stable, so they get a tight 2x; fault_sim medians are microseconds
-   and noisier, so they get 3x. Fresh entries without a baseline row
+   and noisier, so they get 3x; the analysis fixed points are
+   deterministic whole-graph sweeps, so a 2x drift means the worklist
+   itself regressed. Fresh entries without a baseline row
    pass; mismatched circuit stats fail, because medians of different
    workloads are not comparable. *)
 let guard_factor name =
   if Filename.check_suffix name "/retime" then Some 2.0
   else if Filename.check_suffix name "/fault_sim" then Some 3.0
+  else if Filename.check_suffix name "/analysis" then Some 2.0
   else None
 
 let bench_guard ~baseline entries =
@@ -876,7 +909,7 @@ let bench_cmd =
 (* campaign                                                            *)
 
 let campaign_run profiles lk beta seed substrate fault_cutover words no_drop
-    max_width min_coverage out probe probe_repeat jobs trace =
+    max_width min_coverage no_prune out probe probe_repeat jobs trace =
   wrap_status ?trace (fun () ->
       let params = params_of ~substrate ~fault_cutover lk beta seed in
       let plan =
@@ -887,6 +920,7 @@ let campaign_run profiles lk beta seed substrate fault_cutover words no_drop
           drop = not no_drop;
           max_width;
           min_coverage;
+          prune = not no_prune;
           probe;
           probe_repeat;
         }
@@ -944,8 +978,16 @@ let campaign_cmd =
   let min_coverage =
     Arg.(value & opt float Campaign.default_plan.Campaign.min_coverage
          & info [ "min-coverage" ] ~docv:"FRAC"
-             ~doc:"Fail (exit 1) when any circuit's fault coverage lands \
-                   below this fraction; 0 disables the gate.")
+             ~doc:"Fail (exit 1) when any circuit's testable-fault \
+                   coverage lands below this fraction; 0 disables the \
+                   gate.")
+  in
+  let no_prune =
+    Arg.(value & flag & info [ "no-prune" ]
+           ~doc:"Simulate statically-untestable faults too instead of \
+                 pruning them before simulation (coverage then uses the \
+                 raw denominator; detected sets are identical either \
+                 way).")
   in
   let out =
     Arg.(value & opt (some string) (Some "BENCH_campaign.json")
@@ -975,8 +1017,8 @@ let campaign_cmd =
   Cmd.v (Cmd.info "campaign" ~doc ~exits)
     Term.(const campaign_run $ profiles $ lk_arg $ beta_arg $ seed_arg
           $ substrate_arg $ fault_cutover_arg $ words $ no_drop $ max_width
-          $ min_coverage $ out_term $ probe $ probe_repeat $ jobs_arg
-          $ trace_arg)
+          $ min_coverage $ no_prune $ out_term $ probe $ probe_repeat
+          $ jobs_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* serve                                                               *)
@@ -1104,6 +1146,7 @@ let submit_request ~op ~circuit ~suite ~stats ~shutdown ~lk ~beta ~seed
         | `Selftest ->
           (("op", Sjson.Str "selftest") :: need_circuit ())
           @ [ ("max_width", Sjson.Num (float_of_int max_width)) ]
+        | `Analyze -> ("op", Sjson.Str "analyze") :: need_circuit ()
         | `Bench ->
           [
             ("op", Sjson.Str "bench");
@@ -1192,14 +1235,15 @@ let submit_cmd =
          & opt
              (enum
                 [ ("compile", `Compile); ("lint", `Lint);
-                  ("selftest", `Selftest); ("bench", `Bench);
-                  ("campaign", `Campaign); ("sleep", `Sleep) ])
+                  ("selftest", `Selftest); ("analyze", `Analyze);
+                  ("bench", `Bench); ("campaign", `Campaign);
+                  ("sleep", `Sleep) ])
              `Compile
          & info [ "op" ] ~docv:"OP"
              ~doc:"Job kind: $(b,compile) (= partition), $(b,lint), \
-                   $(b,selftest), $(b,bench), $(b,campaign) \
-                   (--benchmarks names the profiles), or $(b,sleep) \
-                   (diagnostic).")
+                   $(b,selftest), $(b,analyze), $(b,bench), \
+                   $(b,campaign) (--benchmarks names the profiles), or \
+                   $(b,sleep) (diagnostic).")
   in
   let circuit =
     Arg.(value & pos 0 (some string) None & info [] ~docv:"CIRCUIT"
@@ -1275,9 +1319,9 @@ let main_cmd =
   let doc = "Merced: area-efficient pipelined pseudo-exhaustive testing with retiming" in
   let info = Cmd.info "merced" ~version:"1.0.0" ~doc ~exits in
   Cmd.group info
-    [ stats_cmd; partition_cmd; generate_cmd; selftest_cmd; insert_cmd;
-      retime_cmd; dot_cmd; sweep_cmd; check_cmd; fuzz_cmd; lint_cmd;
-      bench_cmd; campaign_cmd; serve_cmd; submit_cmd ]
+    [ stats_cmd; partition_cmd; generate_cmd; selftest_cmd; analyze_cmd;
+      insert_cmd; retime_cmd; dot_cmd; sweep_cmd; check_cmd; fuzz_cmd;
+      lint_cmd; bench_cmd; campaign_cmd; serve_cmd; submit_cmd ]
 
 let () =
   let code = Cmd.eval' main_cmd in

@@ -1,0 +1,67 @@
+(** Generic forward/backward fixed-point dataflow over a {!Csr} graph.
+
+    The reusable abstract-interpretation layer of the repo: an analysis
+    supplies a lattice (as a value type plus [equal]), an initial
+    assignment, and a monotone transfer function; the engine computes
+    the fixpoint with a worklist, scheduled over the SCC condensation of
+    the graph.
+
+    {b Schedule.} {!prepare} runs one (iterative, stack-safe) Tarjan
+    pass and levels the condensation DAG in both directions: the forward
+    level of a component is one past the longest chain of predecessor
+    components, the backward level the same over successors. Components
+    on the same level share no edge in either direction, so a level is
+    an independent batch: {!solve} walks levels in order and, given a
+    pool, shards the components of a level across its workers with
+    {!Ppet_parallel.Domain_pool.chunk}. Each component runs a private
+    worklist (ring queue plus stamp-style in-queue marks, the
+    {!Ppet_digraph.Csr.workspace} discipline) seeded with the
+    component's vertices; a change requeues only same-component
+    neighbours, because cross-component edges point at later levels
+    whose initial sweep has not happened yet.
+
+    {b Determinism.} A monotone transfer on a finite-height lattice has
+    a unique least fixpoint, and the engine iterates each component to
+    quiescence — so the result is independent of worklist order, worker
+    count, and level batching. Parallel and serial runs return the same
+    array, which the analysis test suite pins. *)
+
+type t
+(** A prepared schedule: the condensation, both level orders, and a
+    reusable serial scratch workspace. Prepare once per graph and share
+    across analyses; one [t] must not run two {!solve}s concurrently
+    (give each domain its own). *)
+
+type direction = Forward | Backward
+
+val prepare : Ppet_digraph.Csr.t -> t
+
+val n_components : t -> int
+
+val n_levels : t -> direction -> int
+(** Depth of the condensation DAG seen from the given side — the number
+    of sequential batches a {!solve} in that direction walks. *)
+
+val max_component : t -> int
+(** Size of the largest strongly-connected component (1 on an acyclic
+    graph): the serial grain no schedule can split. *)
+
+val component_of : t -> int -> int
+(** Component id of a vertex (Tarjan numbering: an edge between distinct
+    components goes from the higher id to the lower). *)
+
+val solve :
+  ?pool:Ppet_parallel.Domain_pool.t ->
+  t ->
+  direction:direction ->
+  init:(int -> 'a) ->
+  transfer:((int -> 'a) -> int -> 'a) ->
+  equal:('a -> 'a -> bool) ->
+  'a array
+(** [solve t ~direction ~init ~transfer ~equal] returns the fixpoint
+    assignment. [transfer get v] must recompute [v]'s value from the
+    values [get] exposes — reading successors in a [Backward] pass,
+    predecessors in a [Forward] pass (reads against the direction see
+    finalized earlier-level values). [transfer] must be monotone w.r.t.
+    a finite-height order on ['a] with [init] below the fixpoint, or the
+    worklist may not terminate. *)

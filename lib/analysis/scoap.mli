@@ -1,0 +1,47 @@
+(** Integer SCOAP-style testability measures (analysis 3).
+
+    The classic Goldstein measures on the saturating integer lattice:
+    CC0/CC1 (combinational 0/1-controllability, forward) and CO
+    (observability, backward), with flip-flops costed as one extra time
+    frame. Feedback is handled by the fixed-point engine: values start
+    at {!inf} and relax monotonically downward, so a loop that no
+    primary input reaches keeps {!inf} — which is exactly the
+    "provably uncontrollable / unobservable" signal the untestable
+    lint and the analyze report use.
+
+    Proven-constant nets (from {!Ternary.constants}) are folded in: a
+    constant-[v] net costs 0 to set to [v] and {!inf} to set away, which
+    is how constant-masked paths surface as [CO = inf] downstream. *)
+
+val inf : int
+(** Saturation bound: values at or above it mean "not achievable". *)
+
+type t = {
+  cc0 : int array;  (** cost to set the node's net to 0 *)
+  cc1 : int array;  (** cost to set it to 1 *)
+  co : int array;   (** cost to observe it at a primary output *)
+}
+
+val controllability :
+  ?pool:Ppet_parallel.Domain_pool.t ->
+  Dataflow.t ->
+  Ppet_netlist.Circuit.t ->
+  constants:int array ->
+  int array * int array
+(** [(cc0, cc1)]. *)
+
+val observability :
+  ?pool:Ppet_parallel.Domain_pool.t ->
+  Dataflow.t ->
+  Ppet_netlist.Circuit.t ->
+  cc0:int array ->
+  cc1:int array ->
+  int array
+
+val compute :
+  ?pool:Ppet_parallel.Domain_pool.t ->
+  Dataflow.t ->
+  Ppet_netlist.Circuit.t ->
+  constants:int array ->
+  t
+(** Both passes in sequence. *)

@@ -1,0 +1,181 @@
+module Circuit = Ppet_netlist.Circuit
+module Segment = Ppet_netlist.Segment
+module To_graph = Ppet_netlist.To_graph
+module Gate = Ppet_netlist.Gate
+module Fault = Ppet_bist.Fault
+module Csr = Ppet_digraph.Csr
+module Dataflow = Ppet_analysis.Dataflow
+module Ternary = Ppet_analysis.Ternary
+module Scoap = Ppet_analysis.Scoap
+module Untestable = Ppet_analysis.Untestable
+
+type segment_stat = {
+  seg_members : int;
+  seg_inputs : int;
+  seg_observed : int;
+  seg_faults : int;
+  seg_unexcitable : int;
+  seg_unobservable : int;
+  seg_blocked : int;
+}
+
+type t = {
+  circuit : string;
+  nodes : int;
+  gates : int;
+  dffs : int;
+  pis : int;
+  pos : int;
+  depth : int;
+  components : int;
+  largest_component : int;
+  levels_fwd : int;
+  levels_bwd : int;
+  const_zero : int;
+  const_one : int;
+  x_nodes : int;
+  x_dffs : int;
+  cc_max : int;
+  co_max : int;
+  co_unreachable : int;
+  segments : segment_stat list;
+  total_faults : int;
+  total_untestable : int;
+}
+
+let run ?pool ~params c =
+  let g = To_graph.partition_view c in
+  let csr = Csr.of_netgraph g in
+  let sched = Dataflow.prepare csr in
+  let constants = Ternary.constants ?pool sched c in
+  let init = Ternary.initializable ?pool sched c ~constants in
+  let scoap = Scoap.compute ?pool sched c ~constants in
+  let n = Circuit.size c in
+  let const_zero = ref 0 and const_one = ref 0 in
+  Array.iter
+    (fun v ->
+      if v = Ternary.zero then incr const_zero
+      else if v = Ternary.one then incr const_one)
+    constants;
+  let x_nodes = ref 0 and x_dffs = ref 0 in
+  for v = 0 to n - 1 do
+    if not init.(v) then begin
+      incr x_nodes;
+      if (Circuit.node c v).Circuit.kind = Gate.Dff then incr x_dffs
+    end
+  done;
+  (* the largest finite costs: infinity means "impossible", not "hard",
+     so it belongs in its own counter, not in the maximum *)
+  let cc_max = ref 0 and co_max = ref 0 and co_unreachable = ref 0 in
+  for v = 0 to n - 1 do
+    let consider m x = if x < Scoap.inf && x > !m then m := x in
+    consider cc_max scoap.Scoap.cc0.(v);
+    consider cc_max scoap.Scoap.cc1.(v);
+    consider co_max scoap.Scoap.co.(v);
+    if scoap.Scoap.co.(v) >= Scoap.inf then incr co_unreachable
+  done;
+  let r = Merced.run ~params c in
+  let uctx = Untestable.ctx c in
+  let segments =
+    List.map
+      (fun seg ->
+        let faults = Fault.collapse c (Fault.of_segment c seg) in
+        let cls = Untestable.classify uctx seg faults in
+        let by r0 =
+          List.length
+            (List.filter (fun (_, r) -> r = r0) cls.Untestable.untestable)
+        in
+        {
+          seg_members = Array.length seg.Segment.members;
+          seg_inputs = Segment.input_count seg;
+          seg_observed = Array.length seg.Segment.observed;
+          seg_faults = List.length faults;
+          seg_unexcitable = by Untestable.Unexcitable;
+          seg_unobservable = by Untestable.Unobservable;
+          seg_blocked = by Untestable.Blocked;
+        })
+      (Merced.segments r)
+  in
+  {
+    circuit = c.Circuit.title;
+    nodes = n;
+    gates = Array.length (Circuit.combinational c);
+    dffs = Array.length (Circuit.dffs c);
+    pis = Array.length c.Circuit.inputs;
+    pos = Array.length c.Circuit.outputs;
+    depth = Array.fold_left max 0 (Circuit.levels c);
+    components = Dataflow.n_components sched;
+    largest_component = Dataflow.max_component sched;
+    levels_fwd = Dataflow.n_levels sched Dataflow.Forward;
+    levels_bwd = Dataflow.n_levels sched Dataflow.Backward;
+    const_zero = !const_zero;
+    const_one = !const_one;
+    x_nodes = !x_nodes;
+    x_dffs = !x_dffs;
+    cc_max = !cc_max;
+    co_max = !co_max;
+    co_unreachable = !co_unreachable;
+    segments;
+    total_faults = List.fold_left (fun a s -> a + s.seg_faults) 0 segments;
+    total_untestable =
+      List.fold_left
+        (fun a s -> a + s.seg_unexcitable + s.seg_unobservable + s.seg_blocked)
+        0 segments;
+  }
+
+let seg_untestable s = s.seg_unexcitable + s.seg_unobservable + s.seg_blocked
+
+let human t =
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "analyze %s\n" t.circuit;
+  Printf.bprintf buf
+    "  structure: %d nodes (%d gates, %d dffs, %d pis, %d pos), depth %d\n"
+    t.nodes t.gates t.dffs t.pis t.pos t.depth;
+  Printf.bprintf buf
+    "  dataflow: %d components (largest %d), %d forward levels, %d backward\n"
+    t.components t.largest_component t.levels_fwd t.levels_bwd;
+  Printf.bprintf buf
+    "  constants: %d zero, %d one; x-state: %d nodes (%d dffs)\n"
+    t.const_zero t.const_one t.x_nodes t.x_dffs;
+  Printf.bprintf buf "  scoap: max cc %d, max co %d, %d unreachable\n"
+    t.cc_max t.co_max t.co_unreachable;
+  Printf.bprintf buf "  segments: %d, faults %d, untestable %d\n"
+    (List.length t.segments)
+    t.total_faults t.total_untestable;
+  List.iteri
+    (fun i s ->
+      if seg_untestable s > 0 then
+        Printf.bprintf buf
+          "    seg %d: members %d, inputs %d, faults %d, untestable %d (%d \
+           unexcitable, %d unobservable, %d blocked)\n"
+          i s.seg_members s.seg_inputs s.seg_faults (seg_untestable s)
+          s.seg_unexcitable s.seg_unobservable s.seg_blocked)
+    t.segments;
+  Buffer.contents buf
+
+let to_json t =
+  let buf = Buffer.create 2048 in
+  Printf.bprintf buf
+    "{\n  \"name\": \"analyze\",\n  \"circuit\": \"%s\",\n  \"nodes\": %d,\n  \
+     \"gates\": %d,\n  \"dffs\": %d,\n  \"pis\": %d,\n  \"pos\": %d,\n  \
+     \"depth\": %d,\n  \"components\": %d,\n  \"largest_component\": %d,\n  \
+     \"levels_fwd\": %d,\n  \"levels_bwd\": %d,\n  \"const_zero\": %d,\n  \
+     \"const_one\": %d,\n  \"x_nodes\": %d,\n  \"x_dffs\": %d,\n  \
+     \"cc_max\": %d,\n  \"co_max\": %d,\n  \"co_unreachable\": %d,\n  \
+     \"total_faults\": %d,\n  \"total_untestable\": %d,\n  \"segments\": ["
+    t.circuit t.nodes t.gates t.dffs t.pis t.pos t.depth t.components
+    t.largest_component t.levels_fwd t.levels_bwd t.const_zero t.const_one
+    t.x_nodes t.x_dffs t.cc_max t.co_max t.co_unreachable t.total_faults
+    t.total_untestable;
+  List.iteri
+    (fun i s ->
+      Printf.bprintf buf
+        "%s\n    { \"members\": %d, \"inputs\": %d, \"observed\": %d, \
+         \"faults\": %d, \"unexcitable\": %d, \"unobservable\": %d, \
+         \"blocked\": %d }"
+        (if i = 0 then "" else ",")
+        s.seg_members s.seg_inputs s.seg_observed s.seg_faults
+        s.seg_unexcitable s.seg_unobservable s.seg_blocked)
+    t.segments;
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf

@@ -1,0 +1,56 @@
+(** [merced analyze]: the static dataflow report for one circuit.
+
+    Runs the whole {!Ppet_analysis} stack — SCC condensation and level
+    schedule, ternary constant propagation, X-initializability, SCOAP
+    testability — plus the Merced partition and the per-segment
+    untestable-fault classifier, and folds the results into one
+    deterministic record. No timings and no randomness: the same circuit
+    and params always render identical bytes, which is what lets the
+    serve daemon cache the op by content fingerprint. *)
+
+type segment_stat = {
+  seg_members : int;
+  seg_inputs : int;       (** iota — exhaustive pattern width *)
+  seg_observed : int;
+  seg_faults : int;       (** collapsed stuck-at faults *)
+  seg_unexcitable : int;
+  seg_unobservable : int;
+  seg_blocked : int;
+}
+
+type t = {
+  circuit : string;
+  nodes : int;
+  gates : int;            (** combinational cells incl. inverters *)
+  dffs : int;
+  pis : int;
+  pos : int;
+  depth : int;
+  components : int;       (** SCCs of the partition view *)
+  largest_component : int;
+  levels_fwd : int;       (** forward condensation levels *)
+  levels_bwd : int;
+  const_zero : int;       (** nodes proven stuck at 0 *)
+  const_one : int;
+  x_nodes : int;          (** not provably initializable *)
+  x_dffs : int;           (** flip-flops among [x_nodes] *)
+  cc_max : int;           (** largest finite SCOAP controllability *)
+  co_max : int;           (** largest finite SCOAP observability *)
+  co_unreachable : int;   (** nodes with observability = infinity *)
+  segments : segment_stat list;  (** in Merced partition order *)
+  total_faults : int;
+  total_untestable : int;
+}
+
+val run :
+  ?pool:Ppet_parallel.Domain_pool.t ->
+  params:Params.t ->
+  Ppet_netlist.Circuit.t ->
+  t
+
+val human : t -> string
+(** Byte-stable multi-line summary; per-segment lines only for segments
+    that carry at least one untestable fault. *)
+
+val to_json : t -> string
+(** Flat JSON object with a ["segments"] array (every segment). *)

@@ -47,7 +47,9 @@ let fault_workload c sim =
   end
 
 let phase_list plan name ~has_comb =
-  let serial = [ "generate"; "flow"; "cluster"; "assign"; "retime" ] in
+  let serial =
+    [ "generate"; "flow"; "cluster"; "assign"; "retime"; "analysis" ]
+  in
   let serial = List.map (fun p -> (name ^ "/" ^ p, 1)) serial in
   if not has_comb then serial
   else
@@ -137,8 +139,25 @@ let run ?(progress = fun _ -> ()) plan =
         measure ~jobs:1 "retime" (fun () ->
             ignore (Merced.retiming_certificate r))
       in
+      (* the dataflow fixed-point stack always runs on the flat graph,
+         whatever substrate the partition params picked *)
+      let acsr =
+        match csr with
+        | Some x -> x
+        | None -> Ppet_digraph.Csr.of_netgraph g
+      in
+      let analysis_entry =
+        measure ~jobs:1 "analysis" (fun () ->
+            let sched = Ppet_analysis.Dataflow.prepare acsr in
+            let constants = Ppet_analysis.Ternary.constants sched c in
+            ignore (Ppet_analysis.Ternary.initializable sched c ~constants);
+            ignore (Ppet_analysis.Scoap.compute sched c ~constants))
+      in
       let serial =
-        [ generate; flow_entry; cluster_entry; assign_entry; retime_entry ]
+        [
+          generate; flow_entry; cluster_entry; assign_entry; retime_entry;
+          analysis_entry;
+        ]
       in
       let sim = Simulator.create c in
       match fault_workload c sim with

@@ -9,6 +9,7 @@ module Fault_engine = Ppet_bist.Fault_engine
 module Batch = Ppet_bist.Fault_engine.Batch
 module Aliasing = Ppet_bist.Aliasing
 module Pipeline = Ppet_bist.Pipeline
+module Untestable = Ppet_analysis.Untestable
 module Domain_pool = Ppet_parallel.Domain_pool
 module Bench_stat = Ppet_obs.Bench_stat
 module Obs = Ppet_obs.Obs
@@ -21,6 +22,7 @@ type plan = {
   drop : bool;
   max_width : int;
   min_coverage : float;
+  prune : bool;
   probe : string option;
   probe_repeat : int;
 }
@@ -33,6 +35,7 @@ let default_plan =
     drop = true;
     max_width = 14;
     min_coverage = 0.0;
+    prune = true;
     probe = None;
     probe_repeat = 11;
   }
@@ -45,8 +48,10 @@ type circuit_report = {
   tested : int;
   skipped : int;
   n_faults : int;
+  n_untestable : int;
   n_detected : int;
   coverage : float;
+  coverage_raw : float;
   aliasing : float;
   test_cycles : float;
   vectors : int;
@@ -69,6 +74,7 @@ type report = {
   words : int;
   drop : bool;
   max_width : int;
+  prune : bool;
   circuits : circuit_report list;
   probe : probe_report option;
 }
@@ -128,8 +134,9 @@ let run_circuit ?pool plan name =
       ~drop:(if plan.drop then Batch.Drop else Batch.Keep)
       ~cutover:params.Params.fault_cutover ()
   in
+  let uctx = if plan.prune then Some (Untestable.ctx c) else None in
   let tested = ref 0 and skipped = ref 0 in
-  let n_faults = ref 0 and n_detected = ref 0 in
+  let n_faults = ref 0 and n_untestable = ref 0 and n_detected = ref 0 in
   let vectors = ref 0 and word_evals = ref 0 in
   let alias = ref 0.0 in
   List.iter
@@ -139,10 +146,22 @@ let run_circuit ?pool plan name =
       else begin
         incr tested;
         let faults = Fault.collapse c (Fault.of_segment c seg) in
+        (* the static pre-pass: provably-untestable faults never reach
+           the simulator. Verdicts are per-fault (fault + patterns
+           only), so the detected set over the surviving faults is
+           bit-identical to the unpruned engine's. *)
+        let simulated =
+          match uctx with
+          | None -> faults
+          | Some uctx ->
+            let cls = Untestable.classify uctx seg faults in
+            n_untestable := !n_untestable + List.length cls.Untestable.untestable;
+            cls.Untestable.testable
+        in
+        n_faults := !n_faults + List.length faults;
         let patterns = Fault_engine.exhaustive_patterns ~width:w in
         let engine = Fault_engine.create sim seg in
-        let o = Batch.run engine policy ~patterns faults in
-        n_faults := !n_faults + o.Batch.n_faults;
+        let o = Batch.run engine policy ~patterns simulated in
         n_detected := !n_detected + o.Batch.n_detected;
         vectors := !vectors + (1 lsl w);
         word_evals := !word_evals + o.Batch.word_evals;
@@ -160,8 +179,13 @@ let run_circuit ?pool plan name =
     tested = !tested;
     skipped = !skipped;
     n_faults = !n_faults;
+    n_untestable = !n_untestable;
     n_detected = !n_detected;
     coverage =
+      (let testable = !n_faults - !n_untestable in
+       if testable = 0 then 1.0
+       else float_of_int !n_detected /. float_of_int testable);
+    coverage_raw =
       (if !n_faults = 0 then 1.0
        else float_of_int !n_detected /. float_of_int !n_faults);
     aliasing = Float.min 1.0 !alias;
@@ -262,6 +286,7 @@ let run ?pool plan =
     words = plan.words;
     drop = plan.drop;
     max_width = plan.max_width;
+    prune = plan.prune;
     circuits;
     probe;
   }
@@ -272,30 +297,36 @@ let below_min plan report =
 
 let human report =
   let buf = Buffer.create 1024 in
-  Printf.bprintf buf "campaign: %d circuits, words %d, drop %s, max width %d\n"
+  Printf.bprintf buf
+    "campaign: %d circuits, words %d, drop %s, max width %d, prune %s\n"
     (List.length report.circuits)
     report.words
     (if report.drop then "on" else "off")
-    report.max_width;
-  Printf.bprintf buf "%-12s %6s %5s %5s %7s %8s %9s %9s %10s %12s\n" "circuit"
-    "gates" "dffs" "segs" "tested" "faults" "detected" "coverage" "aliasing"
-    "test-cycles";
+    report.max_width
+    (if report.prune then "on" else "off");
+  Printf.bprintf buf "%-12s %6s %5s %5s %7s %8s %7s %9s %9s %10s %12s\n"
+    "circuit" "gates" "dffs" "segs" "tested" "faults" "pruned" "detected"
+    "coverage" "aliasing" "test-cycles";
   List.iter
     (fun cr ->
-      Printf.bprintf buf "%-12s %6d %5d %5d %7d %8d %9d %8.2f%% %10.2e %12.0f\n"
+      Printf.bprintf buf
+        "%-12s %6d %5d %5d %7d %8d %7d %9d %8.2f%% %10.2e %12.0f\n"
         cr.circuit cr.gates cr.dffs cr.segments cr.tested cr.n_faults
-        cr.n_detected
+        cr.n_untestable cr.n_detected
         (100.0 *. cr.coverage)
         cr.aliasing cr.test_cycles)
     report.circuits;
   let tf = List.fold_left (fun a cr -> a + cr.n_faults) 0 report.circuits in
+  let tu = List.fold_left (fun a cr -> a + cr.n_untestable) 0 report.circuits in
   let td = List.fold_left (fun a cr -> a + cr.n_detected) 0 report.circuits in
   let tt = List.fold_left (fun a cr -> a + cr.tested) 0 report.circuits in
   let ts = List.fold_left (fun a cr -> a + cr.skipped) 0 report.circuits in
+  let tx = tf - tu in
   Printf.bprintf buf
-    "total: %d/%d faults detected (coverage %.2f%%), %d segments tested, %d \
-     skipped\n"
-    td tf
+    "total: %d/%d faults detected (%d untestable pruned; coverage %.2f%% of \
+     testable, %.2f%% raw), %d segments tested, %d skipped\n"
+    td tf tu
+    (if tx = 0 then 100.0 else 100.0 *. float_of_int td /. float_of_int tx)
     (if tf = 0 then 100.0 else 100.0 *. float_of_int td /. float_of_int tf)
     tt ts;
   (match report.probe with
@@ -313,20 +344,24 @@ let to_json ?(normalise = false) report =
   let ns x = if normalise then 0.0 else x in
   Printf.bprintf buf
     "{\n  \"name\": \"campaign\",\n  \"words\": %d,\n  \"drop\": %b,\n  \
-     \"max_width\": %d,\n  \"circuits\": ["
-    report.words report.drop report.max_width;
+     \"max_width\": %d,\n  \"prune\": %b,\n  \"circuits\": ["
+    report.words report.drop report.max_width report.prune;
   let first = ref true in
   List.iter
     (fun cr ->
       Printf.bprintf buf "%s\n    { \"name\": \"%s\", \"gates\": %d, \
                           \"dffs\": %d, \"segments\": %d, \"tested\": %d, \
-                          \"skipped\": %d, \"faults\": %d, \"detected\": %d, \
-                          \"coverage\": %.6g, \"aliasing\": %.6g, \
-                          \"test_cycles\": %.6g, \"vectors\": %d, \
-                          \"word_evals\": %d, \"wall_ns\": %.6g }"
+                          \"skipped\": %d, \"faults\": %d, \"untestable\": \
+                          %d, \"testable\": %d, \"detected\": %d, \
+                          \"coverage\": %.6g, \"coverage_raw\": %.6g, \
+                          \"aliasing\": %.6g, \"test_cycles\": %.6g, \
+                          \"vectors\": %d, \"word_evals\": %d, \"wall_ns\": \
+                          %.6g }"
         (if !first then "" else ",")
         cr.circuit cr.gates cr.dffs cr.segments cr.tested cr.skipped
-        cr.n_faults cr.n_detected cr.coverage cr.aliasing cr.test_cycles
+        cr.n_faults cr.n_untestable
+        (cr.n_faults - cr.n_untestable)
+        cr.n_detected cr.coverage cr.coverage_raw cr.aliasing cr.test_cycles
         cr.vectors cr.word_evals (ns cr.wall_ns);
       first := false)
     report.circuits;

@@ -27,8 +27,15 @@ type plan = {
       (** segments with more inputs than this are skipped (exhaustive
           bound), mirroring [merced selftest] *)
   min_coverage : float;
-      (** [> 0.]: circuits whose coverage lands below this fail the
-          campaign (CLI exit 1); [0.] disables the gate *)
+      (** [> 0.]: circuits whose testable-fault coverage lands below
+          this fail the campaign (CLI exit 1); [0.] disables the gate *)
+  prune : bool;
+      (** statically classify each segment's faults with
+          {!Ppet_analysis.Untestable} and keep provably-untestable ones
+          away from the simulator. Per-fault verdicts depend only on the
+          fault and the exhaustive patterns, so pruning never changes
+          which testable faults detect — it only removes guaranteed
+          misses from the workload and the coverage denominator *)
   probe : string option;
       (** measure single-word vs multi-word per-fault-pattern throughput
           on this circuit and record it in the report *)
@@ -37,7 +44,7 @@ type plan = {
 
 val default_plan : plan
 (** All seventeen paper profiles, default params, [words = 8], dropping
-    on, [max_width = 14], no coverage gate, no probe. *)
+    on, [max_width = 14], no coverage gate, pruning on, no probe. *)
 
 type circuit_report = {
   circuit : string;
@@ -47,8 +54,13 @@ type circuit_report = {
   tested : int;
   skipped : int;          (** iota above [max_width] *)
   n_faults : int;         (** collapsed faults across tested segments *)
+  n_untestable : int;     (** statically pruned (0 when [prune] is off) *)
   n_detected : int;
-  coverage : float;       (** detected fraction; 1.0 when no faults *)
+  coverage : float;
+      (** detected / (faults - untestable); 1.0 when no testable faults *)
+  coverage_raw : float;
+      (** detected / faults — the unpruned denominator; 1.0 when no
+          faults *)
   aliasing : float;
       (** union bound of per-segment MISR escape probabilities
           (sum of 2^-iota, capped at 1.0) over tested segments *)
@@ -77,6 +89,7 @@ type report = {
   words : int;
   drop : bool;
   max_width : int;
+  prune : bool;
   circuits : circuit_report list;  (** in plan profile order *)
   probe : probe_report option;
 }
@@ -92,8 +105,8 @@ val run : ?pool:Ppet_parallel.Domain_pool.t -> plan -> report
     [Ppet_netlist.Circuit.Error] on unknown profiles. *)
 
 val below_min : plan -> report -> circuit_report list
-(** Circuits whose coverage misses [plan.min_coverage] (empty when the
-    gate is disabled). *)
+(** Circuits whose testable-fault coverage misses [plan.min_coverage]
+    (empty when the gate is disabled). *)
 
 val human : report -> string
 (** Byte-stable table: one row per circuit plus a totals line. Wall

@@ -1,0 +1,70 @@
+module Circuit = Ppet_netlist.Circuit
+module Gate = Ppet_netlist.Gate
+module To_graph = Ppet_netlist.To_graph
+module Csr = Ppet_digraph.Csr
+module Dataflow = Ppet_analysis.Dataflow
+module Ternary = Ppet_analysis.Ternary
+module Scoap = Ppet_analysis.Scoap
+
+type facts = {
+  c : Circuit.t;
+  constants : int array;
+  init : bool array;
+  scoap : Scoap.t;
+}
+
+let facts ?pool c =
+  let sched = Dataflow.prepare (Csr.of_netgraph (To_graph.partition_view c)) in
+  let constants = Ternary.constants ?pool sched c in
+  let init = Ternary.initializable ?pool sched c ~constants in
+  let scoap = Scoap.compute ?pool sched c ~constants in
+  { c; constants; init; scoap }
+
+let info ~rule = Diag.makef ~rule ~severity:Diag.Info
+
+let stuck_net c f =
+  let diags = ref [] in
+  for v = Circuit.size c - 1 downto 0 do
+    let nd = Circuit.node c v in
+    let k = nd.Circuit.kind in
+    if k <> Gate.Input && f.constants.(v) <> Ternary.unknown then
+      diags :=
+        info ~rule:"stuck-net" ~locus:nd.Circuit.name
+          ~hint:
+            (if k = Gate.Dff then
+               "constant from the first clock after settling; replace the \
+                register with the constant"
+             else "replace the gate with the constant it computes")
+          "proven constant %d (equal or complementary fan-ins)"
+          f.constants.(v)
+        :: !diags
+  done;
+  !diags
+
+let x_state c f =
+  let diags = ref [] in
+  for v = Circuit.size c - 1 downto 0 do
+    let nd = Circuit.node c v in
+    if nd.Circuit.kind = Gate.Dff && not f.init.(v) then
+      diags :=
+        info ~rule:"x-state" ~locus:nd.Circuit.name
+          ~hint:"add a reset or break the uninitialized feedback loop"
+          "no initializing path from the primary inputs; power-on X may \
+           persist"
+        :: !diags
+  done;
+  !diags
+
+let unobservable_net c f =
+  let diags = ref [] in
+  for v = Circuit.size c - 1 downto 0 do
+    if f.scoap.Scoap.co.(v) >= Scoap.inf then
+      let nd = Circuit.node c v in
+      diags :=
+        info ~rule:"unobservable-net" ~locus:nd.Circuit.name
+          ~hint:"observe the cone with OUTPUT(...) or remove it"
+          "no primary output can observe this signal (unreachable or \
+           constant-masked)"
+        :: !diags
+  done;
+  !diags

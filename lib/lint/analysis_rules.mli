@@ -1,0 +1,28 @@
+(** Analysis rule family: advisory diagnostics derived from the
+    {!Ppet_analysis} dataflow fixed points. All Info severity — each one
+    flags testability debt (logic the pseudo-exhaustive hardware spends
+    area and cycles on without gaining coverage), not an illegal
+    netlist, so none of them ever gates the exit status. *)
+
+type facts
+(** The shared fixed points (ternary constants, initializability, SCOAP)
+    computed once per circuit and read by every rule. *)
+
+val facts :
+  ?pool:Ppet_parallel.Domain_pool.t -> Ppet_netlist.Circuit.t -> facts
+
+val stuck_net : Ppet_netlist.Circuit.t -> facts -> Diag.t list
+(** ["stuck-net"]: a gate whose output is a proven ternary constant
+    (equal or complementary fan-ins through BUF/NOT chains). Every
+    stuck-at fault of the matching polarity on such a net is
+    unexcitable. *)
+
+val x_state : Ppet_netlist.Circuit.t -> facts -> Diag.t list
+(** ["x-state"]: a flip-flop with no initializing path from the primary
+    inputs — its power-on X may persist forever in functional
+    operation. *)
+
+val unobservable_net : Ppet_netlist.Circuit.t -> facts -> Diag.t list
+(** ["unobservable-net"]: SCOAP observability is infinite — no primary
+    output can ever see the signal, either structurally or because every
+    path is masked by a proven-constant side pin. *)

@@ -533,3 +533,25 @@ let retiming_legality (r : Merced.result) cert =
       end
     end;
     List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+
+let exhaustive_width (r : Merced.result) =
+  let limit = Ppet_core.Campaign.default_plan.Ppet_core.Campaign.max_width in
+  let diags = ref [] in
+  List.iteri
+    (fun i seg ->
+      let iota = Ppet_netlist.Segment.input_count seg in
+      if iota > limit then
+        diags :=
+          Diag.makef ~rule:"exhaustive-width" ~severity:Diag.Info
+            ~locus:(Printf.sprintf "partition %d" i)
+            ~hint:
+              "campaigns and selftest skip it; tighten l_k or raise \
+               --max-width knowingly"
+            "iota %d needs 2^%d exhaustive vectors, beyond the default \
+             campaign width %d"
+            iota iota limit
+          :: !diags)
+    (Merced.segments r);
+  List.rev !diags

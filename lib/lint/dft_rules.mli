@@ -50,3 +50,8 @@ val retiming_legality :
   Diag.t list
 (** The certificate checker described above. [None] (no certificate) is
     itself a diagnostic: every valid circuit has one. *)
+
+val exhaustive_width : Ppet_core.Merced.result -> Diag.t list
+(** Advisory: a partition whose recomputed exhaustive width exceeds the
+    default campaign [max_width] — legal under [l_k], but every
+    campaign and selftest run will skip it, leaving a coverage hole. *)

@@ -23,11 +23,14 @@ let normalize_selection rules =
     Registry.all
   |> List.map (fun r -> r.Registry.id)
 
-let dft_selected selection =
+let family_selected family selection =
   List.exists
     (fun (r : Registry.rule) ->
-      r.Registry.family = Registry.Dft && List.mem r.Registry.id selection)
+      r.Registry.family = family && List.mem r.Registry.id selection)
     Registry.all
+
+let dft_selected = family_selected Registry.Dft
+let analysis_selected = family_selected Registry.Analysis
 
 (* Evaluate independent thunk groups, sharded over the pool's workers;
    results concatenate in group order (and are sorted later anyway). *)
@@ -77,11 +80,14 @@ let dft_groups ~selection ~params c =
       Dft_rules.retiming_legality r (Merced.retiming_certificate r)
     else []
   in
+  let widths () =
+    if need "exhaustive-width" then Dft_rules.exhaustive_width r else []
+  in
   let testable_structural () =
     List.map relabel_testable (Struct_rules.run (Raw.of_circuit t.Testable.circuit))
     |> List.filter (in_selection selection)
   in
-  [ basics; on_testable; certificate; testable_structural ]
+  [ basics; on_testable; certificate; widths; testable_structural ]
 
 (* [structural] are the source diagnostics already computed (and already
    selection-filtered); [c] is the validated circuit when one exists. *)
@@ -89,13 +95,32 @@ let finish ?pool ~selection ~params ~title ~structural c =
   let has_error =
     List.exists (fun (d : Diag.t) -> d.Diag.severity = Diag.Error) structural
   in
-  let compiled = (not has_error) && c <> None && dft_selected selection in
+  let valid = (not has_error) && c <> None in
+  let compiled = valid && dft_selected selection in
   let dft =
     match c with
     | Some c when compiled -> eval_groups ?pool (dft_groups ~selection ~params c)
     | _ -> []
   in
-  let rep = { title; selection; compiled; diags = Diag.sort (structural @ dft) } in
+  (* the analysis family needs only a validated circuit, not a Merced
+     compile: it still runs when every DFT rule is deselected *)
+  let analysis =
+    match c with
+    | Some c when valid && analysis_selected selection ->
+      let facts = Analysis_rules.facts ?pool c in
+      let need id = List.mem id selection in
+      (if need "stuck-net" then Analysis_rules.stuck_net c facts else [])
+      @ (if need "x-state" then Analysis_rules.x_state c facts else [])
+      @
+      if need "unobservable-net" then
+        Analysis_rules.unobservable_net c facts
+      else []
+    | _ -> []
+  in
+  let rep =
+    { title; selection; compiled;
+      diags = Diag.sort (structural @ analysis @ dft) }
+  in
   Obs.add Obs.Metric.Lint_rules_fired (List.length selection);
   Obs.add Obs.Metric.Lint_findings (findings rep);
   rep
@@ -173,11 +198,18 @@ let to_human ?(verbose = false) rep =
   in
   List.map Diag.to_human shown @ [ trailer ]
 
+(* Bumped whenever a field is added, removed or re-typed; consumers pin
+   on it instead of sniffing field sets. Version history lives in the
+   README's diagnostic-schema section. *)
+let schema_version = 2
+
 let to_json rep =
   let e, w, i = Diag.counts rep.diags in
   Printf.sprintf
-    "{\"circuit\":\"%s\",\"compiled\":%b,\"rules\":[%s],\"diagnostics\":[%s],\
-     \"summary\":{\"errors\":%d,\"warnings\":%d,\"infos\":%d,\"findings\":%d}}"
+    "{\"schema_version\":%d,\"circuit\":\"%s\",\"compiled\":%b,\"rules\":\
+     [%s],\"diagnostics\":[%s],\"summary\":{\"errors\":%d,\"warnings\":%d,\
+     \"infos\":%d,\"findings\":%d}}"
+    schema_version
     (Diag.json_escape rep.title)
     rep.compiled
     (String.concat ","

@@ -7,7 +7,9 @@
     {!Ppet_core.Testable.insert}) and checks the output; it is skipped —
     [compiled = false] in the report — when the input has structural
     errors or when no DFT rule is selected. The testable netlist is also
-    re-checked structurally, its loci prefixed with ["testable:"].
+    re-checked structurally, its loci prefixed with ["testable:"]. The
+    analysis family ({!Analysis_rules}) needs only a validated circuit:
+    it runs whenever the input is structurally clean, compile or not.
 
     Rule groups evaluate in parallel on a {!Ppet_parallel.Domain_pool}
     when one is supplied; {!run_registry} additionally parallelises
@@ -65,7 +67,12 @@ val to_human : ?verbose:bool -> report -> string list
 (** Diagnostic lines (infos only with [verbose]) followed by a one-line
     summary trailer. *)
 
+val schema_version : int
+(** Version of the JSON diagnostic schema below. Bumped on any field
+    addition, removal or re-typing, so consumers pin on it instead of
+    sniffing field sets. *)
+
 val to_json : report -> string
 (** One JSON object:
-    [{"circuit":...,"compiled":...,"rules":[...],
+    [{"schema_version":...,"circuit":...,"compiled":...,"rules":[...],
       "diagnostics":[...],"summary":{...}}]. *)

@@ -1,4 +1,4 @@
-type family = Structural | Dft
+type family = Structural | Analysis | Dft
 
 type rule = {
   id : string;
@@ -8,6 +8,7 @@ type rule = {
 }
 
 let s id severity doc = { id; family = Structural; severity; doc }
+let a id severity doc = { id; family = Analysis; severity; doc }
 let d id severity doc = { id; family = Dft; severity; doc }
 
 let all =
@@ -30,6 +31,15 @@ let all =
     s "dead-logic" Diag.Info
       "logic with no path to any primary output (dangling or dead cone)";
     s "unread-input" Diag.Info "a primary input no gate reads";
+    a "stuck-net" Diag.Info
+      "a gate output proven constant by ternary propagation (equal or \
+       complementary fan-ins through inverter chains)";
+    a "x-state" Diag.Info
+      "a flip-flop with no initializing path from the primary inputs \
+       (power-on X may persist forever)";
+    a "unobservable-net" Diag.Info
+      "a signal with infinite SCOAP observability: no primary output can \
+       ever see it, structurally or through constant masking";
     d "input-bound" Diag.Error
       "a partition whose recomputed input count iota exceeds l_k (or \
        disagrees with the compiler's book-keeping)";
@@ -51,13 +61,19 @@ let all =
     d "retiming-legality" Diag.Error
       "the retiming certificate fails Eqs. 1-3 (legality, pinned lags, \
        emitted-netlist agreement) re-derived without the solver";
+    d "exhaustive-width" Diag.Info
+      "a partition whose iota exceeds the default campaign max width: \
+       legal under l_k but every campaign run will skip it";
   ]
 
 let find id = List.find_opt (fun r -> r.id = id) all
 
 let ids = List.map (fun r -> r.id) all
 
-let family_name = function Structural -> "structural" | Dft -> "dft"
+let family_name = function
+  | Structural -> "structural"
+  | Analysis -> "analysis"
+  | Dft -> "dft"
 
 let validate_selection sel =
   let unknown = List.filter (fun id -> find id = None) sel in

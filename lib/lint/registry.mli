@@ -9,6 +9,7 @@
 
 type family =
   | Structural  (** any netlist, parsed text or in-memory circuit *)
+  | Analysis    (** dataflow fixed points over a validated circuit *)
   | Dft         (** compiled output: partitioning + testable design *)
 
 type rule = {
@@ -19,14 +20,14 @@ type rule = {
 }
 
 val all : rule list
-(** In fixed registry order (structural first, then DFT). *)
+(** In fixed registry order (structural, then analysis, then DFT). *)
 
 val find : string -> rule option
 
 val ids : string list
 
 val family_name : family -> string
-(** ["structural"] or ["dft"]. *)
+(** ["structural"], ["analysis"] or ["dft"]. *)
 
 val validate_selection : string list -> (unit, string) result
 (** Check every id exists; the error names the unknown ids. *)

@@ -112,6 +112,18 @@ let selftest ?pool ~params ~max_width c =
   { exit_code = 0; output = Buffer.contents buf }
 
 (* ------------------------------------------------------------------ *)
+(* analyze                                                             *)
+
+let analyze ?pool ~params ~json c =
+  let t = Ppet_core.Analyze.run ?pool ~params c in
+  {
+    exit_code = 0;
+    output =
+      (if json then Ppet_core.Analyze.to_json t
+       else Ppet_core.Analyze.human t);
+  }
+
+(* ------------------------------------------------------------------ *)
 (* lint                                                                *)
 
 let lint_outcome ?(verbose = false) report =

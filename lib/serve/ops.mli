@@ -47,6 +47,16 @@ val selftest :
 (** Partition, pseudo-exhaustively fault-test every segment no wider
     than [max_width], print phasing and schedule. Exit code 0. *)
 
+val analyze :
+  ?pool:Ppet_parallel.Domain_pool.t ->
+  params:Ppet_core.Params.t ->
+  json:bool ->
+  Ppet_netlist.Circuit.t ->
+  outcome
+(** The static dataflow report ({!Ppet_core.Analyze}): constants,
+    X-state, SCOAP extremes, per-segment untestable-fault counts. Exit
+    code 0; deterministic bytes, so the daemon caches it. *)
+
 val lint :
   ?pool:Ppet_parallel.Domain_pool.t ->
   ?rules:string list ->

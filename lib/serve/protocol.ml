@@ -13,6 +13,7 @@ type job =
   | Compile of { source : source; verbose : bool }
   | Lint of { source : source; rules : string list; verbose : bool }
   | Selftest of { source : source; max_width : int }
+  | Analyze of { source : source; json : bool }
   | Bench of { benchmarks : string list; repeat : int }
   | Campaign of {
       profiles : string list;
@@ -20,6 +21,7 @@ type job =
       drop : bool;
       max_width : int;
       min_coverage : float;
+      prune : bool;
     }
   | Sleep of { ms : int }
 
@@ -42,6 +44,7 @@ let op_name = function
   | Compile _ -> "compile"
   | Lint _ -> "lint"
   | Selftest _ -> "selftest"
+  | Analyze _ -> "analyze"
   | Bench _ -> "bench"
   | Campaign _ -> "campaign"
   | Sleep _ -> "sleep"
@@ -119,6 +122,9 @@ let job_of_json op j =
     let* source = source_of_json j in
     let max_width = Option.value ~default:14 (Json.int_member "max_width" j) in
     Ok (Selftest { source; max_width })
+  | "analyze" ->
+    let* source = source_of_json j in
+    Ok (Analyze { source; json = flag "json" j })
   | "bench" ->
     let d = Bench_runner.default_plan in
     let* benchmarks = string_list_member "benchmarks" j in
@@ -146,11 +152,12 @@ let job_of_json op j =
         | Some f when f >= 0.0 && f <= 1.0 -> Ok f
         | _ -> Error "\"min_coverage\" must be a number in 0..1")
     in
+    let prune = Option.value ~default:d.Campaign.prune (Json.bool_member "prune" j) in
     if profiles = [] then Error "campaign needs a non-empty \"profiles\" list"
     else if words < 1 then Error "\"words\" must be >= 1"
     else if max_width < 0 || max_width > 20 then
       Error "\"max_width\" must be in 0..20"
-    else Ok (Campaign { profiles; words; drop; max_width; min_coverage })
+    else Ok (Campaign { profiles; words; drop; max_width; min_coverage; prune })
   | "sleep" -> (
     match Json.int_member "ms" j with
     | Some ms when ms >= 0 -> Ok (Sleep { ms })
@@ -171,7 +178,8 @@ let job_request_of_json op j =
   in
   Ok { job; params; timeout_ms; progress = flag "progress" j }
 
-let job_ops = [ "compile"; "lint"; "selftest"; "bench"; "campaign"; "sleep" ]
+let job_ops =
+  [ "compile"; "lint"; "selftest"; "analyze"; "bench"; "campaign"; "sleep" ]
 
 let request_of_json j =
   let id = Json.str_member "id" j in

@@ -33,6 +33,7 @@ type job =
   | Compile of { source : source; verbose : bool }
   | Lint of { source : source; rules : string list; verbose : bool }
   | Selftest of { source : source; max_width : int }
+  | Analyze of { source : source; json : bool }
   | Bench of { benchmarks : string list; repeat : int }
   | Campaign of {
       profiles : string list;
@@ -40,6 +41,7 @@ type job =
       drop : bool;
       max_width : int;
       min_coverage : float;
+      prune : bool;
     }
   | Sleep of { ms : int }
 

@@ -312,6 +312,13 @@ let execute t ?emit ~deadline (jreq : Protocol.job_request) =
         ~extra:(Printf.sprintf "max_width=%d" max_width)
     in
     run_cached t ?emit ~key (fun () -> Ops.selftest ~params ~max_width c)
+  | Protocol.Analyze { source; json } ->
+    let c = circuit_of source in
+    let key =
+      Cache.key ~op:"analyze" ~params_fp ~content:(Ops.canonical c)
+        ~extra:(Printf.sprintf "json=%b" json)
+    in
+    run_cached t ?emit ~key (fun () -> Ops.analyze ~params ~json c)
   | Protocol.Lint { source; rules; verbose } ->
     let rules_opt = match rules with [] -> None | r -> Some r in
     let extra title file =
@@ -336,7 +343,8 @@ let execute t ?emit ~deadline (jreq : Protocol.job_request) =
            Ops.lint ?rules:rules_opt ~verbose ~params c))
   | Protocol.Bench { benchmarks; repeat } ->
     run_cached t ?emit (fun () -> Ops.bench ~benchmarks ~repeat)
-  | Protocol.Campaign { profiles; words; drop; max_width; min_coverage } ->
+  | Protocol.Campaign { profiles; words; drop; max_width; min_coverage; prune }
+    ->
     let plan =
       {
         Ppet_core.Campaign.default_plan with
@@ -346,6 +354,7 @@ let execute t ?emit ~deadline (jreq : Protocol.job_request) =
         drop;
         max_width;
         min_coverage;
+        prune;
       }
     in
     (* cacheable: the human rendering carries no timings, so the same
@@ -354,8 +363,8 @@ let execute t ?emit ~deadline (jreq : Protocol.job_request) =
       Cache.key ~op:"campaign" ~params_fp
         ~content:(String.concat "," profiles)
         ~extra:
-          (Printf.sprintf "words=%d;drop=%b;mw=%d;mc=%h" words drop max_width
-             min_coverage)
+          (Printf.sprintf "words=%d;drop=%b;mw=%d;mc=%h;prune=%b" words drop
+             max_width min_coverage prune)
     in
     run_cached t ?emit ~key (fun () -> fst (Ops.campaign plan))
 

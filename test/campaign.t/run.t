@@ -7,12 +7,12 @@ A clean campaign over three small profiles exits 0 and writes the JSON
 artefact:
 
   $ $MERCED campaign --profiles s27,s510,s420.1 -o report.json
-  campaign: 3 circuits, words 8, drop on, max width 14
-  circuit       gates  dffs  segs  tested   faults  detected  coverage   aliasing  test-cycles
-  s27              10     3     1       1       34        34   100.00%   7.81e-03           24
-  s510            211     6     9       1       26        26   100.00%   3.91e-03       393488
-  s420.1          218    16     4       1       38        25    65.79%   9.77e-04       262260
-  total: 85/98 faults detected (coverage 86.73%), 3 segments tested, 11 skipped
+  campaign: 3 circuits, words 8, drop on, max width 14, prune on
+  circuit       gates  dffs  segs  tested   faults  pruned  detected  coverage   aliasing  test-cycles
+  s27              10     3     1       1       34       0        34   100.00%   7.81e-03           24
+  s510            211     6     9       1       26       0        26   100.00%   3.91e-03       393488
+  s420.1          218    16     4       1       38      12        25    96.15%   9.77e-04       262260
+  total: 85/98 faults detected (12 untestable pruned; coverage 98.84% of testable, 86.73% raw), 3 segments tested, 11 skipped
   wrote report.json (3 circuits)
   $ head -5 report.json
   {
@@ -35,11 +35,11 @@ A circuit below --min-coverage fails the campaign with exit 1 (s420.1's
 tested segment holds undetectable faults):
 
   $ $MERCED campaign --profiles s420.1 --min-coverage 0.99 --no-out
-  campaign: 1 circuits, words 8, drop on, max width 14
-  circuit       gates  dffs  segs  tested   faults  detected  coverage   aliasing  test-cycles
-  s420.1          218    16     4       1       38        25    65.79%   9.77e-04       262260
-  total: 25/38 faults detected (coverage 65.79%), 1 segments tested, 3 skipped
-  coverage gate: s420.1 at 65.79% is below the 99.00% minimum
+  campaign: 1 circuits, words 8, drop on, max width 14, prune on
+  circuit       gates  dffs  segs  tested   faults  pruned  detected  coverage   aliasing  test-cycles
+  s420.1          218    16     4       1       38      12        25    96.15%   9.77e-04       262260
+  total: 25/38 faults detected (12 untestable pruned; coverage 96.15% of testable, 65.79% raw), 1 segments tested, 3 skipped
+  coverage gate: s420.1 at 96.15% is below the 99.00% minimum
   [1]
 
 Unknown profiles and bad knobs are usage errors, exit 2:

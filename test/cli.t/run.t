@@ -108,10 +108,10 @@ Lint: the full rule registry is clean on s27 and its compiled output,
 in the human and the JSON form:
 
   $ $MERCED lint s27 --lk 3; echo "exit $?"
-  lint s27: clean (17 rules, compile ok; 0 errors, 0 warnings, 0 infos)
+  lint s27: clean (21 rules, compile ok; 0 errors, 0 warnings, 3 infos)
   exit 0
   $ $MERCED lint s27 --lk 3 --json
-  {"circuit":"s27","compiled":true,"rules":["syntax","multiple-drivers","undriven-net","unknown-gate","bad-arity","comb-cycle","no-state","duplicate-output","dead-logic","unread-input","input-bound","cell-placement","scan-chain","cbit-width","area-accounting","scc-budget","retiming-legality"],"diagnostics":[],"summary":{"errors":0,"warnings":0,"infos":0,"findings":0}}
+  {"schema_version":2,"circuit":"s27","compiled":true,"rules":["syntax","multiple-drivers","undriven-net","unknown-gate","bad-arity","comb-cycle","no-state","duplicate-output","dead-logic","unread-input","stuck-net","x-state","unobservable-net","input-bound","cell-placement","scan-chain","cbit-width","area-accounting","scc-budget","retiming-legality","exhaustive-width"],"diagnostics":[{"rule":"x-state","severity":"info","locus":"G5","position":null,"message":"no initializing path from the primary inputs; power-on X may persist","hint":"add a reset or break the uninitialized feedback loop"},{"rule":"x-state","severity":"info","locus":"G6","position":null,"message":"no initializing path from the primary inputs; power-on X may persist","hint":"add a reset or break the uninitialized feedback loop"},{"rule":"x-state","severity":"info","locus":"G7","position":null,"message":"no initializing path from the primary inputs; power-on X may persist","hint":"add a reset or break the uninitialized feedback loop"}],"summary":{"errors":0,"warnings":0,"infos":3,"findings":0}}
 
 A broken netlist is diagnosed fully — the tolerant front-end recovers
 past every error instead of stopping at the first — with exit 1, and
@@ -132,7 +132,7 @@ the diagnostic order is deterministic:
   broken.bench:2: error[undriven-net] b: gate "G2" references an undefined signal (hint: define the signal with INPUT(...) or a gate)
   broken.bench:4: error[undriven-net] zz: OUTPUT references an undefined signal (hint: define the signal with INPUT(...) or a gate)
   broken.bench:5: error[unknown-gate] G3: unknown gate type "FROB" (hint: use AND, NAND, OR, NOR, XOR, XNOR, NOT, BUF or DFF)
-  lint broken: 6 findings (17 rules, compile skipped; 6 errors, 0 warnings, 0 infos)
+  lint broken: 6 findings (21 rules, compile skipped; 6 errors, 0 warnings, 0 infos)
   exit 1
   $ $MERCED lint broken.bench > lint1.out 2>&1; $MERCED lint broken.bench > lint2.out 2>&1; cmp lint1.out lint2.out && echo identical
   identical
@@ -151,7 +151,7 @@ Rule selection narrows the run; unknown rule ids are usage errors:
 The registry's rule table is printed on demand:
 
   $ $MERCED lint --list-rules | wc -l
-  17
+  21
   $ $MERCED lint --list-rules | head -2
   syntax             structural error   illegal characters and malformed statements in .bench text
   multiple-drivers   structural error   a signal defined more than once (two drivers short the net)
@@ -220,6 +220,7 @@ anything, and bad arguments are usage errors:
   s27/cluster jobs=1
   s27/assign jobs=1
   s27/retime jobs=1
+  s27/analysis jobs=1
   s27/fault_sim jobs=1
   s27/fault_sim jobs=2
   exit 0

@@ -25,7 +25,7 @@ not cached:
 Lint through the daemon matches the one-shot renderer byte for byte:
 
   $ $MERCED submit s27 --op lint --lk 3 --socket "$SOCK"
-  lint s27: clean (17 rules, compile ok; 0 errors, 0 warnings, 0 infos)
+  lint s27: clean (21 rules, compile ok; 0 errors, 0 warnings, 3 infos)
 
 Resubmitting the same compile is answered from the cache — and a cached
 reply replays the original bytes exactly, CPU line included:

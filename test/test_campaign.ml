@@ -16,10 +16,11 @@ let test_human_golden_s27 () =
   let expected =
     String.concat "\n"
       [
-        "campaign: 1 circuits, words 8, drop on, max width 14";
-        "circuit       gates  dffs  segs  tested   faults  detected  coverage   aliasing  test-cycles";
-        "s27              10     3     1       1       34        34   100.00%   7.81e-03           24";
-        "total: 34/34 faults detected (coverage 100.00%), 1 segments tested, 0 skipped";
+        "campaign: 1 circuits, words 8, drop on, max width 14, prune on";
+        "circuit       gates  dffs  segs  tested   faults  pruned  detected  coverage   aliasing  test-cycles";
+        "s27              10     3     1       1       34       0        34   100.00%   7.81e-03           24";
+        "total: 34/34 faults detected (0 untestable pruned; coverage 100.00% \
+         of testable, 100.00% raw), 1 segments tested, 0 skipped";
         "";
       ]
   in
@@ -55,14 +56,19 @@ let test_json_schema () =
   Alcotest.(check bool) "campaign name" true (has "\"name\": \"campaign\"");
   Alcotest.(check bool) "circuits array" true (has "\"circuits\": [");
   Alcotest.(check bool) "s27 entry" true (has "\"name\": \"s27\"");
+  Alcotest.(check bool) "prune knob" true (has "\"prune\": true");
+  Alcotest.(check bool) "untestable field" true (has "\"untestable\": 0");
+  Alcotest.(check bool) "testable field" true (has "\"testable\": 34");
+  Alcotest.(check bool) "raw coverage field" true (has "\"coverage_raw\": 1");
   Alcotest.(check bool) "normalised wall" true (has "\"wall_ns\": 0 }");
   (* the live report carries real wall clocks, so the bytes differ *)
   Alcotest.(check bool) "normalise does something" true
     (norm <> Campaign.to_json report)
 
 let test_below_min_gate () =
-  (* s420.1's one tested segment holds undetectable faults: coverage
-     about 66%, so a 99% gate flags it and s27 passes *)
+  (* s420.1's one tested segment holds undetectable faults: testable
+     coverage about 96% even after pruning, so a 99% gate flags it and
+     s27 passes *)
   let p = { (plan [ "s27"; "s420.1" ]) with Campaign.min_coverage = 0.99 } in
   let report = Campaign.run p in
   (match Campaign.below_min p report with
@@ -91,6 +97,29 @@ let test_bad_knobs_rejected () =
   Alcotest.(check bool) "max_width 30" true
     (bad { (plan [ "s27" ]) with Campaign.max_width = 30 })
 
+(* the acceptance invariant of the pruning pre-pass: the detected-fault
+   count is bit-identical with pruning on and off (pruned faults are
+   provably undetectable, and verdicts are per-fault), only the
+   denominator moves *)
+let test_prune_identical_detected () =
+  let p = plan [ "s27"; "s420.1"; "s641" ] in
+  let pruned = Campaign.run { p with Campaign.prune = true } in
+  let raw = Campaign.run { p with Campaign.prune = false } in
+  List.iter2
+    (fun (a : Campaign.circuit_report) (b : Campaign.circuit_report) ->
+      Alcotest.(check int) "detected" b.Campaign.n_detected a.Campaign.n_detected;
+      Alcotest.(check int) "faults" b.Campaign.n_faults a.Campaign.n_faults;
+      Alcotest.(check int) "unpruned count" 0 b.Campaign.n_untestable;
+      Alcotest.(check (float 1e-9)) "raw coverage agrees"
+        b.Campaign.coverage_raw a.Campaign.coverage_raw;
+      Alcotest.(check bool) "testable coverage never lower" true
+        (a.Campaign.coverage >= b.Campaign.coverage))
+    pruned.Campaign.circuits raw.Campaign.circuits;
+  (* s420.1 is the interesting one: its tested segment carries
+     statically-untestable faults, so pruning must actually fire *)
+  let s4201 = List.nth pruned.Campaign.circuits 1 in
+  Alcotest.(check bool) "nonzero prune" true (s4201.Campaign.n_untestable > 0)
+
 let test_drop_keep_same_report () =
   let keep = Campaign.run { (plan [ "s27"; "s510" ]) with Campaign.drop = false } in
   let drop = Campaign.run { (plan [ "s27"; "s510" ]) with Campaign.drop = true } in
@@ -111,5 +140,7 @@ let suite =
     Alcotest.test_case "unknown profile rejected" `Quick
       test_unknown_profile_rejected;
     Alcotest.test_case "bad knobs rejected" `Quick test_bad_knobs_rejected;
+    Alcotest.test_case "prune = raw detected sets" `Quick
+      test_prune_identical_detected;
     Alcotest.test_case "drop = keep verdicts" `Quick test_drop_keep_same_report;
   ]

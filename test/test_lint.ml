@@ -75,6 +75,31 @@ let test_fixture_unread_input () =
   check_fires "unread-input"
     (lint_text "INPUT(a)\nINPUT(b)\nG = NOT(a)\nOUTPUT(G)\n")
 
+(* ---------------- analysis fixtures, one per rule ------------------ *)
+
+let test_fixture_stuck_net () =
+  (* a AND NOT(a) is a proven constant zero *)
+  check_fires "stuck-net"
+    (lint_text "INPUT(a)\nna = NOT(a)\nz = AND(a, na)\nOUTPUT(z)\n")
+
+let test_fixture_x_state () =
+  (* q's only fan-in is its own inverted feedback: no initializing path *)
+  check_fires "x-state"
+    (lint_text
+       "INPUT(a)\nq = DFF(nq)\nnq = NOT(q)\no = AND(a, q)\nOUTPUT(o)\n")
+
+let test_fixture_unobservable_net () =
+  (* the tied-zero side pin of o masks b from the only output *)
+  let diags =
+    lint_text
+      "INPUT(a)\nINPUT(b)\nna = NOT(a)\nz = AND(a, na)\no = AND(b, z)\n\
+       OUTPUT(o)\n"
+  in
+  check_fires "unobservable-net" diags;
+  (* advisory family: none of these may count as findings *)
+  Alcotest.(check int) "no findings" 0
+    (List.length (List.filter Diag.is_finding diags))
+
 (* ------------------ DFT fixtures, one per rule --------------------- *)
 
 let test_fixture_input_bound () =
@@ -181,6 +206,20 @@ let test_fixture_retiming_legality () =
       (Dft_rules.retiming_legality r
          (Some { cert with Merced.cert_rho = rho }))
 
+let test_fixture_exhaustive_width () =
+  (* a 16-wide AND at l_k 16 yields a segment past the default campaign
+     width of 14 *)
+  let names = List.init 16 (fun i -> Printf.sprintf "a%d" i) in
+  let src =
+    String.concat ""
+      (List.map (Printf.sprintf "INPUT(%s)\n") names)
+    ^ Printf.sprintf "G = AND(%s)\n" (String.concat ", " names)
+    ^ "q = DFF(G)\nOUTPUT(q)\n"
+  in
+  let c = Ppet_netlist.Bench_parser.parse_string ~title:"wide" src in
+  let r = Merced.run ~params:(Params.with_lk 16) c in
+  check_fires "exhaustive-width" (Dft_rules.exhaustive_width r)
+
 (* --------------------- end-to-end properties ----------------------- *)
 
 let clean_report name (rep : Engine.report) =
@@ -239,8 +278,10 @@ let test_registry_fixture_coverage () =
     "registry ids"
     [ "syntax"; "multiple-drivers"; "undriven-net"; "unknown-gate";
       "bad-arity"; "comb-cycle"; "no-state"; "duplicate-output"; "dead-logic";
-      "unread-input"; "input-bound"; "cell-placement"; "scan-chain";
-      "cbit-width"; "area-accounting"; "scc-budget"; "retiming-legality" ]
+      "unread-input"; "stuck-net"; "x-state"; "unobservable-net";
+      "input-bound"; "cell-placement"; "scan-chain"; "cbit-width";
+      "area-accounting"; "scc-budget"; "retiming-legality";
+      "exhaustive-width" ]
     Registry.ids
 
 let prop_generated_circuits_lint_clean =
@@ -268,6 +309,10 @@ let suite =
       test_fixture_duplicate_output;
     Alcotest.test_case "fixture: dead-logic" `Quick test_fixture_dead_logic;
     Alcotest.test_case "fixture: unread-input" `Quick test_fixture_unread_input;
+    Alcotest.test_case "fixture: stuck-net" `Quick test_fixture_stuck_net;
+    Alcotest.test_case "fixture: x-state" `Quick test_fixture_x_state;
+    Alcotest.test_case "fixture: unobservable-net" `Quick
+      test_fixture_unobservable_net;
     Alcotest.test_case "fixture: input-bound" `Quick test_fixture_input_bound;
     Alcotest.test_case "fixture: cell-placement" `Quick
       test_fixture_cell_placement;
@@ -278,6 +323,8 @@ let suite =
     Alcotest.test_case "fixture: scc-budget" `Quick test_fixture_scc_budget;
     Alcotest.test_case "fixture: retiming-legality" `Quick
       test_fixture_retiming_legality;
+    Alcotest.test_case "fixture: exhaustive-width" `Quick
+      test_fixture_exhaustive_width;
     Alcotest.test_case "s27 lints clean" `Quick test_s27_clean;
     Alcotest.test_case "registry benchmarks lint clean" `Quick
       test_registry_clean;
