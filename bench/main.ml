@@ -597,6 +597,8 @@ let bench_fault_engine () =
         Report.gates = Array.length (Circuit.combinational c);
         dffs = Array.length (Circuit.dffs c);
         edges = Netgraph.n_nets g;
+        segments = 0;
+        largest_cluster = 0;
       }
   in
   let med ~jobs entry_name f =

@@ -48,7 +48,8 @@ let fault_workload c sim =
 
 let phase_list plan name ~has_comb =
   let serial =
-    [ "generate"; "flow"; "cluster"; "assign"; "retime"; "analysis" ]
+    [ "generate"; "flow"; "cluster"; "assign"; "retime"; "analysis";
+      "partition_fm"; "partition_annealing"; "partition_random" ]
   in
   let serial = List.map (fun p -> (name ^ "/" ^ p, 1)) serial in
   if not has_comb then serial
@@ -56,6 +57,7 @@ let phase_list plan name ~has_comb =
     serial
     @ [ (name ^ "/fault_sim", 1) ]
     @ (if plan.jobs > 1 then [ (name ^ "/fault_sim", plan.jobs) ] else [])
+    @ [ (name ^ "/fault_sim_w8", 1); (name ^ "/fault_sim_w32", 1) ]
 
 (* Structural identity of the measured circuit, stamped on every entry:
    a baseline only means something against the same workload, so the
@@ -66,6 +68,21 @@ let stats_of c g =
     Report.gates = Array.length (Circuit.combinational c);
     dffs = Array.length (Circuit.dffs c);
     edges = Ppet_digraph.Netgraph.n_nets g;
+    (* partition shape is stamped after the compile ran; 0 = unknown *)
+    segments = 0;
+    largest_cluster = 0;
+  }
+
+(* the cost-model features the pre-compile stats cannot carry *)
+let stamp_partition_shape stats r =
+  let segs = Merced.segments r in
+  {
+    stats with
+    Report.segments = List.length segs;
+    largest_cluster =
+      List.fold_left
+        (fun m s -> max m (Array.length s.Segment.members))
+        0 segs;
   }
 
 let entry_names plan =
@@ -139,6 +156,22 @@ let run ?(progress = fun _ -> ()) plan =
         measure ~jobs:1 "retime" (fun () ->
             ignore (Merced.retiming_certificate r))
       in
+      (* the baseline partitioners, timed on the same graph and seed a
+         forced --partitioner run would get — the rows the cost model's
+         partitioner choice is fitted from *)
+      let baseline_entry phase f =
+        measure ~jobs:1 phase (fun () ->
+            ignore (f c g params (Prng.create params.Params.seed)))
+      in
+      let partition_entries =
+        [
+          baseline_entry "partition_fm" (fun c g p rng ->
+              (Baseline_fm.run c g p rng).Baseline_fm.result);
+          baseline_entry "partition_annealing" (fun c g p rng ->
+              (Baseline_annealing.run c g p rng).Baseline_annealing.result);
+          baseline_entry "partition_random" Baseline_random.run;
+        ]
+      in
       (* the dataflow fixed-point stack always runs on the flat graph,
          whatever substrate the partition params picked *)
       let acsr =
@@ -158,31 +191,54 @@ let run ?(progress = fun _ -> ()) plan =
           generate; flow_entry; cluster_entry; assign_entry; retime_entry;
           analysis_entry;
         ]
+        @ partition_entries
       in
       let sim = Simulator.create c in
-      match fault_workload c sim with
-      | None -> serial
-      | Some (engine, patterns, faults) ->
-        (* words = 1 keeps this entry comparable with pre-batch-engine
-           baselines: same per-fault-pattern work, same kernel shape *)
-        let policy pool =
-          Fault_engine.Batch.policy ~words:1 ?pool ~drop:Fault_engine.Batch.Keep
-            ~cutover:params.Params.fault_cutover ()
-        in
-        let fs1 =
-          measure ~jobs:1 "fault_sim" (fun () ->
-              ignore (Fault_engine.Batch.run engine (policy None) ~patterns faults))
-        in
-        let fsn =
-          if plan.jobs <= 1 then []
-          else
-            Domain_pool.with_pool ~jobs:plan.jobs (fun pool ->
-                [
-                  measure ~jobs:plan.jobs "fault_sim" (fun () ->
-                      ignore
-                        (Fault_engine.Batch.run engine (policy (Some pool))
-                           ~patterns faults));
-                ])
-        in
-        serial @ (fs1 :: fsn))
+      let entries =
+        match fault_workload c sim with
+        | None -> serial
+        | Some (engine, patterns, faults) ->
+          (* words = 1 keeps this entry comparable with pre-batch-engine
+             baselines: same per-fault-pattern work, same kernel shape *)
+          let policy ?(words = 1) pool =
+            Fault_engine.Batch.policy ~words ?pool
+              ~drop:Fault_engine.Batch.Keep
+              ~cutover:params.Params.fault_cutover ()
+          in
+          let fs1 =
+            measure ~jobs:1 "fault_sim" (fun () ->
+                ignore
+                  (Fault_engine.Batch.run engine (policy None) ~patterns faults))
+          in
+          let fsn =
+            if plan.jobs <= 1 then []
+            else
+              Domain_pool.with_pool ~jobs:plan.jobs (fun pool ->
+                  [
+                    measure ~jobs:plan.jobs "fault_sim" (fun () ->
+                        ignore
+                          (Fault_engine.Batch.run engine (policy (Some pool))
+                             ~patterns faults));
+                  ])
+          in
+          (* the multi-word kernels at the widths the dispatcher chooses
+             between; serial, so the word width is the only mover *)
+          let fsw words =
+            measure ~jobs:1
+              (Printf.sprintf "fault_sim_w%d" words)
+              (fun () ->
+                ignore
+                  (Fault_engine.Batch.run engine
+                     (policy ~words None)
+                     ~patterns faults))
+          in
+          serial @ (fs1 :: fsn) @ [ fsw 8; fsw 32 ]
+      in
+      (* restamp every row with the partition shape of the compiled
+         circuit: the cost model's segment features come from here *)
+      let full_stats = stamp_partition_shape stats r in
+      List.map
+        (fun (e : Report.bench_entry) ->
+          { e with Report.circuit_stats = Some full_stats })
+        entries)
     plan.benchmarks

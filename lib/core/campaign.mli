@@ -40,11 +40,20 @@ type plan = {
       (** measure single-word vs multi-word per-fault-pattern throughput
           on this circuit and record it in the report *)
   probe_repeat : int; (** probe timing repetitions (median of) *)
+  dispatch : Cost_model.t option;
+      (** [--dispatch auto]: decide partitioner, word width, pool use
+          and cutover per circuit from this cost model, overriding
+          [params.partitioner], [params.fault_cutover] and [words]. The
+          decision is pure in (model, structural stats, pool width), and
+          the result-bearing knobs it changes (partitioner, words) do
+          not depend on the pool width — the report stays byte-identical
+          across [--jobs] *)
 }
 
 val default_plan : plan
 (** All seventeen paper profiles, default params, [words = 8], dropping
-    on, [max_width = 14], no coverage gate, pruning on, no probe. *)
+    on, [max_width = 14], no coverage gate, pruning on, no probe, no
+    auto-dispatch. *)
 
 type circuit_report = {
   circuit : string;

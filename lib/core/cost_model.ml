@@ -1,0 +1,546 @@
+module Circuit = Ppet_netlist.Circuit
+
+(* The calibrated per-stage cost model behind `--dispatch auto`.
+
+   Each pipeline stage gets one linear model over the circuit statistics
+   already stamped into BENCH_pipeline.json entries; `merced calibrate`
+   fits the coefficients by ridge-regularised least squares and persists
+   them as the versioned COST_MODEL.json artefact. The dispatcher then
+   turns predictions into the three perf knobs (fault-sim pool use,
+   word width, pool cutover) and the partitioner choice — a pure
+   function of (model bytes, circuit stats, available jobs), which is
+   what makes auto-dispatch cacheable and differential-testable. *)
+
+let schema_version = 1
+
+(* ------------------------------------------------------------------ *)
+(* features                                                            *)
+
+let feature_names =
+  [| "intercept"; "gates"; "dffs"; "edges"; "segments"; "largest_cluster" |]
+
+let n_features = Array.length feature_names
+
+let features_of (s : Report.bench_circuit) =
+  [|
+    1.0;
+    float_of_int s.Report.gates;
+    float_of_int s.Report.dffs;
+    float_of_int s.Report.edges;
+    float_of_int s.Report.segments;
+    float_of_int s.Report.largest_cluster;
+  |]
+
+(* The stats a decision can be made from before any compile ran:
+   structural features only, partition shape unstamped. Every
+   auto-dispatch surface (CLI, daemon ops, campaign, the comparison
+   harness) goes through here so they decide from identical features. *)
+let stats_of_circuit c =
+  {
+    Report.gates = Array.length (Circuit.combinational c);
+    dffs = Array.length (Circuit.dffs c);
+    edges =
+      Ppet_digraph.Netgraph.n_nets (Ppet_netlist.To_graph.partition_view c);
+    segments = 0;
+    largest_cluster = 0;
+  }
+
+(* The fit must see every training row through the same lens [decide]
+   evaluates with. `merced bench` stamps rows with the post-compile
+   partition shape (the regression guard uses it to refuse cross-workload
+   comparisons), but at dispatch time no compile has run and
+   [stats_of_circuit] carries segments = largest_cluster = 0. Training on
+   features the dispatcher can never supply lets an underdetermined fit
+   explain cost with them — and then extrapolate garbage (negative FM,
+   cheap words=1) once they collapse to zero at decision time. Zeroed
+   columns drop out of the normal equations, so the ridge solve pins
+   their coefficients to exactly 0. *)
+let decision_stats (s : Report.bench_circuit) =
+  { s with Report.segments = 0; largest_cluster = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* the model                                                           *)
+
+type stage_model = {
+  stage : string;
+  rows : int;          (* observations the fit saw *)
+  coeffs : float array; (* length n_features, feature order above *)
+}
+
+type t = {
+  ridge : float;
+  stages : stage_model list;  (* sorted by stage name *)
+}
+
+let find t stage = List.find_opt (fun m -> m.stage = stage) t.stages
+
+let predict_coeffs coeffs x =
+  let acc = ref 0.0 in
+  for i = 0 to n_features - 1 do
+    acc := !acc +. (coeffs.(i) *. x.(i))
+  done;
+  (* a linear fit extrapolated to tiny circuits can go negative; a cost
+     is not allowed to *)
+  Float.max 0.0 !acc
+
+let predict t ~stage stats =
+  Option.map
+    (fun m -> predict_coeffs m.coeffs (features_of stats))
+    (find t stage)
+
+(* ------------------------------------------------------------------ *)
+(* fitting: ridge least squares via the normal equations               *)
+
+(* Solve (X^T X + L) w = X^T y by Gaussian elimination with partial
+   pivoting — a 6x6 system, so numerics stay trivial. The ridge term is
+   relative per feature (lambda_j = ridge * max(XtX_jj, 1)), which keeps
+   the regularisation meaningful across the ~10^0..10^7 spread of the
+   raw feature scales and makes the system nonsingular even when a
+   feature column is constant (fewer circuits than features is the
+   normal case for the default four-circuit sweep).
+
+   Coefficients are constrained nonnegative. Every feature is a size,
+   and no pipeline stage gets cheaper on a bigger circuit — but stage
+   costs are convex in practice (FM is quadratic), so an unconstrained
+   line through a 10..10'000-gate sweep buys its fit at the big end
+   with a negative intercept and goes below zero on the small
+   circuits, where the clamp in [predict_coeffs] would then make
+   expensive baselines look free to [decide]. The active-set loop is
+   the standard trick: solve the ridge system, pin the most negative
+   coefficient to zero, re-solve — at most n_features rounds, fully
+   deterministic. *)
+let solve_normal ~ridge xs ys =
+  let a0 = Array.make_matrix n_features n_features 0.0 in
+  let b0 = Array.make n_features 0.0 in
+  List.iter2
+    (fun x y ->
+      for i = 0 to n_features - 1 do
+        b0.(i) <- b0.(i) +. (x.(i) *. y);
+        for j = 0 to n_features - 1 do
+          a0.(i).(j) <- a0.(i).(j) +. (x.(i) *. x.(j))
+        done
+      done)
+    xs ys;
+  for i = 0 to n_features - 1 do
+    a0.(i).(i) <- a0.(i).(i) +. (ridge *. Float.max 1.0 a0.(i).(i))
+  done;
+  let n = n_features in
+  let solve_active active =
+    let a = Array.map Array.copy a0 in
+    let b = Array.copy b0 in
+    (* pinned features get an identity row/column, forcing w_j = 0
+       without disturbing the restricted subsystem *)
+    for j = 0 to n - 1 do
+      if not active.(j) then begin
+        for k = 0 to n - 1 do
+          a.(j).(k) <- 0.0;
+          a.(k).(j) <- 0.0
+        done;
+        a.(j).(j) <- 1.0;
+        b.(j) <- 0.0
+      end
+    done;
+    (* elimination *)
+    for col = 0 to n - 1 do
+      let pivot = ref col in
+      for r = col + 1 to n - 1 do
+        if Float.abs a.(r).(col) > Float.abs a.(!pivot).(col) then pivot := r
+      done;
+      if !pivot <> col then begin
+        let tmp = a.(col) in
+        a.(col) <- a.(!pivot);
+        a.(!pivot) <- tmp;
+        let tb = b.(col) in
+        b.(col) <- b.(!pivot);
+        b.(!pivot) <- tb
+      end;
+      let p = a.(col).(col) in
+      if Float.abs p > 1e-12 then
+        for r = col + 1 to n - 1 do
+          let f = a.(r).(col) /. p in
+          if f <> 0.0 then begin
+            for c = col to n - 1 do
+              a.(r).(c) <- a.(r).(c) -. (f *. a.(col).(c))
+            done;
+            b.(r) <- b.(r) -. (f *. b.(col))
+          end
+        done
+    done;
+    let w = Array.make n 0.0 in
+    for row = n - 1 downto 0 do
+      let acc = ref b.(row) in
+      for c = row + 1 to n - 1 do
+        acc := !acc -. (a.(row).(c) *. w.(c))
+      done;
+      w.(row) <-
+        (if Float.abs a.(row).(row) > 1e-12 then !acc /. a.(row).(row)
+         else 0.0)
+    done;
+    w
+  in
+  let active = Array.make n true in
+  let rec nnls () =
+    let w = solve_active active in
+    let worst = ref (-1) in
+    for j = 0 to n - 1 do
+      if active.(j) && w.(j) < 0.0 && (!worst < 0 || w.(j) < w.(!worst)) then
+        worst := j
+    done;
+    if !worst < 0 then w
+    else begin
+      active.(!worst) <- false;
+      nnls ()
+    end
+  in
+  nnls ()
+
+(* Map a BENCH_pipeline entry onto its stage key. The two fault_sim
+   rows of the sweep differ only in job count, so the pooled one gets
+   its own key — the serial/pooled prediction gap is exactly what the
+   cutover decision is fitted from. *)
+let stage_key (e : Report.bench_entry) =
+  match String.index_opt e.Report.entry_name '/' with
+  | None -> None
+  | Some i ->
+    let phase =
+      String.sub e.Report.entry_name (i + 1)
+        (String.length e.Report.entry_name - i - 1)
+    in
+    if phase = "fault_sim" && e.Report.jobs > 1 then Some "fault_sim@pooled"
+    else Some phase
+
+let default_ridge = 1e-3
+
+let fit ?(ridge = default_ridge) entries =
+  if ridge < 0.0 then invalid_arg "Cost_model.fit: ridge must be >= 0";
+  let groups : (string, (float array * float) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter
+    (fun (e : Report.bench_entry) ->
+      match (stage_key e, e.Report.circuit_stats) with
+      | Some key, Some stats when e.Report.median_ns > 0.0 ->
+        let row = (features_of (decision_stats stats), e.Report.median_ns) in
+        (match Hashtbl.find_opt groups key with
+         | Some l -> l := row :: !l
+         | None -> Hashtbl.add groups key (ref [ row ]))
+      | _ -> ())
+    entries;
+  let stages =
+    Hashtbl.fold
+      (fun stage rows acc ->
+        let rows = List.rev !rows in
+        let xs = List.map fst rows and ys = List.map snd rows in
+        { stage; rows = List.length rows; coeffs = solve_normal ~ridge xs ys }
+        :: acc)
+      groups []
+  in
+  let stages = List.sort (fun a b -> compare a.stage b.stage) stages in
+  if stages = [] then
+    raise
+      (Circuit.Error
+         "calibrate: no usable bench entries (every row needs circuit \
+          stats and a positive median — re-record with `merced bench`)");
+  { ridge; stages }
+
+(* ------------------------------------------------------------------ *)
+(* persistence (COST_MODEL.json)                                       *)
+
+(* Emitted in the same line-oriented shape as Report.bench_json: one
+   stage object per line, keys in a fixed order, so the reader below
+   stays a scan of this module's own output. *)
+let to_json ?(normalise = false) t =
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf
+    "{\n  \"name\": \"cost-model\",\n  \"schema_version\": %d,\n  \
+     \"ridge\": %.6g,\n  \"features\": [%s],\n  \"stages\": ["
+    schema_version t.ridge
+    (String.concat ", "
+       (Array.to_list (Array.map (Printf.sprintf "\"%s\"") feature_names)));
+  List.iteri
+    (fun i m ->
+      Printf.bprintf buf "%s\n    { \"stage\": \"%s\", \"rows\": %d, \
+                          \"coeffs\": [%s] }"
+        (if i = 0 then "" else ",")
+        (String.escaped m.stage) m.rows
+        (String.concat ", "
+           (Array.to_list
+              (Array.map
+                 (fun c -> Printf.sprintf "%.9g" (if normalise then 0.0 else c))
+                 m.coeffs))))
+    t.stages;
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf
+
+let fingerprint t = Digest.to_hex (Digest.string (to_json t))
+
+(* Minimal reader of the emitter above — one stage object per line, keys
+   in a fixed order — NOT a general JSON parser (same contract as
+   Report.bench_entries_of_json). *)
+let of_json text =
+  let field_after line key =
+    let klen = String.length key in
+    let rec go i =
+      if i + klen > String.length line then None
+      else if String.sub line i klen = key then Some (i + klen)
+      else go (i + 1)
+    in
+    go 0
+  in
+  let until_delim line start ~stops =
+    let stop = ref start in
+    let n = String.length line in
+    while !stop < n && not (List.mem line.[!stop] stops) do
+      incr stop
+    done;
+    String.sub line start (!stop - start)
+  in
+  let lines = String.split_on_char '\n' text in
+  let scan key parse =
+    List.find_map
+      (fun line ->
+        match field_after line key with
+        | None -> None
+        | Some i -> parse line i)
+      lines
+  in
+  let int_field key =
+    scan key (fun line i ->
+        int_of_string_opt (until_delim line i ~stops:[ ','; ' '; '}'; '"' ]))
+  in
+  let float_field key =
+    scan key (fun line i ->
+        float_of_string_opt (until_delim line i ~stops:[ ','; ' '; '}'; '"' ]))
+  in
+  let name =
+    scan "\"name\": \"" (fun line i ->
+        Some (until_delim line i ~stops:[ '"' ]))
+  in
+  let ( let* ) = Result.bind in
+  let* () =
+    match name with
+    | Some "cost-model" -> Ok ()
+    | Some other ->
+      Error (Printf.sprintf "not a cost-model artefact (name %S)" other)
+    | None -> Error "not a cost-model artefact (no \"name\" field)"
+  in
+  let* () =
+    match int_field "\"schema_version\": " with
+    | Some v when v = schema_version -> Ok ()
+    | Some v ->
+      Error
+        (Printf.sprintf "unsupported schema_version %d (this build reads %d)"
+           v schema_version)
+    | None -> Error "missing schema_version"
+  in
+  let* ridge =
+    match float_field "\"ridge\": " with
+    | Some r when r >= 0.0 -> Ok r
+    | Some r -> Error (Printf.sprintf "ridge must be >= 0, not %g" r)
+    | None -> Error "missing ridge"
+  in
+  let parse_stage line =
+    match
+      ( field_after line "\"stage\": \"",
+        field_after line "\"rows\": ",
+        field_after line "\"coeffs\": [" )
+    with
+    | Some s0, Some r0, Some c0 ->
+      let stage = until_delim line s0 ~stops:[ '"' ] in
+      let rows = int_of_string_opt (until_delim line r0 ~stops:[ ','; ' ' ]) in
+      let body = until_delim line c0 ~stops:[ ']' ] in
+      let coeffs =
+        String.split_on_char ',' body
+        |> List.map String.trim
+        |> List.filter (fun s -> s <> "")
+        |> List.map float_of_string_opt
+      in
+      if List.exists Option.is_none coeffs || rows = None then
+        Some (Error (Printf.sprintf "stage %S: malformed row" stage))
+      else
+        let coeffs = Array.of_list (List.map Option.get coeffs) in
+        if Array.length coeffs <> n_features then
+          Some
+            (Error
+               (Printf.sprintf "stage %S: %d coefficients, expected %d" stage
+                  (Array.length coeffs) n_features))
+        else if Array.exists (fun c -> not (Float.is_finite c)) coeffs then
+          Some (Error (Printf.sprintf "stage %S: non-finite coefficient" stage))
+        else Some (Ok { stage; rows = Option.get rows; coeffs })
+    | _ -> None
+  in
+  let* stages =
+    List.fold_left
+      (fun acc line ->
+        let* acc = acc in
+        match parse_stage line with
+        | None -> Ok acc
+        | Some (Error e) -> Error e
+        | Some (Ok m) -> Ok (m :: acc))
+      (Ok []) lines
+  in
+  let stages = List.rev stages in
+  if stages = [] then Error "no stage models"
+  else if
+    List.for_all
+      (fun m -> Array.for_all (fun c -> c = 0.0) m.coeffs)
+      stages
+  then
+    (* the zero-median analogue of the PR 6 --against fix: an all-zero
+       model predicts 0 ns for everything, so every dispatch comparison
+       would be a meaningless tie — refuse it up front *)
+    Error
+      "all-zero model (a --normalise artefact or a hand-edited file?); \
+       re-fit it with `merced calibrate`"
+  else Ok { ridge; stages }
+
+let load path =
+  if not (Sys.file_exists path) then
+    raise (Circuit.Error (Printf.sprintf "no such cost-model file %S" path));
+  match of_json (In_channel.with_open_text path In_channel.input_all) with
+  | Ok t -> t
+  | Error msg ->
+    raise (Circuit.Error (Printf.sprintf "cost model %S: %s" path msg))
+
+(* ------------------------------------------------------------------ *)
+(* dispatch decisions                                                  *)
+
+type decision = {
+  d_partitioner : Params.partitioner;
+  d_jobs : int;
+  d_words : int;
+  d_cutover : int;
+}
+
+(* A baseline's raw wall clock is not the number to race the flow
+   heuristic against. Flow is the paper's contribution and the
+   reference result the rest of the repo is validated on; FM's
+   quadratic passes stop scaling past ~3k nodes and annealing's cut
+   quality buys 100x the time on large circuits (EXPERIMENTS Ablation
+   A). The factors price that risk in, so a baseline only dispatches
+   when it is faster by more than the confidence it costs. Random is
+   priced separately: its ~1.5x cut inflation (Ablation A) is not a
+   confidence question but a direct hit on the objective — cut nets
+   price CBIT area, the thing the paper optimises — so it dispatches
+   only when flow is intractably slow, not merely slower. *)
+let quality_factor = function
+  | Params.Flow -> 1.0
+  | Params.Fm -> 8.0
+  | Params.Annealing -> 8.0
+  | Params.Random -> 1024.0
+
+let partition_stage = function
+  | Params.Flow -> "partition_flow" (* synthesised below, not a key *)
+  | Params.Fm -> "partition_fm"
+  | Params.Annealing -> "partition_annealing"
+  | Params.Random -> "partition_random"
+
+let predict_partition t p stats =
+  match p with
+  | Params.Flow -> (
+    (* the flow pipeline's partition cost is its three stages *)
+    match
+      (predict t ~stage:"flow" stats,
+       predict t ~stage:"cluster" stats,
+       predict t ~stage:"assign" stats)
+    with
+    | Some f, Some c, Some a -> Some (f +. c +. a)
+    | _ -> None)
+  | p -> predict t ~stage:(partition_stage p) stats
+
+let word_stages = [ (1, "fault_sim"); (8, "fault_sim_w8"); (32, "fault_sim_w32") ]
+
+let no_cutover = 1 lsl 30 (* "never pool": above any real segment size *)
+
+(* Scale the circuit's shape down/up to g gates, keeping its ratios, so
+   the cutover scan asks the model about smaller versions of *this*
+   circuit rather than of some canonical one. *)
+let scaled_stats (s : Report.bench_circuit) g =
+  let ratio field =
+    if s.Report.gates <= 0 then 0
+    else
+      int_of_float
+        (Float.round
+           (float_of_int g *. float_of_int field /. float_of_int s.Report.gates))
+  in
+  {
+    Report.gates = g;
+    dffs = ratio s.Report.dffs;
+    edges = ratio s.Report.edges;
+    segments = (if s.Report.segments = 0 then 0 else max 1 (ratio s.Report.segments));
+    largest_cluster =
+      (if s.Report.largest_cluster = 0 then 0
+       else min g (max 1 (ratio s.Report.largest_cluster)));
+  }
+
+let decide t ~jobs_available stats =
+  (* partitioner: cheapest quality-adjusted predicted cost; Flow wins
+     ties and is the fallback when the model lacks the stages *)
+  let d_partitioner =
+    let best =
+      List.fold_left
+        (fun best p ->
+          match predict_partition t p stats with
+          | None -> best
+          | Some cost ->
+            let cost = cost *. quality_factor p in
+            (match best with
+             | Some (_, c) when c <= cost -> best
+             | _ -> Some (p, cost)))
+        None Params.partitioners
+    in
+    match best with Some (p, _) -> p | None -> Params.Flow
+  in
+  (* word width: cheapest measured kernel for this shape *)
+  let d_words =
+    let best =
+      List.fold_left
+        (fun best (w, stage) ->
+          match predict t ~stage stats with
+          | None -> best
+          | Some cost ->
+            (match best with
+             | Some (_, c) when c <= cost -> best
+             | _ -> Some (w, cost)))
+        None word_stages
+    in
+    match best with Some (w, _) -> w | None -> 8
+  in
+  (* pool use: pay the fork/join dispatch only when the model says the
+     pooled kernel beats the serial one on this circuit *)
+  let serial = predict t ~stage:"fault_sim" stats in
+  let pooled = predict t ~stage:"fault_sim@pooled" stats in
+  let pool_wins st =
+    match (predict t ~stage:"fault_sim" st, predict t ~stage:"fault_sim@pooled" st)
+    with
+    | Some s, Some p -> p < s
+    | _ -> false
+  in
+  let d_jobs =
+    match (serial, pooled) with
+    | Some s, Some p when p < s && jobs_available > 1 -> jobs_available
+    | _ -> 1
+  in
+  (* cutover: the predicted crossover gate count — the smallest segment
+     size at which the pooled kernel starts winning on a circuit of this
+     shape. No crossover in range means "never pool". *)
+  let d_cutover =
+    if stats.Report.gates <= 0 then no_cutover
+    else begin
+      let rec scan g =
+        if g > 1 lsl 20 then no_cutover
+        else if pool_wins (scaled_stats stats g) then g
+        else scan (g * 2)
+      in
+      scan 1
+    end
+  in
+  { d_partitioner; d_jobs; d_words; d_cutover }
+
+(* the params-level half of a decision; jobs/words live in the policy *)
+let apply_decision d params =
+  {
+    params with
+    Params.fault_cutover = d.d_cutover;
+    partitioner = d.d_partitioner;
+  }

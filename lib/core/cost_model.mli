@@ -1,0 +1,109 @@
+(** Calibrated per-stage cost model and the `--dispatch auto` decision
+    function (ROADMAP item 3; DESIGN.md section 5i).
+
+    One linear model per pipeline stage over the circuit statistics
+    stamped into BENCH_pipeline.json ([gates], [dffs], [edges],
+    [segments], [largest_cluster], plus an intercept), fitted by
+    ridge-regularised least squares from [merced bench] data and
+    persisted as the versioned COST_MODEL.json artefact. {!decide}
+    turns predictions into the fault-sim dispatch knobs (pool use, word
+    width, pool cutover) and the partitioner choice — a pure function
+    of (model, circuit stats, available jobs), so auto and forced runs
+    are differential-testable and the serve cache can key on the model
+    fingerprint. *)
+
+val schema_version : int
+(** Version of the COST_MODEL.json schema this build reads and writes
+    (same convention as lint's [schema_version]). *)
+
+val feature_names : string array
+(** Feature order of every coefficient vector:
+    intercept, gates, dffs, edges, segments, largest_cluster. *)
+
+val n_features : int
+
+val features_of : Report.bench_circuit -> float array
+(** The feature vector of a circuit's stamped stats ([segments] and
+    [largest_cluster] may be 0 when unstamped — predictions then lean on
+    the structural features alone). *)
+
+val stats_of_circuit : Ppet_netlist.Circuit.t -> Report.bench_circuit
+(** The pre-compile stats every auto-dispatch surface decides from:
+    gates/dffs/edges of the partition view, partition shape unstamped
+    (0). Shared so the CLI, the daemon and campaign make identical
+    decisions for the same circuit. *)
+
+type stage_model = {
+  stage : string;       (** e.g. ["flow"], ["fault_sim@pooled"] *)
+  rows : int;           (** observations the fit saw *)
+  coeffs : float array; (** length {!n_features}, in feature order *)
+}
+
+type t = {
+  ridge : float;              (** relative ridge weight of the fit *)
+  stages : stage_model list;  (** sorted by stage name *)
+}
+
+val default_ridge : float
+
+val fit : ?ridge:float -> Report.bench_entry list -> t
+(** Least-squares fit, one model per stage key. Entry ["c/phase"] maps
+    to stage [phase], except the pooled fault_sim row (jobs > 1) which
+    gets ["fault_sim@pooled"]. Entries without circuit stats or with a
+    non-positive median are skipped. The ridge term is relative per
+    feature (lambda_j = ridge * max(X^T X_jj, 1)), so the system stays
+    well-posed with fewer circuits than features. Raises
+    [Ppet_netlist.Circuit.Error] when no usable entry remains. *)
+
+val predict : t -> stage:string -> Report.bench_circuit -> float option
+(** Predicted stage cost in nanoseconds, clamped to >= 0; [None] when
+    the model has no such stage. *)
+
+val to_json : ?normalise:bool -> t -> string
+(** The COST_MODEL.json form (versioned, line-oriented like the BENCH
+    artefacts). [normalise] zeroes the coefficients for golden tests. *)
+
+val of_json : string -> (t, string) result
+(** Read back what {!to_json} wrote. Rejects (with a message): a
+    missing/foreign ["name"], an unsupported [schema_version], malformed
+    or non-finite or wrong-arity coefficient rows, an empty stage list,
+    and the all-zero model (the zero-median analogue — it would make
+    every dispatch comparison a tie). *)
+
+val load : string -> t
+(** {!of_json} on a file; raises [Ppet_netlist.Circuit.Error] (the
+    CLI's exit-2 path) on a missing file or any {!of_json} rejection. *)
+
+val fingerprint : t -> string
+(** Digest of the canonical {!to_json} bytes — the model half of the
+    serve cache key under auto-dispatch. *)
+
+type decision = {
+  d_partitioner : Params.partitioner;
+  d_jobs : int;     (** 1 = stay serial even if a pool is offered *)
+  d_words : int;    (** batch-engine word width *)
+  d_cutover : int;  (** predicted serial/pooled crossover, in gates *)
+}
+
+val decide : t -> jobs_available:int -> Report.bench_circuit -> decision
+(** The auto-dispatch decision for one circuit. Partitioner: cheapest
+    quality-adjusted predicted partition cost (flow = flow+cluster+assign;
+    baselines pay a quality factor, so they only win when much faster).
+    Words: cheapest measured kernel among 1/8/32. Jobs: [jobs_available]
+    when the pooled fault_sim prediction beats the serial one, else 1.
+    Cutover: smallest power-of-two gate count at which a same-shape
+    circuit's pooled prediction wins (never -> [1 lsl 30]). Pure in
+    (t, jobs_available, stats). *)
+
+val apply_decision : decision -> Params.t -> Params.t
+(** Fold the params-level half of a decision ([fault_cutover],
+    [partitioner]) into a params record; jobs and words live in the
+    batch policy, not in params. *)
+
+val no_cutover : int
+(** The cutover value meaning "never pool" (1 lsl 30) — what {!decide}
+    returns when no same-shape circuit size makes the pool pay. *)
+
+val quality_factor : Params.partitioner -> float
+val stage_key : Report.bench_entry -> string option
+(** The stage key a bench entry fits under (exposed for tests). *)

@@ -1,0 +1,64 @@
+(** [merced bench --compare] — race auto-dispatch against every forced
+    configuration and check both halves of the cost model's contract:
+    results never change (dispatch invariance, end to end) and the auto
+    choice stays within a speed gate of the best forced mode
+    (DESIGN.md section 5i; the committed BENCH_dispatch.json artefact).
+
+    Two stages per circuit. [partition] times every
+    {!Params.partitioner} on the same graph and seed, marks the model's
+    pick as chosen, and re-runs each mode under the auto-derived params
+    to prove the decision's perf knobs don't leak into the assignment;
+    modes that cut worse than the chosen one — or that carry a worse
+    {!Cost_model.quality_factor} prior, which prices in the quality risk
+    a lucky tiny-circuit tie does not show — stay in the report but are
+    excluded from the speed gate ([comparable = false]). [fault_sim]
+    races the batch-engine word widths 1/8/32, serial and pooled,
+    against the auto policy on the compiled circuit's largest segment —
+    every configuration must detect the same fault set. *)
+
+type plan = {
+  benchmarks : string list;
+  repeat : int;
+  jobs : int;           (** pooled configurations use this worker count *)
+  params : Params.t;    (** base params; partitioner/cutover are the race *)
+  model : Cost_model.t;
+  gate : float;         (** auto must stay within gate x best forced *)
+  slack_ns : float;     (** absolute grace on the gate *)
+}
+
+val default_gate : float
+(** 1.1 — the CI bound (ISSUE: auto within 1.1x of best forced). *)
+
+val default_slack_ns : float
+(** Absolute grace added to the gate so microsecond-scale medians
+    (where scheduler noise dwarfs the work) cannot flake it. *)
+
+type entry = {
+  e_name : string;       (** ["<circuit>/partition" | "<circuit>/fault_sim"] *)
+  config : string;       (** e.g. ["flow"], ["jobs=2,words=8"] *)
+  chosen : bool;         (** the configuration auto-dispatch selected *)
+  median_ns : float;
+  mad_ns : float;
+  ratio : float;         (** forced median / auto median; > 1 = auto faster *)
+  result_match : bool;
+  comparable : bool;     (** counts toward "best forced" in the gate *)
+}
+
+type report = {
+  model_fp : string;     (** {!Cost_model.fingerprint} of the model raced *)
+  gate : float;
+  entries : entry list;
+  failures : string list;  (** human lines; non-empty means exit 1 *)
+}
+
+val run : ?progress:(string -> unit) -> plan -> report
+(** Raises [Invalid_argument] on [repeat < 1], [jobs < 1] or
+    [gate < 1.0]. [progress] fires once per (circuit, stage). *)
+
+val human : report -> string
+(** The table [merced bench --compare] prints, gate verdict last. *)
+
+val to_json : ?normalise:bool -> report -> string
+(** The BENCH_dispatch.json form (versioned, line-oriented like every
+    BENCH artefact). [normalise] zeroes timings and the model
+    fingerprint for golden tests. *)

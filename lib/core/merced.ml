@@ -60,19 +60,71 @@ let run ?(params = Params.default) ?locked circuit =
       m "STEP 2: %d components, %d flip-flops on loops"
         (Scc_budget.n_components budget)
         (Scc_budget.dffs_on_scc budget));
-  (* STEP 3: Assign_CBIT over the saturated network *)
+  (* STEP 3: Assign_CBIT over the saturated network — or, when the
+     params select a baseline engine, its partition directly. The
+     baselines see the same graph and PRNG stream a forced
+     `--partitioner` run would, so an auto-dispatch decision and the
+     forced mode produce bit-identical assignments by construction. *)
   let rng = Prng.create params.Params.seed in
-  let flow = Flow.saturate ?csr graph params rng in
-  Log.debug (fun m ->
-      m "STEP 3a: %d shortest-path trees injected" flow.Flow.iterations);
-  let clustering =
-    Cluster.make_group ?locked ?csr circuit graph budget flow params
-  in
-  Log.debug (fun m ->
-      m "STEP 3b: %d clusters" (List.length clustering.Cluster.clusters));
-  let assignment =
-    Obs.span "merced.assign" (fun () ->
-        Assign.run ?csr circuit graph clustering params rng)
+  let flow, clustering, assignment =
+    match params.Params.partitioner with
+    | Params.Flow ->
+      let flow = Flow.saturate ?csr graph params rng in
+      Log.debug (fun m ->
+          m "STEP 3a: %d shortest-path trees injected" flow.Flow.iterations);
+      let clustering =
+        Cluster.make_group ?locked ?csr circuit graph budget flow params
+      in
+      Log.debug (fun m ->
+          m "STEP 3b: %d clusters" (List.length clustering.Cluster.clusters));
+      let assignment =
+        Obs.span "merced.assign" (fun () ->
+            Assign.run ?csr circuit graph clustering params rng)
+      in
+      (flow, clustering, assignment)
+    | (Params.Fm | Params.Annealing | Params.Random) as p ->
+      if locked <> None then
+        invalid_arg
+          (Printf.sprintf
+             "Merced.run: --lock requires the flow partitioner, not %s"
+             (Params.partitioner_name p));
+      let assignment =
+        Obs.span "merced.assign" (fun () ->
+            match p with
+            | Params.Fm ->
+              (Baseline_fm.run circuit graph params rng).Baseline_fm.result
+            | Params.Annealing ->
+              (Baseline_annealing.run circuit graph params rng)
+                .Baseline_annealing.result
+            | Params.Random | Params.Flow ->
+              Baseline_random.run circuit graph params rng)
+      in
+      Log.debug (fun m ->
+          m "STEP 3 (%s baseline): %d partitions"
+            (Params.partitioner_name p)
+            (List.length assignment.Assign.partitions));
+      (* neutral flow/clustering records: the baselines never saturate
+         the network, and every downstream consumer (area accounting,
+         phasing, the retiming solver) reads only the assignment *)
+      let flow =
+        {
+          Flow.distance = Array.make (Netgraph.n_nets graph) 0.0;
+          flow = Array.make (Netgraph.n_nets graph) 0.0;
+          visits = Array.make (Netgraph.n_nodes graph) 0;
+          iterations = 0;
+        }
+      in
+      let clustering =
+        {
+          Cluster.clusters = [];
+          cluster_of = Array.make (Netgraph.n_nodes graph) 0;
+          removed = Array.make (Netgraph.n_nets graph) false;
+          forced_kept = Array.make (Netgraph.n_nets graph) false;
+          cuts_used = Array.make (Scc_budget.n_components budget) 0;
+          boundaries_used = 0;
+        }
+      in
+      (flow, clustering, assignment)
   in
   Obs.add Obs.Metric.Partitions_formed
     (List.length assignment.Assign.partitions);

@@ -2,6 +2,23 @@ type substrate = Hashed | Csr
 
 let substrate_name = function Hashed -> "hashed" | Csr -> "csr"
 
+type partitioner = Flow | Fm | Annealing | Random
+
+let partitioner_name = function
+  | Flow -> "flow"
+  | Fm -> "fm"
+  | Annealing -> "annealing"
+  | Random -> "random"
+
+let partitioner_of_name = function
+  | "flow" -> Some Flow
+  | "fm" -> Some Fm
+  | "annealing" -> Some Annealing
+  | "random" -> Some Random
+  | _ -> None
+
+let partitioners = [ Flow; Fm; Annealing; Random ]
+
 type t = {
   capacity : float;
   min_visit : int;
@@ -14,6 +31,7 @@ type t = {
   max_merge_candidates : int;
   substrate : substrate;
   fault_cutover : int;
+  partitioner : partitioner;
 }
 
 let default =
@@ -29,6 +47,7 @@ let default =
     max_merge_candidates = 1_500;
     substrate = Csr;
     fault_cutover = 128;
+    partitioner = Flow;
   }
 
 let with_lk l_k = { default with l_k }
@@ -50,10 +69,10 @@ let validate p =
    compiles onto one cache entry. *)
 let fingerprint p =
   Printf.sprintf
-    "b=%h;mv=%d;a=%h;d=%h;beta=%d;lk=%d;seed=%Ld;mi=%d;mmc=%d;sub=%s;fc=%d"
+    "b=%h;mv=%d;a=%h;d=%h;beta=%d;lk=%d;seed=%Ld;mi=%d;mmc=%d;sub=%s;fc=%d;part=%s"
     p.capacity p.min_visit p.alpha p.delta p.beta p.l_k p.seed
     p.max_iterations p.max_merge_candidates (substrate_name p.substrate)
-    p.fault_cutover
+    p.fault_cutover (partitioner_name p.partitioner)
 
 let pp ppf p =
   Format.fprintf ppf

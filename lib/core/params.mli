@@ -15,6 +15,25 @@ type substrate =
 
 val substrate_name : substrate -> string
 
+type partitioner =
+  | Flow       (** the paper's multicommodity-flow pipeline (Tables 3-7) *)
+  | Fm         (** multi-way Fiduccia-Mattheyses ({!Baseline_fm}) *)
+  | Annealing  (** simulated annealing ({!Baseline_annealing}) *)
+  | Random     (** random seeded growth ({!Baseline_random}) *)
+(** Which engine produces the partition assignment. [Flow] is the
+    default and the quality reference; the baselines exist for the
+    ablation bench and for cost-driven dispatch on circuits where the
+    flow saturation dominates the wall clock. All four produce an
+    {!Assign.t} honouring the [l_k] input constraint (baselines may
+    leave oversize clusters, marked as such). *)
+
+val partitioner_name : partitioner -> string
+val partitioner_of_name : string -> partitioner option
+
+val partitioners : partitioner list
+(** All four, [Flow] first — the forced-mode sweep of
+    [merced bench --compare] iterates this list. *)
+
 type t = {
   capacity : float;       (** b — net capacity in Saturate_Network *)
   min_visit : int;        (** sampling adequacy threshold *)
@@ -33,6 +52,10 @@ type t = {
           measured knee — see EXPERIMENTS.md "fault-engine cutover").
           Threaded into [Fault_engine.Batch.policy.cutover]; results are
           identical at any value, only the wall clock moves. *)
+  partitioner : partitioner;
+      (** partition engine (default [Flow]). Unlike the perf-only knobs
+          this changes the compile result, so it is part of
+          {!fingerprint}. *)
 }
 
 val default : t

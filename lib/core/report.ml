@@ -69,7 +69,22 @@ type bench_circuit = {
   gates : int;
   dffs : int;
   edges : int;
+  segments : int;
+      (* Merced partition count; 0 = not stamped (pre-compile stats, or
+         an artefact from before the cost-model features landed) *)
+  largest_cluster : int;
+      (* member gates of the biggest combinational segment; 0 = not
+         stamped *)
 }
+
+(* Same workload? Structural fields must agree; the partition-shape
+   fields only when both sides actually recorded them, so old baselines
+   stay comparable (0 is the "not stamped" wildcard). *)
+let bench_stats_compatible a b =
+  a.gates = b.gates && a.dffs = b.dffs && a.edges = b.edges
+  && (a.segments = 0 || b.segments = 0 || a.segments = b.segments)
+  && (a.largest_cluster = 0 || b.largest_cluster = 0
+      || a.largest_cluster = b.largest_cluster)
 
 type bench_entry = {
   entry_name : string;
@@ -92,7 +107,10 @@ let bench_json ~name ~entries =
        | None -> ()
        | Some c ->
          Printf.bprintf buf ", \"gates\": %d, \"dffs\": %d, \"edges\": %d"
-           c.gates c.dffs c.edges);
+           c.gates c.dffs c.edges;
+         if c.segments > 0 || c.largest_cluster > 0 then
+           Printf.bprintf buf ", \"segments\": %d, \"largest_cluster\": %d"
+             c.segments c.largest_cluster);
       Buffer.add_string buf " }")
     entries;
   Buffer.add_string buf "\n  ]\n}\n";
@@ -145,11 +163,18 @@ let bench_entries_of_json text =
                  field_after line "\"edges\": " )
              with
              | Some g0, Some d0, Some e0 ->
+               let opt key =
+                 match field_after line key with
+                 | Some o -> int_of_string (until_delim line o)
+                 | None -> 0
+               in
                Some
                  {
                    gates = int_of_string (until_delim line g0);
                    dffs = int_of_string (until_delim line d0);
                    edges = int_of_string (until_delim line e0);
+                   segments = opt "\"segments\": ";
+                   largest_cluster = opt "\"largest_cluster\": ";
                  }
              | _ -> None
            in

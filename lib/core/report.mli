@@ -25,9 +25,23 @@ type bench_circuit = {
   gates : int;  (** combinational cells of the measured circuit *)
   dffs : int;   (** flip-flops *)
   edges : int;  (** nets of the partition-view graph *)
+  segments : int;
+      (** Merced partition count under default params; [0] = not stamped
+          (pre-compile stats, or an artefact recorded before the
+          cost-model features existed) *)
+  largest_cluster : int;
+      (** member gates of the biggest combinational segment; [0] = not
+          stamped *)
 }
 (** Structural identity of a benchmark's workload, recorded so a
-    baseline can be rejected when the generated circuit changed shape. *)
+    baseline can be rejected when the generated circuit changed shape —
+    and, since the cost model landed, the feature vector
+    {!Cost_model.features_of} predicts stage runtimes from. *)
+
+val bench_stats_compatible : bench_circuit -> bench_circuit -> bool
+(** Same workload? The structural triple must agree exactly; the
+    partition-shape fields only when both sides stamped them ([0] acts
+    as a wildcard so pre-cost-model baselines remain comparable). *)
 
 type bench_entry = {
   entry_name : string;  (** e.g. ["s27/flow"] or ["fault_sim/cone"] *)
@@ -43,7 +57,8 @@ type bench_entry = {
 val bench_json : name:string -> entries:bench_entry list -> string
 (** The BENCH_*.json perf-baseline format:
     [{"name":..., "entries":[{"name","median_ns","mad_ns","jobs"},...]}]
-    with optional ["gates"/"dffs"/"edges"] keys per entry when
+    with optional ["gates"/"dffs"/"edges"] (and, when stamped,
+    ["segments"/"largest_cluster"]) keys per entry when
     [circuit_stats] is set. Every bench group (fault-sim shootout,
     [merced bench] pipeline sweep) emits through this helper so
     artefacts stay schema-identical and future changes can diff against

@@ -221,11 +221,16 @@ anything, and bad arguments are usage errors:
   s27/assign jobs=1
   s27/retime jobs=1
   s27/analysis jobs=1
+  s27/partition_fm jobs=1
+  s27/partition_annealing jobs=1
+  s27/partition_random jobs=1
   s27/fault_sim jobs=1
   s27/fault_sim jobs=2
+  s27/fault_sim_w8 jobs=1
+  s27/fault_sim_w32 jobs=1
   exit 0
   $ $MERCED bench --benchmarks s27 --jobs 4 --dry-run | tail -1
-  s27/fault_sim jobs=4
+  s27/fault_sim_w32 jobs=1
   $ $MERCED bench --benchmarks nosuch --dry-run 2> /dev/null; echo "exit $?"
   exit 2
   $ $MERCED bench --benchmarks s27 --repeat 0 2> /dev/null; echo "exit $?"
@@ -274,3 +279,116 @@ unknown substrate is a usage error:
   identical
   $ $MERCED partition s27 --substrate nosuch 2> /dev/null; echo "exit $?"
   exit 2
+
+--jobs and --fault-cutover are validated uniformly across subcommands:
+non-positive or overflowing values are usage errors, not silent clamps:
+
+  $ $MERCED selftest s27 --jobs 0 2> err.txt; echo "exit $?"; head -1 err.txt
+  exit 2
+  error: --jobs must be in 1..512, got 0
+  $ $MERCED selftest s27 --jobs=-2 2> /dev/null; echo "exit $?"
+  exit 2
+  $ $MERCED campaign --profiles mini --jobs 100000 --no-out 2> err.txt; echo "exit $?"; head -1 err.txt
+  exit 2
+  error: --jobs must be in 1..512, got 100000
+  $ $MERCED bench --benchmarks s27 --jobs 0 --dry-run 2> /dev/null; echo "exit $?"
+  exit 2
+  $ $MERCED selftest s27 --fault-cutover 0 2> err.txt; echo "exit $?"; head -1 err.txt
+  exit 2
+  error: --fault-cutover must be in 1..2^30, got 0
+  $ $MERCED campaign --profiles mini --fault-cutover=-5 --no-out 2> /dev/null; echo "exit $?"
+  exit 2
+  $ $MERCED selftest s27 --fault-cutover 2000000000 2> err.txt; echo "exit $?"; head -1 err.txt
+  exit 2
+  error: --fault-cutover must be in 1..2^30, got 2000000000
+
+Calibrate fits the dispatch cost model from a BENCH sweep. Missing or
+entry-less inputs and a negative ridge are usage errors; a good sweep
+writes the versioned artefact (the fingerprint hashes the fitted
+coefficients, so it is elided here):
+
+  $ $MERCED calibrate --from nosuch.json 2>&1; echo "exit $?"
+  error: --from: no such BENCH file "nosuch.json"
+  exit 2
+  $ echo 'not json' > bad.json
+  $ $MERCED calibrate --from bad.json 2>&1; echo "exit $?"
+  error: --from: "bad.json" holds no bench entries
+  exit 2
+  $ $MERCED bench --benchmarks s27 --repeat 1 --out fit.json > /dev/null 2>&1
+  $ $MERCED calibrate --from fit.json --ridge=-1 2>&1; echo "exit $?"
+  error: --ridge must be >= 0, got -1
+  exit 2
+  $ $MERCED calibrate --from fit.json --out CM.json | sed -E 's/fingerprint [0-9a-f]+/fingerprint FP/'; echo "exit $?"
+  wrote CM.json (13 stages from 13 entries, fingerprint FP)
+  exit 0
+
+--dispatch auto loads that model. A missing, version-skewed, or
+all-zero model file is a usage error before any circuit work starts:
+
+  $ $MERCED partition s27 --dispatch auto --model nosuch.json 2>&1; echo "exit $?"
+  error: no such cost-model file "nosuch.json"
+  exit 2
+  $ sed 's/"schema_version": 1/"schema_version": 9/' CM.json > wrongver.json
+  $ $MERCED partition s27 --dispatch auto --model wrongver.json 2>&1; echo "exit $?"
+  error: cost model "wrongver.json": unsupported schema_version 9 (this build reads 1)
+  exit 2
+  $ cat > zero.json <<'EOF'
+  > {
+  >   "name": "cost-model",
+  >   "schema_version": 1,
+  >   "ridge": 0.001,
+  >   "stages": [
+  >     { "stage": "flow", "rows": 4, "coeffs": [0, 0, 0, 0, 0, 0] }
+  >   ]
+  > }
+  > EOF
+  $ $MERCED partition s27 --dispatch auto --model zero.json 2>&1; echo "exit $?"
+  error: cost model "zero.json": all-zero model (a --normalise artefact or a hand-edited file?); re-fit it with `merced calibrate`
+  exit 2
+
+The dispatch decision is a pure function of the model and the circuit,
+never of the worker count, so auto runs are byte-identical across
+--jobs and across repeats:
+
+  $ $MERCED selftest s27 --lk 4 --dispatch auto --model CM.json > auto1.out
+  $ $MERCED selftest s27 --lk 4 --dispatch auto --model CM.json --jobs 2 > auto2.out
+  $ cmp auto1.out auto2.out && echo identical
+  identical
+  $ $MERCED partition s27 --lk 3 --dispatch auto --model CM.json | grep -v "CPU:" > pauto1.out
+  $ $MERCED partition s27 --lk 3 --dispatch auto --model CM.json | grep -v "CPU:" > pauto2.out
+  $ cmp pauto1.out pauto2.out && echo identical
+  identical
+
+Tracing composes with dispatch: a successful auto run records its
+spans, and a failing model load still writes the trace file:
+
+  $ $MERCED partition s27 --lk 3 --dispatch auto --model CM.json --trace td.txt > /dev/null 2> td.err; echo "exit $?"
+  exit 0
+  $ grep -c "trace: wrote td.txt" td.err
+  1
+  $ $MERCED partition s27 --dispatch auto --model nosuch.json --trace tf.txt 2> /dev/null; echo "exit $?"
+  exit 2
+  $ test -f tf.txt && echo present
+  present
+
+bench --compare races auto dispatch against every forced config. It
+times everything, so --dry-run is contradictory; a gate below 1 is a
+usage error; the artefact has one result-matched entry per config (the
+timings themselves are machine-dependent, so only the structure is
+checked here):
+
+  $ $MERCED bench --compare --benchmarks s27 --dry-run --model CM.json 2>&1; echo "exit $?"
+  error: --compare times everything; drop --dry-run
+  exit 2
+  $ $MERCED bench --compare --benchmarks s27 --gate 0.5 --model CM.json 2>&1; echo "exit $?"
+  error: --gate must be >= 1, got 0.5
+  exit 2
+  $ $MERCED bench --compare --benchmarks s27 --model nosuch.json 2>&1; echo "exit $?"
+  error: no such cost-model file "nosuch.json"
+  exit 2
+  $ $MERCED bench --compare --benchmarks s27 --repeat 1 --model CM.json --out BD.json 2> /dev/null | grep -c "dispatch compare"
+  1
+  $ grep -c '"name": "dispatch"' BD.json
+  1
+  $ grep -c '"result_match": true' BD.json
+  11

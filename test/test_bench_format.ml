@@ -149,7 +149,11 @@ let bare_entries =
   ]
 
 let stats_entries =
-  let stats = Some { Report.gates = 120; dffs = 17; edges = 256 } in
+  let stats =
+    Some
+      { Report.gates = 120; dffs = 17; edges = 256; segments = 0;
+        largest_cluster = 0 }
+  in
   [
     { Report.entry_name = "s27/flow"; median_ns = 1.5; mad_ns = 0.5; jobs = 1;
       circuit_stats = stats };
